@@ -1,0 +1,63 @@
+"""Figure 18: CFD and CFD+ performance and energy impact.
+
+Paper: CFD speeds up by up to 51% (16% average), CFD+ up to 51% (17%);
+CFD cuts energy by up to 43% (19% average), CFD+ up to 43% (21%).  Our
+absolute magnitudes differ with the substrate, but CFD must (a) win on
+average, (b) eliminate the targeted mispredictions, (c) save energy.
+"""
+
+from benchmarks.common import (
+    CFD_BQ_APPS,
+    CFD_PLUS_APPS,
+    compare,
+    fmt,
+    print_figure,
+)
+from repro.analysis import geometric_mean
+
+
+def _sweep():
+    rows = []
+    for workload, input_name in CFD_BQ_APPS:
+        comparison, base_result, cfd_result = compare(workload, "cfd", input_name)
+        plus = None
+        if (workload, input_name) in CFD_PLUS_APPS:
+            plus, _, _ = compare(workload, "cfd_plus", input_name)
+        rows.append((comparison, plus))
+    return rows
+
+
+def test_fig18_cfd_performance_and_energy(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print_figure(
+        "Fig 18a/18b — CFD and CFD+ speedup and energy reduction",
+        ["application", "speedup", "speedup+", "energy-", "energy-+",
+         "overhead", "MPKI base->cfd"],
+        [
+            (
+                c.workload,
+                fmt(c.speedup),
+                fmt(p.speedup) if p else "-",
+                fmt(c.energy_reduction),
+                fmt(p.energy_reduction) if p else "-",
+                fmt(c.overhead),
+                "%s -> %s" % (fmt(c.base_mpki, 1), fmt(c.variant_mpki, 1)),
+            )
+            for c, p in rows
+        ],
+        notes="paper: CFD up to 1.51 (avg 1.16); energy savings up to 43% (avg 19%)",
+    )
+    comparisons = [c for c, _ in rows]
+    speedups = [c.speedup for c in comparisons]
+    savings = [c.energy_reduction for c in comparisons]
+    assert geometric_mean(speedups) > 1.1  # CFD wins on average
+    assert max(speedups) > 1.4
+    assert geometric_mean([1 - s for s in savings]) < 0.95  # energy drops on avg
+    # CFD eradicates the targeted mispredictions wherever it decouples
+    for c in comparisons:
+        if not c.workload.startswith("tiff"):
+            assert c.variant_mpki < c.base_mpki * 0.25, c.workload
+    # CFD+ tracks CFD closely (paper: nearly identical)
+    for c, p in rows:
+        if p is not None:
+            assert abs(p.speedup - c.speedup) < 0.45

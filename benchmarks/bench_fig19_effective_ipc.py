@@ -1,0 +1,63 @@
+"""Figure 19: effective IPC of Base, CFD, Base+PerfectCFD, and Perfect
+Prediction — the paper's three-group analysis.
+
+Effective IPC charges every configuration with the *base* binary's
+instruction count, so CFD's overhead counts against it.  The paper finds
+three groups: CFD below / equal to / above PerfectCFD (the last thanks to
+CFD's prefetching side-effect and removed fetch disruption).
+"""
+
+from benchmarks.common import CFD_BQ_APPS, fmt, print_figure, run
+from repro.core import sandy_bridge_config
+
+
+def _sweep():
+    rows = []
+    for workload, input_name in CFD_BQ_APPS:
+        base_built, base = run(workload, "base", input_name)
+        _, cfd = run(workload, "cfd", input_name)
+        _, perfect_cfd = run(
+            workload, "base", input_name,
+            config=sandy_bridge_config(
+                perfect_pcs=set(base_built.separable_pcs),
+                name="base+perfectCFD",
+            ),
+        )
+        _, perfect_all = run(
+            workload, "base", input_name,
+            config=sandy_bridge_config(predictor="perfect"),
+        )
+        work = base.stats.retired
+        rows.append(
+            (
+                "%s(%s)" % (workload, input_name),
+                base.stats.ipc,
+                work / cfd.stats.cycles,
+                work / perfect_cfd.stats.cycles,
+                work / perfect_all.stats.cycles,
+            )
+        )
+    return rows
+
+
+def test_fig19_effective_ipc(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print_figure(
+        "Fig 19 — effective IPC (base-instructions / cycles)",
+        ["application", "Base", "CFD", "Base+PerfCFD", "PerfectPred"],
+        [
+            (name, fmt(a), fmt(b), fmt(c), fmt(d))
+            for name, a, b, c, d in rows
+        ],
+        notes="paper groups: CFD < / = / > PerfectCFD depending on overhead",
+    )
+    for name, base, cfd, perfect_cfd, perfect_all in rows:
+        # Perfect prediction upper-bounds everything.
+        assert perfect_all >= perfect_cfd * 0.95, name
+        # PerfectCFD never hurts the base.
+        assert perfect_cfd >= base * 0.98, name
+    # All three paper groups appear across the suite:
+    below = sum(1 for _, _, cfd, pc, _ in rows if cfd < pc * 0.95)
+    at_or_above = sum(1 for _, _, cfd, pc, _ in rows if cfd >= pc * 0.95)
+    assert below >= 1  # group 1: overheads dominate somewhere
+    assert at_or_above >= 1  # groups 2-3: overheads tolerated or beaten

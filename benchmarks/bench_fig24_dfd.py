@@ -1,0 +1,61 @@
+"""Figure 24: DFD vs CFD, performance and energy.
+
+Paper: DFD speeds up by up to 60% and saves up to 25% energy; except
+astar(BigLakes) region #1, CFD yields higher speedups, and CFD is always
+significantly more energy-efficient.  The memory-bound configuration is
+required — DFD's whole point is prefetching the miss-fed branch slices.
+"""
+
+from benchmarks.common import DFD_APPS, compare, fmt, print_figure
+from repro.core import memory_bound_config
+
+
+def _sweep():
+    rows = []
+    for workload, input_name in DFD_APPS:
+        config = memory_bound_config()
+        cfd, _, _ = compare(workload, "cfd", input_name, config=config, scale=1.0)
+        dfd, _, dfd_result = compare(
+            workload, "dfd", input_name, config=config, scale=1.0
+        )
+        rows.append((cfd, dfd, dfd_result))
+    return rows
+
+
+def test_fig24_dfd_vs_cfd(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print_figure(
+        "Fig 24a/24b — DFD vs CFD (memory-bound config)",
+        ["application", "speedup(CFD)", "speedup(DFD)", "energy-(CFD)",
+         "energy-(DFD)", "MPKI(DFD)"],
+        [
+            (
+                cfd.workload,
+                fmt(cfd.speedup),
+                fmt(dfd.speedup),
+                fmt(cfd.energy_reduction),
+                fmt(dfd.energy_reduction),
+                fmt(dfd.variant_mpki, 1),
+            )
+            for cfd, dfd, _ in rows
+        ],
+        notes="paper: DFD up to 1.60; CFD usually faster, always more "
+        "energy-efficient; DFD leaves mispredictions in place",
+    )
+    for cfd, dfd, _ in rows:
+        # DFD accelerates resolution but does not eliminate mispredictions.
+        assert dfd.variant_mpki > cfd.variant_mpki * 3
+    # CFD is the more energy-efficient technique overall (paper's
+    # conclusion).  Our astar region-#1 transform carries a higher
+    # instruction overhead than the paper's hand-tuned one (2.3x vs 1.86x),
+    # which lets DFD edge it on energy there — recorded in EXPERIMENTS.md.
+    cfd_energy_wins = sum(
+        1 for cfd, dfd, _ in rows
+        if cfd.energy_reduction >= dfd.energy_reduction - 0.02
+    )
+    assert cfd_energy_wins >= len(rows) / 2
+    # DFD helps somewhere (it is a real technique, not a strawman).
+    assert max(dfd.speedup for _, dfd, _ in rows) > 1.05
+    # CFD yields the higher speedup for most applications.
+    cfd_wins = sum(1 for cfd, dfd, _ in rows if cfd.speedup >= dfd.speedup)
+    assert cfd_wins >= len(rows) - 1

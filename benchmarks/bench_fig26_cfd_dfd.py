@@ -1,0 +1,40 @@
+"""Figure 26: applying CFD and DFD simultaneously.
+
+Paper: DFD prefetches the data CFD's predicate loop needs, so the
+combination beats either alone where both apply.
+"""
+
+from benchmarks.common import DFD_APPS, compare, fmt, print_figure
+from repro.core import memory_bound_config
+
+
+def _sweep():
+    rows = []
+    for workload, input_name in DFD_APPS:
+        config = memory_bound_config()
+        dfd, _, _ = compare(workload, "dfd", input_name, config=config, scale=1.0)
+        cfd, _, _ = compare(workload, "cfd", input_name, config=config, scale=1.0)
+        both, _, _ = compare(
+            workload, "cfd_dfd", input_name, config=config, scale=1.0
+        )
+        rows.append((dfd, cfd, both))
+    return rows
+
+
+def test_fig26_cfd_plus_dfd(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print_figure(
+        "Fig 26 — DFD only / CFD only / both (memory-bound config)",
+        ["application", "DFD", "CFD", "CFD+DFD"],
+        [
+            (dfd.workload, fmt(dfd.speedup), fmt(cfd.speedup), fmt(both.speedup))
+            for dfd, cfd, both in rows
+        ],
+        notes="paper: the combination is the best configuration",
+    )
+    wins = 0
+    for dfd, cfd, both in rows:
+        if both.speedup >= max(dfd.speedup, cfd.speedup) - 0.02:
+            wins += 1
+    assert wins >= len(rows) - 1  # combined wins (or ties) almost everywhere
+    assert max(both.speedup for _, _, both in rows) > 1.3

@@ -1,0 +1,72 @@
+"""Figures 27/28: CFD(TQ) alone, then CFD(BQ), CFD(TQ) and CFD(BQ+TQ).
+
+Paper: TQ alone yields modest gains (up to 5% perf, 6% energy) because
+the body branch still mispredicts; adding BQ on top (Fig 28) reaches up
+to 55% performance and 49% energy, with the combination exceeding the
+sum of the parts.
+"""
+
+from benchmarks.common import TQ_APPS, compare, fmt, print_figure
+
+
+def _sweep():
+    rows = []
+    for workload, input_name in TQ_APPS:
+        tq, base_result, tq_result = compare(workload, "tq", input_name)
+        both = None
+        from repro.workloads import get_workload
+
+        if "bq_tq" in get_workload(workload).variants:
+            both, _, _ = compare(workload, "bq_tq", input_name)
+        rows.append((tq, both, base_result))
+    return rows
+
+
+def test_fig27_tq_alone(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print_figure(
+        "Fig 27 — CFD(TQ) performance and energy impact",
+        ["application", "speedup", "energy-", "overhead", "MPKI base->tq"],
+        [
+            (
+                tq.workload,
+                fmt(tq.speedup),
+                fmt(tq.energy_reduction),
+                fmt(tq.overhead),
+                "%s -> %s" % (fmt(tq.base_mpki, 1), fmt(tq.variant_mpki, 1)),
+            )
+            for tq, _, _ in rows
+        ],
+        notes="paper: up to 5% speedup, 6% energy (loop-branch only)",
+    )
+    for tq, _, _ in rows:
+        assert tq.speedup > 1.0, tq.workload  # TQ always helps
+        assert tq.variant_mpki < tq.base_mpki  # loop-branch exits eliminated
+        assert tq.overhead < 1.25  # near-free transformation
+
+
+def test_fig28_bq_plus_tq(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    printable = []
+    for tq, both, _ in rows:
+        printable.append(
+            (
+                tq.workload,
+                fmt(tq.speedup),
+                fmt(both.speedup) if both else "-",
+                fmt(tq.energy_reduction),
+                fmt(both.energy_reduction) if both else "-",
+            )
+        )
+    print_figure(
+        "Fig 28 — CFD(TQ) vs CFD(BQ+TQ)",
+        ["application", "speedup(TQ)", "speedup(BQ+TQ)", "energy-(TQ)",
+         "energy-(BQ+TQ)"],
+        printable,
+        notes="paper: BQ+TQ reaches 1.55 / 49% — gains exceed the sum of parts",
+    )
+    for tq, both, _ in rows:
+        if both is None:
+            continue
+        assert both.speedup > tq.speedup  # adding BQ on top pays
+        assert both.variant_mpki < tq.variant_mpki  # body branch eliminated too

@@ -1,0 +1,150 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every bench regenerates one of the paper's tables or figures: it runs the
+relevant workload binaries on the cycle core, prints the same rows/series
+the paper reports, and asserts the qualitative shape (who wins, rough
+factors, crossovers).  Absolute numbers differ from the paper — our
+substrate is a reduced-scale simulator — which DESIGN.md and
+EXPERIMENTS.md discuss per experiment.
+
+Scale control: ``REPRO_BENCH_SCALE`` multiplies workload sizes
+(default 0.2; the paper-vs-measured records in EXPERIMENTS.md were made
+at 0.2).  Simulation results are cached per (workload, variant, input,
+scale, config) within the bench session, so figures sharing runs (most
+share the baselines) don't pay twice.
+"""
+
+import os
+from dataclasses import asdict
+
+from repro.analysis import compare_runs, format_table
+from repro.core import (
+    memory_bound_config,
+    sandy_bridge_config,
+    scale_window,
+    simulate,
+)
+from repro.workloads import get_workload
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+#: The paper's CFD(BQ) application list (Table III), as (workload, input).
+CFD_BQ_APPS = [
+    ("astar_r1", "BigLakes"),
+    ("astar_r1", "Rivers"),
+    ("astar_r2", "BigLakes"),
+    ("soplex", "ref"),
+    ("soplex", "pds"),
+    ("mcf", "ref"),
+    ("eclat", "ref"),
+    ("gromacs", "ref"),
+    ("jpeg_compr", "ref"),
+    ("namd", "ref"),
+    ("hmmer", "ref"),
+    ("tiff_2bw", "2bw"),
+    ("tiff_median", "median"),
+]
+
+#: Apps with a cfd_plus (VQ) variant.
+CFD_PLUS_APPS = [
+    ("soplex", "ref"),
+    ("soplex", "pds"),
+    ("mcf", "ref"),
+    ("eclat", "ref"),
+    ("gromacs", "ref"),
+    ("jpeg_compr", "ref"),
+    ("namd", "ref"),
+]
+
+#: DFD study apps (Fig 24: astar and soplex).
+DFD_APPS = [
+    ("astar_r1", "BigLakes"),
+    ("astar_r1", "Rivers"),
+    ("astar_r2", "BigLakes"),
+    ("soplex", "ref"),
+]
+
+#: CFD(TQ) apps (Table IV / Figs 27-28).
+TQ_APPS = [
+    ("astar_tq", "BigLakes"),
+    ("astar_tq", "Rivers"),
+    ("bzip2", "chicken"),
+    ("bzip2", "input.source"),
+]
+
+_BUILD_CACHE = {}
+_RUN_CACHE = {}
+
+
+def build(workload_name, variant, input_name=None, scale=None):
+    """Cached workload build."""
+    scale = SCALE if scale is None else scale
+    key = (workload_name, variant, input_name, scale, SEED)
+    if key not in _BUILD_CACHE:
+        workload = get_workload(workload_name)
+        _BUILD_CACHE[key] = workload.build(variant, input_name, scale, SEED)
+    return _BUILD_CACHE[key]
+
+
+def _config_key(config):
+    mem = config.memory
+    return (
+        config.name,
+        config.rob_size,
+        config.iq_size,
+        config.front_end_depth,
+        config.predictor,
+        tuple(sorted(config.perfect_pcs)),
+        config.num_checkpoints,
+        config.confidence_guided_checkpoints,
+        config.bq_miss_policy,
+        config.bq_size,
+        mem.l1d.size_bytes,
+        mem.l2.size_bytes,
+        mem.l3.size_bytes,
+        mem.dram_latency,
+    )
+
+
+def run(workload_name, variant, input_name=None, config=None, scale=None,
+        max_instructions=None):
+    """Cached simulation of one workload binary on one core config."""
+    config = sandy_bridge_config() if config is None else config
+    built = build(workload_name, variant, input_name, scale)
+    key = (
+        built.name,
+        SCALE if scale is None else scale,
+        _config_key(config),
+        max_instructions,
+    )
+    if key not in _RUN_CACHE:
+        _RUN_CACHE[key] = simulate(
+            built.program, config, max_instructions=max_instructions
+        )
+    return built, _RUN_CACHE[key]
+
+
+def compare(workload_name, variant, input_name=None, config=None, scale=None):
+    """Base-vs-variant comparison (same work, same config)."""
+    _, base_result = run(workload_name, "base", input_name, config, scale)
+    _, var_result = run(workload_name, variant, input_name, config, scale)
+    label = "%s(%s)" % (workload_name, input_name or "")
+    return compare_runs(label, variant, base_result, var_result), base_result, var_result
+
+
+def print_figure(title, headers, rows, notes=None):
+    """Emit one paper-style table to stdout (visible with pytest -s; the
+    bench harness also captures it into bench_output.txt)."""
+    print()
+    print("=" * 78)
+    print(format_table(headers, rows, title=title))
+    if notes:
+        print(notes)
+    print("=" * 78)
+
+
+def fmt(value, digits=2):
+    if isinstance(value, float):
+        return ("%%.%df" % digits) % value
+    return str(value)

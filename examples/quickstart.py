@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: eradicate a hard branch's mispredictions with CFD.
+
+Builds the soplex workload (the paper's flagship example, Fig 8) in its
+original and control-flow-decoupled forms, runs both on the Sandy-Bridge-
+like cycle simulator, and reports the paper's headline metrics: MPKI,
+speedup, instruction overhead, and energy.
+
+Run:  python examples/quickstart.py [scale]
+"""
+
+import sys
+
+from repro import get_workload, sandy_bridge_config, simulate
+from repro.analysis import compare_runs
+
+
+def main():
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+    workload = get_workload("soplex")
+    config = sandy_bridge_config()
+
+    print("Building soplex (ref input) at scale %.2f ..." % scale)
+    base = workload.build("base", "ref", scale=scale)
+    cfd = workload.build("cfd", "ref", scale=scale)
+    cfd_plus = workload.build("cfd_plus", "ref", scale=scale)
+
+    print("Simulating the original binary ...")
+    base_result = simulate(base.program, config)
+    print("Simulating the CFD binary ...")
+    cfd_result = simulate(cfd.program, config)
+    print("Simulating the CFD+ (value queue) binary ...")
+    plus_result = simulate(cfd_plus.program, config)
+
+    print()
+    print("                      base        CFD        CFD+")
+    print("retired insts   %10d %10d %10d" % (
+        base_result.stats.retired, cfd_result.stats.retired,
+        plus_result.stats.retired))
+    print("cycles          %10d %10d %10d" % (
+        base_result.stats.cycles, cfd_result.stats.cycles,
+        plus_result.stats.cycles))
+    print("IPC             %10.2f %10.2f %10.2f" % (
+        base_result.stats.ipc, cfd_result.stats.ipc, plus_result.stats.ipc))
+    print("MPKI            %10.2f %10.2f %10.2f" % (
+        base_result.stats.mpki, cfd_result.stats.mpki, plus_result.stats.mpki))
+    print("BQ miss rate    %10s %10.3f %10.3f" % (
+        "-", cfd_result.stats.bq_miss_rate, plus_result.stats.bq_miss_rate))
+    print("energy (uJ)     %10.1f %10.1f %10.1f" % (
+        base_result.energy.total_nj / 1000,
+        cfd_result.energy.total_nj / 1000,
+        plus_result.energy.total_nj / 1000))
+
+    for name, result in (("CFD", cfd_result), ("CFD+", plus_result)):
+        comparison = compare_runs("soplex", name, base_result, result)
+        print()
+        print("%s vs base: speedup %.2fx, instruction overhead %.2fx, "
+              "energy reduction %.0f%%" % (
+                  name, comparison.speedup, comparison.overhead,
+                  100 * comparison.energy_reduction))
+
+    print()
+    print("The decoupled first loop pushes predicates onto the branch queue")
+    print("far ahead of the consuming Branch_on_BQ, which therefore resolves")
+    print("in the FETCH stage: timely, non-speculative branching.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""repro — a full reproduction of "Control-Flow Decoupling" (MICRO 2012).
+
+Sheikh, Tuck and Rotenberg's control-flow decoupling (CFD) splits a loop
+containing a hard-to-predict *separable* branch into a predicate-
+generating loop and a predicate-consuming loop linked by an architectural
+branch queue that lives in the fetch unit — so the branch resolves at
+fetch, timely and non-speculatively.  This package implements the whole
+stack the paper builds and evaluates on:
+
+- a RISC ISA with the CFD extension (BQ/VQ/TQ instructions) and an
+  assembler — :mod:`repro.isa`;
+- the architectural layer and functional interpreter — :mod:`repro.arch`;
+- TAGE-family branch prediction, BTB, RAS, confidence — :mod:`repro.branch`;
+- a 3-level cache hierarchy with MSHRs — :mod:`repro.memsys`;
+- the execute-at-execute OOO cycle simulator with the fetch-unit BQ/TQ
+  and the VQ renamer — :mod:`repro.core`;
+- McPAT/CACTI-style energy accounting — :mod:`repro.energy`;
+- the compiler-pass analog (loop IR, classification, automatic CFD/DFD/
+  TQ transforms) — :mod:`repro.transform`;
+- PIN-style branch profiling and the classification study —
+  :mod:`repro.profiling`;
+- synthetic workloads reproducing each paper application's idiom —
+  :mod:`repro.workloads`;
+- Amdahl projection and report helpers — :mod:`repro.analysis`.
+
+Quickstart::
+
+    from repro import get_workload, sandy_bridge_config, simulate
+
+    workload = get_workload("soplex")
+    base = workload.build("base")
+    cfd = workload.build("cfd")
+    r0 = simulate(base.program, sandy_bridge_config())
+    r1 = simulate(cfd.program, sandy_bridge_config())
+    print("speedup:", r0.stats.cycles / r1.stats.cycles)
+"""
+
+from repro.core import (
+    CoreConfig,
+    SimResult,
+    Simulator,
+    SimStats,
+    memory_bound_config,
+    sandy_bridge_config,
+    scale_window,
+    simulate,
+)
+from repro.isa import Instruction, Opcode, Program, assemble
+from repro.workloads import all_workloads, get_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoreConfig",
+    "SimResult",
+    "Simulator",
+    "SimStats",
+    "memory_bound_config",
+    "sandy_bridge_config",
+    "scale_window",
+    "simulate",
+    "Instruction",
+    "Opcode",
+    "Program",
+    "assemble",
+    "all_workloads",
+    "get_workload",
+    "workload_names",
+    "__version__",
+]

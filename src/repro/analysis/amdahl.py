@@ -1,0 +1,23 @@
+"""Amdahl's-law projection of region speedups to whole benchmarks.
+
+The paper (Section VII-A): "The time spent in the functions of interest
+(Table V) along with the presented speedups can be used in Amdahl's law
+to estimate the speedup of the whole benchmark.  For example,
+astar(Rivers) region #1 is sped up by 34% (s=1.34) in its CFD region
+which accounts for 47% of its original execution time (f=0.47); thus, we
+estimate 14% (1.14) speedup overall."
+"""
+
+
+def amdahl_speedup(region_speedup, time_fraction):
+    """Whole-program speedup from a region speedup and its time share."""
+    if region_speedup <= 0:
+        raise ValueError("region speedup must be positive")
+    if not 0.0 <= time_fraction <= 1.0:
+        raise ValueError("time fraction must be in [0, 1]")
+    return 1.0 / ((1.0 - time_fraction) + time_fraction / region_speedup)
+
+
+def whole_benchmark_speedup(workload, region_speedup):
+    """Amdahl projection using the workload's Table V/VI time split."""
+    return amdahl_speedup(region_speedup, workload.time_fraction)

@@ -1,0 +1,84 @@
+"""Comparison helpers and plain-text table formatting for the benches.
+
+Speedup and effective IPC follow the paper's definitions (Section VII):
+all variants of a workload perform the *same amount of work* (identical
+inputs and reps), so
+
+    speedup        = cycles_base / cycles_variant
+    effective IPC  = instructions_base / cycles_variant
+    overhead       = instructions_variant / instructions_base
+    energy ratio   = energy_variant / energy_base
+"""
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass
+class Comparison:
+    """One variant measured against the base binary (same work)."""
+
+    workload: str
+    variant: str
+    speedup: float
+    overhead: float
+    effective_ipc: float
+    base_ipc: float
+    energy_ratio: float
+    base_mpki: float
+    variant_mpki: float
+
+    @property
+    def energy_reduction(self):
+        return 1.0 - self.energy_ratio
+
+
+def compare_runs(workload_name, variant_name, base_result, variant_result):
+    """Build a :class:`Comparison` from two same-work SimResults."""
+    base, var = base_result.stats, variant_result.stats
+    return Comparison(
+        workload=workload_name,
+        variant=variant_name,
+        speedup=base.cycles / var.cycles if var.cycles else 0.0,
+        overhead=var.retired / base.retired if base.retired else 0.0,
+        effective_ipc=base.retired / var.cycles if var.cycles else 0.0,
+        base_ipc=base.ipc,
+        energy_ratio=(
+            variant_result.energy.total_pj / base_result.energy.total_pj
+            if base_result.energy.total_pj
+            else 0.0
+        ),
+        base_mpki=base.mpki,
+        variant_mpki=var.mpki,
+    )
+
+
+def geometric_mean(values):
+    values = list(values)
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def harmonic_mean(values):
+    values = list(values)
+    if not values:
+        return 0.0
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def format_table(headers, rows, title=None):
+    """Render an aligned plain-text table (the benches' output format)."""
+    columns = [list(map(str, column)) for column in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Parameter-sweep runner: workloads x variants x configurations.
+
+The evaluation figures are all sweeps of one kind or another; this utility
+packages the pattern behind them for downstream users::
+
+    from repro.analysis.sweep import Sweep
+    from repro.core import sandy_bridge_config, scale_window
+
+    sweep = Sweep()
+    sweep.add_configs(
+        ("rob168", sandy_bridge_config()),
+        ("rob640", scale_window(sandy_bridge_config(), 640)),
+    )
+    sweep.add_cases(("soplex", "cfd", "ref"), ("mcf", "cfd", None))
+    rows = sweep.run(scale=0.25)
+    print(sweep.format(rows))
+
+Each row carries the base-relative comparison (speedup, overhead,
+effective IPC, energy) for one (workload, variant, config) cell; base
+runs are shared across cells and cached.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.report import Comparison, compare_runs, format_table
+from repro.core import sandy_bridge_config, simulate
+from repro.workloads import get_workload
+
+
+@dataclass
+class SweepRow:
+    """One cell of the sweep grid."""
+
+    workload: str
+    variant: str
+    input_name: Optional[str]
+    config_name: str
+    comparison: Comparison
+    base_ipc: float
+    variant_ipc: float
+    base_mpki: float
+
+
+class Sweep:
+    """Grid runner with shared, cached base simulations."""
+
+    def __init__(self, seed=1):
+        self.seed = seed
+        self._configs: List[Tuple[str, object]] = []
+        self._cases: List[Tuple[str, str, Optional[str]]] = []
+        self._build_cache: Dict = {}
+        self._run_cache: Dict = {}
+
+    def add_configs(self, *named_configs):
+        """Add (name, CoreConfig) pairs."""
+        self._configs.extend(named_configs)
+        return self
+
+    def add_cases(self, *cases):
+        """Add (workload, variant, input_name) triples."""
+        self._cases.extend(cases)
+        return self
+
+    def _build(self, workload_name, variant, input_name, scale):
+        key = (workload_name, variant, input_name, scale)
+        if key not in self._build_cache:
+            self._build_cache[key] = get_workload(workload_name).build(
+                variant, input_name, scale=scale, seed=self.seed
+            )
+        return self._build_cache[key]
+
+    def _run(self, workload_name, variant, input_name, config_name, config,
+             scale, max_instructions):
+        key = (workload_name, variant, input_name, config_name, scale)
+        if key not in self._run_cache:
+            built = self._build(workload_name, variant, input_name, scale)
+            self._run_cache[key] = simulate(
+                built.program, config, max_instructions=max_instructions
+            )
+        return self._run_cache[key]
+
+    def run(self, scale=0.25, max_instructions=None):
+        """Execute the grid; returns a list of :class:`SweepRow`."""
+        if not self._configs:
+            self._configs = [("baseline", sandy_bridge_config())]
+        rows = []
+        for workload_name, variant, input_name in self._cases:
+            for config_name, config in self._configs:
+                base = self._run(
+                    workload_name, "base", input_name, config_name, config,
+                    scale, max_instructions,
+                )
+                result = self._run(
+                    workload_name, variant, input_name, config_name, config,
+                    scale, max_instructions,
+                )
+                label = "%s(%s)" % (workload_name, input_name or "")
+                rows.append(
+                    SweepRow(
+                        workload=workload_name,
+                        variant=variant,
+                        input_name=input_name,
+                        config_name=config_name,
+                        comparison=compare_runs(label, variant, base, result),
+                        base_ipc=base.stats.ipc,
+                        variant_ipc=result.stats.ipc,
+                        base_mpki=base.stats.mpki,
+                    )
+                )
+        return rows
+
+    @staticmethod
+    def format(rows, title="sweep results"):
+        """Render sweep rows as an aligned table."""
+        return format_table(
+            ["workload", "variant", "config", "speedup", "overhead",
+             "effIPC", "energy-", "MPKI"],
+            [
+                (
+                    row.comparison.workload,
+                    row.variant,
+                    row.config_name,
+                    "%.2f" % row.comparison.speedup,
+                    "%.2f" % row.comparison.overhead,
+                    "%.2f" % row.comparison.effective_ipc,
+                    "%.2f" % row.comparison.energy_reduction,
+                    "%.1f" % row.base_mpki,
+                )
+                for row in rows
+            ],
+            title=title,
+        )

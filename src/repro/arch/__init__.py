@@ -1,0 +1,21 @@
+"""Architectural (functional) layer: memory, queues, state, interpreter.
+
+This layer defines what a DRISC program *means*, independent of timing.
+The cycle-level simulator in :mod:`repro.core` is execute-at-execute and is
+validated against this layer: both must produce identical final
+architectural state for every program (a core property test).
+"""
+
+from repro.arch.memory import Memory
+from repro.arch.queues import BranchQueue, ValueQueue, TripCountQueue
+from repro.arch.state import ArchState
+from repro.arch.executor import FunctionalExecutor
+
+__all__ = [
+    "Memory",
+    "BranchQueue",
+    "ValueQueue",
+    "TripCountQueue",
+    "ArchState",
+    "FunctionalExecutor",
+]

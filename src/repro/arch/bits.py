@@ -1,0 +1,38 @@
+"""32-bit arithmetic helpers shared by the functional and cycle simulators."""
+
+_WORD_MASK = 0xFFFFFFFF
+
+
+def to_unsigned(value):
+    """Wrap *value* into the unsigned 32-bit range."""
+    return value & _WORD_MASK
+
+
+def to_signed(value):
+    """Interpret the low 32 bits of *value* as a signed integer."""
+    value &= _WORD_MASK
+    if value & 0x80000000:
+        return value - 0x100000000
+    return value
+
+
+def signed_div(a, b):
+    """C-style (truncating) signed 32-bit division; div by zero -> 0."""
+    a, b = to_signed(a), to_signed(b)
+    if b == 0:
+        return 0
+    quotient = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        quotient = -quotient
+    return to_unsigned(quotient)
+
+
+def signed_rem(a, b):
+    """C-style signed 32-bit remainder; rem by zero -> a."""
+    a, b = to_signed(a), to_signed(b)
+    if b == 0:
+        return to_unsigned(a)
+    remainder = abs(a) % abs(b)
+    if a < 0:
+        remainder = -remainder
+    return to_unsigned(remainder)

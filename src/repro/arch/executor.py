@@ -1,0 +1,225 @@
+"""Functional (timing-free) interpreter for DRISC programs.
+
+This is the project's oracle: the OOO cycle simulator must retire exactly
+the instruction stream this interpreter produces and reach the same final
+architectural state.  It is also the substrate for the PIN-style branch
+profiler (:mod:`repro.profiling`), which observes every retired control
+transfer through :meth:`FunctionalExecutor.step`'s return record.
+
+Save/Restore of the CFD queues serialize as one 32-bit word per element
+(length word first); the paper packs predicates as bits, but the layout is
+explicitly implementation-defined by the ISA, so word granularity is a
+legal (and simpler) choice.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arch.semantics import alu_compute, branch_taken, is_alu_i, is_alu_r
+from repro.arch.state import ArchState
+from repro.errors import ExecutionError
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import OpClass, Opcode
+
+
+@dataclass
+class RetireRecord:
+    """What one retired instruction did (for profilers and tests)."""
+
+    pc: int
+    inst: Instruction
+    taken: Optional[bool] = None  # branches only
+    target: Optional[int] = None  # taken branches / jumps
+    mem_addr: Optional[int] = None  # loads/stores/prefetches
+    value: Optional[int] = None  # rd write or store data
+
+
+class FunctionalExecutor:
+    """Executes a program instruction-at-a-time on an :class:`ArchState`."""
+
+    def __init__(self, program, state=None, max_instructions=100_000_000):
+        self.program = program
+        self.state = state if state is not None else ArchState(program)
+        self.max_instructions = max_instructions
+        self.retired = 0
+
+    def step(self):
+        """Execute one instruction; return a :class:`RetireRecord`.
+
+        Returns ``None`` when the machine is halted (explicit ``halt`` or
+        the PC ran past the end of the code segment).
+        """
+        state = self.state
+        if state.halted:
+            return None
+        pc = state.pc
+        inst = self.program.instruction_at(pc)
+        if inst is None:
+            state.halted = True
+            return None
+
+        opcode = inst.opcode
+        next_pc = pc + 1
+        record = RetireRecord(pc=pc, inst=inst)
+
+        if is_alu_r(opcode) or is_alu_i(opcode) or opcode == Opcode.LUI:
+            a = state.read_reg(inst.rs1) if inst.rs1 is not None else 0
+            b = state.read_reg(inst.rs2) if inst.rs2 is not None else 0
+            value = alu_compute(opcode, a, b, inst.imm)
+            state.write_reg(inst.rd, value)
+            record.value = value
+        elif opcode in (Opcode.CMOVZ, Opcode.CMOVNZ):
+            condition = state.read_reg(inst.rs2)
+            move = (condition == 0) == (opcode == Opcode.CMOVZ)
+            if move:
+                state.write_reg(inst.rd, state.read_reg(inst.rs1))
+            record.value = state.read_reg(inst.rd)
+        elif opcode == Opcode.LW:
+            addr = (state.read_reg(inst.rs1) + inst.imm) & 0xFFFFFFFF
+            value = state.memory.load_word(addr)
+            state.write_reg(inst.rd, value)
+            record.mem_addr, record.value = addr, value
+        elif opcode == Opcode.LB:
+            addr = (state.read_reg(inst.rs1) + inst.imm) & 0xFFFFFFFF
+            value = state.memory.load_byte(addr)
+            if value & 0x80:
+                value |= 0xFFFFFF00
+            state.write_reg(inst.rd, value)
+            record.mem_addr, record.value = addr, value
+        elif opcode == Opcode.LBU:
+            addr = (state.read_reg(inst.rs1) + inst.imm) & 0xFFFFFFFF
+            value = state.memory.load_byte(addr)
+            state.write_reg(inst.rd, value)
+            record.mem_addr, record.value = addr, value
+        elif opcode == Opcode.SW:
+            addr = (state.read_reg(inst.rs1) + inst.imm) & 0xFFFFFFFF
+            value = state.read_reg(inst.rs2)
+            state.memory.store_word(addr, value)
+            record.mem_addr, record.value = addr, value
+        elif opcode == Opcode.SB:
+            addr = (state.read_reg(inst.rs1) + inst.imm) & 0xFFFFFFFF
+            value = state.read_reg(inst.rs2)
+            state.memory.store_byte(addr, value)
+            record.mem_addr, record.value = addr, value
+        elif opcode == Opcode.PREFETCH:
+            record.mem_addr = (state.read_reg(inst.rs1) + inst.imm) & 0xFFFFFFFF
+        elif inst.info.opclass == OpClass.BRANCH:
+            taken = branch_taken(
+                opcode, state.read_reg(inst.rs1), state.read_reg(inst.rs2)
+            )
+            record.taken = taken
+            if taken:
+                next_pc = inst.target
+                record.target = inst.target
+        elif opcode == Opcode.J:
+            next_pc = inst.target
+            record.taken, record.target = True, inst.target
+        elif opcode == Opcode.JAL:
+            state.write_reg(inst.rd, pc + 1)
+            next_pc = inst.target
+            record.taken, record.target = True, inst.target
+        elif opcode == Opcode.JALR:
+            state.write_reg(inst.rd, pc + 1)
+            next_pc = state.read_reg(inst.rs1)
+            record.taken, record.target = True, next_pc
+        elif opcode == Opcode.HALT:
+            state.halted = True
+        elif opcode == Opcode.NOP:
+            pass
+        elif opcode == Opcode.PUSH_BQ:
+            state.bq.push(state.read_reg(inst.rs1))
+        elif opcode == Opcode.B_BQ:
+            predicate = state.bq.pop()
+            record.taken = bool(predicate)
+            if predicate:
+                next_pc = inst.target
+                record.target = inst.target
+        elif opcode == Opcode.MARK:
+            state.bq.mark()
+        elif opcode == Opcode.FORWARD:
+            record.value = state.bq.forward()
+        elif opcode == Opcode.PUSH_VQ:
+            state.vq.push(state.read_reg(inst.rs1))
+        elif opcode == Opcode.POP_VQ:
+            value = state.vq.pop()
+            state.write_reg(inst.rd, value)
+            record.value = value
+        elif opcode == Opcode.PUSH_TQ:
+            state.tq.push(state.read_reg(inst.rs1))
+        elif opcode == Opcode.POP_TQ:
+            count, overflow = state.tq.pop()
+            state.tcr = 0 if overflow else count
+            record.value = state.tcr
+        elif opcode == Opcode.B_TCR:
+            if state.tcr:
+                state.tcr -= 1
+                next_pc = inst.target
+                record.taken, record.target = True, inst.target
+            else:
+                record.taken = False
+        elif opcode == Opcode.POP_TQ_BOV:
+            count, overflow = state.tq.pop()
+            state.tcr = count
+            record.taken = bool(overflow)
+            if overflow:
+                next_pc = inst.target
+                record.target = inst.target
+        elif opcode == Opcode.SAVE_BQ:
+            self._save_queue(state.bq, state.read_reg(inst.rs1) + inst.imm)
+        elif opcode == Opcode.RESTORE_BQ:
+            self._restore_queue(state.bq, state.read_reg(inst.rs1) + inst.imm)
+        elif opcode == Opcode.SAVE_VQ:
+            self._save_queue(state.vq, state.read_reg(inst.rs1) + inst.imm)
+        elif opcode == Opcode.RESTORE_VQ:
+            self._restore_queue(state.vq, state.read_reg(inst.rs1) + inst.imm)
+        elif opcode == Opcode.SAVE_TQ:
+            self._save_queue(state.tq, state.read_reg(inst.rs1) + inst.imm)
+        elif opcode == Opcode.RESTORE_TQ:
+            self._restore_queue(state.tq, state.read_reg(inst.rs1) + inst.imm)
+        else:  # pragma: no cover - exhaustive over defined opcodes
+            raise ExecutionError("unimplemented opcode %s" % opcode)
+
+        state.pc = next_pc
+        self.retired += 1
+        return record
+
+    def _save_queue(self, queue, addr):
+        image = queue.save_image()
+        for offset, word in enumerate(image):
+            self.state.memory.store_word(addr + 4 * offset, word)
+
+    def _restore_queue(self, queue, addr):
+        length = self.state.memory.load_word(addr)
+        image = [length]
+        for offset in range(length):
+            image.append(self.state.memory.load_word(addr + 4 * (offset + 1)))
+        queue.restore_image(image)
+
+    def run(self, max_instructions=None, observer=None):
+        """Run to halt (or the instruction limit); return retired count.
+
+        *observer*, when given, is called with every :class:`RetireRecord`.
+        """
+        limit = max_instructions if max_instructions is not None else self.max_instructions
+        start = self.retired
+        step = self.step
+        if observer is None:
+            while self.retired - start < limit:
+                if step() is None:
+                    break
+        else:
+            while self.retired - start < limit:
+                record = step()
+                if record is None:
+                    break
+                observer(record)
+        return self.retired - start
+
+
+def run_program(program, max_instructions=100_000_000, **state_kwargs):
+    """Convenience: execute *program* to completion; return the executor."""
+    executor = FunctionalExecutor(
+        program, ArchState(program, **state_kwargs), max_instructions
+    )
+    executor.run()
+    return executor

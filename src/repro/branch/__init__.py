@@ -1,0 +1,61 @@
+"""Branch prediction substrate.
+
+The paper's baseline uses ISL-TAGE (the CBP3 winner).  We provide a
+TAGE predictor with a loop predictor and statistical corrector
+(:class:`~repro.branch.tage.ISLTAGEPredictor`) as the stand-in, plus the
+classical predictors used in ablations, a perfect (oracle) predictor, a
+JRS confidence estimator (used by the confidence-guided checkpointing
+policy, Section VI), a BTB, and a return-address stack.
+"""
+
+from repro.branch.base import BranchPredictor, HistorySnapshot
+from repro.branch.static_pred import AlwaysTakenPredictor, BTFNPredictor, NotTakenPredictor
+from repro.branch.bimodal import BimodalPredictor
+from repro.branch.gshare import GSharePredictor
+from repro.branch.tage import ISLTAGEPredictor, TAGEPredictor
+from repro.branch.perfect import PerfectPredictor
+from repro.branch.confidence import JRSConfidenceEstimator
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.ras import ReturnAddressStack
+
+PREDICTOR_FACTORIES = {
+    "always_taken": AlwaysTakenPredictor,
+    "not_taken": NotTakenPredictor,
+    "btfn": BTFNPredictor,
+    "bimodal": BimodalPredictor,
+    "gshare": GSharePredictor,
+    "tage": TAGEPredictor,
+    "isl_tage": ISLTAGEPredictor,
+    "perfect": PerfectPredictor,
+}
+
+
+def make_predictor(name, **kwargs):
+    """Construct a predictor by registry *name* (see PREDICTOR_FACTORIES)."""
+    try:
+        factory = PREDICTOR_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            "unknown predictor %r (choose from %s)"
+            % (name, ", ".join(sorted(PREDICTOR_FACTORIES)))
+        )
+    return factory(**kwargs)
+
+
+__all__ = [
+    "BranchPredictor",
+    "HistorySnapshot",
+    "AlwaysTakenPredictor",
+    "NotTakenPredictor",
+    "BTFNPredictor",
+    "BimodalPredictor",
+    "GSharePredictor",
+    "TAGEPredictor",
+    "ISLTAGEPredictor",
+    "PerfectPredictor",
+    "JRSConfidenceEstimator",
+    "BranchTargetBuffer",
+    "ReturnAddressStack",
+    "make_predictor",
+    "PREDICTOR_FACTORIES",
+]

@@ -1,0 +1,66 @@
+"""Branch target buffer.
+
+Detects branches and supplies taken-targets in the fetch stage.  As in the
+paper (Section III-C4), ``Branch_on_BQ`` is cached in the BTB like any
+other branch so that a taken pop costs nothing on a BTB hit; a BTB miss
+for a taken branch costs a 1-cycle misfetch penalty (detected next cycle).
+"""
+
+
+class _BTBEntry:
+    __slots__ = ("tag", "target")
+
+    def __init__(self, tag, target):
+        self.tag = tag
+        self.target = target
+
+
+class BranchTargetBuffer:
+    """Set-associative BTB with LRU replacement."""
+
+    def __init__(self, sets=1024, ways=4):
+        self.sets = sets
+        self.ways = ways
+        self._sets = [[] for _ in range(sets)]  # each: list of entries, MRU first
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, pc):
+        index = pc % self.sets
+        tag = pc // self.sets
+        return index, tag
+
+    def lookup(self, pc):
+        """Return the cached taken-target for *pc*, or ``None`` on miss."""
+        index, tag = self._locate(pc)
+        entries = self._sets[index]
+        for position, entry in enumerate(entries):
+            if entry.tag == tag:
+                if position:
+                    entries.insert(0, entries.pop(position))
+                self.hits += 1
+                return entry.target
+        self.misses += 1
+        return None
+
+    def install(self, pc, target):
+        """Install/refresh the taken-target for *pc*."""
+        index, tag = self._locate(pc)
+        entries = self._sets[index]
+        for position, entry in enumerate(entries):
+            if entry.tag == tag:
+                entry.target = target
+                if position:
+                    entries.insert(0, entries.pop(position))
+                return
+        entries.insert(0, _BTBEntry(tag, target))
+        if len(entries) > self.ways:
+            entries.pop()
+
+    def stats(self):
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+        }

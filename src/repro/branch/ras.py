@@ -1,0 +1,32 @@
+"""Return address stack for JAL/JALR pairs.
+
+DRISC workloads are mostly leaf loops, but the RAS keeps call/return
+redirects free in the examples that use subroutines, and its snapshots
+ride along with branch checkpoints like every other piece of speculative
+front-end state.
+"""
+
+
+class ReturnAddressStack:
+    """Fixed-depth circular return-address stack."""
+
+    def __init__(self, depth=16):
+        self.depth = depth
+        self._stack = []
+
+    def push(self, return_pc):
+        self._stack.append(return_pc)
+        if len(self._stack) > self.depth:
+            self._stack.pop(0)
+
+    def pop(self):
+        """Pop the predicted return target (``None`` when empty)."""
+        if self._stack:
+            return self._stack.pop()
+        return None
+
+    def snapshot(self):
+        return list(self._stack)
+
+    def restore(self, snapshot):
+        self._stack = list(snapshot)

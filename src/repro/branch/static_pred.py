@@ -1,0 +1,43 @@
+"""Static (history-free) predictors: baselines for ablation studies."""
+
+from repro.branch.base import BranchPredictor
+
+
+class AlwaysTakenPredictor(BranchPredictor):
+    """Predicts every conditional branch taken."""
+
+    name = "always_taken"
+
+    def predict(self, pc):
+        return True, None
+
+
+class NotTakenPredictor(BranchPredictor):
+    """Predicts every conditional branch not-taken."""
+
+    name = "not_taken"
+
+    def predict(self, pc):
+        return False, None
+
+
+class BTFNPredictor(BranchPredictor):
+    """Backward-taken / forward-not-taken.
+
+    Needs the branch target to classify direction; the core supplies it by
+    constructing the predictor with a target resolver (pc -> target).
+    """
+
+    name = "btfn"
+
+    def __init__(self, target_of=None):
+        self._target_of = target_of
+
+    def set_target_resolver(self, target_of):
+        self._target_of = target_of
+
+    def predict(self, pc):
+        if self._target_of is None:
+            return False, None
+        target = self._target_of(pc)
+        return (target is not None and target <= pc), None

@@ -1,0 +1,297 @@
+"""TAGE and ISL-TAGE (TAGE + loop predictor + statistical corrector).
+
+The paper's baseline predictor is 64 KB ISL-TAGE, winner of CBP3.  This is
+a faithful-in-structure reimplementation at model scale: a bimodal base
+table, geometrically spaced tagged tables with usefulness counters and the
+standard allocation/aging policy, the ``use_alt_on_na`` newly-allocated
+filter, a loop predictor, and a small statistical corrector that can veto
+low-confidence TAGE predictions.
+
+Global history is an integer bit-vector updated speculatively at fetch and
+repaired from checkpoints on mispredictions (see
+:class:`~repro.branch.base.BranchPredictor`).
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.branch.base import BranchPredictor, HistorySnapshot, saturate
+from repro.branch.loop_pred import LoopPredictor
+
+_DEFAULT_HISTORY_LENGTHS = (4, 8, 16, 32, 64, 128)
+
+
+class _TaggedEntry:
+    __slots__ = ("tag", "ctr", "useful")
+
+    def __init__(self):
+        self.tag = 0
+        self.ctr = 0  # signed, -4..3; >= 0 means taken
+        self.useful = 0
+
+
+@dataclass
+class _PredMeta:
+    """Everything ``update`` needs about one prediction."""
+
+    indices: List[int]
+    tags: List[int]
+    provider: Optional[int]  # table number, or None for base
+    alt: Optional[int]
+    provider_pred: bool
+    alt_pred: bool
+    base_index: int
+    final_pred: bool
+    used_loop: bool = False
+    loop_pred: bool = True
+    sc_indices: Tuple[int, ...] = ()
+    tage_pred: bool = True
+    weak_provider: bool = False
+
+
+def _fold(history, in_bits, out_bits):
+    """XOR-fold the low *in_bits* of *history* down to *out_bits*."""
+    if out_bits <= 0:
+        return 0
+    mask_out = (1 << out_bits) - 1
+    history &= (1 << in_bits) - 1
+    folded = 0
+    while history:
+        folded ^= history & mask_out
+        history >>= out_bits
+    return folded
+
+
+class TAGEPredictor(BranchPredictor):
+    """Plain TAGE (no loop predictor, no statistical corrector)."""
+
+    name = "tage"
+
+    U_RESET_PERIOD = 1 << 18
+
+    def __init__(self, table_bits=10, tag_bits=11,
+                 history_lengths=_DEFAULT_HISTORY_LENGTHS,
+                 u_reset_period=None):
+        self.u_reset_period = u_reset_period or self.U_RESET_PERIOD
+        self.table_bits = table_bits
+        self.tag_bits = tag_bits
+        self.history_lengths = tuple(history_lengths)
+        self.num_tables = len(self.history_lengths)
+        size = 1 << table_bits
+        self._tables = [
+            [_TaggedEntry() for _ in range(size)] for _ in range(self.num_tables)
+        ]
+        self._base = [2] * (1 << 13)  # 2-bit bimodal base
+        self._base_mask = (1 << 13) - 1
+        self._index_mask = size - 1
+        self._tag_mask = (1 << tag_bits) - 1
+        self._history = 0
+        self._use_alt_on_na = 8  # 4-bit counter, >=8 means "use alt"
+        self._update_count = 0
+        self._alloc_tick = 0
+
+    # -- history management -------------------------------------------------
+
+    def speculative_update(self, pc, taken):
+        self._history = (self._history << 1) | (1 if taken else 0)
+        self._history &= (1 << (self.history_lengths[-1] + 1)) - 1
+
+    def snapshot(self):
+        return HistorySnapshot(self._history)
+
+    def restore(self, snapshot):
+        self._history = snapshot.payload
+
+    # -- indexing ------------------------------------------------------------
+
+    def _compute_index(self, pc, table):
+        length = self.history_lengths[table]
+        folded = _fold(self._history, length, self.table_bits)
+        return (pc ^ (pc >> (table + 1)) ^ folded) & self._index_mask
+
+    def _compute_tag(self, pc, table):
+        length = self.history_lengths[table]
+        folded = _fold(self._history, length, self.tag_bits)
+        folded2 = _fold(self._history, length, self.tag_bits - 1)
+        return (pc ^ folded ^ (folded2 << 1)) & self._tag_mask
+
+    # -- predict -------------------------------------------------------------
+
+    def _tage_predict(self, pc):
+        indices = [self._compute_index(pc, t) for t in range(self.num_tables)]
+        tags = [self._compute_tag(pc, t) for t in range(self.num_tables)]
+        provider = alt = None
+        for table in range(self.num_tables - 1, -1, -1):
+            if self._tables[table][indices[table]].tag == tags[table]:
+                if provider is None:
+                    provider = table
+                elif alt is None:
+                    alt = table
+                    break
+        base_index = pc & self._base_mask
+        base_pred = self._base[base_index] >= 2
+        alt_pred = (
+            self._tables[alt][indices[alt]].ctr >= 0 if alt is not None else base_pred
+        )
+        if provider is not None:
+            entry = self._tables[provider][indices[provider]]
+            provider_pred = entry.ctr >= 0
+            weak = entry.ctr in (-1, 0)
+            if weak and self._use_alt_on_na >= 8:
+                final = alt_pred
+            else:
+                final = provider_pred
+        else:
+            provider_pred = base_pred
+            weak = False
+            final = base_pred
+        return _PredMeta(
+            indices=indices,
+            tags=tags,
+            provider=provider,
+            alt=alt,
+            provider_pred=provider_pred,
+            alt_pred=alt_pred,
+            base_index=base_index,
+            final_pred=final,
+            tage_pred=final,
+            weak_provider=weak,
+        )
+
+    def predict(self, pc):
+        meta = self._tage_predict(pc)
+        return meta.final_pred, meta
+
+    # -- update --------------------------------------------------------------
+
+    def update(self, pc, taken, meta=None):
+        if meta is None:
+            meta = self._tage_predict(pc)
+        self._update_count += 1
+        mispredicted = meta.tage_pred != taken
+
+        # use_alt_on_na management: when a weak provider disagreed with alt,
+        # learn which of the two to trust.
+        if meta.provider is not None and meta.weak_provider:
+            if meta.provider_pred != meta.alt_pred:
+                if meta.alt_pred == taken:
+                    self._use_alt_on_na = saturate(self._use_alt_on_na, 1, 0, 15)
+                else:
+                    self._use_alt_on_na = saturate(self._use_alt_on_na, -1, 0, 15)
+
+        if meta.provider is not None:
+            entry = self._tables[meta.provider][meta.indices[meta.provider]]
+            entry.ctr = saturate(entry.ctr, 1 if taken else -1, -4, 3)
+            if meta.provider_pred != meta.alt_pred:
+                entry.useful = saturate(
+                    entry.useful, 1 if meta.provider_pred == taken else -1, 0, 3
+                )
+            # Train the alternate too when the provider is newly allocated.
+            if entry.useful == 0:
+                if meta.alt is not None:
+                    alt_entry = self._tables[meta.alt][meta.indices[meta.alt]]
+                    alt_entry.ctr = saturate(alt_entry.ctr, 1 if taken else -1, -4, 3)
+                else:
+                    self._update_base(meta.base_index, taken)
+        else:
+            self._update_base(meta.base_index, taken)
+
+        if mispredicted:
+            self._allocate(meta, taken)
+
+        if self._update_count % self.u_reset_period == 0:
+            self._age_useful_bits()
+
+    def _update_base(self, index, taken):
+        self._base[index] = saturate(self._base[index], 1 if taken else -1, 0, 3)
+
+    def _allocate(self, meta, taken):
+        start = (meta.provider + 1) if meta.provider is not None else 0
+        if start >= self.num_tables:
+            return
+        # Deterministic pseudo-random start offset spreads allocations.
+        self._alloc_tick = (self._alloc_tick + 1) % 3
+        candidates = list(range(start, self.num_tables))
+        offset = self._alloc_tick % len(candidates)
+        ordered = candidates[offset:] + candidates[:offset]
+        for table in ordered:
+            entry = self._tables[table][meta.indices[table]]
+            if entry.useful == 0:
+                entry.tag = meta.tags[table]
+                entry.ctr = 0 if taken else -1
+                entry.useful = 0
+                return
+        for table in candidates:
+            entry = self._tables[table][meta.indices[table]]
+            entry.useful = saturate(entry.useful, -1, 0, 3)
+
+    def _age_useful_bits(self):
+        for table in self._tables:
+            for entry in table:
+                entry.useful >>= 1
+
+    def stats(self):
+        live = sum(
+            1 for table in self._tables for e in table if e.ctr != 0 or e.useful
+        )
+        return {"tables": self.num_tables, "live_entries": live}
+
+
+class ISLTAGEPredictor(TAGEPredictor):
+    """TAGE + loop predictor + small statistical corrector (ISL-TAGE)."""
+
+    name = "isl_tage"
+
+    SC_TABLE_BITS = 10
+    SC_HISTORY = (0, 8, 21)
+
+    def __init__(self, table_bits=10, tag_bits=11,
+                 history_lengths=_DEFAULT_HISTORY_LENGTHS):
+        super().__init__(table_bits, tag_bits, history_lengths)
+        self.loop = LoopPredictor()
+        self._loop_trust = 4  # 0..7; >=4 means trust a confident loop pred
+        sc_size = 1 << self.SC_TABLE_BITS
+        self._sc_tables = [[0] * sc_size for _ in self.SC_HISTORY]
+        self._sc_mask = sc_size - 1
+        self._sc_threshold = 6
+
+    def predict(self, pc):
+        meta = self._tage_predict(pc)
+        final = meta.final_pred
+
+        loop_valid, loop_pred = self.loop.predict(pc)
+        if loop_valid and self._loop_trust >= 4:
+            meta.used_loop = True
+            meta.loop_pred = loop_pred
+            final = loop_pred
+        else:
+            # Statistical corrector: vetoes only weak TAGE predictions.
+            sc_indices = tuple(
+                (pc ^ _fold(self._history, h, self.SC_TABLE_BITS)) & self._sc_mask
+                if h
+                else pc & self._sc_mask
+                for h in self.SC_HISTORY
+            )
+            meta.sc_indices = sc_indices
+            sc_sum = sum(
+                table[idx] for table, idx in zip(self._sc_tables, sc_indices)
+            )
+            sc_sum += 2 * (1 if final else -1)  # bias toward TAGE
+            if meta.weak_provider and abs(sc_sum) >= self._sc_threshold:
+                final = sc_sum >= 0
+
+        meta.final_pred = final
+        return final, meta
+
+    def update(self, pc, taken, meta=None):
+        if meta is not None:
+            if meta.used_loop:
+                self._loop_trust = saturate(
+                    self._loop_trust, 1 if meta.loop_pred == taken else -2, 0, 7
+                )
+            self.loop.update(pc, taken)
+            for table, idx in zip(self._sc_tables, meta.sc_indices):
+                table[idx] = saturate(table[idx], 1 if taken else -1, -31, 31)
+        else:
+            self.loop.update(pc, taken)
+        super().update(pc, taken, meta)

@@ -1,0 +1,205 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``      the workload registry (Table I's applications)
+``run``       simulate one workload binary and print its summary
+``compare``   base vs a CFD/DFD/TQ variant (speedup, overhead, energy)
+``profile``   PIN-style branch profile of a binary (top mispredictors)
+``classify``  the Figure 6 classification study
+``disasm``    disassembly listing of a built workload binary
+
+Examples::
+
+    python -m repro list
+    python -m repro run soplex --variant cfd --scale 0.25
+    python -m repro compare astar_r1 --variant dfd --config memory-bound
+    python -m repro profile mcf --top 5
+    python -m repro classify --scale 0.125
+"""
+
+import argparse
+import sys
+
+from repro.analysis import compare_runs, format_table
+from repro.core import memory_bound_config, sandy_bridge_config, simulate
+from repro.profiling import profile_program, run_classification_study
+from repro.workloads import all_workloads, get_workload
+
+_CONFIGS = {
+    "baseline": sandy_bridge_config,
+    "memory-bound": memory_bound_config,
+}
+
+
+def _make_config(args):
+    overrides = {}
+    if getattr(args, "predictor", None):
+        overrides["predictor"] = args.predictor
+    if getattr(args, "rob", None):
+        overrides["rob_size"] = args.rob
+    return _CONFIGS[args.config](**overrides)
+
+
+def _build(args):
+    workload = get_workload(args.workload)
+    return workload.build(args.variant, args.input, scale=args.scale,
+                          seed=args.seed)
+
+
+def cmd_list(args, out):
+    rows = [
+        (w.name, w.suite, w.branch_class, ",".join(w.variants),
+         ",".join(w.inputs))
+        for w in all_workloads()
+    ]
+    out.write(format_table(
+        ["workload", "suite", "class", "variants", "inputs"], rows
+    ) + "\n")
+    return 0
+
+
+def cmd_run(args, out):
+    built = _build(args)
+    result = simulate(
+        built.program, _make_config(args), max_instructions=args.max_instructions
+    )
+    stats = result.stats
+    out.write("program: %s\n" % built.name)
+    for key, value in sorted(result.summary().items()):
+        out.write("  %-18s %s\n" % (key, value))
+    if stats.bq_pops:
+        out.write("  %-18s %d (miss rate %.3f)\n" % (
+            "bq_pops", stats.bq_pops, stats.bq_miss_rate))
+    if stats.tq_pops:
+        out.write("  %-18s %d\n" % ("tq_pops", stats.tq_pops))
+    return 0
+
+
+def cmd_compare(args, out):
+    workload = get_workload(args.workload)
+    config = _make_config(args)
+    base = workload.build("base", args.input, scale=args.scale, seed=args.seed)
+    variant = workload.build(args.variant, args.input, scale=args.scale,
+                             seed=args.seed)
+    base_result = simulate(base.program, config,
+                           max_instructions=args.max_instructions)
+    var_result = simulate(variant.program, config,
+                          max_instructions=args.max_instructions)
+    comparison = compare_runs(
+        workload.name, args.variant, base_result, var_result
+    )
+    out.write(format_table(
+        ["metric", "base", args.variant],
+        [
+            ("retired", base_result.stats.retired, var_result.stats.retired),
+            ("cycles", base_result.stats.cycles, var_result.stats.cycles),
+            ("IPC", "%.3f" % base_result.stats.ipc, "%.3f" % var_result.stats.ipc),
+            ("MPKI", "%.2f" % comparison.base_mpki, "%.2f" % comparison.variant_mpki),
+            ("energy (uJ)", "%.1f" % (base_result.energy.total_nj / 1000),
+             "%.1f" % (var_result.energy.total_nj / 1000)),
+        ],
+        title="%s(%s): base vs %s" % (workload.name, args.input or
+                                      workload.inputs[0], args.variant),
+    ) + "\n")
+    out.write("speedup %.3fx  overhead %.3fx  energy reduction %.1f%%\n" % (
+        comparison.speedup, comparison.overhead,
+        100 * comparison.energy_reduction))
+    return 0
+
+
+def cmd_profile(args, out):
+    built = _build(args)
+    profiler = profile_program(
+        built.program, max_instructions=args.max_instructions or 500_000
+    )
+    out.write("%s: %d instructions, MPKI %.2f, misprediction rate %.3f\n" % (
+        built.name, profiler.total_instructions, profiler.mpki,
+        profiler.misprediction_rate))
+    rows = [
+        ("pc %d%s" % (p.pc, " [separable]" if p.pc in built.separable_pcs else ""),
+         p.executed, p.mispredicted, "%.3f" % p.misprediction_rate)
+        for p in profiler.top_branches(args.top)
+    ]
+    out.write(format_table(
+        ["branch", "executed", "mispredicted", "rate"], rows,
+        title="top mispredicting branches",
+    ) + "\n")
+    return 0
+
+
+def cmd_classify(args, out):
+    study = run_classification_study(
+        scale=args.scale, max_instructions=args.max_instructions or 100_000
+    )
+    out.write(format_table(
+        ["suite", "application", "MPKI", "excluded"],
+        [
+            (r.suite, "%s(%s)" % (r.workload, r.input_name), "%.2f" % r.mpki,
+             str(r.excluded))
+            for r in study.table_rows()
+        ],
+        title="Table I — per-benchmark MPKI",
+    ) + "\n")
+    out.write("targeted share: %.2f\n" % study.targeted_share())
+    for cls, share in sorted(study.class_shares().items()):
+        out.write("  class %-22s %.2f\n" % (cls, share))
+    out.write("separable (CFD-addressable): %.2f\n" % study.separable_share())
+    return 0
+
+
+def cmd_disasm(args, out):
+    built = _build(args)
+    out.write(built.program.listing() + "\n")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Control-Flow Decoupling reproduction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, variant=True):
+        p.add_argument("workload")
+        if variant:
+            p.add_argument("--variant", default="base")
+        p.add_argument("--input", default=None)
+        p.add_argument("--scale", type=float, default=0.25)
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--max-instructions", type=int, default=None)
+        p.add_argument("--config", choices=sorted(_CONFIGS), default="baseline")
+        p.add_argument("--predictor", default=None)
+        p.add_argument("--rob", type=int, default=None)
+
+    sub.add_parser("list", help="list the workload registry")
+    common(sub.add_parser("run", help="simulate one binary"))
+    compare_parser = sub.add_parser("compare", help="base vs variant")
+    common(compare_parser)
+    profile_parser = sub.add_parser("profile", help="branch profile")
+    common(profile_parser)
+    profile_parser.add_argument("--top", type=int, default=10)
+    classify_parser = sub.add_parser("classify", help="Fig 6 study")
+    classify_parser.add_argument("--scale", type=float, default=0.125)
+    classify_parser.add_argument("--max-instructions", type=int, default=None)
+    common(sub.add_parser("disasm", help="disassemble a built binary"))
+    return parser
+
+
+_COMMANDS = {
+    "list": cmd_list,
+    "run": cmd_run,
+    "compare": cmd_compare,
+    "profile": cmd_profile,
+    "classify": cmd_classify,
+    "disasm": cmd_disasm,
+}
+
+
+def main(argv=None, out=None):
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out or sys.stdout)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""The paper's primary contribution: an OOO core with CFD hardware.
+
+The cycle-level, execute-at-execute simulator models a Sandy-Bridge-like
+superscalar (Figure 17a of the paper): TAGE-family branch prediction with
+confidence-guided checkpointing, a three-level cache hierarchy with MSHRs,
+and the CFD additions — a fetch-unit branch queue (BQ) with early/late
+push handling, the trip-count queue (TQ) + trip-count register (TCR), and
+the VQ renamer that maps the architectural value queue onto the physical
+register file.
+
+Entry point: :class:`repro.core.simulator.Simulator` /
+:func:`repro.core.simulator.simulate`.
+"""
+
+from repro.core.config import (
+    CoreConfig,
+    memory_bound_config,
+    sandy_bridge_config,
+    scale_window,
+)
+from repro.core.simulator import SimResult, Simulator, simulate
+from repro.core.stats import SimStats
+
+__all__ = [
+    "CoreConfig",
+    "memory_bound_config",
+    "sandy_bridge_config",
+    "scale_window",
+    "Simulator",
+    "SimResult",
+    "SimStats",
+    "simulate",
+]

@@ -1,0 +1,54 @@
+"""Load/store queue helpers.
+
+The pipeline uses conservative memory disambiguation: a load with a
+computed address may proceed only once every older store's address is
+known.  Matching word-sized pairs forward store data in the LSQ;
+size-mismatched overlaps wait for the store to retire (then read the
+committed memory image).  This policy is conservative but never wrong,
+which keeps the retirement checker exact.
+"""
+
+
+def word_of(addr):
+    return addr & ~3
+
+
+class StoreQueueEntry:
+    """SQ bookkeeping for one in-flight store."""
+
+    __slots__ = ("uop", "addr", "addr_known", "is_byte")
+
+    def __init__(self, uop):
+        self.uop = uop
+        self.addr = None
+        self.addr_known = False
+        self.is_byte = False
+
+
+def scan_older_stores(store_entries, load_uop, load_addr, load_is_byte):
+    """Disambiguate *load_uop* against older SQ entries.
+
+    Returns one of:
+      ("wait", blocking_uop)  — an older store blocks the load
+      ("forward", store_uop)  — forward that store's data
+      ("memory", None)        — no conflict; read committed memory
+    """
+    best = None
+    for entry in store_entries:
+        if entry.uop.seq >= load_uop.seq or entry.uop.squashed:
+            continue
+        if not entry.addr_known:
+            return "wait", entry.uop
+        if word_of(entry.addr) != word_of(load_addr):
+            continue
+        same_kind = entry.is_byte == load_is_byte
+        exact = entry.addr == load_addr
+        if same_kind and exact:
+            if best is None or entry.uop.seq > best.uop.seq:
+                best = entry
+        else:
+            # Partial/mismatched overlap: wait for the store to retire.
+            return "wait", entry.uop
+    if best is not None:
+        return "forward", best.uop
+    return "memory", None

@@ -1,0 +1,1347 @@
+"""The cycle-level OOO pipeline with CFD hardware.
+
+Execute-at-execute simulation: wrong-path instructions are fetched,
+renamed, issued and executed on real (speculative) dataflow values until a
+recovery squashes them.  A functional retirement checker replays every
+retired instruction and asserts that the OOO datapath produced the same
+PC, direction, destination value and store effects — so the simulator is
+self-verifying against the architectural oracle.
+
+Stage order within one simulated cycle (oldest work first):
+retire -> complete/writeback (branch resolution, recoveries) ->
+memory pipeline -> issue -> rename/dispatch -> fetch.
+"""
+
+from collections import deque
+
+from repro.arch.executor import FunctionalExecutor
+from repro.arch.semantics import alu_compute, branch_taken
+from repro.arch.state import ArchState
+from repro.branch import (
+    BranchTargetBuffer,
+    JRSConfidenceEstimator,
+    ReturnAddressStack,
+    make_predictor,
+)
+from repro.core.cfd_hw import HardwareBQ, HardwareTQ, POP_HIT
+from repro.core.checkpoints import CheckpointPool, FrontEndSnapshot
+from repro.core.config import BQ_MISS_SPECULATE
+from repro.core.lsq import StoreQueueEntry, scan_older_stores
+from repro.core.oracle import DirectionOracle
+from repro.core.rename import RenameTables, VQRenamer
+from repro.core.stats import SimStats
+from repro.errors import ReproError
+from repro.isa.instructions import LINK_REG, ZERO_REG
+from repro.isa.opcodes import OpClass, Opcode
+from repro.memsys.hierarchy import MemLevel, MemoryHierarchy
+from repro.memsys.mshr import MSHRFile
+
+#: Instruction-space base address (keeps code blocks apart from data in L2/L3).
+CODE_BASE = 0x40000000
+
+_ALU_CLASSES = frozenset(
+    {
+        OpClass.ALU,
+        OpClass.BRANCH,
+        OpClass.BQ_PUSH,
+        OpClass.TQ_PUSH,
+        OpClass.VQ_PUSH,
+        OpClass.VQ_POP,
+        OpClass.JUMP,  # only JALR reaches the IQ
+    }
+)
+
+#: Opclasses fully resolved in the front end: they never enter the issue
+#: queue and are marked done at rename.  This is the paper's key property —
+#: Branch_on_BQ, Branch_on_TCR and the TQ pops "execute in the fetch stage".
+_FETCH_RESOLVED = frozenset(
+    {
+        OpClass.BQ_BRANCH,
+        OpClass.TCR_BRANCH,
+        OpClass.TQ_POP,
+        OpClass.TQ_POP_BOV,
+        OpClass.BQ_MARK,
+        OpClass.BQ_FORWARD,
+        OpClass.NOP,
+        OpClass.HALT,
+    }
+)
+
+
+class SimulationError(ReproError):
+    """Internal simulator invariant violation (checker mismatch, deadlock)."""
+
+
+class Uop:
+    """One in-flight instruction."""
+
+    __slots__ = (
+        "seq", "pc", "inst", "opclass", "fetched_cycle",
+        "phys_rd", "old_phys_rd", "arch_rd", "src_phys",
+        "in_iq", "issued", "done", "squashed", "serializing", "serialize_start",
+        "is_ctrl", "conditional", "predicted_taken", "predicted_target",
+        "pred_meta", "actual_taken", "actual_target", "mispredicted",
+        "uses_predictor", "oracle_used", "conf_confident",
+        "ckpt_id", "fe_snap",
+        "bq_ptr", "bq_spec", "bq_pred",
+        "tq_ptr", "popped_count", "popped_ovf",
+        "is_load", "is_store", "is_byte", "addr", "addr_known", "mem_level",
+        "value", "level", "vq_source_phys", "vq_dangling",
+        "needs_retire_redirect", "redirect_pc",
+    )
+
+    def __init__(self, seq, pc, inst, cycle):
+        self.seq = seq
+        self.pc = pc
+        self.inst = inst
+        self.opclass = inst.info.opclass
+        self.fetched_cycle = cycle
+        self.phys_rd = None
+        self.old_phys_rd = None
+        self.arch_rd = None
+        self.src_phys = ()
+        self.in_iq = False
+        self.issued = False
+        self.done = False
+        self.squashed = False
+        self.serializing = False
+        self.serialize_start = None
+        self.is_ctrl = False
+        self.conditional = False
+        self.predicted_taken = False
+        self.predicted_target = None
+        self.pred_meta = None
+        self.actual_taken = None
+        self.actual_target = None
+        self.mispredicted = False
+        self.uses_predictor = False
+        self.oracle_used = False
+        self.conf_confident = True
+        self.ckpt_id = None
+        self.fe_snap = None
+        self.bq_ptr = None
+        self.bq_spec = False
+        self.bq_pred = None
+        self.tq_ptr = None
+        self.popped_count = None
+        self.popped_ovf = None
+        self.is_load = False
+        self.is_store = False
+        self.is_byte = False
+        self.addr = None
+        self.addr_known = False
+        self.mem_level = MemLevel.NONE
+        self.value = None
+        self.level = MemLevel.NONE
+        self.vq_source_phys = None
+        self.vq_dangling = False
+        self.needs_retire_redirect = False
+        self.redirect_pc = None
+
+
+class Pipeline:
+    """The OOO core."""
+
+    def __init__(self, program, config, region_pcs=None):
+        config.validate()
+        self.program = program
+        self.config = config
+        self.stats = SimStats()
+
+        # Architectural checker (also the committed state).
+        self.checker = FunctionalExecutor(
+            program,
+            ArchState(
+                program,
+                bq_size=config.bq_size,
+                vq_size=config.vq_size,
+                tq_size=config.tq_size,
+                tq_bits=config.tq_bits,
+            ),
+        )
+
+        # Front end
+        self.predictor = make_predictor(config.predictor, **config.predictor_kwargs)
+        self.btb = BranchTargetBuffer(config.btb_sets, config.btb_ways)
+        self.ras = ReturnAddressStack(config.ras_depth)
+        self.confidence = JRSConfidenceEstimator()
+        self.oracle = None
+        self.oracle_all = config.predictor == "perfect"
+        if self.oracle_all or config.perfect_pcs:
+            self.oracle = DirectionOracle.build(
+                program,
+                getattr(config, "_oracle_horizon", 2_000_000),
+                state_kwargs={
+                    "bq_size": config.bq_size,
+                    "vq_size": config.vq_size,
+                    "tq_size": config.tq_size,
+                    "tq_bits": config.tq_bits,
+                },
+            )
+        self.fetch_pc = program.entry
+        self.fetch_halted = False
+        self.next_fetch_cycle = 0
+        self.fetch_pipe = deque()  # (ready_cycle, uop)
+        self.fetch_pipe_cap = config.front_end_depth * config.fetch_width + config.fetch_width
+        self.last_inst_block = None
+
+        # CFD hardware
+        self.hw_bq = HardwareBQ(config.bq_size)
+        self.hw_tq = HardwareTQ(config.tq_size, config.tq_bits)
+        self.spec_tcr = 0
+        self.committed_tcr = 0
+
+        # Rename / window
+        self.rename_tables = RenameTables(config.num_phys_regs)
+        self.vq_renamer = VQRenamer(config.vq_size)
+        self.prf_value = [0] * config.num_phys_regs
+        self.prf_ready = [False] * config.num_phys_regs
+        self.prf_level = [MemLevel.NONE] * config.num_phys_regs
+        for phys in range(32):
+            self.prf_ready[phys] = True
+        self.rob = deque()
+        self.iq = []
+        self.load_queue = []
+        self.store_queue = []
+        self.waiting_loads = []  # address-known loads awaiting disambiguation
+        self.checkpoints = CheckpointPool(
+            config.num_checkpoints, config.ooo_checkpoint_reclaim
+        )
+        self.inflight = {}  # seq -> uop (for BQ late-push validation)
+        self.serialize_pending = False
+
+        # Memory
+        self.memory = MemoryHierarchy(config.memory)
+        self.mshr = MSHRFile(config.memory.mshr_capacity, config.memory.l1d.line_bytes)
+        self.pending_fill_level = {}  # block -> MemLevel of in-flight fill
+
+        # Execution bookkeeping
+        self.completions = {}  # cycle -> [uop]
+        self.div_busy_until = 0
+        self.cycle = 0
+        self._cycle_base = 0  # set at warmup end; stats count cycles past it
+        self.seq = 0
+        self.sim_done = False
+        self.last_retire_cycle = 0
+        self.retire_limit = None
+        self.region_pcs = region_pcs
+        self.warmup_stats = None
+
+    # ------------------------------------------------------------------ utils
+
+    def _schedule(self, uop, delay):
+        self.completions.setdefault(self.cycle + delay, []).append(uop)
+
+    def _inst_addr(self, pc):
+        return CODE_BASE + pc * 4
+
+    def _read_src(self, phys):
+        return self.prf_value[phys]
+
+    # ------------------------------------------------------------------ fetch
+
+    def _capture_fe_snapshot(self):
+        """Pre-update front-end snapshot (predictor/conf/ras/oracle parts)."""
+        return FrontEndSnapshot(
+            predictor=self.predictor.snapshot(),
+            confidence=self.confidence.snapshot(),
+            ras=self.ras.snapshot(),
+            oracle=self.oracle.snapshot() if self.oracle is not None else None,
+        )
+
+    def _finish_fe_snapshot(self, snap):
+        """Post-update parts: CFD fetch pointers and speculative TCR."""
+        snap.bq = self.hw_bq.snapshot()
+        snap.tq = self.hw_tq.snapshot()
+        snap.spec_tcr = self.spec_tcr
+        return snap
+
+    def _use_oracle_for(self, pc):
+        return self.oracle is not None and (
+            self.oracle_all or pc in self.config.perfect_pcs
+        )
+
+    def stage_fetch(self):
+        config = self.config
+        stats = self.stats
+        if self.fetch_halted or self.sim_done:
+            return
+        if self.cycle < self.next_fetch_cycle:
+            stats.fetch_cycles_stalled += 1
+            return
+        if len(self.fetch_pipe) >= self.fetch_pipe_cap:
+            stats.fetch_cycles_stalled += 1
+            return
+
+        # Instruction cache: one block access per new fetch block.
+        block = self._inst_addr(self.fetch_pc) // config.memory.l1i.line_bytes
+        if block != self.last_inst_block:
+            self.last_inst_block = block
+            result = self.memory.access_inst(self._inst_addr(self.fetch_pc))
+            stats.events["icache_access"] += 1
+            if result.level != MemLevel.L1:
+                stats.icache_stall_cycles += result.latency
+                self.next_fetch_cycle = self.cycle + result.latency
+                return
+
+        fetched = 0
+        while fetched < config.fetch_width:
+            inst = self.program.instruction_at(self.fetch_pc)
+            if inst is None:
+                self.fetch_halted = True
+                break
+            opclass = inst.info.opclass
+            pc = self.fetch_pc
+            next_pc = pc + 1
+            taken_transfer = False
+
+            uop = Uop(self.seq, pc, inst, self.cycle)
+
+            if opclass == OpClass.BQ_PUSH:
+                if self.hw_bq.push_would_stall():
+                    stats.bq_full_stalls += 1
+                    break
+                uop.bq_ptr = self.hw_bq.allocate_push()
+                stats.events["bq_access"] += 1
+            elif opclass == OpClass.BQ_BRANCH:
+                stats.events["bq_access"] += 1
+                stats.events["btb_access"] += 1
+                kind, pointer, predicate, level = self.hw_bq.pop_at_fetch()
+                if kind == POP_HIT:
+                    uop.bq_ptr = pointer
+                    uop.bq_pred = predicate
+                    uop.is_ctrl = True
+                    uop.conditional = True
+                    uop.predicted_taken = bool(predicate)
+                    uop.predicted_target = inst.target
+                    uop.actual_taken = bool(predicate)
+                    uop.actual_target = inst.target if predicate else next_pc
+                    uop.done = False  # marked done at rename
+                    if predicate:
+                        taken_transfer = True
+                        next_pc = inst.target
+                else:
+                    if config.bq_miss_policy != BQ_MISS_SPECULATE:
+                        stats.bq_stall_cycles += 1
+                        break
+                    snap = self._capture_fe_snapshot()
+                    predicted, meta = self.predictor.predict(pc)
+                    stats.events["predictor_access"] += 1
+                    uop.conf_confident = self.confidence.is_confident(pc)
+                    self.predictor.speculative_update(pc, predicted)
+                    self.confidence.speculative_update(predicted)
+                    uop.bq_ptr = self.hw_bq.speculate_pop(predicted, uop.seq)
+                    uop.bq_spec = True
+                    uop.is_ctrl = True
+                    uop.conditional = True
+                    uop.uses_predictor = True
+                    uop.pred_meta = meta
+                    uop.predicted_taken = predicted
+                    uop.predicted_target = inst.target
+                    uop.fe_snap = self._finish_fe_snapshot(snap)
+                    # The validating push may execute while this pop is
+                    # still in the fetch pipe, so it must be findable now.
+                    self.inflight[uop.seq] = uop
+                    if predicted:
+                        taken_transfer = True
+                        next_pc = inst.target
+            elif opclass == OpClass.BQ_MARK:
+                self.hw_bq.mark_at_fetch()
+            elif opclass == OpClass.BQ_FORWARD:
+                self.hw_bq.forward_at_fetch()
+                stats.events["bq_access"] += 1
+            elif opclass == OpClass.TQ_PUSH:
+                if self.hw_tq.push_would_stall():
+                    break
+                uop.tq_ptr = self.hw_tq.allocate_push()
+                stats.events["tq_access"] += 1
+            elif opclass == OpClass.TQ_POP:
+                stats.events["tq_access"] += 1
+                kind, pointer, count, overflow = self.hw_tq.pop_at_fetch()
+                if kind != POP_HIT:
+                    stats.tq_stall_cycles += 1
+                    break
+                uop.tq_ptr = pointer
+                uop.popped_count = count
+                uop.popped_ovf = overflow
+                self.spec_tcr = 0 if overflow else count
+            elif opclass == OpClass.TQ_POP_BOV:
+                stats.events["tq_access"] += 1
+                stats.events["btb_access"] += 1
+                kind, pointer, count, overflow = self.hw_tq.pop_at_fetch()
+                if kind != POP_HIT:
+                    stats.tq_stall_cycles += 1
+                    break
+                uop.tq_ptr = pointer
+                uop.popped_count = count
+                uop.popped_ovf = overflow
+                self.spec_tcr = count
+                uop.is_ctrl = True
+                uop.actual_taken = bool(overflow)
+                uop.actual_target = inst.target if overflow else next_pc
+                if overflow:
+                    taken_transfer = True
+                    next_pc = inst.target
+            elif opclass == OpClass.TCR_BRANCH:
+                stats.events["btb_access"] += 1
+                uop.is_ctrl = True
+                taken = self.spec_tcr > 0
+                if taken:
+                    self.spec_tcr -= 1
+                    taken_transfer = True
+                    next_pc = inst.target
+                uop.actual_taken = taken
+                uop.actual_target = inst.target if taken else pc + 1
+            elif opclass == OpClass.BRANCH:
+                stats.events["btb_access"] += 1
+                uop.is_ctrl = True
+                uop.conditional = True
+                snap = self._capture_fe_snapshot()
+                if self._use_oracle_for(pc):
+                    predicted = self.oracle.predict(pc)
+                    uop.oracle_used = True
+                    uop.conf_confident = True
+                else:
+                    predicted, meta = self.predictor.predict(pc)
+                    stats.events["predictor_access"] += 1
+                    uop.pred_meta = meta
+                    uop.uses_predictor = True
+                    uop.conf_confident = self.confidence.is_confident(pc)
+                self.predictor.speculative_update(pc, predicted)
+                self.confidence.speculative_update(predicted)
+                uop.predicted_taken = predicted
+                uop.predicted_target = inst.target
+                uop.fe_snap = self._finish_fe_snapshot(snap)
+                if predicted:
+                    taken_transfer = True
+                    next_pc = inst.target
+            elif opclass == OpClass.JUMP:
+                stats.events["btb_access"] += 1
+                uop.is_ctrl = True
+                if inst.opcode == Opcode.J:
+                    uop.predicted_taken = uop.actual_taken = True
+                    uop.predicted_target = uop.actual_target = inst.target
+                    taken_transfer = True
+                    next_pc = inst.target
+                elif inst.opcode == Opcode.JAL:
+                    uop.predicted_taken = uop.actual_taken = True
+                    uop.predicted_target = uop.actual_target = inst.target
+                    if inst.rd == LINK_REG:
+                        self.ras.push(pc + 1)
+                    taken_transfer = True
+                    next_pc = inst.target
+                else:  # JALR: indirect; validated at execute
+                    snap = self._capture_fe_snapshot()
+                    predicted_target = None
+                    if inst.rs1 == LINK_REG and inst.rd == ZERO_REG:
+                        predicted_target = self.ras.pop()
+                    if predicted_target is None:
+                        predicted_target = self.btb.lookup(pc)
+                    if predicted_target is None:
+                        predicted_target = pc + 1
+                    uop.predicted_taken = True
+                    uop.predicted_target = predicted_target
+                    uop.fe_snap = self._finish_fe_snapshot(snap)
+                    taken_transfer = True
+                    next_pc = predicted_target
+            elif opclass == OpClass.HALT:
+                self.fetch_halted = True
+            elif opclass in (OpClass.QSAVE, OpClass.QRESTORE):
+                # Queue save/restore fully serializes: later instructions
+                # (in particular pops) must see the restored queue state.
+                self.fetch_halted = True
+
+            # BTB-driven misfetch penalty for taken transfers.
+            misfetch = False
+            if taken_transfer and inst.opcode != Opcode.JALR:
+                if self.btb.lookup(pc) is None:
+                    misfetch = True
+                    stats.misfetches += 1
+                self.btb.install(pc, next_pc)
+
+            self.seq += 1
+            self.fetch_pipe.append((self.cycle + config.front_end_depth, uop))
+            stats.fetched += 1
+            stats.events["fetch"] += 1
+            self.fetch_pc = next_pc
+            fetched += 1
+            if opclass == OpClass.HALT or opclass in (
+                OpClass.QSAVE,
+                OpClass.QRESTORE,
+            ):
+                break
+            if taken_transfer:
+                if misfetch:
+                    self.next_fetch_cycle = self.cycle + 2
+                break
+            if len(self.fetch_pipe) >= self.fetch_pipe_cap:
+                break
+
+    # ----------------------------------------------------------------- rename
+
+    def stage_rename(self):
+        config = self.config
+        stats = self.stats
+        renamed = 0
+        while renamed < config.rename_width and self.fetch_pipe:
+            ready_cycle, uop = self.fetch_pipe[0]
+            if ready_cycle > self.cycle:
+                break
+            if self.serialize_pending:
+                break
+            if len(self.rob) >= config.rob_size:
+                break
+            opclass = uop.opclass
+            inst = uop.inst
+            needs_iq = (
+                opclass not in _FETCH_RESOLVED
+                and not (opclass == OpClass.JUMP and inst.opcode != Opcode.JALR)
+            )
+            if opclass in (OpClass.QSAVE, OpClass.QRESTORE):
+                needs_iq = False
+            if needs_iq and len(self.iq) >= config.iq_size:
+                break
+            if uop.opclass == OpClass.LOAD and len(self.load_queue) >= config.lq_size:
+                break
+            if uop.opclass == OpClass.STORE and len(self.store_queue) >= config.sq_size:
+                break
+            if opclass == OpClass.VQ_PUSH and self.vq_renamer.push_would_stall():
+                break
+            dest_arch = inst.destination_register()
+            needs_phys = dest_arch is not None or opclass == OpClass.VQ_PUSH
+            if needs_phys and self.rename_tables.freelist.available == 0:
+                break
+
+            self.fetch_pipe.popleft()
+            renamed += 1
+            stats.renamed += 1
+            stats.events["rename"] += 1
+
+            # Sources
+            sources = []
+            info = inst.info
+            if info.reads_rs1 and inst.rs1 is not None:
+                sources.append(self.rename_tables.lookup(inst.rs1))
+            if info.reads_rs2 and inst.rs2 is not None:
+                sources.append(self.rename_tables.lookup(inst.rs2))
+            if info.reads_rd and inst.rd is not None:
+                # Conditional moves merge with the previous rd value.
+                sources.append(self.rename_tables.lookup(inst.rd))
+            if opclass == OpClass.VQ_POP:
+                src = self.vq_renamer.pop()
+                stats.events["vq_renamer_access"] += 1
+                if src is None:
+                    uop.vq_dangling = True
+                    src = 0  # p0 (zero) — wrong-path only
+                uop.vq_source_phys = src
+                sources.append(src)
+            uop.src_phys = tuple(sources)
+
+            # Destination
+            if dest_arch is not None:
+                allocated = self.rename_tables.allocate_dest(dest_arch)
+                uop.arch_rd = dest_arch
+                uop.phys_rd, uop.old_phys_rd = allocated
+                self.prf_ready[uop.phys_rd] = False
+                self.prf_level[uop.phys_rd] = MemLevel.NONE
+                stats.events["prf_write_alloc"] += 1
+            elif opclass == OpClass.VQ_PUSH:
+                phys = self.rename_tables.freelist.allocate()
+                uop.phys_rd = phys
+                self.prf_ready[phys] = False
+                self.prf_level[phys] = MemLevel.NONE
+                self.vq_renamer.push(phys)
+                stats.events["vq_renamer_access"] += 1
+
+            # Checkpoint allocation for recoverable control uops.  A pop
+            # already invalidated by a late push (while it sat in the fetch
+            # pipe) is beyond help from a checkpoint: it recovers at retire.
+            if (
+                uop.fe_snap is not None
+                and config.num_checkpoints > 0
+                and not uop.needs_retire_redirect
+            ):
+                skip = (
+                    config.confidence_guided_checkpoints
+                    and uop.conf_confident
+                    and not uop.bq_spec
+                )
+                if skip:
+                    stats.checkpoints_skipped_confident += 1
+                else:
+                    ckpt_id = self.checkpoints.allocate(
+                        uop.seq,
+                        self.rename_tables.snapshot_rmt(),
+                        self.vq_renamer.snapshot(),
+                        uop.fe_snap,
+                    )
+                    if ckpt_id is None:
+                        stats.checkpoints_denied += 1
+                    else:
+                        uop.ckpt_id = ckpt_id
+                        stats.checkpoints_taken += 1
+                        stats.events["checkpoint_save"] += 1
+                        if uop.bq_spec:
+                            self.hw_bq.set_pop_checkpoint(uop.bq_ptr, ckpt_id)
+
+            # Dispatch
+            self.rob.append(uop)
+            self.inflight[uop.seq] = uop
+            stats.events["rob_write"] += 1
+
+            if opclass in (OpClass.QSAVE, OpClass.QRESTORE):
+                uop.serializing = True
+                self.serialize_pending = True
+            elif opclass in _FETCH_RESOLVED or (
+                opclass == OpClass.JUMP and inst.opcode != Opcode.JALR
+            ):
+                # Resolved in the front end: no execution needed.
+                if inst.opcode == Opcode.JAL and uop.phys_rd is not None:
+                    self.prf_value[uop.phys_rd] = uop.pc + 1
+                    self.prf_ready[uop.phys_rd] = True
+                    uop.value = uop.pc + 1
+                uop.done = True
+            else:
+                uop.is_load = opclass == OpClass.LOAD and inst.opcode != Opcode.PREFETCH
+                uop.is_store = opclass == OpClass.STORE
+                uop.is_byte = inst.opcode in (Opcode.LB, Opcode.LBU, Opcode.SB)
+                uop.in_iq = True
+                self.iq.append(uop)
+                stats.events["iq_write"] += 1
+                if uop.is_load or inst.opcode == Opcode.PREFETCH:
+                    self.load_queue.append(uop)
+                if uop.is_store:
+                    entry = StoreQueueEntry(uop)
+                    entry.is_byte = uop.is_byte
+                    self.store_queue.append(entry)
+
+    # ------------------------------------------------------------------ issue
+
+    def _sources_ready(self, uop):
+        # Stores issue to the AGU as soon as the address register is ready;
+        # the data register is captured later (split store, typical of OOO
+        # cores, and important so younger loads can disambiguate early).
+        if uop.is_store:
+            return self.prf_ready[uop.src_phys[0]]
+        for phys in uop.src_phys:
+            if not self.prf_ready[phys]:
+                return False
+        return True
+
+    def stage_issue(self):
+        config = self.config
+        stats = self.stats
+        alu_free = config.num_alu
+        ldst_free = config.num_ldst
+        mul_free = config.num_mul
+        issued = 0
+        remaining = []
+        for uop in self.iq:
+            if uop.squashed or uop.issued:
+                continue
+            if issued >= config.issue_width:
+                remaining.append(uop)
+                continue
+            opclass = uop.opclass
+            if not self._sources_ready(uop):
+                remaining.append(uop)
+                continue
+            if opclass in (OpClass.LOAD, OpClass.STORE):
+                if ldst_free <= 0:
+                    remaining.append(uop)
+                    continue
+                ldst_free -= 1
+                self._issue_memory(uop)
+            elif opclass == OpClass.MUL:
+                if mul_free <= 0:
+                    remaining.append(uop)
+                    continue
+                mul_free -= 1
+                self._issue_compute(uop)
+            elif opclass == OpClass.DIV:
+                if self.cycle < self.div_busy_until:
+                    remaining.append(uop)
+                    continue
+                self.div_busy_until = self.cycle + uop.inst.info.latency
+                self._issue_compute(uop)
+            else:
+                if alu_free <= 0:
+                    remaining.append(uop)
+                    continue
+                alu_free -= 1
+                self._issue_compute(uop)
+            issued += 1
+            stats.issued += 1
+            stats.events["iq_issue"] += 1
+        self.iq = remaining
+
+    def _issue_compute(self, uop):
+        uop.issued = True
+        uop.in_iq = False
+        # Completion is scheduled at the FU latency: dependent operations
+        # issue back-to-back through the bypass network, as in real cores.
+        # The deeper issue-to-execute pipe shows up only in the branch
+        # misprediction penalty, which front_end_depth accounts for.
+        self._schedule(uop, max(1, uop.inst.info.latency))
+
+    def _issue_memory(self, uop):
+        """AGU issue: compute the address; the memory pipe takes it next."""
+        uop.issued = True
+        uop.in_iq = False
+        base = self.prf_value[uop.src_phys[0]]
+        uop.addr = (base + uop.inst.imm) & 0xFFFFFFFF
+        uop.addr_known = True
+        self.stats.events["agen"] += 1
+        if uop.is_store:
+            for entry in self.store_queue:
+                if entry.uop is uop:
+                    entry.addr = uop.addr
+                    entry.addr_known = True
+                    break
+            # A store is "done" once its address is known and data arrives.
+            self._schedule(uop, 1)
+        else:
+            # Loads and prefetches enter the memory pipeline.
+            self.waiting_loads.append(uop)
+
+    # ---------------------------------------------------------------- memory
+
+    def stage_memory(self):
+        """Disambiguate and launch address-known loads/prefetches."""
+        stats = self.stats
+        still_waiting = []
+        for uop in self.waiting_loads:
+            if uop.squashed:
+                continue
+            if uop.inst.opcode == Opcode.PREFETCH:
+                if self._launch_prefetch(uop):
+                    continue
+                still_waiting.append(uop)
+                continue
+            action, other = scan_older_stores(
+                self.store_queue, uop, uop.addr, uop.is_byte
+            )
+            stats.events["lsq_search"] += 1
+            if action == "wait":
+                still_waiting.append(uop)
+                continue
+            if action == "forward":
+                data = other.value if other.value is not None else (
+                    self.prf_value[other.src_phys[1]]
+                    if self.prf_ready[other.src_phys[1]]
+                    else None
+                )
+                if data is None:
+                    still_waiting.append(uop)
+                    continue
+                uop.value = self._load_extract(uop, data)
+                uop.mem_level = MemLevel.L1
+                stats.events["store_forward"] += 1
+                self._schedule(uop, 1)
+                continue
+            # Read the committed image + access the cache hierarchy.
+            if not self._launch_load(uop):
+                still_waiting.append(uop)
+        self.waiting_loads = still_waiting
+
+    def _load_extract(self, uop, word_or_byte):
+        opcode = uop.inst.opcode
+        if opcode == Opcode.LW or opcode == Opcode.SW:
+            return word_or_byte & 0xFFFFFFFF
+        value = word_or_byte & 0xFF
+        if opcode == Opcode.LB and value & 0x80:
+            value |= 0xFFFFFF00
+        return value
+
+    def _read_committed(self, uop):
+        memory = self.checker.state.memory
+        try:
+            if uop.is_byte:
+                raw = memory.load_byte(uop.addr)
+            else:
+                raw = memory.load_word(uop.addr & ~3 if uop.addr % 4 else uop.addr)
+        except ReproError:
+            return 0  # wrong-path garbage address
+        return self._load_extract(uop, raw)
+
+    def _launch_load(self, uop):
+        stats = self.stats
+        # Pending miss to the same block? Merge through the MSHR.
+        block = uop.addr // self.mshr.line_bytes
+        block_pending = self.mshr._pending.get(block)
+        if block_pending is not None and block_pending > self.cycle:
+            uop.value = self._read_committed(uop)
+            uop.mem_level = self.pending_fill_level.get(block, MemLevel.L2)
+            self.mshr.merges += 1
+            delay = max(1, block_pending - self.cycle)
+            self._schedule(uop, delay)
+            stats.events["l1d_access"] += 1
+            stats.load_level_counts[int(uop.mem_level)] += 1
+            return True
+        result = self.memory.access_data(uop.addr, is_write=False, pc=uop.pc)
+        stats.events["l1d_access"] += 1
+        if result.level >= MemLevel.L2:
+            stats.events["l2_access"] += 1
+        if result.level >= MemLevel.L3:
+            stats.events["l3_access"] += 1
+        if result.level >= MemLevel.MEM:
+            stats.events["dram_access"] += 1
+        if result.level != MemLevel.L1:
+            accepted, ready = self.mshr.request(uop.addr, self.cycle, result.latency)
+            if not accepted:
+                # Structural MSHR stall; retry next cycle (the line is now
+                # cached, so the retry will hit — models a 1-cycle replay).
+                return False
+            self.pending_fill_level[uop.addr // self.mshr.line_bytes] = result.level
+        uop.value = self._read_committed(uop)
+        uop.mem_level = result.level
+        stats.load_level_counts[int(result.level)] += 1
+        self._schedule(uop, max(1, result.latency))
+        return True
+
+    def _launch_prefetch(self, uop):
+        stats = self.stats
+        block_pending = self.mshr._pending.get(uop.addr // self.mshr.line_bytes)
+        if block_pending is not None and block_pending > self.cycle:
+            self._schedule(uop, 1)
+            return True
+        if self.memory.probe_data_hit(uop.addr):
+            self.memory.access_data(uop.addr, is_write=False, pc=uop.pc)
+            stats.events["l1d_access"] += 1
+            self._schedule(uop, 1)
+            return True
+        result = self.memory.access_data(uop.addr, is_write=False, pc=uop.pc)
+        stats.events["l1d_access"] += 1
+        accepted, _ = self.mshr.request(uop.addr, self.cycle, result.latency)
+        if not accepted:
+            return False
+        stats.events["prefetch_issue"] += 1
+        self._schedule(uop, 1)  # prefetch completes immediately (non-binding)
+        return True
+
+    # -------------------------------------------------------------- complete
+
+    def stage_complete(self):
+        stats = self.stats
+        uops = self.completions.pop(self.cycle, None)
+        if not uops:
+            return
+        uops.sort(key=lambda u: u.seq)
+        for uop in uops:
+            if uop.squashed or uop.done:
+                continue
+            opclass = uop.opclass
+            if opclass == OpClass.STORE:
+                data_phys = uop.src_phys[1]
+                if not self.prf_ready[data_phys]:
+                    self._schedule(uop, 1)  # data not ready yet; retry
+                    continue
+                uop.value = self.prf_value[data_phys]
+                uop.done = True
+                stats.executed += 1
+                continue
+            self._execute_uop(uop)
+            uop.done = True
+            stats.executed += 1
+            stats.events["execute"] += 1
+
+    def _execute_uop(self, uop):
+        inst = uop.inst
+        opclass = uop.opclass
+        opcode = inst.opcode
+        src_values = [self.prf_value[p] for p in uop.src_phys]
+        src_levels = [self.prf_level[p] for p in uop.src_phys]
+        level = max(src_levels) if src_levels else MemLevel.NONE
+
+        if opclass == OpClass.ALU or opclass == OpClass.MUL or opclass == OpClass.DIV:
+            if opcode in (Opcode.CMOVZ, Opcode.CMOVNZ):
+                a, condition, old_rd = src_values
+                move = (condition == 0) == (opcode == Opcode.CMOVZ)
+                self._write_dest(uop, a if move else old_rd, level)
+            else:
+                a = src_values[0] if src_values else 0
+                b = src_values[1] if len(src_values) > 1 else 0
+                value = alu_compute(opcode, a, b, inst.imm)
+                self._write_dest(uop, value, level)
+        elif opclass == OpClass.LOAD:
+            if opcode != Opcode.PREFETCH:
+                self._write_dest(uop, uop.value, uop.mem_level)
+            uop.level = uop.mem_level
+        elif opclass == OpClass.BRANCH:
+            a = src_values[0]
+            b = src_values[1] if len(src_values) > 1 else 0
+            taken = branch_taken(opcode, a, b)
+            uop.actual_taken = taken
+            uop.actual_target = inst.target if taken else uop.pc + 1
+            uop.level = level
+            if taken:
+                self.btb.install(uop.pc, inst.target)
+            if taken != uop.predicted_taken:
+                self._mispredict(uop, uop.actual_target, level)
+            else:
+                self._confirm_control(uop)
+        elif opclass == OpClass.JUMP:  # JALR only
+            target = src_values[0]
+            uop.actual_taken = True
+            uop.actual_target = target
+            self._write_dest(uop, uop.pc + 1, MemLevel.NONE)
+            self.btb.install(uop.pc, target)
+            if target != uop.predicted_target:
+                self._mispredict(uop, target, level)
+            else:
+                self._confirm_control(uop)
+        elif opclass == OpClass.BQ_PUSH:
+            predicate = 1 if src_values[0] else 0
+            uop.value = predicate
+            uop.level = level
+            mismatch = self.hw_bq.execute_push(uop.bq_ptr, predicate, level)
+            self.stats.events["bq_access"] += 1
+            if mismatch is not None:
+                self._late_push_mismatch(uop, mismatch, level)
+            else:
+                self._late_push_confirm(uop)
+        elif opclass == OpClass.TQ_PUSH:
+            count = src_values[0]
+            uop.value = count
+            self.hw_tq.execute_push(uop.tq_ptr, count)
+            self.stats.events["tq_access"] += 1
+        elif opclass == OpClass.VQ_PUSH:
+            self._write_phys(uop.phys_rd, src_values[0], src_levels[0])
+            uop.value = src_values[0]
+        elif opclass == OpClass.VQ_POP:
+            self._write_dest(uop, src_values[0], src_levels[0])
+        else:  # pragma: no cover
+            raise SimulationError("unexpected opclass in execute: %s" % opclass)
+
+    def _write_phys(self, phys, value, level):
+        self.prf_value[phys] = value & 0xFFFFFFFF
+        self.prf_ready[phys] = True
+        self.prf_level[phys] = level
+        self.stats.events["prf_write"] += 1
+
+    def _write_dest(self, uop, value, level):
+        uop.value = value & 0xFFFFFFFF if value is not None else None
+        uop.level = level
+        if uop.phys_rd is not None:
+            self._write_phys(uop.phys_rd, uop.value or 0, level)
+
+    # -------------------------------------------------------------- recovery
+
+    def _confirm_control(self, uop):
+        """Correctly predicted control: OoO checkpoint reclamation."""
+        if (
+            uop.ckpt_id is not None
+            and self.config.ooo_checkpoint_reclaim
+        ):
+            self.checkpoints.release(uop.ckpt_id)
+            uop.ckpt_id = None
+
+    def _late_push_confirm(self, uop):
+        """Late push that matched the speculative pop's prediction."""
+        index = uop.bq_ptr % self.hw_bq.size
+        pop_seq = self.hw_bq.pop_seq[index]
+        if pop_seq is None:
+            return
+        pop_uop = self.inflight.get(pop_seq)
+        if pop_uop is not None and not pop_uop.squashed:
+            pop_uop.actual_taken = pop_uop.predicted_taken
+            pop_uop.actual_target = (
+                pop_uop.inst.target if pop_uop.predicted_taken else pop_uop.pc + 1
+            )
+            self._confirm_control(pop_uop)
+
+    def _late_push_mismatch(self, push_uop, mismatch, level):
+        """Late push whose predicate disagrees with the speculative pop."""
+        pop_uop = self.inflight.get(mismatch["pop_seq"])
+        if pop_uop is None or pop_uop.squashed:
+            return
+        actual = bool(mismatch["actual"])
+        pop_uop.actual_taken = actual
+        pop_uop.actual_target = pop_uop.inst.target if actual else pop_uop.pc + 1
+        pop_uop.level = level
+        self.stats.bq_miss_mispredicts += 1
+        self._mispredict(pop_uop, pop_uop.actual_target, level)
+
+    def _mispredict(self, uop, correct_pc, level):
+        uop.mispredicted = True
+        uop.level = level
+        self.stats.recoveries += 1
+        if uop.ckpt_id is not None:
+            self._recover_from_checkpoint(uop, correct_pc)
+        else:
+            uop.needs_retire_redirect = True
+            uop.redirect_pc = correct_pc
+
+    def _replay_front_end(self, uop, snap):
+        """Restore pre-branch front-end state, then re-apply the actual
+        outcome of *uop* (the recovering branch stays in the pipeline)."""
+        self.predictor.restore(snap.predictor)
+        self.confidence.restore(snap.confidence)
+        self.ras.restore(snap.ras)
+        if self.oracle is not None and snap.oracle is not None:
+            self.oracle.restore(snap.oracle)
+        opclass = uop.opclass
+        actual = bool(uop.actual_taken)
+        if opclass == OpClass.BRANCH:
+            if uop.oracle_used:
+                self.oracle.reapply(uop.pc)
+            self.predictor.speculative_update(uop.pc, actual)
+            self.confidence.speculative_update(actual)
+        elif opclass == OpClass.BQ_BRANCH:
+            self.predictor.speculative_update(uop.pc, actual)
+            self.confidence.speculative_update(actual)
+        elif opclass == OpClass.JUMP and uop.inst.opcode == Opcode.JALR:
+            if uop.inst.rs1 == LINK_REG and uop.inst.rd == ZERO_REG:
+                self.ras.pop()
+
+    def _recover_from_checkpoint(self, uop, correct_pc):
+        ckpt = self.checkpoints.get(uop.ckpt_id)
+        if ckpt is None:  # should not happen; fall back to retire recovery
+            uop.needs_retire_redirect = True
+            uop.redirect_pc = correct_pc
+            return
+        self.stats.events["checkpoint_restore"] += 1
+        self._squash_younger(uop.seq)
+        self.rename_tables.restore_rmt(ckpt.rmt)
+        self.vq_renamer.restore(ckpt.vq)
+        snap = ckpt.front_end
+        self.hw_bq.restore(snap.bq)
+        self.hw_tq.restore(snap.tq)
+        self.spec_tcr = snap.spec_tcr
+        self._replay_front_end(uop, snap)
+        self.checkpoints.release(uop.ckpt_id)
+        self.checkpoints.release_younger(uop.seq)
+        uop.ckpt_id = None
+        self._redirect_fetch(correct_pc)
+
+    def _retire_recovery(self, uop):
+        self.stats.retire_recoveries += 1
+        self._squash_younger(uop.seq)
+        self.checkpoints.release_younger(uop.seq)
+        self.rename_tables.restore_rmt_from_amt()
+        self.vq_renamer.restore_committed()
+        self.hw_bq.restore_committed()
+        self.hw_tq.restore_committed()
+        self.spec_tcr = self.committed_tcr
+        if uop.fe_snap is not None:
+            self._replay_front_end(uop, uop.fe_snap)
+        self._redirect_fetch(uop.redirect_pc)
+
+    def _redirect_fetch(self, correct_pc):
+        self.fetch_pc = correct_pc
+        self.fetch_halted = False
+        self.next_fetch_cycle = self.cycle + 1 + self.config.recovery_latency
+        self.fetch_pipe.clear()
+        self.last_inst_block = None
+
+    def _squash_younger(self, seq):
+        stats = self.stats
+        while self.rob and self.rob[-1].seq > seq:
+            uop = self.rob.pop()
+            uop.squashed = True
+            stats.squashed += 1
+            if uop.issued or uop.done:
+                stats.wrong_path_executed += 1
+            if uop.phys_rd is not None:
+                self.rename_tables.freelist.release(uop.phys_rd)
+                uop.phys_rd = None
+            self.inflight.pop(uop.seq, None)
+            if uop.serializing:
+                self.serialize_pending = False
+                self.fetch_halted = False
+        for ready_cycle, uop in self.fetch_pipe:
+            if uop.seq > seq:
+                uop.squashed = True
+                stats.squashed += 1
+                self.inflight.pop(uop.seq, None)
+        self.fetch_pipe = deque(
+            item for item in self.fetch_pipe if item[1].seq <= seq
+        )
+        self.iq = [u for u in self.iq if not u.squashed]
+        self.load_queue = [u for u in self.load_queue if not u.squashed]
+        self.store_queue = [e for e in self.store_queue if not e.uop.squashed]
+        self.waiting_loads = [u for u in self.waiting_loads if not u.squashed]
+
+    # ---------------------------------------------------------------- retire
+
+    def stage_retire(self):
+        config = self.config
+        stats = self.stats
+        retired = 0
+        while retired < config.retire_width and self.rob:
+            uop = self.rob[0]
+            if uop.serializing and not uop.done:
+                self._progress_serializing(uop)
+                if not uop.done:
+                    break
+            if not uop.done:
+                break
+            self._retire_one(uop)
+            self.rob.popleft()
+            self.inflight.pop(uop.seq, None)
+            retired += 1
+            stats.retired += 1
+            stats.events["retire"] += 1
+            self.last_retire_cycle = self.cycle
+            if self.sim_done:
+                break
+            if uop.needs_retire_redirect:
+                self._retire_recovery(uop)
+                break
+            if self.retire_limit is not None and stats.retired >= self.retire_limit:
+                self.sim_done = True
+                break
+
+    def _progress_serializing(self, uop):
+        """Save/Restore queue macro-instruction at the ROB head."""
+        if len(self.rob) > 1 or self.fetch_pipe or self.iq:
+            # Wait for the pipeline behind it to drain; older work is gone
+            # (it is at the head) and younger work is stalled at rename.
+            pass
+        if uop.serialize_start is None:
+            queue = self._queue_for(uop.inst.opcode)
+            uop.serialize_start = self.cycle
+            uop.value = 2 + 2 * queue.length  # cracked pop/store pairs
+        if self.cycle >= uop.serialize_start + uop.value:
+            uop.done = True
+
+    def _queue_for(self, opcode):
+        state = self.checker.state
+        if opcode in (Opcode.SAVE_BQ, Opcode.RESTORE_BQ):
+            return state.bq
+        if opcode in (Opcode.SAVE_VQ, Opcode.RESTORE_VQ):
+            return state.vq
+        return state.tq
+
+    def _retire_one(self, uop):
+        stats = self.stats
+        inst = uop.inst
+        opclass = uop.opclass
+
+        # Architectural checker: replay and compare.
+        record = self.checker.step()
+        if record is None:
+            raise SimulationError(
+                "checker halted but core retired pc %d (%s)" % (uop.pc, inst)
+            )
+        if record.pc != uop.pc:
+            raise SimulationError(
+                "retire stream diverged: core pc %d, checker pc %d (%s vs %s)"
+                % (uop.pc, record.pc, inst, record.inst)
+            )
+        if uop.is_ctrl and record.taken is not None and uop.actual_taken is not None:
+            if bool(record.taken) != bool(uop.actual_taken):
+                raise SimulationError(
+                    "direction mismatch at pc %d (%s): core %s checker %s"
+                    % (uop.pc, inst, uop.actual_taken, record.taken)
+                )
+        if (
+            uop.arch_rd is not None
+            and record.value is not None
+            and uop.value is not None
+            and uop.value != record.value
+        ):
+            raise SimulationError(
+                "value mismatch at pc %d (%s): core %#x checker %#x"
+                % (uop.pc, inst, uop.value, record.value)
+            )
+        self.committed_tcr = self.checker.state.tcr
+
+        # Register commitment.
+        if uop.arch_rd is not None and uop.phys_rd is not None:
+            freed = self.rename_tables.commit_dest(uop.arch_rd, uop.phys_rd)
+            self.rename_tables.freelist.release(freed)
+            uop.phys_rd = None  # now owned by the AMT
+
+        # Structure-specific retirement.
+        if opclass == OpClass.STORE:
+            self.memory.access_data(uop.addr, is_write=True, pc=uop.pc)
+            stats.events["l1d_access"] += 1
+            self.store_queue = [e for e in self.store_queue if e.uop is not uop]
+        elif opclass == OpClass.LOAD:
+            self.load_queue = [u for u in self.load_queue if u is not uop]
+        elif opclass == OpClass.BQ_PUSH:
+            self.hw_bq.retire_push()
+            stats.bq_pushes += 1
+        elif opclass == OpClass.BQ_BRANCH:
+            self.hw_bq.retire_pop()
+            stats.bq_pops += 1
+            if uop.bq_spec:
+                stats.bq_misses += 1
+                if uop.actual_taken is None:
+                    raise SimulationError(
+                        "speculative pop at pc %d retired without a "
+                        "validating push (push/pop ordering violation?)"
+                        % uop.pc
+                    )
+            stats.record_branch(
+                uop.pc,
+                bool(uop.actual_taken),
+                uop.mispredicted,
+                uop.level,
+                at_fetch=not uop.bq_spec,
+            )
+            if uop.bq_spec and uop.uses_predictor:
+                self.predictor.update(uop.pc, bool(uop.actual_taken), uop.pred_meta)
+                self.confidence.update(uop.pc, not uop.mispredicted)
+        elif opclass == OpClass.BQ_MARK:
+            self.hw_bq.retire_mark()
+        elif opclass == OpClass.BQ_FORWARD:
+            stats.forward_bulk_pops += self.hw_bq.retire_forward()
+        elif opclass == OpClass.TQ_PUSH:
+            self.hw_tq.retire_push()
+            stats.tq_pushes += 1
+        elif opclass in (OpClass.TQ_POP, OpClass.TQ_POP_BOV):
+            self.hw_tq.retire_pop()
+            stats.tq_pops += 1
+            if opclass == OpClass.TQ_POP_BOV:
+                stats.record_branch(
+                    uop.pc, bool(uop.actual_taken), False, at_fetch=True
+                )
+        elif opclass == OpClass.TCR_BRANCH:
+            stats.tcr_branches += 1
+            stats.record_branch(uop.pc, bool(uop.actual_taken), False, at_fetch=True)
+        elif opclass == OpClass.VQ_PUSH:
+            self.vq_renamer.retire_push()
+            stats.vq_pushes += 1
+        elif opclass == OpClass.VQ_POP:
+            self.vq_renamer.retire_pop()
+            stats.vq_pops += 1
+            if not uop.vq_dangling and uop.vq_source_phys is not None:
+                # "The physical registers allocated to push instructions
+                # are freed when the pops that reference them retire."
+                # (p0 never reaches here: dangling pops use it and are
+                # wrong-path only; boot mappings of r1..r31 can have been
+                # legitimately recycled into push destinations.)
+                self.rename_tables.freelist.release(uop.vq_source_phys)
+        elif opclass == OpClass.BRANCH:
+            stats.record_branch(
+                uop.pc, bool(uop.actual_taken), uop.mispredicted, uop.level
+            )
+            if uop.uses_predictor:
+                self.predictor.update(uop.pc, bool(uop.actual_taken), uop.pred_meta)
+            self.confidence.update(uop.pc, not uop.mispredicted)
+        elif opclass == OpClass.JUMP:
+            stats.record_branch(
+                uop.pc, True, uop.mispredicted, uop.level, conditional=False
+            )
+        elif opclass in (OpClass.QSAVE, OpClass.QRESTORE):
+            self.serialize_pending = False
+            self._resync_queues_after_serializing(inst.opcode)
+            self.fetch_halted = False
+            self.fetch_pc = uop.pc + 1
+            self.next_fetch_cycle = self.cycle + 1
+            self.last_inst_block = None
+        elif opclass == OpClass.HALT:
+            self.sim_done = True
+
+        if uop.ckpt_id is not None:
+            self.checkpoints.release(uop.ckpt_id)
+            uop.ckpt_id = None
+
+    def _resync_queues_after_serializing(self, opcode):
+        """Rebuild fetch-unit queue state after a Restore_* instruction.
+
+        The pipeline is drained, so we may renumber pointers arbitrarily —
+        exactly the freedom the ISA's length-register-only spec grants.
+        """
+        state = self.checker.state
+        if opcode == Opcode.RESTORE_BQ:
+            bq = HardwareBQ(self.config.bq_size)
+            for position, predicate in enumerate(state.bq.entries()):
+                bq.predicate[position] = predicate
+                bq.pushed[position] = True
+            bq.fetch_tail = bq.committed_tail = state.bq.length
+            self.hw_bq = bq
+        elif opcode == Opcode.RESTORE_TQ:
+            tq = HardwareTQ(self.config.tq_size, self.config.tq_bits)
+            for position, (count, overflow) in enumerate(state.tq.entries()):
+                tq.count[position] = count
+                tq.overflow[position] = bool(overflow)
+                tq.pushed[position] = True
+            tq.fetch_tail = tq.committed_tail = state.tq.length
+            self.hw_tq = tq
+        elif opcode == Opcode.RESTORE_VQ:
+            renamer = VQRenamer(self.config.vq_size)
+            for value in state.vq.entries():
+                phys = self.rename_tables.freelist.allocate()
+                if phys is None:
+                    raise SimulationError("freelist exhausted during Restore_VQ")
+                self._write_phys(phys, value, MemLevel.NONE)
+                renamer.push(phys)
+            renamer.committed_tail = renamer.fetch_tail
+            old = self.vq_renamer
+            for pointer in range(old.committed_head, old.committed_tail):
+                phys = old.mapping[pointer % old.size]
+                if phys >= 32:
+                    self.rename_tables.freelist.release(phys)
+            self.vq_renamer = renamer
+
+    # ------------------------------------------------------------------- run
+
+    def run(self, max_instructions=None, warmup_instructions=0):
+        """Simulate until HALT or *max_instructions* retired.
+
+        Returns the :class:`SimStats`.  When *warmup_instructions* is given,
+        statistics are reset after that many instructions retire (caches,
+        predictors and queues stay warm), mirroring the paper's 10M-warmup
+        methodology.
+        """
+        self.retire_limit = None
+        warm_target = warmup_instructions if warmup_instructions else None
+        if max_instructions is not None:
+            self.retire_limit = (warmup_instructions or 0) + max_instructions
+        stall_guard = 100_000
+        while not self.sim_done:
+            self.stage_retire()
+            if self.sim_done:
+                break
+            if (
+                self.fetch_halted
+                and not self.rob
+                and not self.fetch_pipe
+                and not self.serialize_pending
+            ):
+                # Ran off the end of the code segment (implicit halt).
+                self.sim_done = True
+                break
+            self.stage_complete()
+            self.stage_memory()
+            self.stage_issue()
+            self.stage_rename()
+            self.stage_fetch()
+            self.mshr.sample(self.cycle)
+            self.cycle += 1
+            self.stats.cycles = self.cycle - self._cycle_base
+            if warm_target is not None and self.stats.retired >= warm_target:
+                self._reset_stats_after_warmup()
+                warm_target = None
+            if self.cycle - self.last_retire_cycle > stall_guard:
+                raise SimulationError(
+                    "pipeline deadlock at cycle %d (pc %d, rob %d, iq %d)"
+                    % (self.cycle, self.fetch_pc, len(self.rob), len(self.iq))
+                )
+            if self.cycle >= self.config.max_cycles:
+                break
+        self.stats.cycles = self.cycle - self._cycle_base
+        return self.stats
+
+    def _reset_stats_after_warmup(self):
+        """Zero the measurement counters; keep all microarchitectural state.
+
+        Caches, predictors, BTB and queues stay warm (the paper's 10M-warmup
+        then measure methodology).  The simulated clock keeps running; only
+        the counters restart, so IPC is measured over the post-warmup region.
+        """
+        warm_retired = self.stats.retired
+        self.warmup_stats = self.stats
+        self.stats = SimStats()
+        if self.retire_limit is not None:
+            self.retire_limit -= warm_retired
+        self._cycle_base = self.cycle
+        self.memory.l1i.reset_stats()
+        self.memory.l1d.reset_stats()
+        self.memory.l2.reset_stats()
+        self.memory.l3.reset_stats()
+        self.mshr.occupancy_histogram.clear()
+        self.mshr.allocations = self.mshr.merges = self.mshr.full_stalls = 0

@@ -1,0 +1,133 @@
+"""Rename-stage structures: RMT, AMT, freelist, and the VQ renamer.
+
+The VQ renamer (Section IV-B2, Figure 12) maps the architectural value
+queue onto the physical register file: a circular buffer of physical-
+register mappings with rename-time head/tail pointers and committed
+shadows.  A ``Push_VQ`` allocates a destination physical register from
+the ordinary freelist and records the mapping at the renamer's tail; a
+``Pop_VQ`` reads its *source* mapping from the renamer's head.  After
+renaming, pushes and pops wake up and communicate through the unmodified
+issue queue and physical register file — which is exactly the paper's
+argument for the design.
+"""
+
+from repro.errors import ConfigError
+from repro.isa.instructions import NUM_GPRS
+
+
+class FreeList:
+    """Stack of free physical register ids."""
+
+    def __init__(self, num_phys):
+        # p0..p31 boot as the initial architectural mappings.
+        self._free = list(range(num_phys - 1, NUM_GPRS - 1, -1))
+        self.num_phys = num_phys
+
+    def allocate(self):
+        """Pop a free register id, or ``None`` when exhausted."""
+        if self._free:
+            return self._free.pop()
+        return None
+
+    def release(self, phys):
+        self._free.append(phys)
+
+    @property
+    def available(self):
+        return len(self._free)
+
+    def __contains__(self, phys):
+        return phys in self._free
+
+
+class RenameTables:
+    """RMT + AMT + freelist; p0 is the always-zero physical register."""
+
+    def __init__(self, num_phys):
+        if num_phys < NUM_GPRS + 1:
+            raise ConfigError("need at least %d physical registers" % (NUM_GPRS + 1))
+        self.rmt = list(range(NUM_GPRS))
+        self.amt = list(range(NUM_GPRS))
+        self.freelist = FreeList(num_phys)
+
+    def lookup(self, arch_reg):
+        return self.rmt[arch_reg]
+
+    def allocate_dest(self, arch_reg):
+        """Rename a destination: returns (new_phys, old_phys) or None."""
+        phys = self.freelist.allocate()
+        if phys is None:
+            return None
+        old = self.rmt[arch_reg]
+        self.rmt[arch_reg] = phys
+        return phys, old
+
+    def snapshot_rmt(self):
+        return list(self.rmt)
+
+    def restore_rmt(self, snapshot):
+        self.rmt = list(snapshot)
+
+    def restore_rmt_from_amt(self):
+        self.rmt = list(self.amt)
+
+    def commit_dest(self, arch_reg, phys):
+        """Retire a register writer: AMT update; returns the freed phys."""
+        freed = self.amt[arch_reg]
+        self.amt[arch_reg] = phys
+        return freed
+
+
+class VQRenamer:
+    """Circular buffer of physical-register mappings for the VQ."""
+
+    def __init__(self, size):
+        self.size = size
+        self.mapping = [0] * size
+        self.fetch_tail = 0  # rename-time pointers (paper: rename stage)
+        self.fetch_head = 0
+        self.committed_tail = 0
+        self.committed_head = 0
+
+    @property
+    def length(self):
+        return self.fetch_tail - self.committed_head
+
+    def push_would_stall(self):
+        return self.length >= self.size
+
+    def push(self, phys):
+        """Rename of Push_VQ: record its destination mapping at the tail."""
+        pointer = self.fetch_tail
+        self.mapping[pointer % self.size] = phys
+        self.fetch_tail = pointer + 1
+        return pointer
+
+    def pop(self):
+        """Rename of Pop_VQ: return the head mapping, or ``None``.
+
+        ``None`` means the renamer is empty — possible only on the wrong
+        path (a correct program's pop always follows its push); the caller
+        supplies a dummy source and relies on the squash.
+        """
+        pointer = self.fetch_head
+        if pointer >= self.fetch_tail:
+            return None
+        self.fetch_head = pointer + 1
+        return self.mapping[pointer % self.size]
+
+    def retire_push(self):
+        self.committed_tail += 1
+
+    def retire_pop(self):
+        self.committed_head += 1
+
+    def snapshot(self):
+        return (self.fetch_head, self.fetch_tail)
+
+    def restore(self, snapshot):
+        self.fetch_head, self.fetch_tail = snapshot
+
+    def restore_committed(self):
+        self.fetch_head = self.committed_head
+        self.fetch_tail = self.committed_tail

@@ -1,0 +1,152 @@
+"""Simulation statistics.
+
+Collects everything the paper's figures need: IPC, MPKI, per-static-branch
+misprediction counts, the misprediction breakdown by furthest feeding
+memory level (Figs 2a, 25b), BQ/TQ behaviour (BQ miss rate, late pushes,
+Forward bulk-pops), wrong-path activity (the energy model's main input),
+and the per-cycle L1D MSHR occupancy histogram (Fig 25a).
+"""
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.memsys.hierarchy import MemLevel
+
+
+@dataclass
+class BranchStat:
+    """Per-static-branch counters."""
+
+    executed: int = 0
+    taken: int = 0
+    mispredicted: int = 0
+    resolved_at_fetch: int = 0  # B_BQ pops served by a pushed predicate
+    level_breakdown: Dict[int, int] = field(default_factory=dict)
+
+    def record(self, taken, mispredicted, level=MemLevel.NONE, at_fetch=False):
+        self.executed += 1
+        if taken:
+            self.taken += 1
+        if at_fetch:
+            self.resolved_at_fetch += 1
+        if mispredicted:
+            self.mispredicted += 1
+            key = int(level)
+            self.level_breakdown[key] = self.level_breakdown.get(key, 0) + 1
+
+    @property
+    def misprediction_rate(self):
+        return self.mispredicted / self.executed if self.executed else 0.0
+
+
+class SimStats:
+    """All counters produced by one simulation."""
+
+    def __init__(self):
+        self.cycles = 0
+        self.retired = 0
+        self.fetched = 0
+        self.renamed = 0
+        self.issued = 0
+        self.executed = 0
+        self.squashed = 0  # wrong-path uops discarded
+        self.wrong_path_executed = 0
+        self.recoveries = 0
+        self.retire_recoveries = 0
+        self.misfetches = 0  # BTB misses on taken branches
+
+        # Branches
+        self.branches_retired = 0
+        self.cond_branches_retired = 0
+        self.mispredicts = 0
+        self.branch_stats = defaultdict(BranchStat)
+        self.mispredict_levels = defaultdict(int)  # MemLevel -> count
+
+        # CFD
+        self.bq_pushes = 0
+        self.bq_pops = 0
+        self.bq_misses = 0  # pops that found no pushed predicate
+        self.bq_miss_mispredicts = 0
+        self.bq_stall_cycles = 0
+        self.bq_full_stalls = 0
+        self.forward_bulk_pops = 0
+        self.vq_pushes = 0
+        self.vq_pops = 0
+        self.tq_pushes = 0
+        self.tq_pops = 0
+        self.tq_stall_cycles = 0
+        self.tcr_branches = 0
+
+        # Checkpoints
+        self.checkpoints_taken = 0
+        self.checkpoints_denied = 0  # pool exhausted
+        self.checkpoints_skipped_confident = 0
+
+        # Front-end
+        self.fetch_cycles_stalled = 0
+        self.icache_stall_cycles = 0
+
+        # Event counters for the energy model
+        self.events = defaultdict(int)
+
+        # Memory
+        self.load_level_counts = defaultdict(int)  # MemLevel -> loads served
+
+    # -- derived metrics ------------------------------------------------------
+
+    @property
+    def ipc(self):
+        return self.retired / self.cycles if self.cycles else 0.0
+
+    @property
+    def mpki(self):
+        return 1000.0 * self.mispredicts / self.retired if self.retired else 0.0
+
+    @property
+    def bq_miss_rate(self):
+        return self.bq_misses / self.bq_pops if self.bq_pops else 0.0
+
+    def mispredict_level_fractions(self):
+        """{MemLevel: fraction of mispredictions} (Figs 2a / 25b)."""
+        total = sum(self.mispredict_levels.values())
+        if not total:
+            return {}
+        return {
+            MemLevel(level): count / total
+            for level, count in sorted(self.mispredict_levels.items())
+        }
+
+    def record_branch(self, pc, taken, mispredicted, level=MemLevel.NONE,
+                      at_fetch=False, conditional=True):
+        self.branches_retired += 1
+        if conditional:
+            self.cond_branches_retired += 1
+        if mispredicted:
+            self.mispredicts += 1
+            self.mispredict_levels[int(level)] += 1
+        self.branch_stats[pc].record(taken, mispredicted, level, at_fetch)
+
+    def top_mispredicting_branches(self, count=10):
+        """[(pc, BranchStat)] sorted by misprediction contribution."""
+        ranked = sorted(
+            self.branch_stats.items(),
+            key=lambda item: item[1].mispredicted,
+            reverse=True,
+        )
+        return ranked[:count]
+
+    def summary(self):
+        """Compact dict for reports and tests."""
+        return {
+            "cycles": self.cycles,
+            "retired": self.retired,
+            "ipc": round(self.ipc, 4),
+            "mpki": round(self.mpki, 3),
+            "mispredicts": self.mispredicts,
+            "recoveries": self.recoveries,
+            "squashed": self.squashed,
+            "bq_pops": self.bq_pops,
+            "bq_miss_rate": round(self.bq_miss_rate, 4),
+            "checkpoints_taken": self.checkpoints_taken,
+        }

@@ -1,0 +1,165 @@
+"""Per-cycle pipeline tracing.
+
+A :class:`PipelineTracer` steps a pipeline one cycle at a time and records
+a compact snapshot after each: front-end state (fetch PC, BQ/TQ pointers,
+speculative TCR), window occupancies, and the cycle's deltas (fetched /
+renamed / issued / retired / squashed).  ``render()`` prints a timeline —
+the fastest way to *see* a BQ miss storm, a recovery, or a fetch stall.
+
+Usage::
+
+    from repro.core.pipeline import Pipeline
+    from repro.core.trace import PipelineTracer
+
+    tracer = PipelineTracer(Pipeline(program, config))
+    tracer.run(max_cycles=200)
+    print(tracer.render(start=50, count=40))
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class CycleRecord:
+    """One cycle's snapshot."""
+
+    cycle: int
+    fetch_pc: int
+    fetched: int
+    renamed: int
+    issued: int
+    retired: int
+    squashed: int
+    recoveries: int
+    rob_occupancy: int
+    iq_occupancy: int
+    bq_length: int
+    bq_misses: int
+    tq_length: int
+    spec_tcr: int
+    fetch_stalled: bool
+
+    def flags(self):
+        """One-character event markers for the timeline."""
+        marks = ""
+        if self.recoveries:
+            marks += "R"
+        if self.squashed:
+            marks += "x"
+        if self.bq_misses:
+            marks += "m"
+        if self.fetch_stalled:
+            marks += "s"
+        return marks
+
+
+class PipelineTracer:
+    """Steps a pipeline cycle-by-cycle and records :class:`CycleRecord`s."""
+
+    def __init__(self, pipeline):
+        self.pipeline = pipeline
+        self.records: List[CycleRecord] = []
+
+    def step(self):
+        """Advance one cycle; returns the new record (None when done)."""
+        pipeline = self.pipeline
+        if pipeline.sim_done:
+            return None
+        stats = pipeline.stats
+        before = (
+            stats.fetched,
+            stats.renamed,
+            stats.issued,
+            stats.retired,
+            stats.squashed,
+            stats.recoveries + stats.retire_recoveries,
+            stats.bq_misses,
+        )
+        pipeline.stage_retire()
+        if not pipeline.sim_done:
+            pipeline.stage_complete()
+            pipeline.stage_memory()
+            pipeline.stage_issue()
+            pipeline.stage_rename()
+            pipeline.stage_fetch()
+            pipeline.mshr.sample(pipeline.cycle)
+        pipeline.cycle += 1
+        stats.cycles = pipeline.cycle
+        if (
+            pipeline.fetch_halted
+            and not pipeline.rob
+            and not pipeline.fetch_pipe
+            and not pipeline.serialize_pending
+        ):
+            pipeline.sim_done = True
+        record = CycleRecord(
+            cycle=pipeline.cycle,
+            fetch_pc=pipeline.fetch_pc,
+            fetched=stats.fetched - before[0],
+            renamed=stats.renamed - before[1],
+            issued=stats.issued - before[2],
+            retired=stats.retired - before[3],
+            squashed=stats.squashed - before[4],
+            recoveries=(stats.recoveries + stats.retire_recoveries) - before[5],
+            rob_occupancy=len(pipeline.rob),
+            iq_occupancy=len(pipeline.iq),
+            bq_length=pipeline.hw_bq.length,
+            bq_misses=stats.bq_misses - before[6],
+            tq_length=pipeline.hw_tq.length,
+            spec_tcr=pipeline.spec_tcr,
+            fetch_stalled=(
+                pipeline.cycle < pipeline.next_fetch_cycle
+                or pipeline.fetch_halted
+            ),
+        )
+        self.records.append(record)
+        return record
+
+    def run(self, max_cycles=10_000):
+        """Step until completion or *max_cycles*; returns the records."""
+        while len(self.records) < max_cycles:
+            if self.step() is None:
+                break
+        return self.records
+
+    def render(self, start=0, count=50):
+        """A fixed-width timeline of the recorded window."""
+        header = (
+            "cycle  fetchPC  F R I C  ROB  IQ  BQ  TQ  TCR  events"
+        )
+        lines = [header, "-" * len(header)]
+        for record in self.records[start : start + count]:
+            lines.append(
+                "%5d  %7d  %d %d %d %d  %3d %3d %3d %3d %4d  %s"
+                % (
+                    record.cycle,
+                    record.fetch_pc,
+                    record.fetched,
+                    record.renamed,
+                    record.issued,
+                    record.retired,
+                    record.rob_occupancy,
+                    record.iq_occupancy,
+                    record.bq_length,
+                    record.tq_length,
+                    record.spec_tcr,
+                    record.flags(),
+                )
+            )
+        return "\n".join(lines)
+
+    def utilization(self):
+        """Aggregate per-cycle averages over the recorded window."""
+        if not self.records:
+            return {}
+        n = len(self.records)
+        return {
+            "cycles": n,
+            "avg_fetch": sum(r.fetched for r in self.records) / n,
+            "avg_retire": sum(r.retired for r in self.records) / n,
+            "avg_rob": sum(r.rob_occupancy for r in self.records) / n,
+            "avg_bq": sum(r.bq_length for r in self.records) / n,
+            "recovery_cycles": sum(1 for r in self.records if r.recoveries),
+            "stall_cycles": sum(1 for r in self.records if r.fetch_stalled),
+        }

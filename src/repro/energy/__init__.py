@@ -1,0 +1,20 @@
+"""Energy accounting (McPAT/CACTI stand-in).
+
+The paper measures energy with McPAT augmented with CACTI-derived
+per-access energies for the BQ, VQ renamer and TQ, tracking every
+read/write during execution.  We reproduce that structure: an analytical
+per-access energy estimator for RAM/CAM structures (:mod:`repro.energy.cacti`)
+feeding an event-based core+cache energy model (:mod:`repro.energy.mcpat`)
+driven by the simulator's event counters — wrong-path activity included,
+which is where CFD's energy savings come from.
+"""
+
+from repro.energy.cacti import ram_access_energy_pj, structure_energies
+from repro.energy.mcpat import EnergyModel, EnergyReport
+
+__all__ = [
+    "ram_access_energy_pj",
+    "structure_energies",
+    "EnergyModel",
+    "EnergyReport",
+]

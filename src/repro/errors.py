@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch the
+whole family with one ``except`` clause.  Queue errors model the ISA-level
+ordering rules of the paper's architectural queues (Section III-A): a program
+that overflows the BQ, pops an empty queue, or otherwise violates the
+push/pop contract is an *incorrect program*, and the architectural layer
+reports that as an exception rather than silently corrupting state.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AssemblerError(ReproError):
+    """Raised for malformed assembly source (bad mnemonic, operands, label)."""
+
+    def __init__(self, message, line_number=None, line=None):
+        self.line_number = line_number
+        self.line = line
+        if line_number is not None:
+            message = "line %d: %s" % (line_number, message)
+        super().__init__(message)
+
+
+class EncodingError(ReproError):
+    """Raised when an instruction cannot be encoded/decoded as 32 bits."""
+
+
+class ExecutionError(ReproError):
+    """Raised when functional execution encounters an illegal situation."""
+
+
+class MemoryError_(ExecutionError):
+    """Raised on misaligned or out-of-segment architectural memory access."""
+
+
+class QueueError(ExecutionError):
+    """Base class for architectural queue (BQ/VQ/TQ) contract violations."""
+
+
+class QueueOverflowError(QueueError):
+    """A push would exceed the queue's architectural size (ordering rule 3)."""
+
+
+class QueueUnderflowError(QueueError):
+    """A pop was issued with no preceding unmatched push (ordering rule 1)."""
+
+
+class TripCountOverflowError(QueueError):
+    """A trip-count exceeds 2**N on a plain Push_TQ (Section IV-C4)."""
+
+
+class ConfigError(ReproError):
+    """Raised for inconsistent simulator configuration values."""
+
+
+class TransformError(ReproError):
+    """Raised when a CFD/DFD transformation pass cannot be applied."""
+
+
+class WorkloadError(ReproError):
+    """Raised for unknown workloads or invalid workload parameters."""

@@ -1,0 +1,33 @@
+"""ISA definition for the CFD reproduction.
+
+The paper evaluates Alpha binaries extended with the CFD instructions
+(``Push_BQ``, ``Branch_on_BQ``, Mark/Forward, the Value Queue pushes/pops,
+and the Trip-count Queue instructions).  We define a small 32-bit RISC ISA
+("DRISC": *decoupled RISC*) with the same extension, an assembler, and a
+binary encoder/decoder.
+
+Public API:
+
+- :mod:`repro.isa.opcodes` — :class:`Opcode` enum and per-opcode metadata.
+- :class:`repro.isa.instructions.Instruction` — a decoded instruction.
+- :func:`repro.isa.assembler.assemble` — assembly text -> :class:`Program`.
+- :class:`repro.isa.program.Program` — code + data + symbols.
+- :mod:`repro.isa.encoding` — 32-bit encode/decode.
+"""
+
+from repro.isa.opcodes import Opcode, OpClass, op_info
+from repro.isa.instructions import Instruction
+from repro.isa.program import Program
+from repro.isa.assembler import assemble
+from repro.isa.encoding import encode, decode
+
+__all__ = [
+    "Opcode",
+    "OpClass",
+    "op_info",
+    "Instruction",
+    "Program",
+    "assemble",
+    "encode",
+    "decode",
+]

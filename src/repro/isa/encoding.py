@@ -1,0 +1,172 @@
+"""Binary encoding of DRISC instructions into 32-bit words.
+
+Layout (big-field-first):
+
+=========  =====================================================
+bits       contents
+=========  =====================================================
+31..26     opcode (6 bits)
+R-type     rd(25..21) rs1(20..16) rs2(15..11), low 11 bits zero
+I/mem      rd-or-rs2(25..21) rs1(20..16) imm(15..0, signed)
+branch     rs1(25..21) rs2(20..16) offset(15..0, signed, PC-rel)
+L-type     target(25..0, absolute code index); JAL: rd(25..21),
+           target(20..0)
+=========  =====================================================
+
+Branch targets are encoded PC-relative so the same loop body encodes
+identically wherever it is placed; J/JAL carry absolute targets.  Labels
+are a purely assembly-level notion and do not survive a round-trip.
+"""
+
+from repro.errors import EncodingError
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode, op_info
+
+_IMM_MIN = -(1 << 15)
+_IMM_MAX = (1 << 15) - 1
+_UIMM_MAX = (1 << 16) - 1
+
+
+def _check_imm(value, opcode):
+    if opcode == Opcode.LUI:
+        if not 0 <= value <= _UIMM_MAX:
+            raise EncodingError("LUI immediate out of range: %d" % value)
+        return value
+    if not _IMM_MIN <= value <= _IMM_MAX:
+        raise EncodingError(
+            "immediate out of signed 16-bit range for %s: %d" % (opcode.name, value)
+        )
+    return value & 0xFFFF
+
+
+def _check_reg(reg):
+    reg = 0 if reg is None else reg
+    if not 0 <= reg < 32:
+        raise EncodingError("register out of range: %r" % reg)
+    return reg
+
+
+def _sign_extend(value, bits):
+    mask = (1 << bits) - 1
+    value &= mask
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+def encode(inst, pc=0):
+    """Encode *inst* (fetched at code index *pc*) into a 32-bit word."""
+    info = op_info(inst.opcode)
+    word = int(inst.opcode) << 26
+    fmt = info.fmt
+    if fmt in ("dst",):
+        word |= _check_reg(inst.rd) << 21
+        word |= _check_reg(inst.rs1) << 16
+        word |= _check_reg(inst.rs2) << 11
+    elif fmt in ("dsi", "di", "dm", "ds", "d"):
+        word |= _check_reg(inst.rd) << 21
+        word |= _check_reg(inst.rs1) << 16
+        word |= _check_imm(inst.imm, inst.opcode)
+    elif fmt in ("tm",):
+        word |= _check_reg(inst.rs2) << 21
+        word |= _check_reg(inst.rs1) << 16
+        word |= _check_imm(inst.imm, inst.opcode)
+    elif fmt in ("m", "s"):
+        word |= _check_reg(inst.rs1) << 16
+        word |= _check_imm(inst.imm, inst.opcode)
+    elif fmt == "stL":
+        offset = inst.target - pc
+        if not _IMM_MIN <= offset <= _IMM_MAX:
+            raise EncodingError("branch offset out of range: %d" % offset)
+        word |= _check_reg(inst.rs1) << 21
+        word |= _check_reg(inst.rs2) << 16
+        word |= offset & 0xFFFF
+    elif fmt == "L":
+        if inst.opcode in (Opcode.B_BQ, Opcode.B_TCR, Opcode.POP_TQ_BOV):
+            offset = inst.target - pc
+            if not _IMM_MIN <= offset <= _IMM_MAX:
+                raise EncodingError("branch offset out of range: %d" % offset)
+            word |= offset & 0xFFFF
+        else:
+            if not 0 <= inst.target < (1 << 26):
+                raise EncodingError("jump target out of range: %d" % inst.target)
+            word |= inst.target
+    elif fmt == "dL":
+        word |= _check_reg(inst.rd) << 21
+        if not 0 <= inst.target < (1 << 21):
+            raise EncodingError("jal target out of range: %d" % inst.target)
+        word |= inst.target
+    elif fmt == "":
+        pass
+    else:  # pragma: no cover - exhaustive over defined formats
+        raise EncodingError("unknown format %r" % fmt)
+    return word
+
+
+def decode(word, pc=0):
+    """Decode a 32-bit *word* fetched at code index *pc*."""
+    opcode_bits = (word >> 26) & 0x3F
+    try:
+        opcode = Opcode(opcode_bits)
+    except ValueError:
+        raise EncodingError("illegal opcode bits: %d" % opcode_bits)
+    info = op_info(opcode)
+    fmt = info.fmt
+    if fmt == "dst":
+        return Instruction(
+            opcode,
+            rd=(word >> 21) & 0x1F,
+            rs1=(word >> 16) & 0x1F,
+            rs2=(word >> 11) & 0x1F,
+        )
+    if fmt in ("dsi", "dm", "ds"):
+        imm = _sign_extend(word, 16)
+        if opcode == Opcode.LUI:
+            imm = word & 0xFFFF
+        return Instruction(
+            opcode, rd=(word >> 21) & 0x1F, rs1=(word >> 16) & 0x1F, imm=imm
+        )
+    if fmt in ("di", "d"):
+        imm = word & 0xFFFF if opcode == Opcode.LUI else _sign_extend(word, 16)
+        inst = Instruction(opcode, rd=(word >> 21) & 0x1F, imm=imm)
+        if fmt == "d":
+            inst = Instruction(opcode, rd=(word >> 21) & 0x1F)
+        return inst
+    if fmt == "tm":
+        return Instruction(
+            opcode,
+            rs2=(word >> 21) & 0x1F,
+            rs1=(word >> 16) & 0x1F,
+            imm=_sign_extend(word, 16),
+        )
+    if fmt in ("m", "s"):
+        inst = Instruction(opcode, rs1=(word >> 16) & 0x1F, imm=_sign_extend(word, 16))
+        if fmt == "s":
+            inst = Instruction(opcode, rs1=(word >> 16) & 0x1F)
+        return inst
+    if fmt == "stL":
+        return Instruction(
+            opcode,
+            rs1=(word >> 21) & 0x1F,
+            rs2=(word >> 16) & 0x1F,
+            target=pc + _sign_extend(word, 16),
+        )
+    if fmt == "L":
+        if opcode in (Opcode.B_BQ, Opcode.B_TCR, Opcode.POP_TQ_BOV):
+            return Instruction(opcode, target=pc + _sign_extend(word, 16))
+        return Instruction(opcode, target=word & 0x3FFFFFF)
+    if fmt == "dL":
+        return Instruction(opcode, rd=(word >> 21) & 0x1F, target=word & 0x1FFFFF)
+    if fmt == "":
+        return Instruction(opcode)
+    raise EncodingError("unknown format %r" % fmt)  # pragma: no cover
+
+
+def encode_program(code):
+    """Encode a code segment (list of instructions) into 32-bit words."""
+    return [encode(inst, pc) for pc, inst in enumerate(code)]
+
+
+def decode_program(words):
+    """Decode a list of 32-bit words back into instructions."""
+    return [decode(word, pc) for pc, word in enumerate(words)]

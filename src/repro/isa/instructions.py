@@ -1,0 +1,118 @@
+"""The :class:`Instruction` type: a fully decoded DRISC instruction.
+
+Instructions are small immutable records.  ``target`` holds the resolved
+code index of a branch/jump destination (the assembler resolves labels);
+``imm`` is the signed immediate for ALU/memory forms.  PCs index the code
+segment (one instruction per PC), so ``target`` is directly a PC.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.isa.opcodes import Opcode, op_info
+
+
+NUM_GPRS = 32
+ZERO_REG = 0
+LINK_REG = 31
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    Fields not used by the opcode's format are ``None`` (registers) or 0
+    (immediate).  ``label`` preserves the symbolic branch-target name for
+    disassembly; it is ignored by equality-sensitive consumers like the
+    encoder.
+    """
+
+    opcode: Opcode
+    rd: Optional[int] = None
+    rs1: Optional[int] = None
+    rs2: Optional[int] = None
+    imm: int = 0
+    target: Optional[int] = None
+    label: Optional[str] = None
+
+    @property
+    def info(self):
+        """Static :class:`~repro.isa.opcodes.OpInfo` metadata."""
+        return op_info(self.opcode)
+
+    @property
+    def is_branch(self):
+        return self.info.is_branch
+
+    @property
+    def is_conditional(self):
+        return self.info.is_conditional
+
+    @property
+    def is_memory(self):
+        return self.info.is_memory
+
+    def source_registers(self):
+        """Registers read by this instruction, in (rs1, rs2, rd) order."""
+        info = self.info
+        sources = []
+        if info.reads_rs1 and self.rs1 is not None:
+            sources.append(self.rs1)
+        if info.reads_rs2 and self.rs2 is not None:
+            sources.append(self.rs2)
+        if info.reads_rd and self.rd is not None:
+            sources.append(self.rd)
+        return sources
+
+    def destination_register(self):
+        """Register written by this instruction, or ``None``."""
+        if self.info.writes_rd and self.rd is not None and self.rd != ZERO_REG:
+            return self.rd
+        return None
+
+    def disassemble(self):
+        """Render this instruction back to assembly text."""
+        info = self.info
+        parts = []
+        for field in info.fmt:
+            if field == "d":
+                parts.append("r%d" % self.rd)
+            elif field == "s":
+                parts.append("r%d" % self.rs1)
+            elif field == "t":
+                parts.append("r%d" % self.rs2)
+            elif field == "i":
+                parts.append(str(self.imm))
+            elif field == "m":
+                parts.append("%d(r%d)" % (self.imm, self.rs1))
+            elif field == "L":
+                parts.append(self.label if self.label else str(self.target))
+        if parts:
+            return "%s %s" % (info.mnemonic, ", ".join(parts))
+        return info.mnemonic
+
+    def __str__(self):
+        return self.disassemble()
+
+
+def validate_instruction(inst):
+    """Check that *inst* has exactly the operands its format requires.
+
+    Returns a list of problem strings; an empty list means the instruction
+    is well-formed.  Used by the assembler's self-check and by tests.
+    """
+    info = inst.info
+    problems = []
+    needs = set(info.fmt)
+    if ("d" in needs) != (inst.rd is not None):
+        problems.append("rd mismatch for %s" % info.mnemonic)
+    if ("s" in needs or "m" in needs) != (inst.rs1 is not None):
+        problems.append("rs1 mismatch for %s" % info.mnemonic)
+    if ("t" in needs) != (inst.rs2 is not None):
+        problems.append("rs2 mismatch for %s" % info.mnemonic)
+    if "L" in needs and inst.target is None:
+        problems.append("missing target for %s" % info.mnemonic)
+    for reg in (inst.rd, inst.rs1, inst.rs2):
+        if reg is not None and not 0 <= reg < NUM_GPRS:
+            problems.append("register out of range: %r" % reg)
+    return problems

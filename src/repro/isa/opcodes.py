@@ -1,0 +1,254 @@
+"""Opcode enumeration and static metadata for the DRISC ISA.
+
+Each opcode carries an :class:`OpInfo` record describing its assembly
+format, instruction class (used by the pipeline to pick a functional unit
+and latency), and which operand fields it reads and writes.  The CFD
+extension instructions from the paper are first-class opcodes:
+
+===============  ======================================================
+``PUSH_BQ``      push a predicate (rs1 != 0) onto the branch queue
+``B_BQ``         ``Branch_on_BQ``: pop a predicate, branch if it is 1
+``MARK``         mark the BQ tail (bulk-pop support, Section IV-A)
+``FORWARD``      bulk-pop the BQ through the most recent mark
+``PUSH_VQ``      push the value of rs1 onto the value queue
+``POP_VQ``       pop the VQ head into rd
+``PUSH_TQ``      push a trip-count onto the trip-count queue
+``POP_TQ``       pop the TQ head into the trip-count register (TCR)
+``B_TCR``        ``Branch_on_TCR``: if TCR != 0, decrement and branch
+``POP_TQ_BOV``   pop TQ; branch to target if the overflow bit is set
+``SAVE_BQ`` ...  context-switch save/restore of each queue to memory
+===============  ======================================================
+"""
+
+import enum
+from dataclasses import dataclass
+
+
+class Opcode(enum.IntEnum):
+    """All DRISC opcodes (base ISA + CFD co-processor extension)."""
+
+    # R-type ALU
+    ADD = 1
+    SUB = 2
+    MUL = 3
+    DIV = 4
+    REM = 5
+    AND = 6
+    OR = 7
+    XOR = 8
+    SLL = 9
+    SRL = 10
+    SRA = 11
+    SLT = 12
+    SLTU = 13
+    SEQ = 14
+    SNE = 15
+    SGE = 16
+    # I-type ALU
+    ADDI = 17
+    ANDI = 18
+    ORI = 19
+    XORI = 20
+    SLLI = 21
+    SRLI = 22
+    SRAI = 23
+    SLTI = 24
+    SEQI = 25
+    SNEI = 26
+    LUI = 27
+    # Memory
+    LW = 28
+    LB = 29
+    LBU = 30
+    SW = 31
+    SB = 32
+    PREFETCH = 33
+    # Control
+    BEQ = 34
+    BNE = 35
+    BLT = 36
+    BGE = 37
+    BLTU = 38
+    BGEU = 39
+    J = 40
+    JAL = 41
+    JALR = 42
+    HALT = 43
+    NOP = 44
+    # CFD extension: branch queue
+    PUSH_BQ = 45
+    B_BQ = 46
+    MARK = 47
+    FORWARD = 48
+    SAVE_BQ = 49
+    RESTORE_BQ = 50
+    # CFD extension: value queue
+    PUSH_VQ = 51
+    POP_VQ = 52
+    SAVE_VQ = 53
+    RESTORE_VQ = 54
+    # CFD extension: trip-count queue
+    PUSH_TQ = 55
+    POP_TQ = 56
+    B_TCR = 57
+    POP_TQ_BOV = 58
+    SAVE_TQ = 59
+    RESTORE_TQ = 60
+    # Predication (if-conversion primitive, as in commercial ISAs)
+    CMOVZ = 61  # rd = (rs2 == 0) ? rs1 : rd
+    CMOVNZ = 62  # rd = (rs2 != 0) ? rs1 : rd
+
+
+class OpClass(enum.Enum):
+    """Instruction class: selects functional unit and execute latency."""
+
+    ALU = "alu"
+    MUL = "mul"
+    DIV = "div"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"  # conditional PC-relative branches
+    JUMP = "jump"  # unconditional J/JAL/JALR
+    NOP = "nop"
+    HALT = "halt"
+    BQ_PUSH = "bq_push"
+    BQ_BRANCH = "bq_branch"  # Branch_on_BQ
+    BQ_MARK = "bq_mark"
+    BQ_FORWARD = "bq_forward"
+    VQ_PUSH = "vq_push"
+    VQ_POP = "vq_pop"
+    TQ_PUSH = "tq_push"
+    TQ_POP = "tq_pop"
+    TCR_BRANCH = "tcr_branch"  # Branch_on_TCR
+    TQ_POP_BOV = "tq_pop_bov"
+    QSAVE = "qsave"  # Save_BQ / Save_VQ / Save_TQ
+    QRESTORE = "qrestore"
+
+
+# Assembly operand formats.  Each format string names the operand fields in
+# the order they appear in assembly text:
+#   d = destination register, s = rs1, t = rs2, i = immediate,
+#   m = memory operand "imm(rs1)", L = code label / branch target.
+@dataclass(frozen=True)
+class OpInfo:
+    """Static metadata for one opcode."""
+
+    mnemonic: str
+    fmt: str
+    opclass: OpClass
+    latency: int
+    reads_rs1: bool = False
+    reads_rs2: bool = False
+    writes_rd: bool = False
+    reads_rd: bool = False  # conditional moves merge with the old rd value
+
+    @property
+    def is_branch(self):
+        """True for any control-transfer that the fetch unit must handle."""
+        return self.opclass in (
+            OpClass.BRANCH,
+            OpClass.JUMP,
+            OpClass.BQ_BRANCH,
+            OpClass.TCR_BRANCH,
+            OpClass.TQ_POP_BOV,
+        )
+
+    @property
+    def is_conditional(self):
+        """True for branches whose direction is data- or queue-dependent."""
+        return self.opclass in (
+            OpClass.BRANCH,
+            OpClass.BQ_BRANCH,
+            OpClass.TCR_BRANCH,
+            OpClass.TQ_POP_BOV,
+        )
+
+    @property
+    def is_memory(self):
+        return self.opclass in (OpClass.LOAD, OpClass.STORE)
+
+
+_R = dict(fmt="dst", reads_rs1=True, reads_rs2=True, writes_rd=True)
+_I = dict(fmt="dsi", reads_rs1=True, writes_rd=True)
+
+_OP_INFO = {
+    Opcode.ADD: OpInfo("add", latency=1, opclass=OpClass.ALU, **_R),
+    Opcode.SUB: OpInfo("sub", latency=1, opclass=OpClass.ALU, **_R),
+    Opcode.MUL: OpInfo("mul", latency=3, opclass=OpClass.MUL, **_R),
+    Opcode.DIV: OpInfo("div", latency=20, opclass=OpClass.DIV, **_R),
+    Opcode.REM: OpInfo("rem", latency=20, opclass=OpClass.DIV, **_R),
+    Opcode.AND: OpInfo("and", latency=1, opclass=OpClass.ALU, **_R),
+    Opcode.OR: OpInfo("or", latency=1, opclass=OpClass.ALU, **_R),
+    Opcode.XOR: OpInfo("xor", latency=1, opclass=OpClass.ALU, **_R),
+    Opcode.SLL: OpInfo("sll", latency=1, opclass=OpClass.ALU, **_R),
+    Opcode.SRL: OpInfo("srl", latency=1, opclass=OpClass.ALU, **_R),
+    Opcode.SRA: OpInfo("sra", latency=1, opclass=OpClass.ALU, **_R),
+    Opcode.SLT: OpInfo("slt", latency=1, opclass=OpClass.ALU, **_R),
+    Opcode.SLTU: OpInfo("sltu", latency=1, opclass=OpClass.ALU, **_R),
+    Opcode.SEQ: OpInfo("seq", latency=1, opclass=OpClass.ALU, **_R),
+    Opcode.SNE: OpInfo("sne", latency=1, opclass=OpClass.ALU, **_R),
+    Opcode.SGE: OpInfo("sge", latency=1, opclass=OpClass.ALU, **_R),
+    Opcode.ADDI: OpInfo("addi", latency=1, opclass=OpClass.ALU, **_I),
+    Opcode.ANDI: OpInfo("andi", latency=1, opclass=OpClass.ALU, **_I),
+    Opcode.ORI: OpInfo("ori", latency=1, opclass=OpClass.ALU, **_I),
+    Opcode.XORI: OpInfo("xori", latency=1, opclass=OpClass.ALU, **_I),
+    Opcode.SLLI: OpInfo("slli", latency=1, opclass=OpClass.ALU, **_I),
+    Opcode.SRLI: OpInfo("srli", latency=1, opclass=OpClass.ALU, **_I),
+    Opcode.SRAI: OpInfo("srai", latency=1, opclass=OpClass.ALU, **_I),
+    Opcode.SLTI: OpInfo("slti", latency=1, opclass=OpClass.ALU, **_I),
+    Opcode.SEQI: OpInfo("seqi", latency=1, opclass=OpClass.ALU, **_I),
+    Opcode.SNEI: OpInfo("snei", latency=1, opclass=OpClass.ALU, **_I),
+    Opcode.LUI: OpInfo("lui", fmt="di", latency=1, opclass=OpClass.ALU, writes_rd=True),
+    Opcode.LW: OpInfo("lw", fmt="dm", latency=1, opclass=OpClass.LOAD, reads_rs1=True, writes_rd=True),
+    Opcode.LB: OpInfo("lb", fmt="dm", latency=1, opclass=OpClass.LOAD, reads_rs1=True, writes_rd=True),
+    Opcode.LBU: OpInfo("lbu", fmt="dm", latency=1, opclass=OpClass.LOAD, reads_rs1=True, writes_rd=True),
+    Opcode.SW: OpInfo("sw", fmt="tm", latency=1, opclass=OpClass.STORE, reads_rs1=True, reads_rs2=True),
+    Opcode.SB: OpInfo("sb", fmt="tm", latency=1, opclass=OpClass.STORE, reads_rs1=True, reads_rs2=True),
+    Opcode.PREFETCH: OpInfo("prefetch", fmt="m", latency=1, opclass=OpClass.LOAD, reads_rs1=True),
+    Opcode.BEQ: OpInfo("beq", fmt="stL", latency=1, opclass=OpClass.BRANCH, reads_rs1=True, reads_rs2=True),
+    Opcode.BNE: OpInfo("bne", fmt="stL", latency=1, opclass=OpClass.BRANCH, reads_rs1=True, reads_rs2=True),
+    Opcode.BLT: OpInfo("blt", fmt="stL", latency=1, opclass=OpClass.BRANCH, reads_rs1=True, reads_rs2=True),
+    Opcode.BGE: OpInfo("bge", fmt="stL", latency=1, opclass=OpClass.BRANCH, reads_rs1=True, reads_rs2=True),
+    Opcode.BLTU: OpInfo("bltu", fmt="stL", latency=1, opclass=OpClass.BRANCH, reads_rs1=True, reads_rs2=True),
+    Opcode.BGEU: OpInfo("bgeu", fmt="stL", latency=1, opclass=OpClass.BRANCH, reads_rs1=True, reads_rs2=True),
+    Opcode.J: OpInfo("j", fmt="L", latency=1, opclass=OpClass.JUMP),
+    Opcode.JAL: OpInfo("jal", fmt="dL", latency=1, opclass=OpClass.JUMP, writes_rd=True),
+    Opcode.JALR: OpInfo("jalr", fmt="ds", latency=1, opclass=OpClass.JUMP, reads_rs1=True, writes_rd=True),
+    Opcode.HALT: OpInfo("halt", fmt="", latency=1, opclass=OpClass.HALT),
+    Opcode.NOP: OpInfo("nop", fmt="", latency=1, opclass=OpClass.NOP),
+    Opcode.PUSH_BQ: OpInfo("push_bq", fmt="s", latency=1, opclass=OpClass.BQ_PUSH, reads_rs1=True),
+    Opcode.B_BQ: OpInfo("b_bq", fmt="L", latency=1, opclass=OpClass.BQ_BRANCH),
+    Opcode.MARK: OpInfo("mark", fmt="", latency=1, opclass=OpClass.BQ_MARK),
+    Opcode.FORWARD: OpInfo("forward", fmt="", latency=1, opclass=OpClass.BQ_FORWARD),
+    Opcode.SAVE_BQ: OpInfo("save_bq", fmt="m", latency=1, opclass=OpClass.QSAVE, reads_rs1=True),
+    Opcode.RESTORE_BQ: OpInfo("restore_bq", fmt="m", latency=1, opclass=OpClass.QRESTORE, reads_rs1=True),
+    Opcode.PUSH_VQ: OpInfo("push_vq", fmt="s", latency=1, opclass=OpClass.VQ_PUSH, reads_rs1=True),
+    Opcode.POP_VQ: OpInfo("pop_vq", fmt="d", latency=1, opclass=OpClass.VQ_POP, writes_rd=True),
+    Opcode.SAVE_VQ: OpInfo("save_vq", fmt="m", latency=1, opclass=OpClass.QSAVE, reads_rs1=True),
+    Opcode.RESTORE_VQ: OpInfo("restore_vq", fmt="m", latency=1, opclass=OpClass.QRESTORE, reads_rs1=True),
+    Opcode.PUSH_TQ: OpInfo("push_tq", fmt="s", latency=1, opclass=OpClass.TQ_PUSH, reads_rs1=True),
+    Opcode.POP_TQ: OpInfo("pop_tq", fmt="", latency=1, opclass=OpClass.TQ_POP),
+    Opcode.B_TCR: OpInfo("b_tcr", fmt="L", latency=1, opclass=OpClass.TCR_BRANCH),
+    Opcode.POP_TQ_BOV: OpInfo("pop_tq_bov", fmt="L", latency=1, opclass=OpClass.TQ_POP_BOV),
+    Opcode.SAVE_TQ: OpInfo("save_tq", fmt="m", latency=1, opclass=OpClass.QSAVE, reads_rs1=True),
+    Opcode.RESTORE_TQ: OpInfo("restore_tq", fmt="m", latency=1, opclass=OpClass.QRESTORE, reads_rs1=True),
+    Opcode.CMOVZ: OpInfo("cmovz", fmt="dst", latency=1, opclass=OpClass.ALU, reads_rs1=True, reads_rs2=True, writes_rd=True, reads_rd=True),
+    Opcode.CMOVNZ: OpInfo("cmovnz", fmt="dst", latency=1, opclass=OpClass.ALU, reads_rs1=True, reads_rs2=True, writes_rd=True, reads_rd=True),
+}
+
+_MNEMONIC_TO_OPCODE = {info.mnemonic: op for op, info in _OP_INFO.items()}
+
+
+def op_info(opcode):
+    """Return the :class:`OpInfo` metadata for *opcode*."""
+    return _OP_INFO[opcode]
+
+
+def opcode_for_mnemonic(mnemonic):
+    """Return the :class:`Opcode` for an assembly *mnemonic* (or ``None``)."""
+    return _MNEMONIC_TO_OPCODE.get(mnemonic)
+
+
+def all_opcodes():
+    """Return every defined opcode, in enum order."""
+    return list(_OP_INFO)

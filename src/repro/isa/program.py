@@ -1,0 +1,68 @@
+"""The :class:`Program` container: code segment, data segment, symbols.
+
+A program is the unit that both the functional executor and the cycle-level
+simulator consume.  PCs index the code list directly (one instruction per
+PC); data addresses are byte addresses into a word-granular initial image.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.isa.instructions import Instruction, validate_instruction
+
+#: Byte address where the assembler places the first data word.
+DATA_BASE = 0x10000
+
+
+@dataclass
+class Program:
+    """An assembled DRISC program."""
+
+    code: List[Instruction] = field(default_factory=list)
+    data: Dict[int, int] = field(default_factory=dict)  # byte addr -> word
+    symbols: Dict[str, int] = field(default_factory=dict)  # data labels
+    labels: Dict[str, int] = field(default_factory=dict)  # code labels
+    entry: int = 0
+    name: Optional[str] = None
+
+    def __len__(self):
+        return len(self.code)
+
+    def instruction_at(self, pc):
+        """Return the instruction at code index *pc* (or None past the end)."""
+        if 0 <= pc < len(self.code):
+            return self.code[pc]
+        return None
+
+    def symbol(self, name):
+        """Byte address of data symbol *name*."""
+        return self.symbols[name]
+
+    def label(self, name):
+        """Code index (PC) of code label *name*."""
+        return self.labels[name]
+
+    def validate(self):
+        """Validate every instruction; returns a list of problem strings."""
+        problems = []
+        for pc, inst in enumerate(self.code):
+            for problem in validate_instruction(inst):
+                problems.append("pc %d: %s" % (pc, problem))
+            if inst.target is not None and inst.info.is_branch:
+                if not 0 <= inst.target < len(self.code):
+                    problems.append(
+                        "pc %d: target %d outside code" % (pc, inst.target)
+                    )
+        return problems
+
+    def listing(self):
+        """Human-readable disassembly listing with labels."""
+        by_pc = {}
+        for name, pc in self.labels.items():
+            by_pc.setdefault(pc, []).append(name)
+        lines = []
+        for pc, inst in enumerate(self.code):
+            for name in by_pc.get(pc, []):
+                lines.append("%s:" % name)
+            lines.append("    %4d: %s" % (pc, inst.disassemble()))
+        return "\n".join(lines)

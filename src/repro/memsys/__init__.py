@@ -1,0 +1,24 @@
+"""Memory hierarchy substrate: caches, MSHRs, prefetchers, DRAM model.
+
+Three-level hierarchy as in the paper's Sandy-Bridge-like baseline
+(Figure 17a): split L1I/L1D, unified L2, shared L3, then main memory.
+Timing is latency-based (no bus contention) with MLP limited by the L1D
+MSHR file — the structure whose utilization histogram the paper reports
+in Figure 25a.
+"""
+
+from repro.memsys.cache import Cache, CacheConfig
+from repro.memsys.mshr import MSHRFile
+from repro.memsys.hierarchy import MemoryHierarchy, MemoryHierarchyConfig, MemLevel
+from repro.memsys.prefetch import NextLinePrefetcher, StridePrefetcher
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "MSHRFile",
+    "MemoryHierarchy",
+    "MemoryHierarchyConfig",
+    "MemLevel",
+    "NextLinePrefetcher",
+    "StridePrefetcher",
+]

@@ -1,0 +1,144 @@
+"""Three-level cache hierarchy with a DRAM backstop.
+
+Latency model: an access that hits at level k pays the sum of lookup
+latencies down to k (L1 probe, then L2, ...).  Misses refill every level
+on the way back (inclusive fill).  The hierarchy reports *which* level
+served each access — the tag that the core propagates through dataflow to
+attribute each branch misprediction to the furthest memory level feeding
+it (Figures 2a and 25b of the paper).
+"""
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.memsys.cache import Cache, CacheConfig
+from repro.memsys.prefetch import PREFETCHER_FACTORIES
+
+
+class MemLevel(enum.IntEnum):
+    """Furthest level that served an access (ordering matters: higher = further)."""
+
+    NONE = 0  # not memory-dependent ("NoData" in Fig 2a)
+    L1 = 1
+    L2 = 2
+    L3 = 3
+    MEM = 4
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one hierarchy access."""
+
+    latency: int
+    level: MemLevel
+
+
+@dataclass
+class MemoryHierarchyConfig:
+    """Cache geometry matching the paper's Sandy-Bridge-like baseline."""
+
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L1I", 32 * 1024, 4, 64, hit_latency=1)
+    )
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L1D", 32 * 1024, 8, 64, hit_latency=4)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L2", 256 * 1024, 8, 64, hit_latency=12)
+    )
+    l3: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L3", 8 * 1024 * 1024, 16, 64, hit_latency=30)
+    )
+    dram_latency: int = 200
+    mshr_capacity: int = 32
+    prefetcher: str = "none"
+
+
+class MemoryHierarchy:
+    """L1I/L1D -> L2 -> L3 -> DRAM with optional L1D prefetcher."""
+
+    def __init__(self, config=None):
+        self.config = config or MemoryHierarchyConfig()
+        self.l1i = Cache(self.config.l1i)
+        self.l1d = Cache(self.config.l1d)
+        self.l2 = Cache(self.config.l2)
+        self.l3 = Cache(self.config.l3)
+        factory = PREFETCHER_FACTORIES[self.config.prefetcher]
+        self.prefetcher = factory(line_bytes=self.config.l1d.line_bytes)
+        self.data_accesses = 0
+        self.inst_accesses = 0
+        self.prefetch_fills = 0
+
+    def _walk(self, first_level_cache, addr, is_write):
+        """Probe down the hierarchy; fill on the way back.
+
+        Returns (total_latency, MemLevel).
+        """
+        latency = first_level_cache.config.hit_latency
+        if first_level_cache.lookup(addr, is_write):
+            return latency, MemLevel.L1
+        latency += self.l2.config.hit_latency
+        if self.l2.lookup(addr):
+            first_level_cache.fill(addr, is_write)
+            return latency, MemLevel.L2
+        latency += self.l3.config.hit_latency
+        if self.l3.lookup(addr):
+            self.l2.fill(addr)
+            first_level_cache.fill(addr, is_write)
+            return latency, MemLevel.L3
+        latency += self.config.dram_latency
+        self.l3.fill(addr)
+        self.l2.fill(addr)
+        first_level_cache.fill(addr, is_write)
+        return latency, MemLevel.MEM
+
+    def access_data(self, addr, is_write=False, pc=None):
+        """A demand data access. Returns :class:`AccessResult`."""
+        self.data_accesses += 1
+        latency, level = self._walk(self.l1d, addr, is_write)
+        if self.prefetcher is not None and not is_write:
+            for pf_addr in self.prefetcher.observe(pc or 0, addr, level != MemLevel.L1):
+                self.prefetch_fill(pf_addr)
+        return AccessResult(latency, level)
+
+    def probe_data_hit(self, addr):
+        """Non-mutating L1D probe (used for MSHR-free fast-path checks)."""
+        return self.l1d.contains(addr)
+
+    def prefetch_fill(self, addr):
+        """Install *addr*'s line at every level (hardware prefetch fill)."""
+        self.prefetch_fills += 1
+        if not self.l3.lookup(addr, update=False):
+            self.l3.fill(addr)
+        if not self.l2.lookup(addr, update=False):
+            self.l2.fill(addr)
+        if not self.l1d.lookup(addr, update=False):
+            self.l1d.fill(addr)
+
+    def access_inst(self, addr):
+        """An instruction fetch access. Returns :class:`AccessResult`."""
+        self.inst_accesses += 1
+        latency, level = self._walk(self.l1i, addr, is_write=False)
+        return AccessResult(latency, level)
+
+    def miss_latency(self, level):
+        """Total latency an access served at *level* pays (for MSHR fills)."""
+        latency = self.config.l1d.hit_latency
+        if level >= MemLevel.L2:
+            latency += self.config.l2.hit_latency
+        if level >= MemLevel.L3:
+            latency += self.config.l3.hit_latency
+        if level >= MemLevel.MEM:
+            latency += self.config.dram_latency
+        return latency
+
+    def stats(self):
+        return {
+            "l1i": self.l1i.stats(),
+            "l1d": self.l1d.stats(),
+            "l2": self.l2.stats(),
+            "l3": self.l3.stats(),
+            "data_accesses": self.data_accesses,
+            "inst_accesses": self.inst_accesses,
+            "prefetch_fills": self.prefetch_fills,
+        }

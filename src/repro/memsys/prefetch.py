@@ -1,0 +1,69 @@
+"""Hardware prefetchers for the L1 data cache.
+
+The baseline core can enable a stride prefetcher (per-PC stride detection,
+the common Sandy-Bridge-era design point).  The CFD workloads that matter
+for DFD index memory through data-dependent permutations, which defeats
+stride detection — exactly the situation in which the paper's software
+DFD prefetch loop pays off.
+"""
+
+
+class NextLinePrefetcher:
+    """Prefetch block+1 on every demand miss."""
+
+    name = "next_line"
+
+    def __init__(self, line_bytes=64):
+        self.line_bytes = line_bytes
+        self.issued = 0
+
+    def observe(self, pc, addr, was_miss):
+        """Return a list of prefetch addresses to issue."""
+        if not was_miss:
+            return []
+        self.issued += 1
+        return [addr + self.line_bytes]
+
+
+class StridePrefetcher:
+    """Per-PC stride detector (RPT-style) with confirmation."""
+
+    name = "stride"
+
+    def __init__(self, line_bytes=64, table_size=256, degree=2):
+        self.line_bytes = line_bytes
+        self.table_size = table_size
+        self.degree = degree
+        self._table = {}  # pc -> [last_addr, stride, confidence]
+        self.issued = 0
+
+    def observe(self, pc, addr, was_miss):
+        """Train on a demand access; return prefetch addresses to issue."""
+        entry = self._table.get(pc)
+        prefetches = []
+        if entry is None:
+            if len(self._table) >= self.table_size:
+                self._table.pop(next(iter(self._table)))
+            self._table[pc] = [addr, 0, 0]
+            return prefetches
+        last_addr, stride, confidence = entry
+        new_stride = addr - last_addr
+        if new_stride == stride and stride != 0:
+            confidence = min(confidence + 1, 3)
+        else:
+            confidence = max(confidence - 1, 0)
+            if confidence == 0:
+                stride = new_stride
+        entry[0], entry[1], entry[2] = addr, stride, confidence
+        if confidence >= 2 and stride != 0:
+            for ahead in range(1, self.degree + 1):
+                prefetches.append(addr + stride * ahead)
+            self.issued += len(prefetches)
+        return prefetches
+
+
+PREFETCHER_FACTORIES = {
+    "none": lambda line_bytes=64: None,
+    "next_line": NextLinePrefetcher,
+    "stride": StridePrefetcher,
+}

@@ -1,0 +1,23 @@
+"""Branch profiling: the paper's PIN-pintool analog (Section II).
+
+The paper profiles 80+ applications to completion with a pintool that
+instantiates the CBP3-winning ISL-TAGE predictor and collects per-static-
+branch statistics.  :class:`~repro.profiling.branch_profile.BranchProfiler`
+does the same over our functional executor;
+:mod:`repro.profiling.classify_study` aggregates profiles into the
+Figure 6 pies and the Table I MPKI table.
+"""
+
+from repro.profiling.branch_profile import BranchProfile, BranchProfiler, profile_program
+from repro.profiling.classify_study import (
+    ClassificationStudy,
+    run_classification_study,
+)
+
+__all__ = [
+    "BranchProfile",
+    "BranchProfiler",
+    "profile_program",
+    "ClassificationStudy",
+    "run_classification_study",
+]

@@ -1,0 +1,71 @@
+"""The software side of CFD: loop IR, classification, automatic passes.
+
+The paper implemented a gcc pass that applies CFD automatically and
+reports performance comparable to manual CFD for totally separable
+branches (Section III-B).  This package is that pass's analog:
+
+- :mod:`repro.transform.ir` — a small loop-level IR (expressions,
+  assignments, array loads/stores, guarded regions, counted loops);
+- :mod:`repro.transform.classify` — the Section II-B classification
+  (hammock / totally separable / partially separable / inseparable);
+- :mod:`repro.transform.cfd_pass` — loop splitting + strip-mining +
+  Push_BQ/Branch_on_BQ insertion, with the CFD+ value-queue option;
+- :mod:`repro.transform.tq_pass` — separable loop-branch decoupling;
+- :mod:`repro.transform.dfd_pass` — prefetch-loop construction (DFD);
+- :mod:`repro.transform.lower` — IR -> DRISC assembly.
+
+Transformed kernels are validated by construction: lowering the base and
+transformed kernels and executing both functionally must produce the same
+result values — the property tests in ``tests/transform`` assert exactly
+that on randomly generated kernels.
+"""
+
+from repro.transform.ir import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Break,
+    Const,
+    For,
+    If,
+    Kernel,
+    Load,
+    Store,
+    Var,
+)
+from repro.transform.classify import BranchClass, classify_kernel
+from repro.transform.cfd_pass import apply_cfd, apply_nested_cfd
+from repro.transform.dfd_pass import apply_dfd
+from repro.transform.if_convert import apply_if_conversion
+from repro.transform.profitability import (
+    ProfitabilityEstimate,
+    auto_transform,
+    estimate_cfd_profitability,
+)
+from repro.transform.tq_pass import apply_tq
+from repro.transform.lower import lower_kernel
+
+__all__ = [
+    "ArrayRef",
+    "Assign",
+    "BinOp",
+    "Break",
+    "Const",
+    "For",
+    "If",
+    "Kernel",
+    "Load",
+    "Store",
+    "Var",
+    "BranchClass",
+    "classify_kernel",
+    "apply_cfd",
+    "apply_nested_cfd",
+    "apply_dfd",
+    "apply_if_conversion",
+    "apply_tq",
+    "auto_transform",
+    "estimate_cfd_profitability",
+    "ProfitabilityEstimate",
+    "lower_kernel",
+]

@@ -1,0 +1,374 @@
+"""The CFD transformation pass (Sections III-B, IV-A, IV-B).
+
+Splits a kernel's scan loop into a predicate-generating loop and a
+predicate-consuming loop, communicating through the BQ.  Handles:
+
+- **strip-mining** to the BQ size (Section III-B): the scan becomes a
+  chunk loop containing the generator/consumer pair;
+- **CFD+** (``use_vq=True``): values loaded by the slice and re-used in
+  the consumer travel through the VQ instead of being recomputed;
+- **partially separable** branches: the few CD statements feeding the
+  slice are copied into the generator and if-converted with ``Select``
+  (lowered to cmov), with their scalar state saved/restored around the
+  generator so the consumer replays them from the same starting point.
+
+Totally/partially separable kernels only; hammocks should be if-converted
+(a cheaper remedy) and inseparable kernels are rejected — mirroring the
+paper's applicability matrix.
+"""
+
+import copy
+from dataclasses import replace
+
+from repro.errors import TransformError
+from repro.transform.classify import BranchClass, classify_kernel, find_scan_loop
+from repro.transform.ir import (
+    Assign,
+    BinOp,
+    BranchBQ,
+    Break,
+    Const,
+    For,
+    ForwardBQ,
+    If,
+    Kernel,
+    Load,
+    MarkBQ,
+    PopVQ,
+    PushBQ,
+    PushVQ,
+    Select,
+    Store,
+    Var,
+    backward_slice,
+    expr_vars,
+    stmt_writes,
+    subst_stmt,
+)
+
+DEFAULT_CHUNK = 128
+
+
+def _chunked_index(chunk_var, iter_var, chunk):
+    """The original index expression: chunk*CHUNK + i."""
+    return BinOp("+", BinOp("*", Var(chunk_var), Const(chunk)), Var(iter_var))
+
+
+def _rebase(statements, old_var, chunk_var, iter_var, chunk):
+    index = _chunked_index(chunk_var, iter_var, chunk)
+    return [subst_stmt(copy.deepcopy(s), old_var, index) for s in statements]
+
+
+
+def _instrument_breaks(statements, flag):
+    """Deep-copy *statements*, setting *flag* = 1 before every Break.
+
+    A Break inside the consumer loop only exits that (strip-mined) loop;
+    the chunk loop must test the flag afterwards to exit the whole region
+    with the original loop's semantics.
+    """
+    out = []
+    for stmt in statements:
+        if isinstance(stmt, Break):
+            out.append(Assign(flag, Const(1)))
+            out.append(Break())
+        elif isinstance(stmt, If):
+            out.append(If(copy.deepcopy(stmt.cond),
+                          _instrument_breaks(stmt.body, flag)))
+        elif isinstance(stmt, For):
+            out.append(For(stmt.var, copy.deepcopy(stmt.count),
+                           _instrument_breaks(stmt.body, flag)))
+        elif isinstance(stmt, BranchBQ):
+            out.append(BranchBQ(_instrument_breaks(stmt.body, flag)))
+        else:
+            out.append(copy.deepcopy(stmt))
+    return out
+
+
+def apply_cfd(kernel, chunk=DEFAULT_CHUNK, use_vq=False):
+    """Return a new kernel with CFD applied to its scan loop."""
+    classification = classify_kernel(kernel)
+    if classification.branch_class not in (
+        BranchClass.TOTALLY_SEPARABLE,
+        BranchClass.PARTIALLY_SEPARABLE,
+    ):
+        raise TransformError(
+            "CFD applies to separable branches only (kernel %r is %s)"
+            % (kernel.name, classification.branch_class.value)
+        )
+    loop = classification.loop
+    guard = classification.guard
+    if not isinstance(loop.count, Const):
+        raise TransformError("scan loop must have a constant trip count")
+    total = loop.count.value
+    if total % chunk != 0:
+        # Fall back to the largest divisor of the trip count <= chunk.
+        for candidate in range(min(chunk, total), 0, -1):
+            if total % candidate == 0:
+                chunk = candidate
+                break
+    n_chunks = total // chunk
+
+    guard_pos = loop.body.index(guard)
+    pre = loop.body[:guard_pos]
+    post = loop.body[guard_pos + 1 :]
+    if post:
+        raise TransformError("statements after the guarded region unsupported")
+    for stmt in pre:
+        if not isinstance(stmt, Assign):
+            raise TransformError(
+                "pre-guard statements must be pure assignments (got %s)" % stmt
+            )
+
+    slice_indices = backward_slice(pre, guard.cond)
+    slice_stmts = [pre[i] for i in slice_indices]
+
+    # Partially separable: if-convert the feedback statements into the
+    # generator, saving/restoring their scalar state around it.
+    feedback = classification.feedback_stmts or []
+    for stmt in feedback:
+        if not isinstance(stmt, Assign):
+            raise TransformError(
+                "partially separable feedback must be scalar assignments"
+            )
+
+    pred = Var("_cfd_pred")
+    iter_var = Var("_cfd_i")
+    chunk_var = Var("_cfd_c")
+
+    generator = list(slice_stmts)
+    generator.append(Assign(pred, guard.cond))
+    generator.append(PushBQ(pred))
+    if use_vq:
+        vq_vars = _vq_candidates(slice_stmts, guard.body)
+        for name in vq_vars:
+            generator.append(PushVQ(Var(name)))
+    else:
+        vq_vars = []
+    for stmt in feedback:
+        generator.append(
+            Assign(stmt.var, Select(pred, stmt.expr, stmt.var))
+        )
+
+    consumer = []
+    consumed = set(vq_vars)
+    for stmt in pre:
+        if isinstance(stmt, Assign) and stmt.var.name in consumed:
+            consumer.append(PopVQ(stmt.var))
+        else:
+            consumer.append(copy.deepcopy(stmt))
+    break_flag = Var("_cfd_broke")
+    has_break = any(isinstance(s, Break) for s in _flatten(guard.body))
+    if has_break:
+        consumer.append(BranchBQ(_instrument_breaks(guard.body, break_flag)))
+    else:
+        consumer.append(BranchBQ(copy.deepcopy(guard.body)))
+
+    # Rebase the loop index onto chunk*CHUNK + i.
+    generator = _rebase(generator, loop.var.name, chunk_var.name, iter_var.name, chunk)
+    consumer = _rebase(consumer, loop.var.name, chunk_var.name, iter_var.name, chunk)
+
+    chunk_body = []
+    saved = []
+    for position, stmt in enumerate(feedback):
+        save_var = Var("_cfd_save%d" % position)
+        saved.append((save_var, stmt.var))
+        chunk_body.append(Assign(save_var, stmt.var))
+    chunk_body.append(For(iter_var, Const(chunk), generator))
+    for save_var, original in saved:
+        chunk_body.append(Assign(original, save_var))
+    if has_break:
+        chunk_body.append(MarkBQ())
+    chunk_body.append(For(iter_var, Const(chunk), consumer))
+    if has_break:
+        chunk_body.append(ForwardBQ())
+        # A break exits the whole original loop, not just this chunk.
+        chunk_body.append(If(BinOp("!=", break_flag, Const(0)), [Break()]))
+
+    new_loop = For(chunk_var, Const(n_chunks), chunk_body)
+    prologue = [Assign(break_flag, Const(0))] if has_break else []
+    new_body = []
+    for stmt in kernel.body:
+        if stmt is loop:
+            new_body.extend(prologue)
+            new_body.append(new_loop)
+        else:
+            new_body.append(copy.deepcopy(stmt))
+    suffix = "+vq" if use_vq else ""
+    return replace(
+        kernel,
+        name=kernel.name + "/cfd" + suffix,
+        body=new_body,
+        arrays=copy.deepcopy(kernel.arrays),
+        out_arrays=dict(kernel.out_arrays),
+        results=list(kernel.results),
+    )
+
+
+def _flatten(statements):
+    flat = []
+    for stmt in statements:
+        flat.append(stmt)
+        if isinstance(stmt, (If, For, BranchBQ)):
+            flat.extend(_flatten(stmt.body))
+    return flat
+
+
+def _vq_candidates(slice_stmts, cd_body):
+    """Slice-loaded variables the CD re-uses: worth carrying in the VQ."""
+    loaded = [
+        stmt.var.name
+        for stmt in slice_stmts
+        if isinstance(stmt, Assign) and isinstance(stmt.expr, Load)
+    ]
+    used_in_cd = set()
+    for stmt in _flatten(cd_body):
+        reads = set()
+        if isinstance(stmt, Assign):
+            reads = expr_vars(stmt.expr)
+        elif isinstance(stmt, Store):
+            reads = expr_vars(stmt.expr) | expr_vars(stmt.ref.index)
+        elif isinstance(stmt, If):
+            reads = expr_vars(stmt.cond)
+        used_in_cd |= reads
+    return [name for name in loaded if name in used_in_cd]
+
+
+# --------------------------------------------------------------------------
+# Multi-level decoupling (the paper's omitted extension [33]; the manual
+# form appears in the astar region-#1 case study, Fig 22).
+# --------------------------------------------------------------------------
+
+
+def apply_nested_cfd(kernel, chunk=None):
+    """Decouple two nested separable branches into three loops.
+
+    Supported shape::
+
+        for i in 0..N:
+            <pre assigns>
+            if c1:                 # outer separable branch
+                <mid assigns>
+                if c2:             # inner separable branch
+                    <CD region, may Break>
+
+    Loop 1 pushes ``c1``; loop 2 pops it, evaluates the *combined*
+    predicate ``c1 && c2`` under its guard (the inner predicate's slice is
+    only safe/meaningful when the outer predicate holds — the astar
+    situation), and pushes it; loop 3 pops the combined predicate around
+    the work region.  A ``Break`` in the region is handled with
+    Mark/Forward.  Both predicates must be totally separable (no feedback
+    from the region into either slice).
+    """
+    loop = find_scan_loop(kernel)
+    if not isinstance(loop.count, Const):
+        raise TransformError("scan loop must have a constant trip count")
+    guards = [stmt for stmt in loop.body if isinstance(stmt, If)]
+    if len(guards) != 1:
+        raise TransformError("nested CFD needs exactly one outer guard")
+    outer = guards[0]
+    if loop.body.index(outer) != len(loop.body) - 1:
+        raise TransformError("statements after the outer guard unsupported")
+    inner_guards = [stmt for stmt in outer.body if isinstance(stmt, If)]
+    if len(inner_guards) != 1:
+        raise TransformError("nested CFD needs exactly one inner guard")
+    inner = inner_guards[0]
+    if outer.body.index(inner) != len(outer.body) - 1:
+        raise TransformError("statements after the inner guard unsupported")
+
+    pre = loop.body[: loop.body.index(outer)]
+    mid = outer.body[: outer.body.index(inner)]
+    for stmt in pre + mid:
+        if not isinstance(stmt, Assign):
+            raise TransformError("pre/mid statements must be pure assignments")
+
+    # Separability: the CD region must not write into either slice.
+    from repro.transform.ir import expr_arrays
+
+    slice_reads = expr_vars(outer.cond) | expr_vars(inner.cond)
+    slice_arrays = expr_arrays(outer.cond) | expr_arrays(inner.cond)
+    for stmt in pre + mid:
+        slice_reads |= expr_vars(stmt.expr)
+        slice_arrays |= expr_arrays(stmt.expr)
+    for stmt in _flatten(inner.body):
+        if isinstance(stmt, Break):
+            continue
+        vars_written, arrays_written = stmt_writes(stmt)
+        if vars_written & slice_reads or arrays_written & slice_arrays:
+            raise TransformError(
+                "nested CFD requires totally separable branches "
+                "(region writes feed a predicate slice)"
+            )
+
+    total = loop.count.value
+    if chunk is None:
+        chunk = DEFAULT_CHUNK // 2  # two predicate streams share the BQ
+    if total % chunk != 0:
+        for candidate in range(min(chunk, total), 0, -1):
+            if total % candidate == 0:
+                chunk = candidate
+                break
+    n_chunks = total // chunk
+
+    p1 = Var("_cfd_p1")
+    p2 = Var("_cfd_p2")
+    iter_var = Var("_cfd_i")
+    chunk_var = Var("_cfd_c")
+
+    slice1 = [pre[i] for i in backward_slice(pre, outer.cond)]
+    loop1 = [copy.deepcopy(s) for s in slice1]
+    loop1.append(Assign(p1, copy.deepcopy(outer.cond)))
+    loop1.append(PushBQ(p1))
+
+    loop2 = [copy.deepcopy(s) for s in pre]
+    loop2.append(Assign(p2, Const(0)))
+    loop2.append(
+        BranchBQ(
+            [copy.deepcopy(s) for s in mid]
+            + [Assign(p2, copy.deepcopy(inner.cond))]
+        )
+    )
+    loop2.append(PushBQ(p2))
+
+    break_flag = Var("_cfd_broke")
+    has_break = any(isinstance(s, Break) for s in _flatten(inner.body))
+    region = [copy.deepcopy(s) for s in mid] + (
+        _instrument_breaks(inner.body, break_flag)
+        if has_break
+        else [copy.deepcopy(s) for s in inner.body]
+    )
+    loop3 = [copy.deepcopy(s) for s in pre]
+    loop3.append(BranchBQ(region))
+
+    loop1 = _rebase(loop1, loop.var.name, chunk_var.name, iter_var.name, chunk)
+    loop2 = _rebase(loop2, loop.var.name, chunk_var.name, iter_var.name, chunk)
+    loop3 = _rebase(loop3, loop.var.name, chunk_var.name, iter_var.name, chunk)
+
+    chunk_body = [
+        For(iter_var, Const(chunk), loop1),
+        For(iter_var, Const(chunk), loop2),
+    ]
+    if has_break:
+        chunk_body.append(MarkBQ())
+    chunk_body.append(For(iter_var, Const(chunk), loop3))
+    if has_break:
+        chunk_body.append(ForwardBQ())
+        chunk_body.append(If(BinOp("!=", break_flag, Const(0)), [Break()]))
+
+    new_loop = For(chunk_var, Const(n_chunks), chunk_body)
+    prologue = [Assign(break_flag, Const(0))] if has_break else []
+    new_body = []
+    for stmt in kernel.body:
+        if stmt is loop:
+            new_body.extend(prologue)
+            new_body.append(new_loop)
+        else:
+            new_body.append(copy.deepcopy(stmt))
+    return replace(
+        kernel,
+        name=kernel.name + "/cfd2",
+        body=new_body,
+        arrays=copy.deepcopy(kernel.arrays),
+        out_arrays=dict(kernel.out_arrays),
+        results=list(kernel.results),
+    )

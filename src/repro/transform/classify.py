@@ -1,0 +1,161 @@
+"""Control-flow classification over the loop IR (Section II-B).
+
+Given a kernel whose body contains a single scan loop with one guarded
+region, classify the guarding branch:
+
+``HAMMOCK``              — small, simple CD region (if-conversion wins);
+``TOTALLY_SEPARABLE``    — the branch slice reads nothing the CD writes;
+``PARTIALLY_SEPARABLE``  — the slice reads a *few* CD outputs (they can
+                           be if-converted into the first loop);
+``SEPARABLE_LOOP_BRANCH``— the guarded region is an inner loop whose
+                           trip count is separable from its body;
+``INSEPARABLE``          — the slice swallows too much of the CD region.
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import TransformError
+from repro.transform.ir import (
+    Break,
+    For,
+    If,
+    expr_arrays,
+    expr_vars,
+    stmt_writes,
+)
+
+#: CD regions at or below this many statements are hammocks.
+HAMMOCK_LIMIT = 3
+#: Partially separable branches may have at most this many CD statements
+#: in their backward slice; more makes the branch inseparable.
+PARTIAL_LIMIT = 2
+
+
+class BranchClass(enum.Enum):
+    HAMMOCK = "hammock"
+    TOTALLY_SEPARABLE = "totally_separable"
+    PARTIALLY_SEPARABLE = "partially_separable"
+    SEPARABLE_LOOP_BRANCH = "separable_loop_branch"
+    INSEPARABLE = "inseparable"
+
+
+@dataclass
+class Classification:
+    """Outcome of classifying one kernel's guarded loop."""
+
+    branch_class: BranchClass
+    loop: For
+    guard: Optional[If] = None
+    inner_loop: Optional[For] = None
+    #: CD statements that are in the branch slice (partial separability).
+    feedback_stmts: List = None
+
+
+def find_scan_loop(kernel):
+    """The kernel's outermost For (the scan loop the passes transform)."""
+    loops = [stmt for stmt in kernel.body if isinstance(stmt, For)]
+    if len(loops) != 1:
+        raise TransformError(
+            "kernel %r must have exactly one top-level loop" % kernel.name
+        )
+    return loops[0]
+
+
+def _region_size(body):
+    count = 0
+    for stmt in body:
+        if isinstance(stmt, (If, For)):
+            count += 1 + _region_size(stmt.body)
+        else:
+            count += 1
+    return count
+
+
+def classify_kernel(kernel):
+    """Classify the guarded construct in *kernel*'s scan loop."""
+    loop = find_scan_loop(kernel)
+
+    inner_loops = [stmt for stmt in loop.body if isinstance(stmt, For)]
+    if inner_loops:
+        return _classify_loop_branch(loop, inner_loops[0])
+
+    guards = [stmt for stmt in loop.body if isinstance(stmt, If)]
+    if len(guards) != 1:
+        raise TransformError(
+            "kernel %r must have exactly one guarded region" % kernel.name
+        )
+    guard = guards[0]
+
+    if _region_size(guard.body) <= HAMMOCK_LIMIT:
+        return Classification(BranchClass.HAMMOCK, loop, guard=guard)
+
+    # What feeds the condition, transitively through the loop body?  A
+    # loop-carried dependence exists when the CD region writes something
+    # (variable or array) that the condition's slice reads on a later
+    # iteration.
+    slice_vars = set(expr_vars(guard.cond))
+    slice_arrays = set(expr_arrays(guard.cond))
+    # Grow the slice through the pre-guard statements.
+    changed = True
+    pre_stmts = loop.body[: loop.body.index(guard)]
+    while changed:
+        changed = False
+        for stmt in pre_stmts:
+            vars_written, arrays_written = stmt_writes(stmt)
+            if vars_written & slice_vars or arrays_written & slice_arrays:
+                from repro.transform.ir import stmt_reads
+
+                vars_read, arrays_read = stmt_reads(stmt)
+                if not vars_read <= slice_vars or not arrays_read <= slice_arrays:
+                    slice_vars |= vars_read
+                    slice_arrays |= arrays_read
+                    changed = True
+
+    # Feedback statements: CD statements that write into the slice.  Their
+    # own reads join the slice, so feedback can grow transitively (a region
+    # whose internal dataflow reaches the predicate is how a branch turns
+    # inseparable).
+    feedback = []
+    changed = True
+    while changed:
+        changed = False
+        for stmt in guard.body:
+            if isinstance(stmt, Break) or stmt in feedback:
+                continue
+            vars_written, arrays_written = stmt_writes(stmt)
+            if vars_written & slice_vars or arrays_written & slice_arrays:
+                feedback.append(stmt)
+                from repro.transform.ir import stmt_reads
+
+                vars_read, arrays_read = stmt_reads(stmt)
+                if not vars_read <= slice_vars or not arrays_read <= slice_arrays:
+                    slice_vars |= vars_read
+                    slice_arrays |= arrays_read
+                    changed = True
+
+    if not feedback:
+        return Classification(
+            BranchClass.TOTALLY_SEPARABLE, loop, guard=guard, feedback_stmts=[]
+        )
+    if len(feedback) <= PARTIAL_LIMIT:
+        return Classification(
+            BranchClass.PARTIALLY_SEPARABLE, loop, guard=guard,
+            feedback_stmts=feedback,
+        )
+    return Classification(
+        BranchClass.INSEPARABLE, loop, guard=guard, feedback_stmts=feedback
+    )
+
+
+def _classify_loop_branch(loop, inner):
+    """Separable loop-branch check: trip count independent of the body."""
+    count_vars = set(expr_vars(inner.count))
+    count_arrays = set(expr_arrays(inner.count))
+    vars_written, arrays_written = stmt_writes(inner)
+    if count_vars & vars_written or count_arrays & arrays_written:
+        return Classification(BranchClass.INSEPARABLE, loop, inner_loop=inner)
+    return Classification(
+        BranchClass.SEPARABLE_LOOP_BRANCH, loop, inner_loop=inner
+    )

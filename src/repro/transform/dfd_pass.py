@@ -1,0 +1,121 @@
+"""DFD: data-flow decoupling (Section V).
+
+Instead of eliminating the mispredictions, prefetch the loads that feed
+them: the pass extracts every load in the guard condition's backward
+slice, builds a compact first loop containing only those loads' address
+slices and ``Prefetch`` statements, and leaves the original loop intact.
+Strip-mined (prefetch a chunk, process a chunk) so the prefetched data is
+still resident when the work loop arrives.
+"""
+
+import copy
+from dataclasses import replace
+
+from repro.errors import TransformError
+from repro.transform.classify import find_scan_loop
+from repro.transform.ir import (
+    Assign,
+    BinOp,
+    Const,
+    For,
+    If,
+    Load,
+    Prefetch,
+    Var,
+    backward_slice,
+    expr_vars,
+)
+from repro.transform.cfd_pass import _rebase
+
+DEFAULT_DFD_CHUNK = 128
+
+
+def _collect_loads(expr):
+    if isinstance(expr, Load):
+        loads = [expr.ref]
+        loads.extend(_collect_loads(expr.ref.index))
+        return loads
+    if isinstance(expr, BinOp):
+        return _collect_loads(expr.left) + _collect_loads(expr.right)
+    return []
+
+
+def apply_dfd(kernel, chunk=DEFAULT_DFD_CHUNK):
+    """Return a new kernel with a DFD prefetch loop ahead of the scan."""
+    loop = find_scan_loop(kernel)
+    guards = [stmt for stmt in loop.body if isinstance(stmt, If)]
+    if len(guards) != 1:
+        raise TransformError("DFD needs exactly one guarded region")
+    guard = guards[0]
+    if not isinstance(loop.count, Const):
+        raise TransformError("scan loop must have a constant trip count")
+    total = loop.count.value
+    if total % chunk != 0:
+        for candidate in range(min(chunk, total), 0, -1):
+            if total % candidate == 0:
+                chunk = candidate
+                break
+    n_chunks = total // chunk
+
+    guard_pos = loop.body.index(guard)
+    pre = loop.body[:guard_pos]
+
+    # Loads feeding the condition, plus the loads those loads' addresses
+    # need (the "address slice" of Fig 16).
+    slice_indices = backward_slice(pre, guard.cond)
+    refs = _collect_loads(guard.cond)
+    for index in slice_indices:
+        stmt = pre[index]
+        if not isinstance(stmt, Assign):
+            raise TransformError("DFD slice must be pure assignments")
+        refs.extend(_collect_loads(stmt.expr))
+
+    # Address slice: the assignments the prefetch addresses transitively
+    # need, walked backwards exactly like a backward slice.
+    needed = set()
+    for ref in refs:
+        needed |= expr_vars(ref.index)
+    address_stmts = []
+    for index in range(len(pre) - 1, -1, -1):
+        stmt = pre[index]
+        if isinstance(stmt, Assign) and stmt.var.name in needed:
+            address_stmts.append(copy.deepcopy(stmt))
+            needed |= expr_vars(stmt.expr)
+    address_stmts.reverse()
+
+    unique_refs = []
+    for ref in refs:
+        if ref not in unique_refs:
+            unique_refs.append(ref)
+
+    iter_var = Var("_dfd_i")
+    chunk_var = Var("_dfd_c")
+    prefetch_body = address_stmts + [
+        Prefetch(copy.deepcopy(ref)) for ref in unique_refs
+    ]
+    prefetch_body = _rebase(
+        prefetch_body, loop.var.name, chunk_var.name, iter_var.name, chunk
+    )
+    work_body = _rebase(
+        [copy.deepcopy(s) for s in loop.body],
+        loop.var.name,
+        chunk_var.name,
+        iter_var.name,
+        chunk,
+    )
+    chunk_body = [
+        For(iter_var, Const(chunk), prefetch_body),
+        For(iter_var, Const(chunk), work_body),
+    ]
+    new_loop = For(chunk_var, Const(n_chunks), chunk_body)
+    new_body = [
+        new_loop if stmt is loop else copy.deepcopy(stmt) for stmt in kernel.body
+    ]
+    return replace(
+        kernel,
+        name=kernel.name + "/dfd",
+        body=new_body,
+        arrays=copy.deepcopy(kernel.arrays),
+        out_arrays=dict(kernel.out_arrays),
+        results=list(kernel.results),
+    )

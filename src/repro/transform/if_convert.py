@@ -1,0 +1,82 @@
+"""If-conversion for hammocks (Section II-B's other remedy).
+
+The paper: "About a third of MPKI comes from branches with small
+control-dependent regions, e.g., hammocks.  If-conversion using
+conditional moves ... is generally profitable for this class", and notes
+gcc skipped them "because they guard stores".  This pass eliminates the
+hammock branch outright:
+
+- scalar assignment  ``v = e``        ->  ``v = select(p, e, v)``
+- array store        ``a[i] = e``     ->  ``a[i] = select(p, e, a[i])``
+  (the guarded-store case: re-store the old value when the predicate is
+  false — a data-race-free idiom for a single-threaded kernel and exactly
+  how cmov-based compilers handle it)
+
+Only hammocks are accepted: for larger regions if-conversion executes too
+much squashed work and CFD is the profitable remedy — enforcing the
+paper's applicability split.
+"""
+
+import copy
+from dataclasses import replace
+
+from repro.errors import TransformError
+from repro.transform.classify import BranchClass, classify_kernel
+from repro.transform.ir import (
+    ArrayRef,
+    Assign,
+    Load,
+    Select,
+    Store,
+    Var,
+)
+
+
+def _convert_statement(stmt, predicate):
+    if isinstance(stmt, Assign):
+        return Assign(stmt.var, Select(predicate, stmt.expr, stmt.var))
+    if isinstance(stmt, Store):
+        old_value = Load(ArrayRef(stmt.ref.array, stmt.ref.index))
+        return Store(stmt.ref, Select(predicate, stmt.expr, old_value))
+    raise TransformError(
+        "if-conversion handles assignments and stores only (got %s)" % stmt
+    )
+
+
+def apply_if_conversion(kernel):
+    """Return a new kernel with the hammock predicated away."""
+    classification = classify_kernel(kernel)
+    if classification.branch_class != BranchClass.HAMMOCK:
+        raise TransformError(
+            "if-conversion targets hammocks (kernel %r is %s); "
+            "use CFD for large separable regions"
+            % (kernel.name, classification.branch_class.value)
+        )
+    loop = classification.loop
+    guard = classification.guard
+    predicate = Var("_ifc_pred")
+
+    new_loop_body = []
+    for stmt in loop.body:
+        if stmt is guard:
+            new_loop_body.append(Assign(predicate, copy.deepcopy(guard.cond)))
+            for inner in guard.body:
+                new_loop_body.append(
+                    _convert_statement(copy.deepcopy(inner), predicate)
+                )
+        else:
+            new_loop_body.append(copy.deepcopy(stmt))
+
+    new_loop = replace(loop, body=new_loop_body)
+    new_body = [
+        new_loop if stmt is loop else copy.deepcopy(stmt)
+        for stmt in kernel.body
+    ]
+    return replace(
+        kernel,
+        name=kernel.name + "/ifconv",
+        body=new_body,
+        arrays=copy.deepcopy(kernel.arrays),
+        out_arrays=dict(kernel.out_arrays),
+        results=list(kernel.results),
+    )

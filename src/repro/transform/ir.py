@@ -1,0 +1,417 @@
+"""Loop-level IR for the CFD compiler passes.
+
+The IR models exactly the shape the paper's classification and transforms
+operate on: a counted loop scanning arrays, computing scalar temporaries,
+and guarding a control-dependent region with a data-dependent condition.
+
+Expressions
+-----------
+``Var(name)`` | ``Const(value)`` | ``Load(ArrayRef)`` |
+``BinOp(op, left, right)`` with ops
+``+ - * & | ^ << >> < <= == != >= >``.
+
+Statements
+----------
+``Assign(var, expr)`` — scalar assignment (pure).
+``Store(ref, expr)``  — array store.
+``If(cond, body)``    — guarded region (no else; the paper's CD regions
+                        are single-sided).
+``For(var, count, body)`` — counted loop, ``var`` runs 0..count-1;
+                        ``count`` is a Const, Var or Load.
+``Break()``           — early exit from the innermost loop.
+
+Kernels
+-------
+A :class:`Kernel` owns parameter constants, named arrays (with their
+initial contents), a body, and the result variables whose final values
+define the kernel's output (stored to a ``result`` array by the lowerer).
+
+CFD pseudo-statements (inserted by the passes, consumed by the lowerer):
+``PushBQ(expr)``, ``BranchBQ(body)``, ``PushVQ(expr)``, ``PopVQ(var)``,
+``PushTQ(expr)``, ``TQLoop(body)``.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Union
+
+from repro.errors import TransformError
+
+COMPARISON_OPS = ("<", "<=", "==", "!=", ">=", ">")
+ARITH_OPS = ("+", "-", "*", "&", "|", "^", "<<", ">>")
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    value: int
+
+    def __str__(self):
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """array[index] with a word-sized element."""
+
+    array: str
+    index: "Expr"
+
+    def __str__(self):
+        return "%s[%s]" % (self.array, self.index)
+
+
+@dataclass(frozen=True)
+class Load:
+    ref: ArrayRef
+
+    def __str__(self):
+        return str(self.ref)
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def __post_init__(self):
+        if self.op not in COMPARISON_OPS and self.op not in ARITH_OPS:
+            raise TransformError("unknown operator %r" % self.op)
+
+    def __str__(self):
+        return "(%s %s %s)" % (self.left, self.op, self.right)
+
+
+@dataclass(frozen=True)
+class Select:
+    """cond ? if_true : if_false — the if-conversion primitive (cmov)."""
+
+    cond: "Expr"
+    if_true: "Expr"
+    if_false: "Expr"
+
+    def __str__(self):
+        return "(%s ? %s : %s)" % (self.cond, self.if_true, self.if_false)
+
+
+Expr = Union[Var, Const, Load, BinOp, Select]
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Assign:
+    var: Var
+    expr: Expr
+
+    def __str__(self):
+        return "%s = %s" % (self.var, self.expr)
+
+
+@dataclass
+class Store:
+    ref: ArrayRef
+    expr: Expr
+
+    def __str__(self):
+        return "%s = %s" % (self.ref, self.expr)
+
+
+@dataclass
+class If:
+    cond: Expr
+    body: List["Stmt"]
+
+    def __str__(self):
+        return "if (%s) {...%d stmts}" % (self.cond, len(self.body))
+
+
+@dataclass
+class For:
+    var: Var
+    count: Expr
+    body: List["Stmt"]
+
+    def __str__(self):
+        return "for %s in 0..%s {...%d stmts}" % (self.var, self.count, len(self.body))
+
+
+@dataclass
+class Break:
+    def __str__(self):
+        return "break"
+
+
+# CFD pseudo-statements ------------------------------------------------------
+
+
+@dataclass
+class PushBQ:
+    expr: Expr
+
+
+@dataclass
+class BranchBQ:
+    """Pop a predicate; execute body when it is 1."""
+
+    body: List["Stmt"]
+
+
+@dataclass
+class PushVQ:
+    expr: Expr
+
+
+@dataclass
+class PopVQ:
+    var: Var
+
+
+@dataclass
+class PushTQ:
+    expr: Expr
+
+
+@dataclass
+class TQLoop:
+    """Pop a trip count; run body that many times (fetch-directed)."""
+
+    var: Var  # iteration variable, 0..count-1
+    body: List["Stmt"]
+
+
+@dataclass
+class Prefetch:
+    """Software prefetch of one array element (DFD's first loop)."""
+
+    ref: ArrayRef
+
+
+@dataclass
+class MarkBQ:
+    pass
+
+
+@dataclass
+class ForwardBQ:
+    pass
+
+
+Stmt = Union[
+    Assign, Store, If, For, Break,
+    PushBQ, BranchBQ, PushVQ, PopVQ, PushTQ, TQLoop, MarkBQ, ForwardBQ,
+    Prefetch,
+]
+
+
+# --------------------------------------------------------------------------
+# Kernel
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Kernel:
+    """A complete lowerable unit."""
+
+    name: str
+    params: Dict[str, int] = field(default_factory=dict)
+    arrays: Dict[str, List[int]] = field(default_factory=dict)
+    #: Arrays written by the kernel but not initialized (sized scratch).
+    out_arrays: Dict[str, int] = field(default_factory=dict)
+    body: List[Stmt] = field(default_factory=list)
+    results: List[Var] = field(default_factory=list)
+
+    def array_length(self, name):
+        if name in self.arrays:
+            return len(self.arrays[name])
+        if name in self.out_arrays:
+            return self.out_arrays[name]
+        raise TransformError("unknown array %r" % name)
+
+
+# --------------------------------------------------------------------------
+# Analysis helpers
+# --------------------------------------------------------------------------
+
+
+def expr_vars(expr):
+    """All Vars read by *expr*."""
+    if isinstance(expr, Var):
+        return {expr.name}
+    if isinstance(expr, Const):
+        return set()
+    if isinstance(expr, Load):
+        return expr_vars(expr.ref.index)
+    if isinstance(expr, BinOp):
+        return expr_vars(expr.left) | expr_vars(expr.right)
+    if isinstance(expr, Select):
+        return expr_vars(expr.cond) | expr_vars(expr.if_true) | expr_vars(expr.if_false)
+    raise TransformError("unknown expression %r" % (expr,))
+
+
+def expr_arrays(expr):
+    """All arrays loaded by *expr*."""
+    if isinstance(expr, (Var, Const)):
+        return set()
+    if isinstance(expr, Load):
+        return {expr.ref.array} | expr_arrays(expr.ref.index)
+    if isinstance(expr, BinOp):
+        return expr_arrays(expr.left) | expr_arrays(expr.right)
+    if isinstance(expr, Select):
+        return (
+            expr_arrays(expr.cond)
+            | expr_arrays(expr.if_true)
+            | expr_arrays(expr.if_false)
+        )
+    raise TransformError("unknown expression %r" % (expr,))
+
+
+def stmt_reads(stmt):
+    """(vars read, arrays read) of one statement, recursively."""
+    if isinstance(stmt, Assign):
+        return expr_vars(stmt.expr), expr_arrays(stmt.expr)
+    if isinstance(stmt, Store):
+        return (
+            expr_vars(stmt.expr) | expr_vars(stmt.ref.index),
+            expr_arrays(stmt.expr) | expr_arrays(stmt.ref.index),
+        )
+    if isinstance(stmt, If):
+        vars_read, arrays_read = expr_vars(stmt.cond), expr_arrays(stmt.cond)
+        for inner in stmt.body:
+            v, a = stmt_reads(inner)
+            vars_read |= v
+            arrays_read |= a
+        return vars_read, arrays_read
+    if isinstance(stmt, For):
+        vars_read, arrays_read = expr_vars(stmt.count), expr_arrays(stmt.count)
+        for inner in stmt.body:
+            v, a = stmt_reads(inner)
+            vars_read |= v
+            arrays_read |= a
+        return vars_read, arrays_read
+    if isinstance(stmt, Break):
+        return set(), set()
+    raise TransformError("analysis does not handle %r" % (stmt,))
+
+
+def stmt_writes(stmt):
+    """(vars written, arrays written) of one statement, recursively."""
+    if isinstance(stmt, Assign):
+        return {stmt.var.name}, set()
+    if isinstance(stmt, Store):
+        return set(), {stmt.ref.array}
+    if isinstance(stmt, (If, For)):
+        vars_written, arrays_written = set(), set()
+        for inner in stmt.body:
+            v, a = stmt_writes(inner)
+            vars_written |= v
+            arrays_written |= a
+        if isinstance(stmt, For):
+            vars_written.add(stmt.var.name)
+        return vars_written, arrays_written
+    if isinstance(stmt, Break):
+        return set(), set()
+    raise TransformError("analysis does not handle %r" % (stmt,))
+
+
+def backward_slice(statements, cond):
+    """Statements (by index) in the cond's backward slice.
+
+    Walks *statements* in reverse from the condition, collecting every
+    statement whose written variable feeds the condition transitively.
+    Array loads are treated as dependent on stores to the same array.
+    """
+    needed_vars = set(expr_vars(cond))
+    needed_arrays = set(expr_arrays(cond))
+    slice_indices = []
+    for index in range(len(statements) - 1, -1, -1):
+        stmt = statements[index]
+        vars_written, arrays_written = stmt_writes(stmt)
+        if vars_written & needed_vars or arrays_written & needed_arrays:
+            slice_indices.append(index)
+            vars_read, arrays_read = stmt_reads(stmt)
+            needed_vars |= vars_read
+            needed_arrays |= arrays_read
+    slice_indices.reverse()
+    return slice_indices
+
+
+def subst_expr(expr, name, replacement):
+    """Replace every Var(*name*) in *expr* with *replacement*."""
+    if isinstance(expr, Var):
+        return replacement if expr.name == name else expr
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Load):
+        return Load(ArrayRef(expr.ref.array, subst_expr(expr.ref.index, name, replacement)))
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            subst_expr(expr.left, name, replacement),
+            subst_expr(expr.right, name, replacement),
+        )
+    if isinstance(expr, Select):
+        return Select(
+            subst_expr(expr.cond, name, replacement),
+            subst_expr(expr.if_true, name, replacement),
+            subst_expr(expr.if_false, name, replacement),
+        )
+    raise TransformError("unknown expression %r" % (expr,))
+
+
+def subst_stmt(stmt, name, replacement):
+    """Replace Var(*name*) reads throughout one statement (recursively)."""
+    if isinstance(stmt, Assign):
+        return Assign(stmt.var, subst_expr(stmt.expr, name, replacement))
+    if isinstance(stmt, Store):
+        return Store(
+            ArrayRef(stmt.ref.array, subst_expr(stmt.ref.index, name, replacement)),
+            subst_expr(stmt.expr, name, replacement),
+        )
+    if isinstance(stmt, If):
+        return If(
+            subst_expr(stmt.cond, name, replacement),
+            [subst_stmt(inner, name, replacement) for inner in stmt.body],
+        )
+    if isinstance(stmt, For):
+        return For(
+            stmt.var,
+            subst_expr(stmt.count, name, replacement),
+            [subst_stmt(inner, name, replacement) for inner in stmt.body],
+        )
+    if isinstance(stmt, Break):
+        return stmt
+    if isinstance(stmt, PushBQ):
+        return PushBQ(subst_expr(stmt.expr, name, replacement))
+    if isinstance(stmt, BranchBQ):
+        return BranchBQ([subst_stmt(inner, name, replacement) for inner in stmt.body])
+    if isinstance(stmt, PushVQ):
+        return PushVQ(subst_expr(stmt.expr, name, replacement))
+    if isinstance(stmt, PopVQ):
+        return stmt
+    if isinstance(stmt, PushTQ):
+        return PushTQ(subst_expr(stmt.expr, name, replacement))
+    if isinstance(stmt, TQLoop):
+        return TQLoop(stmt.var, [subst_stmt(inner, name, replacement) for inner in stmt.body])
+    if isinstance(stmt, Prefetch):
+        return Prefetch(
+            ArrayRef(stmt.ref.array, subst_expr(stmt.ref.index, name, replacement))
+        )
+    if isinstance(stmt, (MarkBQ, ForwardBQ)):
+        return stmt
+    raise TransformError("substitution does not handle %r" % (stmt,))

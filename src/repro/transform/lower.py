@@ -1,0 +1,277 @@
+"""Lowering: loop IR -> DRISC assembly -> :class:`Program`.
+
+A deliberately simple one-pass code generator (the transform package's
+point is the CFD restructuring, not backend optimization): every variable
+and array base gets a dedicated register, expressions evaluate through a
+temporary-register stack, and loops use a test-at-top counted form.  The
+CFD pseudo-statements map 1:1 onto the ISA extension instructions.
+"""
+
+import contextlib
+
+from repro.errors import TransformError
+from repro.transform.ir import (
+    Assign,
+    BinOp,
+    BranchBQ,
+    Break,
+    Const,
+    For,
+    ForwardBQ,
+    If,
+    Load,
+    MarkBQ,
+    PopVQ,
+    Prefetch,
+    PushBQ,
+    PushTQ,
+    PushVQ,
+    Select,
+    Store,
+    TQLoop,
+    Var,
+)
+from repro.workloads.builders import build_program
+
+_POOL = list(range(1, 29))  # r1..r28; r29-r31 kept free for expansion
+
+
+class _Lowerer:
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.lines = []
+        self.var_reg = {}
+        self.array_reg = {}
+        self.free = list(reversed(_POOL))
+        self.label_counter = 0
+        self.loop_ends = []
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def _new_label(self, prefix):
+        self.label_counter += 1
+        return "%s_%d" % (prefix, self.label_counter)
+
+    def _alloc(self, what):
+        if not self.free:
+            raise TransformError(
+                "register pool exhausted lowering %r (%s)" % (self.kernel.name, what)
+            )
+        return self.free.pop()
+
+    def _var(self, name):
+        reg = self.var_reg.get(name)
+        if reg is None:
+            reg = self.var_reg[name] = self._alloc("var %s" % name)
+        return reg
+
+    @contextlib.contextmanager
+    def _temp(self):
+        reg = self._alloc("temp")
+        try:
+            yield reg
+        finally:
+            self.free.append(reg)
+
+    def emit(self, text):
+        self.lines.append(text)
+
+    # -- expressions ----------------------------------------------------------
+
+    def expr_into(self, expr, target):
+        """Emit code leaving *expr*'s value in register *target*."""
+        if isinstance(expr, Var):
+            source = self._var(expr.name)
+            if source != target:
+                self.emit("    mv   r%d, r%d" % (target, source))
+        elif isinstance(expr, Const):
+            self.emit("    li   r%d, %d" % (target, expr.value))
+        elif isinstance(expr, Load):
+            self._address_into(expr.ref, target)
+            self.emit("    lw   r%d, 0(r%d)" % (target, target))
+        elif isinstance(expr, BinOp):
+            self._binop_into(expr, target)
+        elif isinstance(expr, Select):
+            with self._temp() as cond_reg, self._temp() as true_reg:
+                self.expr_into(expr.cond, cond_reg)
+                self.expr_into(expr.if_true, true_reg)
+                self.expr_into(expr.if_false, target)
+                self.emit("    cmovnz r%d, r%d, r%d" % (target, true_reg, cond_reg))
+        else:
+            raise TransformError("cannot lower expression %r" % (expr,))
+
+    def _address_into(self, ref, target):
+        base = self.array_reg.get(ref.array)
+        if base is None:
+            raise TransformError("unknown array %r" % ref.array)
+        self.expr_into(ref.index, target)
+        self.emit("    slli r%d, r%d, 2" % (target, target))
+        self.emit("    add  r%d, r%d, r%d" % (target, target, base))
+
+    _ARITH = {
+        "+": "add", "-": "sub", "*": "mul",
+        "&": "and", "|": "or", "^": "xor",
+        "<<": "sll", ">>": "sra",
+    }
+
+    def _binop_into(self, expr, target):
+        with self._temp() as left:
+            self.expr_into(expr.left, left)
+            with self._temp() as right:
+                self.expr_into(expr.right, right)
+                op = expr.op
+                if op in self._ARITH:
+                    self.emit(
+                        "    %-4s r%d, r%d, r%d"
+                        % (self._ARITH[op], target, left, right)
+                    )
+                elif op == "<":
+                    self.emit("    slt  r%d, r%d, r%d" % (target, left, right))
+                elif op == ">":
+                    self.emit("    slt  r%d, r%d, r%d" % (target, right, left))
+                elif op == ">=":
+                    self.emit("    sge  r%d, r%d, r%d" % (target, left, right))
+                elif op == "<=":
+                    self.emit("    sge  r%d, r%d, r%d" % (target, right, left))
+                elif op == "==":
+                    self.emit("    seq  r%d, r%d, r%d" % (target, left, right))
+                elif op == "!=":
+                    self.emit("    sne  r%d, r%d, r%d" % (target, left, right))
+                else:  # pragma: no cover
+                    raise TransformError("cannot lower operator %r" % op)
+
+    # -- statements -------------------------------------------------------------
+
+    def stmt(self, statement):
+        if isinstance(statement, Assign):
+            target = self._var(statement.var.name)
+            with self._temp() as temp:
+                self.expr_into(statement.expr, temp)
+                self.emit("    mv   r%d, r%d" % (target, temp))
+        elif isinstance(statement, Store):
+            with self._temp() as value, self._temp() as addr:
+                self.expr_into(statement.expr, value)
+                self._address_into(statement.ref, addr)
+                self.emit("    sw   r%d, 0(r%d)" % (value, addr))
+        elif isinstance(statement, If):
+            skip = self._new_label("if_skip")
+            with self._temp() as cond:
+                self.expr_into(statement.cond, cond)
+                self.emit("    beqz r%d, %s" % (cond, skip))
+            for inner in statement.body:
+                self.stmt(inner)
+            self.emit("%s:" % skip)
+        elif isinstance(statement, For):
+            self._lower_for(statement)
+        elif isinstance(statement, Break):
+            if not self.loop_ends:
+                raise TransformError("break outside a loop")
+            self.emit("    j    %s" % self.loop_ends[-1])
+        elif isinstance(statement, PushBQ):
+            with self._temp() as value:
+                self.expr_into(statement.expr, value)
+                self.emit("    push_bq r%d" % value)
+        elif isinstance(statement, BranchBQ):
+            body_label = self._new_label("bq_body")
+            skip_label = self._new_label("bq_skip")
+            self.emit("    b_bq %s" % body_label)
+            self.emit("    j    %s" % skip_label)
+            self.emit("%s:" % body_label)
+            for inner in statement.body:
+                self.stmt(inner)
+            self.emit("%s:" % skip_label)
+        elif isinstance(statement, PushVQ):
+            with self._temp() as value:
+                self.expr_into(statement.expr, value)
+                self.emit("    push_vq r%d" % value)
+        elif isinstance(statement, PopVQ):
+            self.emit("    pop_vq r%d" % self._var(statement.var.name))
+        elif isinstance(statement, PushTQ):
+            with self._temp() as value:
+                self.expr_into(statement.expr, value)
+                self.emit("    push_tq r%d" % value)
+        elif isinstance(statement, TQLoop):
+            self._lower_tq_loop(statement)
+        elif isinstance(statement, Prefetch):
+            with self._temp() as addr:
+                self._address_into(statement.ref, addr)
+                self.emit("    prefetch 0(r%d)" % addr)
+        elif isinstance(statement, MarkBQ):
+            self.emit("    mark")
+        elif isinstance(statement, ForwardBQ):
+            self.emit("    forward")
+        else:
+            raise TransformError("cannot lower statement %r" % (statement,))
+
+    def _lower_for(self, loop):
+        top = self._new_label("for_top")
+        end = self._new_label("for_end")
+        var = self._var(loop.var.name)
+        limit = self._alloc("loop limit")
+        try:
+            self.expr_into(loop.count, limit)
+            self.emit("    li   r%d, 0" % var)
+            self.emit("%s:" % top)
+            self.emit("    bge  r%d, r%d, %s" % (var, limit, end))
+            self.loop_ends.append(end)
+            for inner in loop.body:
+                self.stmt(inner)
+            self.loop_ends.pop()
+            self.emit("    addi r%d, r%d, 1" % (var, var))
+            self.emit("    j    %s" % top)
+            self.emit("%s:" % end)
+        finally:
+            self.free.append(limit)
+
+    def _lower_tq_loop(self, loop):
+        body = self._new_label("tq_body")
+        test = self._new_label("tq_test")
+        var = self._var(loop.var.name)
+        self.emit("    pop_tq")
+        self.emit("    li   r%d, 0" % var)
+        self.emit("    j    %s" % test)
+        self.emit("%s:" % body)
+        for inner in loop.body:
+            self.stmt(inner)
+        self.emit("    addi r%d, r%d, 1" % (var, var))
+        self.emit("%s:" % test)
+        self.emit("    b_tcr %s" % body)
+
+    # -- kernel -----------------------------------------------------------------
+
+    def lower(self):
+        kernel = self.kernel
+        data_lines = []
+        for name, values in kernel.arrays.items():
+            data_lines.append("%s: .space %d" % (name, len(values)))
+        for name, size in kernel.out_arrays.items():
+            data_lines.append("%s: .space %d" % (name, size))
+        data_lines.append("result: .space %d" % max(1, len(kernel.results)))
+
+        self.emit(".data")
+        self.lines.extend(data_lines)
+        self.emit(".text")
+        self.emit("main:")
+        for name in list(kernel.arrays) + list(kernel.out_arrays):
+            reg = self._alloc("array %s" % name)
+            self.array_reg[name] = reg
+            self.emit("    la   r%d, %s" % (reg, name))
+        for name, value in kernel.params.items():
+            self.emit("    li   r%d, %d" % (self._var(name), value))
+        for statement in kernel.body:
+            self.stmt(statement)
+        with self._temp() as addr:
+            self.emit("    la   r%d, result" % addr)
+            for position, var in enumerate(kernel.results):
+                self.emit(
+                    "    sw   r%d, %d(r%d)"
+                    % (self._var(var.name), 4 * position, addr)
+                )
+        self.emit("    halt")
+        return "\n".join(self.lines)
+
+
+def lower_kernel(kernel):
+    """Lower *kernel* to a runnable :class:`~repro.isa.program.Program`."""
+    source = _Lowerer(kernel).lower()
+    return build_program(source, kernel.name, kernel.arrays)

@@ -1,0 +1,213 @@
+"""CFD profitability analysis (Section III-B).
+
+"Whether or not CFD is profitable for a particular separable branch
+depends on the misprediction rate and penalty of the branch and the
+overhead of applying CFD to it.  Accordingly, the programmer or compiler
+must apply the CFD transformation judiciously, leveraging static analysis
+of the overhead of the CFD-transformed loop, features of the target
+microarchitecture, [and] accurate profiling of the branch."
+
+This module implements exactly that decision procedure:
+
+1. **static overhead estimate** — count the dynamic IR operations of the
+   original vs transformed loop, weighted by the taken probability of the
+   guard (profiled or assumed);
+2. **misprediction-cost estimate** — profiled misprediction rate times
+   the configured misprediction penalty (front-end depth + resolve);
+3. **verdict** — transform when the cycles saved exceed the cycles the
+   extra instructions cost at the machine's sustainable IPC.
+
+:func:`auto_transform` ties it together: classify, estimate, and apply
+CFD / if-conversion / nothing, mirroring the paper's compiler flow.
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import TransformError
+from repro.transform.classify import BranchClass, classify_kernel
+from repro.transform.cfd_pass import apply_cfd
+from repro.transform.if_convert import apply_if_conversion
+from repro.transform.ir import (
+    Assign,
+    BranchBQ,
+    Break,
+    Const,
+    For,
+    ForwardBQ,
+    If,
+    MarkBQ,
+    PopVQ,
+    Prefetch,
+    PushBQ,
+    PushTQ,
+    PushVQ,
+    Store,
+    TQLoop,
+)
+
+
+@dataclass
+class ProfitabilityEstimate:
+    """The numbers behind one CFD go/no-go decision."""
+
+    branch_class: BranchClass
+    base_ops_per_iter: float
+    cfd_ops_per_iter: float
+    misprediction_rate: float
+    taken_fraction: float
+    penalty_cycles: int
+    machine_ipc: float
+
+    @property
+    def overhead_ops(self):
+        return self.cfd_ops_per_iter - self.base_ops_per_iter
+
+    @property
+    def overhead_cycles_per_iter(self):
+        return max(0.0, self.overhead_ops) / self.machine_ipc
+
+    @property
+    def saved_cycles_per_iter(self):
+        return self.misprediction_rate * self.penalty_cycles
+
+    @property
+    def profitable(self):
+        return self.saved_cycles_per_iter > self.overhead_cycles_per_iter
+
+    def describe(self):
+        return (
+            "class=%s ops %.1f->%.1f (+%.1f), mispredict %.3f x penalty %d "
+            "=> save %.2f cyc/iter vs cost %.2f cyc/iter: %s"
+            % (
+                self.branch_class.value,
+                self.base_ops_per_iter,
+                self.cfd_ops_per_iter,
+                self.overhead_ops,
+                self.misprediction_rate,
+                self.penalty_cycles,
+                self.saved_cycles_per_iter,
+                self.overhead_cycles_per_iter,
+                "PROFITABLE" if self.profitable else "not profitable",
+            )
+        )
+
+
+#: Assumed trip count for loops whose count is not a compile-time constant.
+_NOMINAL_TRIPS = 3.0
+
+
+def _ops_in(statements, taken_fraction):
+    """Expected dynamic ops per execution of *statements*."""
+    total = 0.0
+    for stmt in statements:
+        if isinstance(stmt, If):
+            total += 1.0  # the branch/predicate itself
+            total += taken_fraction * _ops_in(stmt.body, taken_fraction)
+        elif isinstance(stmt, For):
+            trips = (
+                float(stmt.count.value)
+                if isinstance(stmt.count, Const)
+                else _NOMINAL_TRIPS
+            )
+            total += 2.0  # init + limit
+            total += trips * (2.0 + _ops_in(stmt.body, taken_fraction))
+        elif isinstance(stmt, BranchBQ):
+            total += 1.0  # the fetch-resolved pop
+            total += taken_fraction * _ops_in(stmt.body, taken_fraction)
+        elif isinstance(stmt, TQLoop):
+            total += 1.0
+            total += _NOMINAL_TRIPS * (1.0 + _ops_in(stmt.body, taken_fraction))
+        elif isinstance(stmt, (Assign, Store, PushBQ, PushVQ, PopVQ, PushTQ,
+                               Prefetch, MarkBQ, ForwardBQ)):
+            total += 1.0
+        elif isinstance(stmt, Break):
+            total += 0.1
+        else:
+            total += 1.0
+    return total
+
+
+def estimate_cfd_profitability(
+    kernel,
+    misprediction_rate,
+    taken_fraction=0.5,
+    config=None,
+    machine_ipc=3.0,
+    chunk=128,
+):
+    """Estimate whether CFD pays off for *kernel*'s separable branch.
+
+    *misprediction_rate* and *taken_fraction* come from profiling (see
+    :mod:`repro.profiling`); the penalty derives from the target core's
+    fetch-to-execute depth, per the paper's recipe.
+    """
+    classification = classify_kernel(kernel)
+    if classification.branch_class not in (
+        BranchClass.TOTALLY_SEPARABLE,
+        BranchClass.PARTIALLY_SEPARABLE,
+    ):
+        raise TransformError(
+            "profitability analysis applies to separable branches (got %s)"
+            % classification.branch_class.value
+        )
+    if config is None:
+        from repro.core import sandy_bridge_config
+
+        config = sandy_bridge_config()
+    penalty = config.front_end_depth + 3  # fetch-to-execute + resolve
+
+    # Per-element cost of the original loop body (+2 for its own control).
+    base_ops = 2.0 + _ops_in(classification.loop.body, taken_fraction)
+    transformed = apply_cfd(kernel, chunk=chunk)
+    transformed_loop = next(
+        stmt for stmt in transformed.body if isinstance(stmt, For)
+    )
+    # The chunk-loop body covers `chunk` original elements; normalize.
+    actual_chunk = max(1, _inner_trip(transformed_loop))
+    cfd_ops = (
+        2.0 + _ops_in(transformed_loop.body, taken_fraction)
+    ) / actual_chunk
+
+    return ProfitabilityEstimate(
+        branch_class=classification.branch_class,
+        base_ops_per_iter=base_ops,
+        cfd_ops_per_iter=cfd_ops,
+        misprediction_rate=misprediction_rate,
+        taken_fraction=taken_fraction,
+        penalty_cycles=penalty,
+        machine_ipc=machine_ipc,
+    )
+
+
+def _inner_trip(chunk_loop):
+    """The strip-mine chunk (trip count of the generator/consumer loops)."""
+    for stmt in chunk_loop.body:
+        if isinstance(stmt, For) and isinstance(stmt.count, Const):
+            return stmt.count.value
+    return 1
+
+
+def auto_transform(kernel, misprediction_rate, taken_fraction=0.5,
+                   config=None):
+    """The compiler flow: classify, estimate, transform (or not).
+
+    Returns (kernel', decision string).  Hammocks are if-converted,
+    profitable separable branches are decoupled, inseparable branches and
+    unprofitable transforms leave the kernel unchanged.
+    """
+    classification = classify_kernel(kernel)
+    branch_class = classification.branch_class
+    if branch_class == BranchClass.HAMMOCK:
+        return apply_if_conversion(kernel), "if-converted (hammock)"
+    if branch_class == BranchClass.SEPARABLE_LOOP_BRANCH:
+        from repro.transform.tq_pass import apply_tq
+
+        return apply_tq(kernel), "decoupled via TQ (separable loop-branch)"
+    if branch_class == BranchClass.INSEPARABLE:
+        return kernel, "left alone (inseparable)"
+    estimate = estimate_cfd_profitability(
+        kernel, misprediction_rate, taken_fraction, config
+    )
+    if estimate.profitable:
+        return apply_cfd(kernel), "decoupled via CFD: " + estimate.describe()
+    return kernel, "left alone (CFD unprofitable): " + estimate.describe()

@@ -1,0 +1,90 @@
+"""CFD(TQ): separable loop-branch decoupling (Section IV-C).
+
+Transforms
+
+    for i in 0..N:  <pre assigns>  for j in 0..count(i): <body>
+
+into a strip-mined pair: a generator loop pushing each ``count(i)`` onto
+the trip-count queue, and a consumer loop popping counts and running the
+inner body under fetch-unit control (``TQLoop`` -> Pop_TQ/Branch_on_TCR).
+"""
+
+import copy
+from dataclasses import replace
+
+from repro.errors import TransformError
+from repro.transform.classify import BranchClass, classify_kernel
+from repro.transform.ir import (
+    Assign,
+    Const,
+    For,
+    PushTQ,
+    TQLoop,
+    Var,
+    backward_slice,
+)
+from repro.transform.cfd_pass import _rebase
+
+DEFAULT_TQ_CHUNK = 256
+
+
+def apply_tq(kernel, chunk=DEFAULT_TQ_CHUNK):
+    """Return a new kernel with the loop-branch decoupled through the TQ."""
+    classification = classify_kernel(kernel)
+    if classification.branch_class != BranchClass.SEPARABLE_LOOP_BRANCH:
+        raise TransformError(
+            "CFD(TQ) applies to separable loop-branches only (kernel %r is %s)"
+            % (kernel.name, classification.branch_class.value)
+        )
+    loop = classification.loop
+    inner = classification.inner_loop
+    if not isinstance(loop.count, Const):
+        raise TransformError("outer loop must have a constant trip count")
+    total = loop.count.value
+    if total % chunk != 0:
+        for candidate in range(min(chunk, total), 0, -1):
+            if total % candidate == 0:
+                chunk = candidate
+                break
+    n_chunks = total // chunk
+
+    inner_pos = loop.body.index(inner)
+    pre = loop.body[:inner_pos]
+    post = loop.body[inner_pos + 1 :]
+    for stmt in pre:
+        if not isinstance(stmt, Assign):
+            raise TransformError("pre-loop statements must be pure assignments")
+
+    count_var = Var("_tq_count")
+    iter_var = Var("_tq_i")
+    chunk_var = Var("_tq_c")
+
+    slice_indices = backward_slice(pre, inner.count)
+    slice_stmts = [pre[i] for i in slice_indices]
+    generator = [copy.deepcopy(s) for s in slice_stmts]
+    generator.append(Assign(count_var, copy.deepcopy(inner.count)))
+    generator.append(PushTQ(count_var))
+
+    consumer = [copy.deepcopy(s) for s in pre]
+    consumer.append(TQLoop(inner.var, copy.deepcopy(inner.body)))
+    consumer.extend(copy.deepcopy(s) for s in post)
+
+    generator = _rebase(generator, loop.var.name, chunk_var.name, iter_var.name, chunk)
+    consumer = _rebase(consumer, loop.var.name, chunk_var.name, iter_var.name, chunk)
+
+    chunk_body = [
+        For(iter_var, Const(chunk), generator),
+        For(iter_var, Const(chunk), consumer),
+    ]
+    new_loop = For(chunk_var, Const(n_chunks), chunk_body)
+    new_body = [
+        new_loop if stmt is loop else copy.deepcopy(stmt) for stmt in kernel.body
+    ]
+    return replace(
+        kernel,
+        name=kernel.name + "/tq",
+        body=new_body,
+        arrays=copy.deepcopy(kernel.arrays),
+        out_arrays=dict(kernel.out_arrays),
+        results=list(kernel.results),
+    )

@@ -1,0 +1,30 @@
+"""Workloads: synthetic kernels reproducing the paper's benchmark idioms.
+
+The paper applies CFD manually to the CFD region of each targeted
+benchmark (Tables V/VI name the files, functions and branch lines).  We
+cannot run SPEC/BioBench/MineBench/cBench, so each workload module here
+reduces one application to exactly the loop idiom the paper identifies —
+with data generators that reproduce the branch's misprediction behaviour
+and the memory level feeding it — and provides the paper's program
+variants: ``base``, ``cfd``, ``cfd_plus`` (VQ), ``dfd``, ``cfd_dfd``,
+``tq``, ``bq_tq`` as applicable.
+
+Use :func:`repro.workloads.suite.get_workload` /
+:func:`repro.workloads.suite.all_workloads` to access them.
+"""
+
+from repro.workloads.suite import (
+    BuiltProgram,
+    Workload,
+    all_workloads,
+    get_workload,
+    workload_names,
+)
+
+__all__ = [
+    "BuiltProgram",
+    "Workload",
+    "all_workloads",
+    "get_workload",
+    "workload_names",
+]

@@ -1,0 +1,178 @@
+"""Shared builder for scan-style separable-branch kernels.
+
+Most of the paper's CFD(BQ) applications reduce to the same skeleton —
+
+    for (i = 0; i < N; i++) {
+        x = <element i>                # direct or through an index array
+        if (<hard predicate on x>)     # separable branch
+            <large control-dependent region>
+    }
+
+— differing in how the element is fetched, what the predicate computes,
+and what the CD region does.  This module turns a :class:`ScanSpec` into
+the full variant set (base / cfd / cfd_plus / dfd / cfd_dfd) with
+consistent strip-mining, so each workload module only supplies the pieces
+that make it *its* benchmark.
+
+Register contract for the snippets:
+
+- ``r15`` element pointer (main array), ``r18``/``r19`` aux array bases
+- ``load_x``   leaves the element value in ``r5``
+- ``predicate`` leaves the *skip* predicate (1 = skip the CD) in ``r7``;
+  may clobber r6, r10-r13
+- ``cd_region`` consumes ``r5`` (reloaded or VQ-popped in CFD variants)
+  and may use r10-r13 as scratch, r20-r25 as accumulators, r16 as an
+  output cursor
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.workloads.builders import require
+
+CHUNK = 128
+
+_PROLOGUE = """
+.data
+{data_section}
+outbuf: .space {outwords}
+result: .space 8
+
+.text
+main:
+{param_setup}
+    li   r20, 0
+    li   r21, 0
+    li   r22, 0
+    li   r23, 0
+    li   r25, 0
+    li   r9, {reps}
+rep_loop:
+    la   r16, outbuf
+{rep_setup}
+"""
+
+_EPILOGUE = """
+    addi r9, r9, -1
+    bnez r9, rep_loop
+    la   r1, result
+    sw   r20, 0(r1)
+    sw   r21, 4(r1)
+    halt
+"""
+
+
+@dataclass
+class ScanSpec:
+    """Everything that distinguishes one scan kernel from another."""
+
+    data_section: str  # .data lines (arrays declared with .space)
+    param_setup: str  # executed once (thresholds into r14 etc.)
+    rep_setup: str = ""  # executed at each rep (aux bases into r18/r19)
+    load_x: str = "    lw   r5, 0(r15)\n"
+    predicate: str = "    sge  r7, r5, r14\n"
+    cd_region: str = ""
+    main_array: str = "data"  # symbol the element pointer walks
+    elem_bytes: int = 4
+    prefetch_addr: Optional[str] = None  # snippet leaving pf address in r6
+    arrays: Dict[str, object] = field(default_factory=dict)
+    vq_communicates_x: bool = True  # cfd_plus carries x through the VQ
+
+
+def _counted(label, count, body):
+    return """    li   r3, {count}
+{label}:
+{body}    addi r15, r15, {{elem_bytes}}
+    addi r3, r3, -1
+    bnez r3, {label}
+""".format(label=label, count=count, body=body)
+
+
+def _base_body(spec):
+    body = (
+        spec.load_x
+        + spec.predicate
+        + "SEP_MAIN:\n    bnez r7, skip\n"
+        + spec.cd_region
+        + "skip:\n"
+    )
+    return "    la   r15, %s\n" % spec.main_array + _counted("loop", "{n}", body)
+
+
+def _cfd_body(spec, use_vq):
+    gen = spec.load_x + spec.predicate + "    push_bq r7\n"
+    if use_vq and spec.vq_communicates_x:
+        gen += "    push_vq r5\n"
+        reuse = "    pop_vq r5\n"
+    else:
+        reuse = spec.load_x
+    use = reuse + "    b_bq cd_skip\n" + spec.cd_region + "cd_skip:\n"
+    return (
+        "    la   r26, %s\n" % spec.main_array
+        + "    li   r27, {n_chunks}\nchunk_loop:\n"
+        + "{dfd_prefix}"
+        + "    mv   r15, r26\n"
+        + _counted("gen_loop", "{chunk}", gen)
+        + "    mv   r15, r26\n"
+        + _counted("use_loop", "{chunk}", use)
+        + "    addi r26, r26, {chunk_main_bytes}\n"
+        + "    addi r27, r27, -1\n"
+        + "    bnez r27, chunk_loop\n"
+    )
+
+
+def _dfd_prefix(spec):
+    if spec.prefetch_addr is None:
+        pf = "    prefetch 0(r15)\n"
+    else:
+        pf = spec.prefetch_addr + "    prefetch 0(r6)\n"
+    return "    mv   r15, r26\n" + _counted("pf_loop", "{chunk}", pf)
+
+
+def _dfd_base_body(spec):
+    body = (
+        spec.load_x
+        + spec.predicate
+        + "SEP_MAIN:\n    bnez r7, skip\n"
+        + spec.cd_region
+        + "skip:\n"
+    )
+    return (
+        "    la   r26, %s\n" % spec.main_array
+        + "    li   r27, {n_chunks}\ndfd_chunk:\n"
+        + _dfd_prefix(spec)
+        + "    mv   r15, r26\n"
+        + _counted("loop", "{chunk}", body)
+        + "    addi r26, r26, {chunk_main_bytes}\n"
+        + "    addi r27, r27, -1\n"
+        + "    bnez r27, dfd_chunk\n"
+    )
+
+
+def build_scan_source(spec, variant, n, reps, outwords=None):
+    """Render the full program source for one variant of *spec*."""
+    require(n % CHUNK == 0, "scan size must be a multiple of the chunk")
+    fmt = {
+        "n": n,
+        "reps": reps,
+        "chunk": CHUNK,
+        "elem_bytes": spec.elem_bytes,
+        "chunk_main_bytes": CHUNK * spec.elem_bytes,
+        "n_chunks": n // CHUNK,
+        "outwords": outwords if outwords is not None else 2 * n,
+        "data_section": spec.data_section,
+        "param_setup": spec.param_setup,
+        "rep_setup": spec.rep_setup,
+    }
+    body = {
+        "base": _base_body(spec),
+        "cfd": _cfd_body(spec, use_vq=False),
+        "cfd_plus": _cfd_body(spec, use_vq=True),
+        "dfd": _dfd_base_body(spec),
+        "cfd_dfd": _cfd_body(spec, use_vq=False),
+    }[variant]
+    template = _PROLOGUE + body + _EPILOGUE
+    fmt["dfd_prefix"] = ""
+    if variant == "cfd_dfd":
+        fmt["dfd_prefix"] = _dfd_prefix(spec).format(**fmt)
+    return template.format(**fmt)

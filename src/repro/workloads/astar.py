@@ -1,0 +1,744 @@
+"""astar: the paper's case study (Section VII-B, Figs 14, 16, 22, 23).
+
+Three regions, each registered as its own workload:
+
+``astar_r1`` — region #1 (``makebound2``-style).  The hardest case:
+  * two nested hard-to-predict branches, the inner predicate depending on
+    a memory reference only safe under the outer predicate;
+  * a short loop-carried dependence (the flag update
+    ``map_flag[idx] = m`` feeds the outer predicate for duplicate
+    indices) — a *partially separable* branch, if-converted with cmov;
+  * an early exit (``return``) — handled with Mark/Forward.
+  The CFD transform uses three loops exactly as in Fig 22: loop 1 pushes
+  the outer skip-predicate, loop 2 pops it, re-evaluates the precise
+  combined predicate against *fresh* flags (stale-true outer predicates
+  are safe because flags move monotonically toward "visited"), performs
+  the if-converted flag update, and pushes the combined skip-predicate;
+  loop 3 pops it around the work region and may break early.
+
+``astar_r2`` — region #2: a totally separable scan over a grid indexed
+  through a permutation (defeats stride prefetching; scales into L2/L3/
+  memory for the window-scaling study of Fig 23).
+
+``astar_tq`` — the separable loop-branch of Fig 14: inner-loop trip
+  counts ``a[i]`` in [0, max_run], data-dependent and therefore
+  mispredicted at every inner-loop exit; CFD(TQ) moves looping into the
+  fetch unit.  ``bq_tq`` additionally decouples a separable branch inside
+  the inner-loop body (Fig 28): the generator re-pushes each trip count
+  twice so both the predicate generator and the consumer can drive their
+  inner loops from the TQ (keeping every loop-branch fetch-resolved).
+"""
+
+import numpy as np
+
+from repro.workloads import data_gen
+from repro.workloads.builders import require
+from repro.workloads.suite import (
+    CLASS_LOOP_BRANCH,
+    CLASS_PARTIALLY_SEPARABLE,
+    CLASS_TOTALLY_SEPARABLE,
+    Workload,
+    register,
+)
+
+_CHUNK = 128
+#: Region #1 keeps two predicate streams (outer + combined) in flight, so
+#: its strip-mine chunk is half the BQ size.
+_R1_CHUNK = 64
+
+_R1_INPUTS = {
+    # duplicate_fraction drives the loop-carried dependence rate;
+    # pass_fraction is P(v <= bound1v) for the inner predicate.
+    "BigLakes": {"n": 1536, "cells": 4096, "dup": 0.4, "pass": 0.55, "reps": 3},
+    "Rivers": {"n": 1536, "cells": 4096, "dup": 0.25, "pass": 0.45, "reps": 3},
+}
+
+
+def _r1_data(params, scale, seed):
+    n = max(_R1_CHUNK, int(params["n"] * scale) // _R1_CHUNK * _R1_CHUNK)
+    cells = max(n, int(params["cells"] * scale))
+    generator = data_gen.rng(seed)
+    # bound[] indices: a mix of fresh cells and repeats of earlier entries.
+    bound = np.zeros(n, dtype=np.int64)
+    fresh = generator.permutation(cells)
+    fresh_cursor = 0
+    for i in range(n):
+        if i and generator.random() < params["dup"]:
+            bound[i] = bound[generator.integers(0, i)]
+        else:
+            bound[i] = fresh[fresh_cursor % cells]
+            fresh_cursor += 1
+    bound1v = 10_000
+    spread = 8000
+    vals = generator.integers(
+        bound1v - spread, bound1v + spread, size=cells
+    ).astype(np.int64)
+    passing = generator.random(cells) < params["pass"]
+    vals = np.where(passing, np.abs(vals) % bound1v, bound1v + 1 + vals % spread)
+    # Early-exit sentinel: a unique magic value at ~85% of the walk.  The
+    # magic cell must appear exactly once in bound[] so the exit fires at a
+    # deterministic position in every rep.
+    magic_cell = cells - 1
+    bound[bound == magic_cell] = cells - 2
+    magic_pos = int(n * 0.85)
+    bound[magic_pos] = magic_cell
+    vals[magic_cell] = -123456  # negative -> always <= bound1v
+    return n, cells, bound, vals, bound1v
+
+
+_R1_PROLOGUE = """
+.data
+bound:    .space {n}
+map:      .space {map_words}
+outbuf:   .space {outwords}
+result:   .space 8
+
+.text
+main:
+    li   r14, {bound1v}
+    li   r13, -123456        # magic early-exit value
+    li   r17, 0              # marker m (incremented per rep)
+    li   r20, 0
+    li   r21, 0
+    li   r22, 0
+    li   r25, 0
+    li   r9, {reps}
+rep_loop:
+    addi r17, r17, 1
+    la   r16, outbuf
+    la   r18, map
+"""
+
+_R1_EPILOGUE = """
+rep_done:
+    addi r9, r9, -1
+    bnez r9, rep_loop
+    la   r1, result
+    sw   r20, 0(r1)
+    sw   r21, 4(r1)
+    halt
+"""
+
+#: The work region (16 instructions), with v in r10 and idx in r4.  Large
+#: enough that if-conversion would be unprofitable (the defining property
+#: of the separable class, Section II-B).
+_R1_WORK = """
+    add  r20, r20, r10
+    addi r21, r21, 1
+    sub  r12, r14, r10
+    add  r22, r22, r12
+    srai r1, r12, 3
+    add  r22, r22, r1
+    xor  r25, r25, r10
+    slli r2, r10, 1
+    sub  r2, r2, r12
+    add  r20, r20, r2
+    srli r1, r10, 5
+    xor  r25, r25, r1
+    and  r2, r12, r10
+    add  r22, r22, r2
+    sw   r4, 0(r16)
+    sw   r12, 4(r16)
+    addi r16, r16, 8
+"""
+
+#: Each grid cell is a 64-byte struct (flag word, value word, padding), as
+#: in the real astar: one cache line per cell, so the flag and value share
+#: a line and a single prefetch covers both.
+_R1_BASE = """
+    la   r15, bound
+    li   r3, {n}
+loop:
+    lw   r4, 0(r15)          # idx = bound[i]
+    slli r5, r4, 6           # 64-byte cells
+    add  r6, r5, r18
+    lw   r7, 0(r6)           # map[idx].flag
+SEP_OUTER:
+    beq  r7, r17, skip       # skip if already visited this rep
+    lw   r10, 4(r6)          # v = map[idx].val (safe: outer pred true)
+SEP_INNER:
+    blt  r14, r10, skip      # skip if v > bound1v
+    sw   r17, 0(r6)          # map[idx].flag = m  (loop-carried dep)
+""" + _R1_WORK + """
+    beq  r10, r13, rep_done  # early exit ("return") on magic
+skip:
+    addi r15, r15, 4
+    addi r3, r3, -1
+    bnez r3, loop
+"""
+
+_R1_CFD = """
+    la   r26, bound
+    li   r27, {n_chunks}
+chunk_loop:
+{dfd_prefix}    # -- loop 1: outer skip-predicates; cell address goes through the VQ --
+    mv   r15, r26
+    li   r3, {chunk}
+gen1:
+    lw   r4, 0(r15)
+    slli r5, r4, 6
+    add  r6, r5, r18
+    push_vq r6               # communicate &map[idx] (Table V: "Y")
+    lw   r7, 0(r6)
+    seq  r10, r7, r17        # skip-predicate: flag == m
+    push_bq r10
+    addi r15, r15, 4
+    addi r3, r3, -1
+    bnez r3, gen1
+    # -- loop 2: precise combined predicate + if-converted flag update ----
+    li   r3, {chunk}
+gen2:
+    pop_vq r6
+    push_vq r6               # re-push for loop 3
+    li   r11, 1              # combined skip defaults to 1
+    b_bq gen2_skip           # guarded by (possibly stale-true) outer pred
+    lw   r10, 4(r6)          # v (safe under outer pred)
+    lw   r7, 0(r6)           # fresh flag
+    seq  r1, r7, r17
+    slt  r2, r14, r10
+    or   r11, r1, r2         # skip = visited || v > bound1v
+    mv   r12, r7
+    cmovz r12, r17, r11      # if-converted: flag' = skip ? flag : m
+    sw   r12, 0(r6)
+gen2_skip:
+    push_bq r11
+    addi r3, r3, -1
+    bnez r3, gen2
+    mark                     # remember the BQ tail (excess-push cleanup)
+    # -- loop 3: the control-dependent work region -------------------------
+    mv   r15, r26
+    li   r3, {chunk}
+use:
+    lw   r4, 0(r15)
+    pop_vq r6
+    b_bq use_skip
+    lw   r10, 4(r6)
+""" + _R1_WORK + """
+    beq  r10, r13, early_exit
+use_skip:
+    addi r15, r15, 4
+    addi r3, r3, -1
+    bnez r3, use
+    forward                  # no-op when loop 3 popped everything
+    addi r26, r26, {chunk_bytes}
+    addi r27, r27, -1
+    bnez r27, chunk_loop
+    j    chunks_done
+early_exit:
+    forward                  # bulk-pop the predicates loop 3 never popped
+    addi r3, r3, -1          # current element's VQ entry was already popped
+drain_vq:
+    beqz r3, chunks_done     # drain the VQ entries loop 3 never popped
+    pop_vq r6
+    addi r3, r3, -1
+    j    drain_vq
+chunks_done:
+"""
+
+#: DFD (Fig 16): a compact prefetch loop ahead of the *unmodified* work
+#: loop.  Strip-mined so the prefetched chunk is still L1/L2-resident when
+#: the work loop reaches it (the paper's full-region prefetch works because
+#: its caches are full-size; ours are scaled down with the footprint).
+_R1_DFD_BASE = """
+    la   r26, bound
+    li   r27, {n_chunks}
+dfd_chunk:
+    mv   r15, r26
+    li   r3, {chunk}
+pf_loop:
+    lw   r4, 0(r15)          # idx (address slice of the missing loads)
+    slli r5, r4, 6
+    add  r6, r5, r18
+    prefetch 0(r6)           # one line covers flag and value
+    addi r15, r15, 4
+    addi r3, r3, -1
+    bnez r3, pf_loop
+    mv   r15, r26
+    li   r3, {chunk}
+loop:
+    lw   r4, 0(r15)          # idx = bound[i]
+    slli r5, r4, 6           # 64-byte cells
+    add  r6, r5, r18
+    lw   r7, 0(r6)           # map[idx].flag
+SEP_OUTER:
+    beq  r7, r17, skip       # skip if already visited this rep
+    lw   r10, 4(r6)          # v = map[idx].val
+SEP_INNER:
+    blt  r14, r10, skip      # skip if v > bound1v
+    sw   r17, 0(r6)          # map[idx].flag = m
+""" + _R1_WORK + """
+    beq  r10, r13, rep_done  # early exit on magic
+skip:
+    addi r15, r15, 4
+    addi r3, r3, -1
+    bnez r3, loop
+    addi r26, r26, {chunk_bytes}
+    addi r27, r27, -1
+    bnez r27, dfd_chunk
+"""
+
+#: DFD combined with CFD: the prefetch loop precedes each chunk's CFD
+#: loops, feeding the predicate loop from a warm cache (Fig 26).
+_R1_DFD_PF_ONLY = """
+    mv   r15, r26
+    li   r3, {chunk}
+pf_loop:
+    lw   r4, 0(r15)
+    slli r5, r4, 6
+    add  r6, r5, r18
+    prefetch 0(r6)
+    addi r15, r15, 4
+    addi r3, r3, -1
+    bnez r3, pf_loop
+"""
+
+
+def _build_r1(variant, input_name, scale, seed):
+    params = _R1_INPUTS[input_name]
+    n, cells, bound, vals, bound1v = _r1_data(params, scale, seed)
+    fmt = {
+        "n": n,
+        "outwords": 2 * n,
+        "map_words": cells * 16,
+        "bound1v": bound1v,
+        "reps": params["reps"],
+        "chunk": _R1_CHUNK,
+        "chunk_bytes": _R1_CHUNK * 4,
+        "n_chunks": n // _R1_CHUNK,
+    }
+    body = {
+        "base": _R1_BASE,
+        "cfd": _R1_CFD,
+        "dfd": _R1_DFD_BASE,
+        "cfd_dfd": _R1_CFD,
+    }[variant]
+    fmt["dfd_prefix"] = (
+        _R1_DFD_PF_ONLY.format(**fmt) if variant == "cfd_dfd" else ""
+    )
+    source = (_R1_PROLOGUE + body + _R1_EPILOGUE).format(**fmt)
+    # Interleave flag/value into the 64-byte cell structs.
+    map_image = np.zeros(cells * 16, dtype=np.int64)
+    map_image[1::16] = vals
+    arrays = {"bound": bound, "map": map_image}
+    meta = {"n": n, "cells": cells, "footprint_bytes": 4 * n + 64 * cells}
+    return source, arrays, meta
+
+
+register(
+    Workload(
+        name="astar_r1",
+        suite="SPEC2006",
+        description="nested partially-separable branches with early exit",
+        paper_region="Way_.cpp makebound2, region #1 (Fig 22)",
+        branch_class=CLASS_PARTIALLY_SEPARABLE,
+        variants=("base", "cfd", "dfd", "cfd_dfd"),
+        inputs=("BigLakes", "Rivers"),
+        time_fraction=0.47,
+        builder=_build_r1,
+    )
+)
+
+
+# --------------------------------------------------------------------------
+# Region #2: totally separable scan over a permuted grid (memory-bound).
+# --------------------------------------------------------------------------
+
+_R2_INPUTS = {
+    "BigLakes": {"n": 2048, "below_fraction": 0.5, "reps": 3},
+    "Rivers": {"n": 2048, "below_fraction": 0.4, "reps": 3},
+}
+
+_R2_TEMPLATE = {
+    "prologue": """
+.data
+wayind: .space {n}
+grid:   .space {n}
+outbuf: .space {n}
+result: .space 8
+
+.text
+main:
+    li   r14, {threshold}
+    li   r20, 0
+    li   r21, 0
+    li   r22, 0
+    li   r9, {reps}
+rep_loop:
+    la   r16, outbuf
+    la   r18, grid
+""",
+    "epilogue": """
+    addi r9, r9, -1
+    bnez r9, rep_loop
+    la   r1, result
+    sw   r20, 0(r1)
+    sw   r21, 4(r1)
+    halt
+""",
+}
+
+_R2_WORK = """
+    add  r20, r20, r10
+    addi r21, r21, 1
+    mul  r11, r10, r10
+    add  r22, r22, r11
+    sw   r10, 0(r16)
+    addi r16, r16, 4
+"""
+
+_R2_BASE = """
+    la   r15, wayind
+    li   r3, {n}
+loop:
+    lw   r4, 0(r15)
+    slli r5, r4, 2
+    add  r6, r5, r18
+    lw   r10, 0(r6)          # grid[wayind[i]]: permuted -> cache-hostile
+SEP_MAIN:
+    bge  r10, r14, skip
+""" + _R2_WORK + """
+skip:
+    addi r15, r15, 4
+    addi r3, r3, -1
+    bnez r3, loop
+"""
+
+_R2_CFD = """
+    la   r26, wayind
+    li   r27, {n_chunks}
+chunk_loop:
+{dfd_prefix}    mv   r15, r26
+    li   r3, {chunk}
+gen:
+    lw   r4, 0(r15)
+    slli r5, r4, 2
+    add  r6, r5, r18
+    lw   r10, 0(r6)
+    sge  r7, r10, r14
+    push_bq r7
+    addi r15, r15, 4
+    addi r3, r3, -1
+    bnez r3, gen
+    mv   r15, r26
+    li   r3, {chunk}
+use:
+    lw   r4, 0(r15)
+    slli r5, r4, 2
+    add  r6, r5, r18
+    b_bq use_skip
+    lw   r10, 0(r6)
+""" + _R2_WORK + """
+use_skip:
+    addi r15, r15, 4
+    addi r3, r3, -1
+    bnez r3, use
+    addi r26, r26, {chunk_bytes}
+    addi r27, r27, -1
+    bnez r27, chunk_loop
+"""
+
+_R2_DFD_BASE = """
+    la   r26, wayind
+    li   r27, {n_chunks}
+dfd_chunk:
+    mv   r15, r26
+    li   r3, {chunk}
+pf_loop:
+    lw   r4, 0(r15)
+    slli r5, r4, 2
+    add  r6, r5, r18
+    prefetch 0(r6)
+    addi r15, r15, 4
+    addi r3, r3, -1
+    bnez r3, pf_loop
+    mv   r15, r26
+    li   r3, {chunk}
+loop:
+    lw   r4, 0(r15)
+    slli r5, r4, 2
+    add  r6, r5, r18
+    lw   r10, 0(r6)
+SEP_MAIN:
+    bge  r10, r14, skip
+""" + _R2_WORK + """
+skip:
+    addi r15, r15, 4
+    addi r3, r3, -1
+    bnez r3, loop
+    addi r26, r26, {chunk_bytes}
+    addi r27, r27, -1
+    bnez r27, dfd_chunk
+"""
+
+_R2_DFD_PF_ONLY = """
+    mv   r15, r26
+    li   r3, {chunk}
+pf_loop:
+    lw   r4, 0(r15)
+    slli r5, r4, 2
+    add  r6, r5, r18
+    prefetch 0(r6)
+    addi r15, r15, 4
+    addi r3, r3, -1
+    bnez r3, pf_loop
+"""
+
+
+def _build_r2(variant, input_name, scale, seed):
+    params = _R2_INPUTS[input_name]
+    n = max(_CHUNK, int(params["n"] * scale) // _CHUNK * _CHUNK)
+    threshold = 0
+    spread = 50_000
+    grid = data_gen.values_with_threshold(
+        n, threshold, params["below_fraction"], spread=spread, seed=seed
+    )
+    wayind = data_gen.random_permutation(n, seed=seed + 1)
+    fmt = {
+        "n": n,
+        "threshold": threshold,
+        "reps": params["reps"],
+        "chunk": _CHUNK,
+        "chunk_bytes": _CHUNK * 4,
+        "n_chunks": n // _CHUNK,
+    }
+    body = {
+        "base": _R2_BASE,
+        "cfd": _R2_CFD,
+        "dfd": _R2_DFD_BASE,
+        "cfd_dfd": _R2_CFD,
+    }[variant]
+    fmt["dfd_prefix"] = (
+        _R2_DFD_PF_ONLY.format(**fmt) if variant == "cfd_dfd" else ""
+    )
+    source = (
+        _R2_TEMPLATE["prologue"] + body + _R2_TEMPLATE["epilogue"]
+    ).format(**fmt)
+    meta = {"n": n, "footprint_bytes": 8 * n}
+    return source, {"grid": grid, "wayind": wayind}, meta
+
+
+register(
+    Workload(
+        name="astar_r2",
+        suite="SPEC2006",
+        description="totally separable scan over a permuted grid",
+        paper_region="Way2_.cpp, region #2",
+        branch_class=CLASS_TOTALLY_SEPARABLE,
+        variants=("base", "cfd", "dfd", "cfd_dfd"),
+        inputs=("BigLakes", "Rivers"),
+        time_fraction=0.29,
+        builder=_build_r2,
+    )
+)
+
+
+# --------------------------------------------------------------------------
+# The separable loop-branch region (Fig 14) — CFD(TQ) and CFD(BQ+TQ).
+# --------------------------------------------------------------------------
+
+_TQ_INPUTS = {
+    "BigLakes": {"n": 1024, "max_run": 8, "zero_fraction": 0.2, "reps": 3},
+    "Rivers": {"n": 1024, "max_run": 8, "zero_fraction": 0.35, "reps": 3},
+}
+
+#: For bq_tq the generator re-pushes trip counts, so a chunk's body
+#: predicates must fit the BQ: chunk * max_run <= BQ size (128).
+_TQ_CHUNK = 16
+
+_TQ_PROLOGUE = """
+.data
+trips:  .space {n}
+stream: .space {stream_words}
+result: .space 8
+
+.text
+main:
+    li   r20, 0
+    li   r21, 0
+    li   r14, {threshold}
+    li   r9, {reps}
+rep_loop:
+    la   r19, stream         # per-iteration body data cursor
+"""
+
+_TQ_EPILOGUE = """
+    addi r9, r9, -1
+    bnez r9, rep_loop
+    la   r1, result
+    sw   r20, 0(r1)
+    sw   r21, 4(r1)
+    halt
+"""
+
+#: Inner-loop body (reads the stream; contains a separable branch that the
+#: bq_tq variant additionally decouples).
+_TQ_BODY_PLAIN = """
+    lw   r5, 0(r19)
+    addi r19, r19, 4
+SEP_BODY:
+    bge  r5, r14, body_skip{tag}
+    add  r20, r20, r5
+    addi r21, r21, 1
+body_skip{tag}:
+"""
+
+_TQ_BASE = """
+    la   r15, trips
+    li   r3, {n}
+outer:
+    lw   r4, 0(r15)          # trip count a[i] in [0, max_run]
+    j    test{tag}
+body{tag}:
+""" + _TQ_BODY_PLAIN + """
+    addi r4, r4, -1
+test{tag}:
+SEP_LOOPBR{tag}:
+    bnez r4, body{tag}       # separable loop-branch: exit mispredicted
+    addi r15, r15, 4
+    addi r3, r3, -1
+    bnez r3, outer
+"""
+
+_TQ_TQ = """
+    la   r26, trips
+    li   r27, {n_chunks_tq}
+chunk_loop:
+    mv   r15, r26
+    li   r3, {chunk_tq}
+gen:
+    lw   r4, 0(r15)
+    push_tq r4
+    addi r15, r15, 4
+    addi r3, r3, -1
+    bnez r3, gen
+    li   r3, {chunk_tq}
+use_outer:
+    pop_tq
+    j    use_test
+use_body:
+""" + _TQ_BODY_PLAIN.replace("{tag}", "_u") + """
+use_test:
+    b_tcr use_body           # fetch-resolved looping (TCR)
+    addi r3, r3, -1
+    bnez r3, use_outer
+    addi r26, r26, {chunk_tq_bytes}
+    addi r27, r27, -1
+    bnez r27, chunk_loop
+"""
+
+#: bq_tq: generator pass A pushes counts for its own TCR-driven predicate
+#: generation; pass B re-pushes them for the consumer.  Every loop-branch
+#: and every body branch in all three loops is fetch-resolved.
+_TQ_BQTQ = """
+    la   r26, trips
+    li   r27, {n_chunks_bqtq}
+chunk_loop:
+    mv   r15, r26
+    li   r3, {chunk_bqtq}
+genA:
+    lw   r4, 0(r15)
+    push_tq r4
+    addi r15, r15, 4
+    addi r3, r3, -1
+    bnez r3, genA
+    mv   r28, r19            # save the stream cursor for the consumer
+    li   r3, {chunk_bqtq}
+genP_outer:
+    pop_tq
+    j    genP_test
+genP_body:
+    lw   r5, 0(r19)
+    addi r19, r19, 4
+    sge  r6, r5, r14
+    push_bq r6
+genP_test:
+    b_tcr genP_body
+    addi r3, r3, -1
+    bnez r3, genP_outer
+    mv   r19, r28            # rewind: the consumer re-reads this chunk
+    mv   r15, r26
+    li   r3, {chunk_bqtq}
+genB:
+    lw   r4, 0(r15)
+    push_tq r4
+    addi r15, r15, 4
+    addi r3, r3, -1
+    bnez r3, genB
+    li   r3, {chunk_bqtq}
+use_outer:
+    pop_tq
+    j    use_test
+use_body:
+    lw   r5, 0(r19)
+    addi r19, r19, 4
+    b_bq body_skip
+    add  r20, r20, r5
+    addi r21, r21, 1
+body_skip:
+use_test:
+    b_tcr use_body
+    addi r3, r3, -1
+    bnez r3, use_outer
+    addi r26, r26, {chunk_bqtq_bytes}
+    addi r27, r27, -1
+    bnez r27, chunk_loop
+"""
+
+
+def _build_tq(variant, input_name, scale, seed):
+    params = _TQ_INPUTS[input_name]
+    chunk_tq = 256
+    chunk_bqtq = _TQ_CHUNK
+    n = max(chunk_tq, int(params["n"] * scale) // chunk_tq * chunk_tq)
+    trips = data_gen.run_lengths(
+        n, params["max_run"], params["zero_fraction"], seed=seed
+    )
+    total_body = int(trips.sum())
+    stream = data_gen.signed_values(
+        max(total_body, 1), -1000, 1000, seed=seed + 1
+    )
+    threshold = 0
+    fmt = {
+        "n": n,
+        "stream_words": max(total_body, 1),
+        "threshold": threshold,
+        "reps": params["reps"],
+        "chunk_tq": chunk_tq,
+        "chunk_tq_bytes": chunk_tq * 4,
+        "n_chunks_tq": n // chunk_tq,
+        "chunk_bqtq": chunk_bqtq,
+        "chunk_bqtq_bytes": chunk_bqtq * 4,
+        "n_chunks_bqtq": n // chunk_bqtq,
+        "tag": "",
+    }
+    require(
+        chunk_bqtq * params["max_run"] <= 128,
+        "bq_tq chunk exceeds BQ capacity",
+    )
+    body = {
+        "base": _TQ_BASE,
+        "tq": _TQ_TQ,
+        "bq_tq": _TQ_BQTQ,
+    }[variant]
+    source = (_TQ_PROLOGUE + body + _TQ_EPILOGUE).format(**fmt)
+    meta = {
+        "n": n,
+        "total_inner_iterations": total_body,
+        "mean_trip": float(trips.mean()),
+    }
+    return source, {"trips": trips, "stream": stream}, meta
+
+
+register(
+    Workload(
+        name="astar_tq",
+        suite="SPEC2006",
+        description="separable loop-branch with data-dependent trip counts",
+        paper_region="regwayobj.cpp makebound/addtobound (Fig 14)",
+        branch_class=CLASS_LOOP_BRANCH,
+        variants=("base", "tq", "bq_tq"),
+        inputs=("BigLakes", "Rivers"),
+        time_fraction=0.30,
+        builder=_build_tq,
+    )
+)

@@ -1,0 +1,80 @@
+"""Assembly-building helpers shared by the workload kernels.
+
+Workloads are written as assembly templates (the paper applies CFD
+*manually* to benchmark source; our templates are those manual
+transformations).  Large input arrays are declared with ``.space`` and
+filled programmatically after assembly so templates stay readable.
+
+Register conventions used across the kernels::
+
+    r1-r13   scratch / loop state
+    r14-r19  kernel parameters (thresholds, markers, bases)
+    r20-r25  accumulators that survive the whole kernel
+    r26-r29  chunk bookkeeping for strip-mined CFD loops
+"""
+
+from repro.errors import WorkloadError
+from repro.isa.assembler import assemble
+from repro.workloads.data_gen import to_words
+
+
+class AsmBuilder:
+    """Accumulates assembly text with unique-label generation."""
+
+    def __init__(self):
+        self._lines = []
+        self._label_counter = 0
+
+    def raw(self, text):
+        """Append raw assembly (dedented template text)."""
+        self._lines.append(text)
+        return self
+
+    def label(self, prefix="L"):
+        """Return a fresh unique label name."""
+        self._label_counter += 1
+        return "%s_%d" % (prefix, self._label_counter)
+
+    def source(self):
+        return "\n".join(self._lines)
+
+
+def install_array(program, symbol, values):
+    """Fill a ``.space``-declared array with *values* (word granular)."""
+    if symbol not in program.symbols:
+        raise WorkloadError("unknown data symbol %r" % symbol)
+    base = program.symbols[symbol]
+    for offset, word in enumerate(to_words(values)):
+        program.data[base + 4 * offset] = word
+
+
+def build_program(source, name, arrays=None):
+    """Assemble *source* and install the given {symbol: values} arrays."""
+    program = assemble(source, name=name)
+    for symbol, values in (arrays or {}).items():
+        install_array(program, symbol, values)
+    return program
+
+
+def chunked(total, chunk):
+    """Split *total* items into strip-mine chunks: [(start, count), ...].
+
+    CFD software must keep each decoupled burst within the BQ size
+    (Section III-B); the workloads strip-mine with this helper and assert
+    the invariant here rather than discovering it as a fetch deadlock.
+    """
+    if chunk <= 0:
+        raise WorkloadError("chunk must be positive")
+    pieces = []
+    start = 0
+    while start < total:
+        count = min(chunk, total - start)
+        pieces.append((start, count))
+        start += count
+    return pieces
+
+
+def require(condition, message):
+    """Workload-parameter validation with a uniform error type."""
+    if not condition:
+        raise WorkloadError(message)

@@ -1,0 +1,145 @@
+"""bzip2: run-length emission with data-dependent trip counts (CFD(TQ)).
+
+bzip2's decompressor expands encoded runs: for each (length, byte) pair
+it emits the byte ``length`` times.  The run lengths come straight from
+the encoded stream — computable without executing the emission loop — so
+the inner loop-branch is a *separable loop-branch* (Table IV lists bzip2
+under CFD(TQ) with ~1.00 overhead).  The two inputs differ in their
+run-length distributions, as the paper's chicken / input.source do.
+
+The emission body uses byte stores, exercising the ``sb``/``lbu`` paths.
+"""
+
+import numpy as np
+
+from repro.workloads import data_gen
+from repro.workloads.suite import CLASS_LOOP_BRANCH, Workload, register
+
+_INPUTS = {
+    "chicken": {"n": 1024, "max_run": 12, "zero_fraction": 0.1, "reps": 2},
+    "input.source": {"n": 1024, "max_run": 5, "zero_fraction": 0.3, "reps": 3},
+}
+
+_PROLOGUE = """
+.data
+runs:   .space {n}
+chars:  .space {n}
+outbuf: .space {outwords}
+result: .space 8
+
+.text
+main:
+    li   r20, 0
+    li   r21, 0
+    li   r9, {reps}
+rep_loop:
+    la   r16, outbuf
+"""
+
+_EPILOGUE = """
+    addi r9, r9, -1
+    bnez r9, rep_loop
+    la   r1, result
+    sw   r20, 0(r1)
+    sw   r21, 4(r1)
+    halt
+"""
+
+_BASE = """
+    la   r15, runs
+    la   r18, chars
+    li   r3, {n}
+outer:
+    lw   r4, 0(r15)          # run length from the encoded stream
+    lbu  r5, 0(r18)          # byte to replicate
+    j    test
+emit:
+    sb   r5, 0(r16)          # emit one byte of the run
+    addi r16, r16, 1
+    add  r20, r20, r5
+    addi r21, r21, 1
+    addi r4, r4, -1
+test:
+SEP_LOOPBR:
+    bnez r4, emit            # loop-branch: exit position is data-dependent
+    addi r15, r15, 4
+    addi r18, r18, 1
+    addi r3, r3, -1
+    bnez r3, outer
+"""
+
+_TQ = """
+    la   r26, runs
+    la   r18, chars
+    li   r27, {n_chunks}
+chunk_loop:
+    mv   r15, r26
+    li   r3, {chunk}
+gen:
+    lw   r4, 0(r15)
+    push_tq r4               # trip count straight from the stream
+    addi r15, r15, 4
+    addi r3, r3, -1
+    bnez r3, gen
+    li   r3, {chunk}
+use_outer:
+    pop_tq
+    lbu  r5, 0(r18)
+    j    use_test
+use_emit:
+    sb   r5, 0(r16)
+    addi r16, r16, 1
+    add  r20, r20, r5
+    addi r21, r21, 1
+use_test:
+    b_tcr use_emit           # fetch-resolved looping
+    addi r18, r18, 1
+    addi r3, r3, -1
+    bnez r3, use_outer
+    addi r26, r26, {chunk_bytes}
+    addi r27, r27, -1
+    bnez r27, chunk_loop
+"""
+
+
+def _build(variant, input_name, scale, seed):
+    params = _INPUTS[input_name]
+    chunk = 256
+    n = max(chunk, int(params["n"] * scale) // chunk * chunk)
+    runs = data_gen.run_lengths(
+        n, params["max_run"], params["zero_fraction"], seed=seed
+    )
+    generator = data_gen.rng(seed + 1)
+    chars = generator.integers(1, 256, size=(n + 3) // 4 * 4).astype(np.int64)
+    # Pack bytes into words for the data image (little-endian).
+    packed = (
+        chars[0::4] | (chars[1::4] << 8) | (chars[2::4] << 16) | (chars[3::4] << 24)
+    )
+    total = int(runs.sum())
+    fmt = {
+        "n": n,
+        "outwords": (total + 7) // 4 + 4,
+        "reps": params["reps"],
+        "chunk": chunk,
+        "chunk_bytes": chunk * 4,
+        "n_chunks": n // chunk,
+    }
+    body = {"base": _BASE, "tq": _TQ}[variant]
+    source = (_PROLOGUE + body + _EPILOGUE).format(**fmt)
+    meta = {"n": n, "total_emitted": total, "mean_run": float(runs.mean())}
+    return source, {"runs": runs, "chars": packed}, meta
+
+
+register(
+    Workload(
+        name="bzip2",
+        suite="SPEC2006",
+        description="run-length emission with stream-encoded trip counts",
+        paper_region="decompress.c run expansion loop",
+        branch_class=CLASS_LOOP_BRANCH,
+        variants=("base", "tq"),
+        inputs=("chicken", "input.source"),
+        time_fraction=0.17,
+        builder=_build,
+    )
+)

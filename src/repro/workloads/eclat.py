@@ -1,0 +1,83 @@
+"""eclat (NU-MineBench): bitmap membership test in tidlist intersection.
+
+Frequent-itemset mining intersects transaction-id lists against candidate
+bitmaps; whether a tid is present is essentially a coin flip, and the
+control-dependent support-counting region is sizeable.  The branch slice
+(tid load + bitmap word load + bit extraction) is totally separable.
+"""
+
+import numpy as np
+
+from repro.workloads import data_gen
+from repro.workloads._scan import ScanSpec, build_scan_source
+from repro.workloads.suite import CLASS_TOTALLY_SEPARABLE, Workload, register
+
+_INPUTS = {
+    "ref": {"n": 2048, "member_fraction": 0.5, "reps": 3},
+}
+
+_CD = """
+    addi r21, r21, 1         # support++
+    add  r20, r20, r5
+    srli r10, r5, 3
+    add  r22, r22, r10
+    xor  r25, r25, r5
+    slli r11, r5, 2
+    add  r23, r23, r11
+    sw   r5, 0(r16)          # record the matching tid
+    addi r16, r16, 4
+"""
+
+
+def _build(variant, input_name, scale, seed):
+    params = _INPUTS[input_name]
+    n = max(128, int(params["n"] * scale) // 128 * 128)
+    universe = 4 * n  # tid space
+    generator = data_gen.rng(seed)
+    tids = generator.integers(0, universe, size=n).astype(np.int64)
+    member = data_gen.random_predicates(universe, params["member_fraction"], seed + 1)
+    bitmap_words = (universe + 31) // 32
+    bitmap = np.zeros(bitmap_words, dtype=np.int64)
+    for tid in range(universe):
+        if member[tid]:
+            bitmap[tid >> 5] |= 1 << (tid & 31)
+    spec = ScanSpec(
+        data_section=(
+            "tids:   .space {n}\nbitmap: .space {bw}".format(n=n, bw=bitmap_words)
+        ),
+        param_setup="",
+        rep_setup="    la   r18, bitmap\n",
+        load_x="    lw   r5, 0(r15)\n",
+        # skip = bitmap bit for tid r5 is zero
+        predicate=(
+            "    srli r10, r5, 5\n"
+            "    slli r10, r10, 2\n"
+            "    add  r10, r10, r18\n"
+            "    lw   r11, 0(r10)\n"
+            "    andi r12, r5, 31\n"
+            "    srl  r11, r11, r12\n"
+            "    andi r11, r11, 1\n"
+            "    seqi r7, r11, 0\n"
+        ),
+        cd_region=_CD,
+        main_array="tids",
+        arrays={"tids": tids, "bitmap": bitmap},
+    )
+    source = build_scan_source(spec, variant, n, params["reps"])
+    meta = {"n": n, "universe": universe}
+    return source, spec.arrays, meta
+
+
+register(
+    Workload(
+        name="eclat",
+        suite="MineBench",
+        description="bitmap membership test during tidlist intersection",
+        paper_region="eclat.cc tidlist intersection loop",
+        branch_class=CLASS_TOTALLY_SEPARABLE,
+        variants=("base", "cfd", "cfd_plus"),
+        inputs=("ref",),
+        time_fraction=0.35,
+        builder=_build,
+    )
+)

@@ -1,0 +1,206 @@
+"""Classification-study workloads: the non-CFD classes of Figure 6c.
+
+The paper's control-flow classification needs representatives of every
+class, not just the separable ones:
+
+``hammock``     — a hard branch with a *small* CD region; the paper's
+                  remedy is if-conversion (``if_conv`` variant, cmov).
+``inseparable`` — the branch's backward slice contains too many of its
+                  own control-dependent instructions (an adaptive
+                  threshold updated inside the guarded region), so CFD
+                  cannot be applied.
+``easy_loop``   — well-predicted control flow (pattern-driven predicate):
+                  lands in the paper's *excluded* slice (MPKI < 2%-rate
+                  threshold) and calibrates Table I's low end.
+"""
+
+from repro.workloads import data_gen
+from repro.workloads.suite import (
+    CLASS_EASY,
+    CLASS_HAMMOCK,
+    CLASS_INSEPARABLE,
+    Workload,
+    register,
+)
+
+_HAMMOCK_TEMPLATE = """
+.data
+vals:   .space {n}
+result: .space 8
+
+.text
+main:
+    li   r14, 0
+    li   r20, 0
+    li   r21, 0
+    li   r9, {reps}
+rep_loop:
+    la   r15, vals
+    li   r3, {n}
+loop:
+    lw   r5, 0(r15)
+{body}    addi r15, r15, 4
+    addi r3, r3, -1
+    bnez r3, loop
+    addi r9, r9, -1
+    bnez r9, rep_loop
+    la   r1, result
+    sw   r20, 0(r1)
+    sw   r21, 4(r1)
+    halt
+"""
+
+_HAMMOCK_BRANCHY = """SEP_HAMMOCK:
+    blt  r5, r14, skip       # hard branch, tiny CD region
+    add  r20, r20, r5
+    addi r21, r21, 1
+skip:
+"""
+
+#: If-converted form: the hammock disappears (cmovs select the updates).
+_HAMMOCK_IFCONV = """    sge  r7, r5, r14
+    add  r10, r20, r5
+    cmovnz r20, r10, r7      # sum += x      (if x >= 0)
+    addi r11, r21, 1
+    cmovnz r21, r11, r7      # count++       (if x >= 0)
+"""
+
+
+def _build_hammock(variant, input_name, scale, seed):
+    n = max(128, int(2048 * scale) // 128 * 128)
+    vals = data_gen.values_with_threshold(n, 0, 0.5, spread=1000, seed=seed)
+    body = _HAMMOCK_BRANCHY if variant == "base" else _HAMMOCK_IFCONV
+    source = _HAMMOCK_TEMPLATE.format(n=n, reps=3, body=body)
+    return source, {"vals": vals}, {"n": n}
+
+
+register(
+    Workload(
+        name="hammock",
+        suite="SPEC2006",
+        description="hard branch with a 2-instruction CD region",
+        paper_region="generic store-guarding hammock (Section II-B)",
+        branch_class=CLASS_HAMMOCK,
+        variants=("base", "if_conv"),
+        inputs=("ref",),
+        time_fraction=0.3,
+        builder=_build_hammock,
+    )
+)
+
+
+_INSEPARABLE_TEMPLATE = """
+.data
+vals:   .space {n}
+result: .space 8
+
+.text
+main:
+    li   r14, 500            # adaptive threshold t (lives in the slice)
+    li   r20, 0
+    li   r21, 0
+    li   r9, {reps}
+rep_loop:
+    la   r15, vals
+    li   r3, {n}
+loop:
+    lw   r5, 0(r15)
+SEP_INSEP:
+    bge  r5, r14, skip       # predicate depends on t ...
+    add  r20, r20, r5
+    addi r21, r21, 1
+    sub  r10, r14, r5
+    srai r10, r10, 3
+    sub  r14, r14, r10       # ... and t is updated in the CD region:
+    addi r14, r14, 2         # the backward slice swallows the region
+    xor  r25, r25, r5
+    add  r22, r22, r10
+skip:
+    addi r14, r14, 1         # slow upward drift keeps it oscillating
+    addi r15, r15, 4
+    addi r3, r3, -1
+    bnez r3, loop
+    addi r9, r9, -1
+    bnez r9, rep_loop
+    la   r1, result
+    sw   r20, 0(r1)
+    sw   r21, 4(r1)
+    halt
+"""
+
+
+def _build_inseparable(variant, input_name, scale, seed):
+    n = max(128, int(2048 * scale) // 128 * 128)
+    vals = data_gen.signed_values(n, 0, 1000, seed=seed)
+    source = _INSEPARABLE_TEMPLATE.format(n=n, reps=3)
+    return source, {"vals": vals}, {"n": n}
+
+
+register(
+    Workload(
+        name="inseparable",
+        suite="MineBench",
+        description="adaptive-threshold branch whose slice contains its CD",
+        paper_region="serial feedback loop (Section II-B, inseparable)",
+        branch_class=CLASS_INSEPARABLE,
+        variants=("base",),
+        inputs=("ref",),
+        time_fraction=0.2,
+        builder=_build_inseparable,
+    )
+)
+
+
+_EASY_TEMPLATE = """
+.data
+vals:   .space {n}
+result: .space 8
+
+.text
+main:
+    li   r14, 0
+    li   r20, 0
+    li   r21, 0
+    li   r9, {reps}
+rep_loop:
+    la   r15, vals
+    li   r3, {n}
+loop:
+    lw   r5, 0(r15)
+    blt  r5, r14, skip       # pattern-driven: TAGE predicts it
+    add  r20, r20, r5
+    addi r21, r21, 1
+skip:
+    addi r15, r15, 4
+    addi r3, r3, -1
+    bnez r3, loop
+    addi r9, r9, -1
+    bnez r9, rep_loop
+    la   r1, result
+    sw   r20, 0(r1)
+    sw   r21, 4(r1)
+    halt
+"""
+
+
+def _build_easy(variant, input_name, scale, seed):
+    n = max(128, int(2048 * scale) // 128 * 128)
+    pattern = data_gen.patterned_predicates(n, pattern=(1, 1, 0, 1, 0, 0), seed=seed)
+    vals = (pattern * 2 - 1) * 100  # +100 / -100 following the pattern
+    source = _EASY_TEMPLATE.format(n=n, reps=3)
+    return source, {"vals": vals}, {"n": n}
+
+
+register(
+    Workload(
+        name="easy_loop",
+        suite="BioBench",
+        description="patterned branch a modern predictor handles",
+        paper_region="(excluded class: misprediction rate below 2%)",
+        branch_class=CLASS_EASY,
+        variants=("base",),
+        inputs=("ref",),
+        time_fraction=0.1,
+        builder=_build_easy,
+    )
+)

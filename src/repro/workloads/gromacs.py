@@ -1,0 +1,70 @@
+"""gromacs: cutoff-distance test in the nonbonded force inner loop.
+
+Molecular dynamics pair interactions are computed only for neighbour
+pairs within the cutoff radius; the squared-distance comparison is data-
+dependent and mispredicts heavily, while its slice (one load + compare)
+is totally separable from the multiply-heavy force computation it guards.
+The paper reports very low CFD overhead for gromacs (1.03); the slice
+here is likewise minimal relative to the CD region.
+"""
+
+from repro.workloads import data_gen
+from repro.workloads._scan import ScanSpec, build_scan_source
+from repro.workloads.suite import CLASS_TOTALLY_SEPARABLE, Workload, register
+
+_INPUTS = {
+    "ref": {"n": 2048, "within_fraction": 0.45, "reps": 3},
+}
+
+#: Force kernel: multiply-rich, mirroring the rinv/rinvsq chain.
+_CD = """
+    mul  r10, r5, r5         # r^4 ~ (r2)^2
+    mul  r11, r10, r5        # r^6
+    sub  r12, r14, r5        # cutoff2 - r2
+    mul  r13, r12, r12
+    add  r20, r20, r11
+    add  r22, r22, r13
+    srai r10, r11, 6
+    add  r23, r23, r10
+    addi r21, r21, 1
+    xor  r25, r25, r12
+    sw   r11, 0(r16)         # store force contribution
+    sw   r13, 4(r16)
+    addi r16, r16, 8
+"""
+
+
+def _build(variant, input_name, scale, seed):
+    params = _INPUTS[input_name]
+    n = max(128, int(params["n"] * scale) // 128 * 128)
+    cutoff2 = 900
+    dist2 = data_gen.values_with_threshold(
+        n, cutoff2, params["within_fraction"], spread=800, seed=seed
+    )
+    dist2 = abs(dist2)  # squared distances are non-negative
+    spec = ScanSpec(
+        data_section="dist2: .space {n}".format(n=n),
+        param_setup="    li   r14, %d\n" % cutoff2,
+        predicate="    sge  r7, r5, r14        # skip pairs beyond cutoff\n",
+        cd_region=_CD,
+        main_array="dist2",
+        arrays={"dist2": dist2},
+    )
+    source = build_scan_source(spec, variant, n, params["reps"])
+    meta = {"n": n, "cutoff2": cutoff2}
+    return source, spec.arrays, meta
+
+
+register(
+    Workload(
+        name="gromacs",
+        suite="SPEC2006",
+        description="cutoff test guarding the nonbonded force kernel",
+        paper_region="innerf.c nonbonded inner loop",
+        branch_class=CLASS_TOTALLY_SEPARABLE,
+        variants=("base", "cfd", "cfd_plus"),
+        inputs=("ref",),
+        time_fraction=0.25,
+        builder=_build,
+    )
+)

@@ -1,0 +1,164 @@
+"""hmmer (BioBench/SPEC2006): the Viterbi max-update branch.
+
+Profile HMM scoring repeatedly asks "is this score a new maximum?"::
+
+    for (i = 0; i < N; i++) {
+        s = score[i];
+        if (s > best) {            // hard branch
+            best = s;              // ... which updates its own predicate
+            <bookkeeping region>
+        }
+        best -= decay;             // scores age out, keeping crossings hot
+    }
+
+The ``best = s`` update is a short loop-carried dependence into the
+branch slice: a *partially separable* branch.  The manual CFD transform
+(matching what the automatic pass does) keeps an if-converted copy of the
+max-update inside the predicate-generating loop — one ``cmovz`` — while
+the consumer loop needs no ``best`` at all (the region consumes only the
+score itself).
+"""
+
+from repro.workloads import data_gen
+from repro.workloads.builders import require
+from repro.workloads.suite import CLASS_PARTIALLY_SEPARABLE, Workload, register
+
+_INPUTS = {
+    # decay tuned so the new-max probability stays near the coin-flip zone
+    "ref": {"n": 2048, "decay": 30, "spread": 400, "reps": 3},
+}
+
+_CHUNK = 128
+
+#: Bookkeeping region (16 instructions) using the score in r5 — sized
+#: like the Viterbi trace-back bookkeeping (too large to if-convert).
+_CD = """
+    addi r21, r21, 1         # new-max count
+    add  r20, r20, r5        # score mass at maxima
+    sub  r10, r5, r23
+    add  r22, r22, r10       # total climb
+    mv   r23, r5             # previous max value
+    srai r11, r5, 4
+    xor  r25, r25, r11
+    slli r12, r10, 1
+    add  r22, r22, r12
+    and  r11, r10, r5
+    add  r20, r20, r11
+    srli r12, r5, 6
+    xor  r25, r25, r12
+    sw   r5, 0(r16)          # record the trace-back point
+    sw   r10, 4(r16)
+    addi r16, r16, 8
+"""
+
+_PROLOGUE = """
+.data
+score:  .space {n}
+outbuf: .space {outwords}
+result: .space 8
+
+.text
+main:
+    li   r20, 0
+    li   r21, 0
+    li   r22, 0
+    li   r23, 0
+    li   r25, 0
+    li   r9, {reps}
+rep_loop:
+    la   r16, outbuf
+    li   r14, 0              # best
+"""
+
+_EPILOGUE = """
+    addi r9, r9, -1
+    bnez r9, rep_loop
+    la   r1, result
+    sw   r20, 0(r1)
+    sw   r21, 4(r1)
+    halt
+"""
+
+_BASE = """
+    la   r15, score
+    li   r3, {n}
+loop:
+    lw   r5, 0(r15)
+SEP_MAIN:
+    bge  r14, r5, skip       # skip unless s > best
+    mv   r14, r5             # best = s (the loop-carried dependence)
+""" + _CD + """
+skip:
+    addi r14, r14, -{decay}  # best ages out
+    addi r15, r15, 4
+    addi r3, r3, -1
+    bnez r3, loop
+"""
+
+#: CFD: loop 1 = slice + if-converted max-update (Section III's
+#: partially-separable recipe); loop 2 = pops + the bookkeeping region.
+_CFD = """
+    la   r26, score
+    li   r27, {n_chunks}
+chunk_loop:
+    mv   r15, r26
+    li   r3, {chunk}
+gen:
+    lw   r5, 0(r15)
+    sge  r6, r14, r5         # skip-predicate: best >= s
+    push_bq r6
+    cmovz r14, r5, r6        # if-converted: best = s when not skipping
+    addi r14, r14, -{decay}
+    addi r15, r15, 4
+    addi r3, r3, -1
+    bnez r3, gen
+    mv   r15, r26
+    li   r3, {chunk}
+use:
+    lw   r5, 0(r15)
+    b_bq use_skip
+""" + _CD + """
+use_skip:
+    addi r15, r15, 4
+    addi r3, r3, -1
+    bnez r3, use
+    addi r26, r26, {chunk_bytes}
+    addi r27, r27, -1
+    bnez r27, chunk_loop
+"""
+
+
+def _build(variant, input_name, scale, seed):
+    params = _INPUTS[input_name]
+    n = max(_CHUNK, int(params["n"] * scale) // _CHUNK * _CHUNK)
+    require(n % _CHUNK == 0, "hmmer size must be a chunk multiple")
+    generator = data_gen.rng(seed)
+    scores = generator.integers(0, params["spread"], size=n)
+    fmt = {
+        "n": n,
+        "outwords": 2 * n,
+        "reps": params["reps"],
+        "decay": params["decay"],
+        "chunk": _CHUNK,
+        "chunk_bytes": _CHUNK * 4,
+        "n_chunks": n // _CHUNK,
+    }
+    body = {"base": _BASE, "cfd": _CFD}[variant]
+    source = (_PROLOGUE + body + _EPILOGUE).format(**fmt)
+    meta = {"n": n, "decay": params["decay"]}
+    return source, {"score": scores}, meta
+
+
+register(
+    Workload(
+        name="hmmer",
+        suite="BioBench",
+        description="Viterbi max-update with a loop-carried best score",
+        paper_region="fast_algorithms.c P7Viterbi max-update",
+        branch_class=CLASS_PARTIALLY_SEPARABLE,
+        variants=("base", "cfd"),
+        inputs=("ref",),
+        time_fraction=0.45,
+        builder=_build,
+    )
+)

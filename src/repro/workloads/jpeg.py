@@ -1,0 +1,65 @@
+"""jpeg-compr (cBench): nonzero-coefficient test during quantization.
+
+The entropy-coding stage of JPEG compression processes only nonzero DCT
+coefficients; after quantization roughly half the coefficients are zero
+in essentially random positions, so the ``coef != 0`` branch mispredicts
+heavily while its slice is a single load.
+"""
+
+import numpy as np
+
+from repro.workloads import data_gen
+from repro.workloads._scan import ScanSpec, build_scan_source
+from repro.workloads.suite import CLASS_TOTALLY_SEPARABLE, Workload, register
+
+_INPUTS = {
+    "ref": {"n": 2048, "zero_fraction": 0.5, "reps": 3},
+}
+
+#: Quantize-and-emit region (shift-based, as in integer JPEG).
+_CD = """
+    srai r10, r5, 3          # quantize
+    add  r20, r20, r10
+    addi r21, r21, 1
+    slli r11, r10, 1
+    sub  r12, r5, r11
+    add  r22, r22, r12       # rounding residue
+    xor  r25, r25, r10
+    sw   r10, 0(r16)         # emit quantized coefficient
+    addi r16, r16, 4
+"""
+
+
+def _build(variant, input_name, scale, seed):
+    params = _INPUTS[input_name]
+    n = max(128, int(params["n"] * scale) // 128 * 128)
+    generator = data_gen.rng(seed)
+    coefs = generator.integers(-128, 128, size=n).astype(np.int64)
+    zeros = generator.random(n) < params["zero_fraction"]
+    coefs = np.where(zeros, 0, np.where(coefs == 0, 1, coefs))
+    spec = ScanSpec(
+        data_section="coefs: .space {n}".format(n=n),
+        param_setup="",
+        predicate="    seqi r7, r5, 0          # skip zero coefficients\n",
+        cd_region=_CD,
+        main_array="coefs",
+        arrays={"coefs": coefs},
+    )
+    source = build_scan_source(spec, variant, n, params["reps"])
+    meta = {"n": n, "zero_fraction": params["zero_fraction"]}
+    return source, spec.arrays, meta
+
+
+register(
+    Workload(
+        name="jpeg_compr",
+        suite="cBench",
+        description="nonzero-coefficient test in JPEG quantization",
+        paper_region="jcdctmgr.c forward_DCT quantize loop",
+        branch_class=CLASS_TOTALLY_SEPARABLE,
+        variants=("base", "cfd", "cfd_plus"),
+        inputs=("ref",),
+        time_fraction=0.15,
+        builder=_build,
+    )
+)

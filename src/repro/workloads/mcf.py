@@ -1,0 +1,79 @@
+"""mcf: separable branch over pointer-indexed arc costs.
+
+SPEC2006 mcf's primal simplex scans arcs whose reduced costs are spread
+over a large, pointer-connected arc array; the sign test on the cost is
+hard to predict and the cost loads miss deep in the hierarchy.  The paper
+applies CFD but *not* DFD to mcf ("the cache misses are encountered
+outside the CFD region"), so the variant set here is base/cfd/cfd_plus.
+"""
+
+from repro.workloads import data_gen
+from repro.workloads._scan import ScanSpec, build_scan_source
+from repro.workloads.suite import CLASS_TOTALLY_SEPARABLE, Workload, register
+
+_INPUTS = {
+    "ref": {"n": 2048, "negative_fraction": 0.4, "reps": 3},
+}
+
+_CD = """
+    add  r20, r20, r5        # basket accumulation
+    addi r21, r21, 1
+    sub  r10, r0, r5         # |cost|
+    add  r22, r22, r10
+    srai r11, r10, 4
+    add  r23, r23, r11
+    xor  r25, r25, r5
+    slli r12, r5, 1
+    add  r22, r22, r12
+    sw   r5, 0(r16)          # record candidate arc
+    sw   r10, 4(r16)
+    addi r16, r16, 8
+"""
+
+
+def _build(variant, input_name, scale, seed):
+    params = _INPUTS[input_name]
+    n = max(128, int(params["n"] * scale) // 128 * 128)
+    perm = data_gen.random_permutation(n, seed=seed)
+    costs = data_gen.values_with_threshold(
+        n, 0, params["negative_fraction"], spread=9000, seed=seed + 1
+    )
+    spec = ScanSpec(
+        data_section="arcind: .space {n}\narccost: .space {n}".format(n=n),
+        param_setup="",
+        rep_setup="    la   r18, arccost\n",
+        # x = arc_cost[arcind[i]]: the index hop defeats stride prefetch.
+        load_x=(
+            "    lw   r4, 0(r15)\n"
+            "    slli r6, r4, 2\n"
+            "    add  r6, r6, r18\n"
+            "    lw   r5, 0(r6)\n"
+        ),
+        predicate="    sge  r7, r5, r0         # skip unless cost < 0\n",
+        cd_region=_CD,
+        main_array="arcind",
+        prefetch_addr=(
+            "    lw   r4, 0(r15)\n"
+            "    slli r6, r4, 2\n"
+            "    add  r6, r6, r18\n"
+        ),
+        arrays={"arcind": perm, "arccost": costs},
+    )
+    source = build_scan_source(spec, variant, n, params["reps"])
+    meta = {"n": n, "footprint_bytes": 8 * n}
+    return source, spec.arrays, meta
+
+
+register(
+    Workload(
+        name="mcf",
+        suite="SPEC2006",
+        description="sign test on pointer-indexed arc costs",
+        paper_region="pbeampp.c primal_bea_mpp arc scan",
+        branch_class=CLASS_TOTALLY_SEPARABLE,
+        variants=("base", "cfd", "cfd_plus"),
+        inputs=("ref",),
+        time_fraction=0.40,
+        builder=_build,
+    )
+)

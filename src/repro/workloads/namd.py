@@ -1,0 +1,72 @@
+"""namd: pairlist cutoff test in the self-energy kernel.
+
+Like gromacs but with an even smaller branch slice relative to its CD
+region, matching the paper's near-unity instruction overhead (1.01) for
+namd.  The pairlist distances are precomputed, so the slice is literally
+load + compare, and the guarded electrostatics kernel is long.
+"""
+
+from repro.workloads import data_gen
+from repro.workloads._scan import ScanSpec, build_scan_source
+from repro.workloads.suite import CLASS_TOTALLY_SEPARABLE, Workload, register
+
+_INPUTS = {
+    "ref": {"n": 2048, "within_fraction": 0.5, "reps": 3},
+}
+
+_CD = """
+    mul  r10, r5, r5
+    mul  r11, r10, r10       # r^8-ish chain
+    sub  r12, r14, r5
+    mul  r13, r12, r5
+    add  r20, r20, r11
+    add  r22, r22, r13
+    srai r10, r13, 5
+    add  r23, r23, r10
+    mul  r11, r12, r12
+    add  r20, r20, r11
+    addi r21, r21, 1
+    xor  r25, r25, r12
+    srli r10, r11, 7
+    add  r22, r22, r10
+    sw   r11, 0(r16)
+    sw   r13, 4(r16)
+    addi r16, r16, 8
+"""
+
+
+def _build(variant, input_name, scale, seed):
+    params = _INPUTS[input_name]
+    n = max(128, int(params["n"] * scale) // 128 * 128)
+    cutoff2 = 1200
+    dist2 = abs(
+        data_gen.values_with_threshold(
+            n, cutoff2, params["within_fraction"], spread=1000, seed=seed
+        )
+    )
+    spec = ScanSpec(
+        data_section="pairs: .space {n}".format(n=n),
+        param_setup="    li   r14, %d\n" % cutoff2,
+        predicate="    sge  r7, r5, r14\n",
+        cd_region=_CD,
+        main_array="pairs",
+        arrays={"pairs": dist2},
+    )
+    source = build_scan_source(spec, variant, n, params["reps"])
+    meta = {"n": n, "cutoff2": cutoff2}
+    return source, spec.arrays, meta
+
+
+register(
+    Workload(
+        name="namd",
+        suite="SPEC2006",
+        description="pairlist cutoff test guarding the force kernel",
+        paper_region="ComputeNonbondedUtil self-energy pair loop",
+        branch_class=CLASS_TOTALLY_SEPARABLE,
+        variants=("base", "cfd", "cfd_plus"),
+        inputs=("ref",),
+        time_fraction=0.20,
+        builder=_build,
+    )
+)

@@ -1,0 +1,203 @@
+"""soplex: the paper's flagship totally separable branch (Figs 8 and 11).
+
+Original idiom (SPEC2006 soplex, ``maxDelta``-style loop)::
+
+    for (i = 0; i < N; i++)
+        if (test[i] < -theeps) {      // hard-to-predict, totally separable
+            ... large control-dependent region using test[i] ...
+        }
+
+Neither ``test[]`` nor ``theeps`` is written in the region, so the branch
+slice (one load + one compare) is totally separable.  The comparison
+outcome is an input-data coin flip, which defeats history predictors.
+
+Variants:
+  base      — the original loop.
+  cfd       — strip-mined two-loop decoupling; the CD region reloads
+              ``test[i]`` (the duplication CFD+ exists to remove).
+  cfd_plus  — CFD with the Value Queue carrying ``test[i]`` (Fig 11).
+  dfd       — software prefetch loop ahead of the unmodified loop.
+  cfd_dfd   — both (Fig 26).
+"""
+
+from repro.workloads import data_gen
+from repro.workloads.builders import require
+from repro.workloads.suite import (
+    CLASS_TOTALLY_SEPARABLE,
+    Workload,
+    register,
+)
+
+_INPUT_PARAMS = {
+    # below_fraction drives the predicate's entropy: ~0.45 is near the
+    # 50/50 worst case (ref); pds is more skewed but still hard.
+    "ref": {"below_fraction": 0.45, "n": 2048, "reps": 3},
+    "pds": {"below_fraction": 0.25, "n": 2048, "reps": 3},
+}
+
+_CHUNK = 128  # BQ-size strip-mine chunk (Section III-B)
+
+#: The large control-dependent region (12 instructions), parameterized by
+#: the register holding x = test[i].  Uses r20-r23 accumulators and r16 as
+#: the output cursor, mirroring the paper's "update several quantities and
+#: record the index" region.
+_CD_REGION = """
+    add  r20, r20, {x}       # sum += x
+    addi r21, r21, 1         # count++
+    mul  r11, {x}, {x}       # x*x
+    add  r22, r22, r11       # sumsq += x*x
+    sub  r12, r14, {x}       # margin = (-theeps) - x
+    add  r23, r23, r12       # margin accumulator
+    srai r13, r12, 2
+    add  r24, r24, r13       # scaled margin
+    xor  r25, r25, {x}       # running signature
+    sw   {x}, 0(r16)         # record the violating value
+    sw   r12, 4(r16)         # ... and its margin
+    addi r16, r16, 8
+"""
+
+_PROLOGUE = """
+.data
+test:   .space {n}
+outbuf: .space {outwords}
+result: .space 8
+
+.text
+main:
+    li   r14, {neg_theeps}   # -theeps
+    li   r20, 0
+    li   r21, 0
+    li   r22, 0
+    li   r23, 0
+    li   r24, 0
+    li   r25, 0
+    li   r9, {reps}
+rep_loop:
+    la   r16, outbuf
+"""
+
+_EPILOGUE = """
+    addi r9, r9, -1
+    bnez r9, rep_loop
+    la   r1, result
+    sw   r20, 0(r1)
+    sw   r21, 4(r1)
+    halt
+"""
+
+_PREFETCH_LOOP = """
+    la   r15, test
+    li   r3, {pf_count}
+pf_loop:
+    prefetch 0(r15)
+    addi r15, r15, 64
+    addi r3, r3, -1
+    bnez r3, pf_loop
+"""
+
+
+def _base_loop():
+    return """
+    la   r15, test
+    li   r3, {n_elems}
+loop:
+    lw   r5, 0(r15)
+SEP_MAIN:
+    bge  r5, r14, skip       # separable branch: skip CD when x >= -theeps
+""" + _CD_REGION.format(x="r5") + """
+skip:
+    addi r15, r15, 4
+    addi r3, r3, -1
+    bnez r3, loop
+"""
+
+
+def _cfd_loops(use_vq):
+    vq_push = "    push_vq r5\n" if use_vq else ""
+    if use_vq:
+        reload = "    pop_vq r5\n"
+    else:
+        reload = "    lw   r5, 0(r15)          # CFD duplication: reload test[i]\n"
+    return """
+    la   r26, test
+    li   r27, {n_chunks}
+chunk_loop:
+    mv   r15, r26
+    li   r3, {chunk}
+gen_loop:
+    lw   r5, 0(r15)
+    sge  r6, r5, r14         # skip-predicate: x >= -theeps
+    push_bq r6
+""" + vq_push + """
+    addi r15, r15, 4
+    addi r3, r3, -1
+    bnez r3, gen_loop
+    mv   r15, r26
+    li   r3, {chunk}
+use_loop:
+""" + reload + """
+    b_bq cd_skip             # pops the predicate; resolved in fetch
+""" + _CD_REGION.format(x="r5") + """
+cd_skip:
+    addi r15, r15, 4
+    addi r3, r3, -1
+    bnez r3, use_loop
+    addi r26, r26, {chunk_bytes}
+    addi r27, r27, -1
+    bnez r27, chunk_loop
+"""
+
+
+def _build(variant, input_name, scale, seed):
+    params = dict(_INPUT_PARAMS[input_name])
+    n = max(_CHUNK, int(params["n"] * scale) // _CHUNK * _CHUNK)
+    reps = params["reps"]
+    require(n % _CHUNK == 0, "soplex size must be a chunk multiple")
+    neg_theeps = -5000
+    values = data_gen.values_with_threshold(
+        n, neg_theeps, params["below_fraction"], spread=4000, seed=seed
+    )
+
+    fmt = {
+        "n": n,
+        "outwords": 2 * n,
+        "neg_theeps": neg_theeps,
+        "reps": reps,
+        "n_elems": n,
+        "chunk": _CHUNK,
+        "chunk_bytes": _CHUNK * 4,
+        "n_chunks": n // _CHUNK,
+        "pf_count": (n * 4) // 64,
+    }
+
+    body = {
+        "base": _base_loop(),
+        "cfd": _cfd_loops(use_vq=False),
+        "cfd_plus": _cfd_loops(use_vq=True),
+        "dfd": _PREFETCH_LOOP + _base_loop(),
+        "cfd_dfd": _PREFETCH_LOOP + _cfd_loops(use_vq=False),
+    }[variant]
+
+    source = (_PROLOGUE + body + _EPILOGUE).format(**fmt)
+    meta = {
+        "n": n,
+        "reps": reps,
+        "below_fraction": params["below_fraction"],
+        "footprint_bytes": 4 * n,
+    }
+    return source, {"test": values}, meta
+
+
+register(
+    Workload(
+        name="soplex",
+        suite="SPEC2006",
+        description="threshold scan over test[] with a large CD region",
+        paper_region="spxbounds/maxDelta-style loop, branch at line 3 (Fig 8)",
+        branch_class=CLASS_TOTALLY_SEPARABLE,
+        variants=("base", "cfd", "cfd_plus", "dfd", "cfd_dfd"),
+        inputs=("ref", "pds"),
+        time_fraction=0.31,
+        builder=_build,
+    )
+)

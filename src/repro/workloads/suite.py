@@ -1,0 +1,152 @@
+"""Workload registry: one entry per paper application idiom.
+
+Each :class:`Workload` knows its benchmark-suite attribution (for the
+Figure 6 pies), the fraction of whole-benchmark time its CFD region
+represents (Table V/VI's gprof "time split", used for Amdahl projection),
+its control-flow class, and a builder that produces any of its program
+variants at any scale.
+
+Separable branches are marked in the assembly templates with labels
+beginning ``SEP``; their PCs feed the "Base + PerfectCFD" oracle
+configuration of Figure 19.
+"""
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+from repro.errors import WorkloadError
+from repro.workloads.builders import build_program
+
+#: Control-flow classes from Section II-B.
+CLASS_HAMMOCK = "hammock"
+CLASS_TOTALLY_SEPARABLE = "totally_separable"
+CLASS_PARTIALLY_SEPARABLE = "partially_separable"
+CLASS_LOOP_BRANCH = "separable_loop_branch"
+CLASS_INSEPARABLE = "inseparable"
+CLASS_EASY = "easy"  # well-predicted; "excluded" in the paper's pies
+
+
+@dataclass
+class BuiltProgram:
+    """One concrete assembled workload binary."""
+
+    program: "repro.isa.program.Program"
+    workload: str
+    variant: str
+    input_name: str
+    params: Dict[str, object] = field(default_factory=dict)
+    separable_pcs: Tuple[int, ...] = ()
+
+    @property
+    def name(self):
+        return "%s(%s)/%s" % (self.workload, self.input_name, self.variant)
+
+
+@dataclass
+class Workload:
+    """A paper application reduced to its CFD-region idiom."""
+
+    name: str
+    suite: str  # SPEC2006 | BioBench | MineBench | cBench
+    description: str
+    paper_region: str  # file/function attribution as in Tables V/VI
+    branch_class: str
+    variants: Tuple[str, ...]
+    inputs: Tuple[str, ...]
+    time_fraction: float  # CFD region share of whole-benchmark time
+    builder: Callable = None  # (variant, input_name, scale, seed) -> (src, arrays, params)
+
+    def build(self, variant="base", input_name=None, scale=1.0, seed=1):
+        """Assemble one variant; returns a :class:`BuiltProgram`."""
+        if variant not in self.variants:
+            raise WorkloadError(
+                "workload %r has no variant %r (have %s)"
+                % (self.name, variant, ", ".join(self.variants))
+            )
+        if input_name is None:
+            input_name = self.inputs[0]
+        if input_name not in self.inputs:
+            raise WorkloadError(
+                "workload %r has no input %r (have %s)"
+                % (self.name, input_name, ", ".join(self.inputs))
+            )
+        source, arrays, params = self.builder(variant, input_name, scale, seed)
+        program = build_program(
+            source, "%s(%s)/%s" % (self.name, input_name, variant), arrays
+        )
+        separable = tuple(
+            sorted(
+                pc
+                for label, pc in program.labels.items()
+                if label.startswith("SEP")
+            )
+        )
+        return BuiltProgram(
+            program=program,
+            workload=self.name,
+            variant=variant,
+            input_name=input_name,
+            params=params,
+            separable_pcs=separable,
+        )
+
+
+_REGISTRY: Dict[str, Workload] = {}
+
+
+def register(workload):
+    """Add *workload* to the registry (called by each workload module)."""
+    if workload.name in _REGISTRY:
+        raise WorkloadError("duplicate workload %r" % workload.name)
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+_WORKLOAD_MODULES = (
+    "astar",
+    "hmmer",
+    "bzip2",
+    "eclat",
+    "extras",
+    "gromacs",
+    "jpeg",
+    "mcf",
+    "namd",
+    "soplex",
+    "tiff",
+)
+
+
+def _ensure_loaded():
+    # Import the workload modules for their registration side effects.
+    # Missing modules are tolerated during incremental development but the
+    # test suite asserts the full set is present.
+    import importlib
+
+    for module in _WORKLOAD_MODULES:
+        try:
+            importlib.import_module("repro.workloads.%s" % module)
+        except ImportError:
+            pass
+
+
+def get_workload(name):
+    """Look up a workload by name."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise WorkloadError(
+            "unknown workload %r (have %s)" % (name, ", ".join(sorted(_REGISTRY)))
+        )
+
+
+def all_workloads():
+    """All registered workloads, name-sorted."""
+    _ensure_loaded()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def workload_names():
+    _ensure_loaded()
+    return sorted(_REGISTRY)

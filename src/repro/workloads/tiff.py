@@ -1,0 +1,157 @@
+"""tiff-2-bw / tiff-median (cBench): the hoist-only CFD case.
+
+The paper singles these out: no loop decoupling was performed — instead
+the branch's predicate computation was hoisted as far ahead as possible
+*within* the loop body and communicated through the BQ.  When the
+predicate's load hits in L1 the push still executes before the pop is
+fetched; when it misses, the fetch separation is insufficient and the pop
+takes a **BQ miss** (~20% for tiff-2-bw in the paper), falling back to
+the branch predictor (speculate policy) or stalling fetch (stall policy —
+the one application where Fig 21c shows a real difference).
+
+``base`` is the original loop; ``cfd`` is the hoisted form.  The pixel
+array is sized past L1 so a fraction of iterations miss.
+"""
+
+from repro.workloads import data_gen
+from repro.workloads.suite import CLASS_TOTALLY_SEPARABLE, Workload, register
+
+_INPUTS = {
+    # threshold_fraction = P(pixel above threshold); filler = hoist distance
+    # (the paper's conversion loops are long: the hoisted push sits tens of
+    # instructions ahead of its pop, enough for an L1-hitting slice to
+    # execute in time but not an L1-missing one)
+    "2bw": {"n": 16384, "above_fraction": 0.5, "reps": 2, "filler": 96},
+    "median": {"n": 16384, "above_fraction": 0.35, "reps": 2, "filler": 72},
+}
+
+#: Conversion work independent of the current pixel's predicate: these
+#: sequences (cycled to the requested hoist distance) separate push and pop.
+_FILLER_POOL = [
+    "    addi r10, r10, {k}",
+    "    xor  r11, r11, r10",
+    "    slli r12, r10, 1",
+    "    add  r22, r22, r12",
+    "    srli r13, r11, 2",
+    "    add  r23, r23, r13",
+    "    sub  r12, r12, r10",
+    "    add  r22, r22, r11",
+    "    addi r11, r11, {k}",
+    "    xor  r25, r25, r13",
+    "    slli r13, r12, 2",
+    "    add  r23, r23, r10",
+    "    srai r12, r13, 1",
+    "    add  r25, r25, r12",
+]
+
+
+def _filler_text(count):
+    lines = []
+    for i in range(count):
+        lines.append(_FILLER_POOL[i % len(_FILLER_POOL)].format(k=3 + i % 5))
+    return "\n".join(lines) + "\n"
+
+_CD = """
+    add  r20, r20, r5        # accumulate luminance
+    addi r21, r21, 1
+    srai r10, r5, 2
+    add  r22, r22, r10
+    sw   r5, 0(r16)          # emit converted pixel
+    addi r16, r16, 4
+"""
+
+_TEMPLATE = """
+.data
+pixels: .space {n}
+outbuf: .space {n}
+result: .space 8
+
+.text
+main:
+    li   r14, {threshold}
+    li   r20, 0
+    li   r21, 0
+    li   r22, 0
+    li   r23, 0
+    li   r25, 0
+    li   r10, 0
+    li   r11, 0
+    li   r9, {reps}
+rep_loop:
+    la   r16, outbuf
+    la   r15, pixels
+    li   r3, {n}
+loop:
+    lw   r5, 0(r15)
+{hoisted_push}{filler}{branch}{cd}skip:
+    addi r15, r15, 4
+    addi r3, r3, -1
+    bnez r3, loop
+    addi r9, r9, -1
+    bnez r9, rep_loop
+    la   r1, result
+    sw   r20, 0(r1)
+    sw   r21, 4(r1)
+    halt
+"""
+
+
+def _build_for(input_key):
+    def _build(variant, input_name, scale, seed):
+        params = _INPUTS[input_key]
+        n = max(128, int(params["n"] * scale) // 128 * 128)
+        threshold = 128
+        pixels = abs(
+            data_gen.values_with_threshold(
+                n, threshold, 1.0 - params["above_fraction"], spread=120, seed=seed
+            )
+        )
+        filler = _filler_text(params["filler"])
+        if variant == "base":
+            hoisted_push = ""
+            branch = "SEP_MAIN:\n    blt  r5, r14, skip\n"
+        else:  # cfd: hoist the predicate computation + push to the loop top
+            hoisted_push = "    slt  r7, r5, r14\n    push_bq r7\n"
+            branch = "    b_bq skip\n"
+        source = _TEMPLATE.format(
+            n=n,
+            threshold=threshold,
+            reps=params["reps"],
+            hoisted_push=hoisted_push,
+            filler=filler,
+            branch=branch,
+            cd=_CD,
+        )
+        meta = {"n": n, "hoist_distance": params["filler"]}
+        return source, {"pixels": pixels}, meta
+
+    return _build
+
+
+register(
+    Workload(
+        name="tiff_2bw",
+        suite="cBench",
+        description="threshold conversion with hoist-only CFD (BQ misses)",
+        paper_region="tiff2bw.c pixel conversion loop",
+        branch_class=CLASS_TOTALLY_SEPARABLE,
+        variants=("base", "cfd"),
+        inputs=("2bw",),
+        time_fraction=0.5,
+        builder=_build_for("2bw"),
+    )
+)
+
+register(
+    Workload(
+        name="tiff_median",
+        suite="cBench",
+        description="median-cut thresholding, hoist-only CFD",
+        paper_region="tiffmedian.c histogram threshold loop",
+        branch_class=CLASS_TOTALLY_SEPARABLE,
+        variants=("base", "cfd"),
+        inputs=("median",),
+        time_fraction=0.4,
+        builder=_build_for("median"),
+    )
+)

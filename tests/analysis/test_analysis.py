@@ -1,0 +1,68 @@
+"""Amdahl projection and report helpers."""
+
+import pytest
+
+from repro.analysis import (
+    amdahl_speedup,
+    compare_runs,
+    format_table,
+    geometric_mean,
+    harmonic_mean,
+    whole_benchmark_speedup,
+)
+
+
+def test_amdahl_paper_example():
+    """astar(Rivers) region #1: s=1.34, f=0.47 -> ~1.14 overall."""
+    assert amdahl_speedup(1.34, 0.47) == pytest.approx(1.135, abs=0.01)
+
+
+def test_amdahl_boundaries():
+    assert amdahl_speedup(2.0, 0.0) == 1.0
+    assert amdahl_speedup(2.0, 1.0) == 2.0
+
+
+def test_amdahl_validation():
+    with pytest.raises(ValueError):
+        amdahl_speedup(0, 0.5)
+    with pytest.raises(ValueError):
+        amdahl_speedup(1.5, 1.5)
+
+
+def test_whole_benchmark_projection():
+    from repro.workloads import get_workload
+
+    workload = get_workload("soplex")
+    projected = whole_benchmark_speedup(workload, 1.5)
+    assert 1.0 < projected < 1.5
+
+
+def test_means():
+    assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+    assert harmonic_mean([1.0, 1.0]) == 1.0
+    assert geometric_mean([]) == 0.0
+    assert harmonic_mean([2.0, 2.0]) == 2.0
+
+
+def test_format_table_alignment():
+    text = format_table(
+        ["name", "value"],
+        [["soplex", 1.23], ["astar_r1", 45.6]],
+        title="demo",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "soplex" in text and "45.6" in text
+    assert len(lines) == 5
+
+
+def test_compare_runs_definitions(count_program):
+    from repro.core import sandy_bridge_config, simulate
+
+    base = simulate(count_program, sandy_bridge_config())
+    variant = simulate(count_program, sandy_bridge_config())
+    comparison = compare_runs("count", "self", base, variant)
+    assert comparison.speedup == pytest.approx(1.0)
+    assert comparison.overhead == pytest.approx(1.0)
+    assert comparison.effective_ipc == pytest.approx(base.stats.ipc)
+    assert comparison.energy_reduction == pytest.approx(0.0, abs=1e-6)

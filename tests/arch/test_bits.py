@@ -1,0 +1,50 @@
+"""32-bit arithmetic helpers."""
+
+from hypothesis import given, strategies as st
+
+from repro.arch.bits import signed_div, signed_rem, to_signed, to_unsigned
+
+_I32 = st.integers(-(1 << 31), (1 << 31) - 1)
+
+
+def test_to_signed_boundaries():
+    assert to_signed(0x7FFFFFFF) == 2**31 - 1
+    assert to_signed(0x80000000) == -(2**31)
+    assert to_signed(0xFFFFFFFF) == -1
+
+
+def test_to_unsigned_wraps():
+    assert to_unsigned(-1) == 0xFFFFFFFF
+    assert to_unsigned(1 << 33) == 0
+
+
+@given(_I32)
+def test_signed_unsigned_roundtrip(value):
+    assert to_signed(to_unsigned(value)) == value
+
+
+def test_division_truncates_toward_zero():
+    assert to_signed(signed_div(to_unsigned(-7), 2)) == -3
+    assert to_signed(signed_div(7, to_unsigned(-2))) == -3
+    assert to_signed(signed_div(7, 2)) == 3
+
+
+def test_division_by_zero_yields_zero():
+    assert signed_div(42, 0) == 0
+
+
+def test_remainder_sign_follows_dividend():
+    assert to_signed(signed_rem(to_unsigned(-7), 2)) == -1
+    assert to_signed(signed_rem(7, to_unsigned(-2))) == 1
+
+
+def test_remainder_by_zero_yields_dividend():
+    assert to_signed(signed_rem(to_unsigned(-5), 0)) == -5
+
+
+@given(_I32, _I32)
+def test_div_rem_identity(a, b):
+    quotient = to_signed(signed_div(to_unsigned(a), to_unsigned(b)))
+    remainder = to_signed(signed_rem(to_unsigned(a), to_unsigned(b)))
+    if b != 0:
+        assert quotient * b + remainder == a

@@ -1,0 +1,292 @@
+"""Functional interpreter: per-class semantics and CFD instructions."""
+
+import pytest
+
+from repro.arch.executor import FunctionalExecutor, run_program
+from repro.arch.state import ArchState
+from repro.errors import QueueUnderflowError
+from repro.isa import assemble
+
+
+def _run(source, **kwargs):
+    return run_program(assemble(source), **kwargs)
+
+
+def test_arithmetic_program():
+    executor = _run(
+        """
+.text
+main:
+    li   r1, 6
+    li   r2, 7
+    mul  r3, r1, r2
+    addi r3, r3, -2
+    halt
+"""
+    )
+    assert executor.state.regs[3] == 40
+
+
+def test_loads_stores_and_bytes():
+    executor = _run(
+        """
+.data
+buf: .word 0x11223344
+.text
+main:
+    la   r1, buf
+    lb   r2, 3(r1)
+    lbu  r3, 3(r1)
+    sb   r2, 4(r1)
+    lw   r4, 4(r1)
+    halt
+"""
+    )
+    state = executor.state
+    assert state.regs[2] == 0x11  # 0x11 positive
+    assert state.regs[3] == 0x11
+    assert state.regs[4] == 0x11
+
+
+def test_signed_byte_load_extends():
+    executor = _run(
+        """
+.data
+buf: .word 0x80
+.text
+main:
+    la   r1, buf
+    lb   r2, 0(r1)
+    lbu  r3, 0(r1)
+    halt
+"""
+    )
+    assert executor.state.regs[2] == 0xFFFFFF80
+    assert executor.state.regs[3] == 0x80
+
+
+def test_branches_and_jumps():
+    executor = _run(
+        """
+.text
+main:
+    li   r1, 3
+    li   r2, 0
+loop:
+    addi r2, r2, 10
+    addi r1, r1, -1
+    bnez r1, loop
+    jal  r31, sub
+    j    end
+sub:
+    addi r2, r2, 1
+    jalr r0, r31
+end:
+    halt
+"""
+    )
+    assert executor.state.regs[2] == 31
+
+
+def test_cmov_semantics():
+    executor = _run(
+        """
+.text
+main:
+    li   r1, 11
+    li   r2, 22
+    li   r3, 0
+    li   r4, 1
+    mv   r5, r1
+    cmovz r5, r2, r3      # r3==0 -> move: r5=22
+    mv   r6, r1
+    cmovz r6, r2, r4      # r4!=0 -> keep: r6=11
+    mv   r7, r1
+    cmovnz r7, r2, r4     # r4!=0 -> move: r7=22
+    halt
+"""
+    )
+    state = executor.state
+    assert state.regs[5] == 22
+    assert state.regs[6] == 11
+    assert state.regs[7] == 22
+
+
+def test_bq_push_pop_direction(count_program):
+    executor = run_program(count_program)
+    assert executor.state.memory.load_word(count_program.symbol("out")) == 6
+
+
+def test_bq_underflow_is_program_error():
+    with pytest.raises(QueueUnderflowError):
+        _run(".text\nmain:\nb_bq main\nhalt")
+
+
+def test_mark_forward():
+    executor = _run(
+        """
+.text
+main:
+    li   r1, 1
+    push_bq r1
+    push_bq r1
+    mark
+    push_bq r1
+    forward
+    b_bq t
+    j    e
+t:  addi r2, r2, 1
+e:  halt
+"""
+    )
+    # forward discarded the two pre-mark pushes; the pop saw the third.
+    assert executor.state.regs[2] == 1
+    assert executor.state.bq.length == 0
+
+
+def test_vq_roundtrip():
+    executor = _run(
+        """
+.text
+main:
+    li   r1, 77
+    push_vq r1
+    li   r1, 88
+    push_vq r1
+    pop_vq r2
+    pop_vq r3
+    halt
+"""
+    )
+    assert executor.state.regs[2] == 77
+    assert executor.state.regs[3] == 88
+
+
+def test_tq_and_tcr_loop():
+    executor = _run(
+        """
+.text
+main:
+    li   r1, 4
+    push_tq r1
+    pop_tq
+    li   r2, 0
+    j    test
+body:
+    addi r2, r2, 1
+test:
+    b_tcr body
+    halt
+"""
+    )
+    assert executor.state.regs[2] == 4
+    assert executor.state.tcr == 0
+
+
+def test_tq_overflow_entry_and_bov():
+    executor = _run(
+        """
+.text
+main:
+    li   r1, 100000       # exceeds 16-bit trip count
+    push_tq r1
+    pop_tq_bov fallback
+    li   r2, 1            # skipped
+    halt
+fallback:
+    li   r2, 2
+    halt
+"""
+    )
+    assert executor.state.regs[2] == 2
+
+
+def test_save_restore_bq():
+    executor = _run(
+        """
+.data
+spill: .space 10
+.text
+main:
+    li   r1, 1
+    push_bq r1
+    push_bq r0
+    push_bq r1
+    la   r2, spill
+    save_bq 0(r2)
+    b_bq a
+a:  b_bq b
+b:  b_bq c
+c:  restore_bq 0(r2)
+    halt
+"""
+    )
+    state = executor.state
+    assert state.bq.length == 3
+    assert state.bq.entries() == [1, 0, 1]
+    assert state.memory.load_word(executor.program.symbol("spill")) == 3
+
+
+def test_save_restore_vq_and_tq():
+    executor = _run(
+        """
+.data
+spill: .space 20
+.text
+main:
+    li   r1, 5
+    push_vq r1
+    push_tq r1
+    la   r2, spill
+    save_vq 0(r2)
+    save_tq 40(r2)
+    pop_vq r3
+    pop_tq
+    restore_vq 0(r2)
+    restore_tq 40(r2)
+    halt
+"""
+    )
+    state = executor.state
+    assert state.vq.entries() == [5]
+    assert state.tq.entries() == [(5, 0)]
+
+
+def test_prefetch_is_functional_noop():
+    executor = _run(
+        """
+.data
+x: .word 9
+.text
+main:
+    la   r1, x
+    prefetch 0(r1)
+    lw   r2, 0(r1)
+    halt
+"""
+    )
+    assert executor.state.regs[2] == 9
+
+
+def test_run_off_code_end_halts():
+    executor = _run(".text\nmain:\nnop\nnop")
+    assert executor.state.halted
+    assert executor.retired == 2
+
+
+def test_instruction_limit():
+    program = assemble(".text\nmain:\nj main")
+    executor = FunctionalExecutor(program, ArchState(program))
+    executed = executor.run(max_instructions=57)
+    assert executed == 57
+    assert not executor.state.halted
+
+
+def test_observer_sees_every_retire(count_program):
+    program = count_program
+    executor = FunctionalExecutor(program, ArchState(program))
+    records = []
+    executor.run(observer=records.append)
+    assert len(records) == executor.retired
+    branch_records = [r for r in records if r.inst.info.is_branch]
+    assert any(r.taken for r in branch_records)

@@ -1,0 +1,93 @@
+"""Sparse memory: word/byte access, alignment, equality."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.memory import Memory
+from repro.errors import MemoryError_
+
+
+def test_default_zero():
+    assert Memory().load_word(0x1000) == 0
+    assert Memory().load_byte(0x1003) == 0
+
+
+def test_word_roundtrip():
+    memory = Memory()
+    memory.store_word(0x100, 0xDEADBEEF)
+    assert memory.load_word(0x100) == 0xDEADBEEF
+
+
+def test_word_masking():
+    memory = Memory()
+    memory.store_word(0, 0x1_FFFF_FFFF)
+    assert memory.load_word(0) == 0xFFFFFFFF
+
+
+def test_misaligned_word_raises():
+    with pytest.raises(MemoryError_):
+        Memory().load_word(2)
+    with pytest.raises(MemoryError_):
+        Memory().store_word(5, 1)
+
+
+def test_negative_address_raises():
+    with pytest.raises(MemoryError_):
+        Memory().load_word(-4)
+    with pytest.raises(MemoryError_):
+        Memory().load_byte(-1)
+
+
+def test_byte_little_endian_layout():
+    memory = Memory()
+    memory.store_word(0x40, 0x44332211)
+    assert memory.load_byte(0x40) == 0x11
+    assert memory.load_byte(0x41) == 0x22
+    assert memory.load_byte(0x42) == 0x33
+    assert memory.load_byte(0x43) == 0x44
+
+
+def test_byte_store_updates_one_byte():
+    memory = Memory()
+    memory.store_word(0x40, 0x44332211)
+    memory.store_byte(0x42, 0xAB)
+    assert memory.load_word(0x40) == 0x44AB2211
+
+
+@given(
+    addr=st.integers(0, 1 << 20).map(lambda a: a * 4),
+    value=st.integers(0, 0xFFFFFFFF),
+)
+def test_word_roundtrip_property(addr, value):
+    memory = Memory()
+    memory.store_word(addr, value)
+    assert memory.load_word(addr) == value
+    # bytes reassemble the word
+    reassembled = 0
+    for offset in range(4):
+        reassembled |= memory.load_byte(addr + offset) << (8 * offset)
+    assert reassembled == value
+
+
+def test_copy_is_independent():
+    memory = Memory()
+    memory.store_word(0, 1)
+    other = memory.copy()
+    other.store_word(0, 2)
+    assert memory.load_word(0) == 1
+
+
+def test_equality_ignores_zero_words():
+    a = Memory()
+    b = Memory()
+    a.store_word(0x10, 0)
+    assert a == b
+    a.store_word(0x10, 5)
+    assert a != b
+
+
+def test_load_image():
+    memory = Memory()
+    memory.load_image({0x100: 7, 0x104: 8})
+    assert memory.load_word(0x104) == 8
+    assert memory.words() == {0x100: 7, 0x104: 8}

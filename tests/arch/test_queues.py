@@ -1,0 +1,204 @@
+"""Architectural BQ/VQ/TQ: ordering rules, Mark/Forward, save/restore."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.queues import BranchQueue, TripCountQueue, ValueQueue
+from repro.errors import (
+    QueueOverflowError,
+    QueueUnderflowError,
+    TripCountOverflowError,
+)
+
+
+class TestBranchQueue:
+    def test_fifo_order(self):
+        bq = BranchQueue(8)
+        for bit in (1, 0, 1, 1):
+            bq.push(bit)
+        assert [bq.pop() for _ in range(4)] == [1, 0, 1, 1]
+
+    def test_push_normalizes_to_bit(self):
+        bq = BranchQueue(4)
+        bq.push(12345)
+        bq.push(0)
+        assert bq.pop() == 1
+        assert bq.pop() == 0
+
+    def test_overflow_raises(self):
+        bq = BranchQueue(2)
+        bq.push(1)
+        bq.push(1)
+        with pytest.raises(QueueOverflowError):
+            bq.push(1)
+
+    def test_underflow_raises(self):
+        with pytest.raises(QueueUnderflowError):
+            BranchQueue(2).pop()
+
+    def test_length_register(self):
+        bq = BranchQueue(4)
+        assert bq.length == 0
+        bq.push(1)
+        bq.push(0)
+        assert bq.length == 2
+        bq.pop()
+        assert bq.length == 1
+
+    def test_mark_forward_discards_up_to_mark(self):
+        bq = BranchQueue(16)
+        for _ in range(5):
+            bq.push(1)
+        bq.mark()  # marks position after the 5 pushes
+        for _ in range(3):
+            bq.push(0)
+        bq.pop()  # one entry consumed normally
+        skipped = bq.forward()
+        assert skipped == 4  # the remaining entries before the mark
+        # what's left are the 3 post-mark pushes
+        assert bq.entries() == [0, 0, 0]
+
+    def test_forward_without_mark_is_noop(self):
+        bq = BranchQueue(4)
+        bq.push(1)
+        assert bq.forward() == 0
+        assert bq.length == 1
+
+    def test_forward_twice_uses_last_mark(self):
+        bq = BranchQueue(16)
+        bq.push(1)
+        bq.mark()
+        bq.push(0)
+        bq.mark()
+        assert bq.forward() == 2
+        assert bq.forward() == 0
+
+    def test_save_restore_roundtrip(self):
+        bq = BranchQueue(8)
+        for bit in (1, 0, 0, 1):
+            bq.push(bit)
+        bq.pop()
+        image = bq.save_image()
+        assert image[0] == 3
+        restored = BranchQueue(8)
+        restored.restore_image(image)
+        assert restored.entries() == [0, 0, 1]
+        assert restored.length == 3
+
+    def test_restore_oversized_length_raises(self):
+        with pytest.raises(QueueOverflowError):
+            BranchQueue(2).restore_image([5, 1, 1, 1, 1, 1])
+
+    @given(st.lists(st.booleans(), max_size=32))
+    def test_fifo_property(self, bits):
+        bq = BranchQueue(32)
+        for bit in bits:
+            bq.push(bit)
+        assert [bq.pop() for _ in bits] == [1 if b else 0 for b in bits]
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=20), st.data())
+    def test_interleaved_push_pop_never_corrupts(self, bits, data):
+        """Random interleavings preserve FIFO semantics and the length
+        invariant length == pushes - pops."""
+        bq = BranchQueue(8)
+        import collections
+
+        model = collections.deque()
+        to_push = list(bits)
+        while to_push or model:
+            can_push = bool(to_push) and len(model) < 8
+            do_push = can_push and (not model or data.draw(st.booleans()))
+            if do_push:
+                bit = to_push.pop(0)
+                bq.push(bit)
+                model.append(1 if bit else 0)
+            else:
+                assert bq.pop() == model.popleft()
+            assert bq.length == len(model)
+
+
+class TestValueQueue:
+    def test_fifo_values(self):
+        vq = ValueQueue(4)
+        vq.push(100)
+        vq.push(0xFFFFFFFF + 5)  # wraps
+        assert vq.pop() == 100
+        assert vq.pop() == 4
+
+    def test_overflow(self):
+        vq = ValueQueue(1)
+        vq.push(1)
+        with pytest.raises(QueueOverflowError):
+            vq.push(2)
+
+    def test_save_restore(self):
+        vq = ValueQueue(8)
+        for value in (7, 8, 9):
+            vq.push(value)
+        restored = ValueQueue(8)
+        restored.restore_image(vq.save_image())
+        assert restored.entries() == [7, 8, 9]
+
+
+class TestTripCountQueue:
+    def test_counts_and_overflow_bit(self):
+        tq = TripCountQueue(8, bits=4)
+        tq.push(9)
+        tq.push(100)  # > 15: overflow entry
+        assert tq.pop() == (9, 0)
+        assert tq.pop() == (0, 1)
+
+    def test_strict_mode_raises_on_overflow(self):
+        tq = TripCountQueue(8, bits=4, strict=True)
+        with pytest.raises(TripCountOverflowError):
+            tq.push(16)
+
+    def test_negative_count_raises(self):
+        with pytest.raises(TripCountOverflowError):
+            TripCountQueue(4).push(-1)
+
+    def test_save_restore_preserves_overflow_bits(self):
+        tq = TripCountQueue(8, bits=4)
+        tq.push(3)
+        tq.push(99)
+        restored = TripCountQueue(8, bits=4)
+        restored.restore_image(tq.save_image())
+        assert restored.pop() == (3, 0)
+        assert restored.pop() == (0, 1)
+
+    @given(st.lists(st.integers(0, 200), max_size=16))
+    def test_fifo_property(self, counts):
+        tq = TripCountQueue(16, bits=6)
+        for count in counts:
+            tq.push(count)
+        for count in counts:
+            popped, overflow = tq.pop()
+            if count <= 63:
+                assert (popped, overflow) == (count, 0)
+            else:
+                assert (popped, overflow) == (0, 1)
+
+
+class TestMarkPending:
+    def test_counts_entries_a_forward_would_discard(self):
+        bq = BranchQueue(16)
+        for _ in range(4):
+            bq.push(1)
+        assert bq.mark_pending == 0  # no mark yet
+        bq.mark()
+        assert bq.mark_pending == 4
+        bq.pop()
+        assert bq.mark_pending == 3
+        bq.push(0)  # post-mark push does not count
+        assert bq.mark_pending == 3
+        bq.forward()
+        assert bq.mark_pending == 0
+
+    def test_clear_resets_everything(self):
+        bq = BranchQueue(8)
+        bq.push(1)
+        bq.mark()
+        bq.clear()
+        assert bq.length == 0
+        assert bq.total_pushes == 0
+        assert bq.forward() == 0 or bq._mark is not None  # mark survives clear

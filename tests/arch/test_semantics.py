@@ -1,0 +1,70 @@
+"""Shared value semantics (alu_compute / branch_taken)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.bits import to_signed, to_unsigned
+from repro.arch.semantics import alu_compute, branch_taken
+from repro.isa.opcodes import Opcode
+
+_U32 = st.integers(0, 0xFFFFFFFF)
+
+
+@given(_U32, _U32)
+def test_add_sub_wrap(a, b):
+    assert alu_compute(Opcode.ADD, a, b) == (a + b) & 0xFFFFFFFF
+    assert alu_compute(Opcode.SUB, a, b) == (a - b) & 0xFFFFFFFF
+
+
+@given(_U32, _U32)
+def test_logic_ops(a, b):
+    assert alu_compute(Opcode.AND, a, b) == a & b
+    assert alu_compute(Opcode.OR, a, b) == a | b
+    assert alu_compute(Opcode.XOR, a, b) == a ^ b
+
+
+@given(_U32, st.integers(0, 31))
+def test_shifts(a, shift):
+    assert alu_compute(Opcode.SLL, a, shift) == (a << shift) & 0xFFFFFFFF
+    assert alu_compute(Opcode.SRL, a, shift) == a >> shift
+    assert alu_compute(Opcode.SRA, a, shift) == to_unsigned(to_signed(a) >> shift)
+
+
+@given(_U32, _U32)
+def test_comparison_set_ops(a, b):
+    assert alu_compute(Opcode.SLT, a, b) == (1 if to_signed(a) < to_signed(b) else 0)
+    assert alu_compute(Opcode.SLTU, a, b) == (1 if a < b else 0)
+    assert alu_compute(Opcode.SEQ, a, b) == (1 if a == b else 0)
+    assert alu_compute(Opcode.SNE, a, b) == (1 if a != b else 0)
+    assert alu_compute(Opcode.SGE, a, b) == (1 if to_signed(a) >= to_signed(b) else 0)
+
+
+@given(_U32, st.integers(-(1 << 15), (1 << 15) - 1))
+def test_immediate_forms(a, imm):
+    assert alu_compute(Opcode.ADDI, a, imm=imm) == (a + imm) & 0xFFFFFFFF
+    assert alu_compute(Opcode.SLTI, a, imm=imm) == (1 if to_signed(a) < imm else 0)
+
+
+def test_lui():
+    assert alu_compute(Opcode.LUI, 0, imm=0x1234) == 0x12340000
+
+
+@given(_U32, _U32)
+def test_branch_directions_consistent_with_set_ops(a, b):
+    assert branch_taken(Opcode.BEQ, a, b) == (a == b)
+    assert branch_taken(Opcode.BNE, a, b) == (a != b)
+    assert branch_taken(Opcode.BLT, a, b) == (to_signed(a) < to_signed(b))
+    assert branch_taken(Opcode.BGE, a, b) == (to_signed(a) >= to_signed(b))
+    assert branch_taken(Opcode.BLTU, a, b) == (a < b)
+    assert branch_taken(Opcode.BGEU, a, b) == (a >= b)
+
+
+def test_non_alu_opcode_rejected():
+    with pytest.raises(ValueError):
+        alu_compute(Opcode.LW, 0, 0)
+
+
+@given(_U32, _U32)
+def test_mul_matches_signed_product(a, b):
+    expected = to_unsigned(to_signed(a) * to_signed(b))
+    assert alu_compute(Opcode.MUL, a, b) == expected

@@ -1,0 +1,69 @@
+"""ArchState: register semantics, snapshots, comparisons."""
+
+from repro.arch.state import ArchState
+from repro.isa import assemble
+
+
+def test_r0_reads_zero_and_discards_writes():
+    state = ArchState()
+    state.write_reg(0, 123)
+    assert state.read_reg(0) == 0
+
+
+def test_register_values_masked():
+    state = ArchState()
+    state.write_reg(5, 0x1_0000_0001)
+    assert state.read_reg(5) == 1
+
+
+def test_load_program_installs_data_and_entry():
+    program = assemble(".data\nx: .word 9\n.text\nnop\nmain:\nhalt")
+    state = ArchState(program)
+    assert state.pc == program.entry == 1
+    assert state.memory.load_word(program.symbol("x")) == 9
+
+
+def test_snapshot_is_deep():
+    state = ArchState()
+    state.write_reg(1, 10)
+    state.bq.push(1)
+    state.vq.push(42)
+    state.tq.push(3)
+    state.tcr = 2
+    snap = state.snapshot()
+    state.write_reg(1, 20)
+    state.bq.pop()
+    state.vq.pop()
+    state.tq.pop()
+    state.tcr = 0
+    assert snap.read_reg(1) == 10
+    assert snap.bq.entries() == [1]
+    assert snap.vq.entries() == [42]
+    assert snap.tq.entries() == [(3, 0)]
+    assert snap.tcr == 2
+
+
+def test_same_architectural_state():
+    a, b = ArchState(), ArchState()
+    assert a.same_architectural_state(b)
+    b.write_reg(3, 1)
+    assert not a.same_architectural_state(b)
+    assert "r3" in a.diff(b)
+
+
+def test_diff_reports_queues_and_memory():
+    a, b = ArchState(), ArchState()
+    a.bq.push(1)
+    b.memory.store_word(0x10, 2)
+    b.tcr = 7
+    report = a.diff(b)
+    assert "bq" in report
+    assert "mem" in report
+    assert "tcr" in report
+
+
+def test_pc_comparison_optional():
+    a, b = ArchState(), ArchState()
+    a.pc = 5
+    assert a.same_architectural_state(b, compare_pc=False)
+    assert not a.same_architectural_state(b, compare_pc=True)

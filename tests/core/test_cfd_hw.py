@@ -1,0 +1,148 @@
+"""Hardware BQ/TQ: pointers, early/late push, recovery repair."""
+
+from repro.core.cfd_hw import HardwareBQ, HardwareTQ, POP_HIT, POP_MISS
+from repro.memsys.hierarchy import MemLevel
+
+
+class TestHardwareBQ:
+    def test_early_push_then_pop_hit(self):
+        bq = HardwareBQ(8)
+        pointer = bq.allocate_push()
+        assert bq.execute_push(pointer, 1, MemLevel.L2) is None
+        kind, pop_ptr, predicate, level = bq.pop_at_fetch()
+        assert kind == POP_HIT
+        assert pop_ptr == pointer
+        assert predicate == 1
+        assert level == MemLevel.L2
+
+    def test_pop_before_push_executes_is_miss(self):
+        bq = HardwareBQ(8)
+        bq.allocate_push()
+        kind, _, predicate, _ = bq.pop_at_fetch()
+        assert kind == POP_MISS and predicate is None
+
+    def test_pop_with_no_push_fetched_is_miss(self):
+        bq = HardwareBQ(8)
+        assert bq.pop_at_fetch()[0] == POP_MISS
+
+    def test_late_push_match(self):
+        bq = HardwareBQ(8)
+        pointer = bq.allocate_push()
+        bq.speculate_pop(predicted_predicate=1, seq=42)
+        result = bq.execute_push(pointer, 1)
+        assert result is None  # prediction confirmed
+
+    def test_late_push_mismatch_reports_pop(self):
+        bq = HardwareBQ(8)
+        pointer = bq.allocate_push()
+        bq.speculate_pop(predicted_predicate=0, seq=42)
+        bq.set_pop_checkpoint(pointer, 7)
+        result = bq.execute_push(pointer, 1)
+        assert result == {"pop_seq": 42, "ckpt_id": 7, "actual": 1}
+
+    def test_length_is_fetchtail_minus_committed_head(self):
+        bq = HardwareBQ(4)
+        for _ in range(4):
+            bq.allocate_push()
+        assert bq.length == 4
+        assert bq.push_would_stall()
+        # fetching pops does not unstall; only retiring them does
+        bq.execute_push(0, 1)
+        bq.pop_at_fetch()
+        assert bq.push_would_stall()
+        bq.retire_push()
+        bq.retire_pop()
+        assert not bq.push_would_stall()
+
+    def test_wraparound_reuse(self):
+        bq = HardwareBQ(2)
+        for round_number in range(5):
+            pointer = bq.allocate_push()
+            bq.execute_push(pointer, round_number % 2)
+            kind, _, predicate, _ = bq.pop_at_fetch()
+            assert kind == POP_HIT and predicate == round_number % 2
+            bq.retire_push()
+            bq.retire_pop()
+
+    def test_mark_forward_fetch_side(self):
+        bq = HardwareBQ(8)
+        for _ in range(3):
+            pointer = bq.allocate_push()
+            bq.execute_push(pointer, 1)
+        bq.mark_at_fetch()
+        assert bq.forward_at_fetch() == 3
+        assert bq.fetch_head == 3
+
+    def test_recovery_restores_pointers_and_clears_popped(self):
+        bq = HardwareBQ(8)
+        pointer = bq.allocate_push()
+        snapshot = bq.snapshot()
+        bq.speculate_pop(1, seq=1)  # wrong-path speculative pop
+        bq.allocate_push()  # wrong-path push
+        bq.restore(snapshot)
+        assert bq.fetch_head == 0
+        assert bq.fetch_tail == 1
+        assert not bq.popped[pointer % bq.size]
+
+    def test_committed_recovery(self):
+        bq = HardwareBQ(8)
+        pointer = bq.allocate_push()
+        bq.execute_push(pointer, 1)
+        bq.pop_at_fetch()
+        bq.retire_push()
+        bq.retire_pop()
+        bq.allocate_push()  # in-flight push, then an exception-style flush
+        bq.restore_committed()
+        assert bq.fetch_tail == bq.committed_tail == 1
+        assert bq.fetch_head == bq.committed_head == 1
+
+    def test_committed_mark_forward(self):
+        bq = HardwareBQ(8)
+        for _ in range(2):
+            bq.retire_push()
+        bq.retire_mark()
+        assert bq.retire_forward() == 2
+        assert bq.committed_head == 2
+
+
+class TestHardwareTQ:
+    def test_push_pop_hit(self):
+        tq = HardwareTQ(4, bits=8)
+        pointer = tq.allocate_push()
+        tq.execute_push(pointer, 9)
+        kind, _, count, overflow = tq.pop_at_fetch()
+        assert kind == POP_HIT
+        assert (count, overflow) == (9, False)
+
+    def test_overflow_bit(self):
+        tq = HardwareTQ(4, bits=4)
+        pointer = tq.allocate_push()
+        tq.execute_push(pointer, 100)
+        _, _, count, overflow = tq.pop_at_fetch()
+        assert overflow is True and count == 0
+
+    def test_miss_until_push_executes(self):
+        tq = HardwareTQ(4, bits=8)
+        pointer = tq.allocate_push()
+        assert tq.pop_at_fetch()[0] == POP_MISS
+        tq.execute_push(pointer, 3)
+        assert tq.pop_at_fetch()[0] == POP_HIT
+
+    def test_full_stall_and_retire(self):
+        tq = HardwareTQ(2, bits=8)
+        tq.allocate_push()
+        tq.allocate_push()
+        assert tq.push_would_stall()
+        tq.retire_push()
+        tq.execute_push(0, 1)
+        tq.pop_at_fetch()
+        tq.retire_pop()
+        assert not tq.push_would_stall()
+
+    def test_snapshot_restore(self):
+        tq = HardwareTQ(4, bits=8)
+        tq.allocate_push()
+        snap = tq.snapshot()
+        tq.allocate_push()
+        tq.restore(snap)
+        assert tq.fetch_tail == 1

@@ -1,0 +1,56 @@
+"""Checkpoint pool: allocation, reclamation, squash cleanup."""
+
+from repro.core.checkpoints import CheckpointPool, FrontEndSnapshot
+
+
+def _allocate(pool, seq):
+    return pool.allocate(seq, rmt=list(range(32)), vq=(0, 0), front_end=FrontEndSnapshot())
+
+
+def test_allocate_until_full():
+    pool = CheckpointPool(2)
+    assert _allocate(pool, 1) is not None
+    assert _allocate(pool, 2) is not None
+    assert _allocate(pool, 3) is None
+    assert pool.available == 0
+
+
+def test_release_frees_slot():
+    pool = CheckpointPool(1)
+    ckpt_id = _allocate(pool, 1)
+    pool.release(ckpt_id)
+    assert pool.available == 1
+    assert _allocate(pool, 2) is not None
+
+
+def test_release_is_idempotent():
+    pool = CheckpointPool(1)
+    ckpt_id = _allocate(pool, 1)
+    pool.release(ckpt_id)
+    pool.release(ckpt_id)
+    assert pool.available == 1
+
+
+def test_release_younger_on_squash():
+    pool = CheckpointPool(4)
+    keep = _allocate(pool, 10)
+    _allocate(pool, 20)
+    _allocate(pool, 30)
+    pool.release_younger(15)
+    assert pool.get(keep) is not None
+    assert pool.available == 3
+
+
+def test_get_returns_contents():
+    pool = CheckpointPool(1)
+    ckpt_id = _allocate(pool, 5)
+    ckpt = pool.get(ckpt_id)
+    assert ckpt.seq == 5
+    assert len(ckpt.rmt) == 32
+
+
+def test_clear():
+    pool = CheckpointPool(3)
+    _allocate(pool, 1)
+    pool.clear()
+    assert pool.available == 3

@@ -1,0 +1,87 @@
+"""Energy model: CACTI-style per-access energies and event accounting."""
+
+import pytest
+
+from repro.core import sandy_bridge_config, simulate
+from repro.core.stats import SimStats
+from repro.energy import EnergyModel, ram_access_energy_pj, structure_energies
+from repro.energy.cacti import cache_access_energy_pj
+
+
+def test_ram_energy_grows_with_capacity():
+    small = ram_access_energy_pj(128, 1)
+    large = ram_access_energy_pj(4096, 32)
+    assert 0 < small < large
+
+
+def test_ram_energy_scales_with_ports():
+    single = ram_access_energy_pj(256, 16, ports=1)
+    double = ram_access_energy_pj(256, 16, ports=2)
+    assert double == pytest.approx(2 * single)
+
+
+def test_invalid_geometry_raises():
+    with pytest.raises(ValueError):
+        ram_access_energy_pj(0, 8)
+
+
+def test_cfd_structures_are_cheap_relative_to_caches():
+    config = sandy_bridge_config()
+    cfd = structure_energies(config)
+    l1 = cache_access_energy_pj(32 * 1024, 8)
+    assert cfd["bq"] < 1.0  # sub-picojoule, as CACTI reports for 128x~6b
+    assert cfd["bq"] < cfd["tq"]  # TQ is larger (256 x 17b)
+    assert max(cfd.values()) < l1 / 5
+
+
+def test_report_combines_dynamic_and_static():
+    config = sandy_bridge_config()
+    model = EnergyModel(config)
+    stats = SimStats()
+    stats.cycles = 1000
+    stats.events["fetch"] = 4000
+    stats.events["execute"] = 3000
+    stats.events["unknown_event"] = 999  # ignored, not crashed on
+    report = model.report(stats)
+    assert report.static_pj == 1000 * 500.0
+    assert report.dynamic_pj > 0
+    assert report.total_pj == report.dynamic_pj + report.static_pj
+    assert "leakage" in report.breakdown_pj
+    assert report.fraction("leakage") > 0
+
+
+def test_wrong_path_work_costs_energy(tiny_config):
+    """Same retired work, more wrong-path activity => more energy.  This
+    is the mechanism behind the paper's CFD energy savings."""
+    import dataclasses
+
+    import numpy as np
+
+    from repro.isa import assemble
+    from repro.workloads.builders import install_array
+
+    source = """
+.data
+arr: .space 128
+.text
+main:
+    la   r1, arr
+    li   r3, 128
+    li   r4, 0
+loop:
+    lw   r5, 0(r1)
+    beqz r5, skip
+    addi r4, r4, 1
+skip:
+    addi r1, r1, 4
+    addi r3, r3, -1
+    bnez r3, loop
+    halt
+"""
+    program = assemble(source)
+    install_array(program, "arr", np.random.default_rng(5).integers(0, 2, 128))
+    real = simulate(program, tiny_config)
+    perfect = simulate(
+        program, dataclasses.replace(tiny_config, predictor="perfect")
+    )
+    assert perfect.energy.total_pj < real.energy.total_pj

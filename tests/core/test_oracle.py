@@ -1,0 +1,40 @@
+"""Direction oracle: building, cursors, checkpoint repair."""
+
+from repro.core.oracle import DirectionOracle
+from repro.isa import assemble
+
+
+def test_build_records_retire_order(count_program):
+    oracle = DirectionOracle.build(count_program, max_instructions=1000)
+    # the generator loop branch: 9 takens then a not-taken
+    gen_pc = count_program.label("gen") + 4  # bnez at end of gen loop
+    assert oracle.knows(gen_pc)
+    outcomes = [oracle.predict(gen_pc) for _ in range(10)]
+    assert outcomes == [True] * 9 + [False]
+
+
+def test_unknown_pc_predicts_not_taken():
+    program = assemble(".text\nmain:\nhalt")
+    oracle = DirectionOracle.build(program, 10)
+    assert oracle.predict(0) is False
+
+
+def test_snapshot_restore_reapply(count_program):
+    oracle = DirectionOracle.build(count_program, 1000)
+    gen_pc = count_program.label("gen") + 4
+    first = oracle.predict(gen_pc)
+    snap = oracle.snapshot()
+    oracle.predict(gen_pc)  # wrong-path consumption
+    oracle.restore(snap)
+    oracle.reapply(gen_pc)  # recovery replays the branch itself
+    # cursor sits after exactly two consumed outcomes
+    assert oracle.snapshot()[gen_pc] == 2
+    assert first is True
+
+
+def test_exhaustion_counted(count_program):
+    oracle = DirectionOracle.build(count_program, 1000)
+    gen_pc = count_program.label("gen") + 4
+    for _ in range(50):
+        oracle.predict(gen_pc)
+    assert oracle.exhausted > 0

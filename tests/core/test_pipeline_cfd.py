@@ -1,0 +1,387 @@
+"""CFD mechanisms in the cycle core: BQ, VQ, TQ, Mark/Forward, Save/Restore."""
+
+import pytest
+
+from repro.core import sandy_bridge_config, simulate
+from repro.core.config import BQ_MISS_STALL
+from repro.isa import assemble
+from tests.conftest import run_both
+
+_DECOUPLED = """
+.data
+arr: .space {n}
+out: .word 0
+.text
+main:
+    la   r1, arr
+    li   r3, {n}
+gen:
+    lw   r5, 0(r1)
+    andi r6, r5, 1
+    push_bq r6
+    addi r1, r1, 4
+    addi r3, r3, -1
+    bnez r3, gen
+    li   r3, {n}
+    li   r4, 0
+use:
+    b_bq odd
+    j    next
+odd:
+    addi r4, r4, 1
+next:
+    addi r3, r3, -1
+    bnez r3, use
+    la   r2, out
+    sw   r4, 0(r2)
+    halt
+"""
+
+
+def _decoupled_program(n=64, seed=5):
+    import numpy as np
+
+    from repro.workloads.builders import install_array
+
+    program = assemble(_DECOUPLED.format(n=n), name="decoupled")
+    values = np.random.default_rng(seed).integers(0, 100, n)
+    install_array(program, "arr", values)
+    return program, int((values & 1).sum())
+
+
+def test_decoupled_loop_pops_resolve_at_fetch(tiny_config):
+    program, expected = _decoupled_program()
+    functional, result = run_both(program, tiny_config)
+    stats = result.stats
+    assert result.pipeline.checker.state.memory.load_word(
+        program.symbol("out")
+    ) == expected
+    assert stats.bq_pops == 64
+    assert stats.bq_pushes == 64
+    # full fetch separation: every pop found its predicate pushed
+    assert stats.bq_misses == 0
+    # and none of the pops mispredicted
+    pop_stats = [
+        s for pc, s in stats.branch_stats.items()
+        if s.resolved_at_fetch
+    ]
+    assert sum(s.mispredicted for s in pop_stats) == 0
+
+
+def test_bq_overflow_program_stalls_forever(tiny_config):
+    """64 consecutive pushes against an 8-entry BQ violate ordering rule 3
+    (N cannot exceed the BQ size): the push fetch-stall never clears.  The
+    ISA rules are load-bearing — the hardware stalls rather than corrupts."""
+    import dataclasses
+
+    config = dataclasses.replace(tiny_config, bq_size=8, max_cycles=3000)
+    program, _ = _decoupled_program(n=64)
+    result = simulate(program, config)
+    assert result.stats.bq_full_stalls > 0
+    assert result.stats.retired < 300  # never reaches the consumer loop
+
+
+def test_bq_sized_bursts_complete(tiny_config):
+    """Bursts of exactly BQ-size pushes (the legal maximum) complete."""
+    import dataclasses
+
+    config = dataclasses.replace(tiny_config, bq_size=64)
+    program, expected = _decoupled_program(n=64)
+    functional, result = run_both(program, config)
+    assert result.pipeline.checker.state.memory.load_word(
+        program.symbol("out")
+    ) == expected
+
+
+def test_bq_miss_speculation_converges(tiny_config):
+    """Push and pop adjacent (insufficient separation): every pop misses
+    and speculates, late pushes validate, results stay correct."""
+    program = assemble(
+        """
+.data
+arr: .word 1, 0, 0, 1, 1, 0, 1, 0, 1, 1, 0, 0, 1, 0, 1, 1
+out: .word 0
+.text
+main:
+    la   r1, arr
+    li   r3, 16
+    li   r4, 0
+loop:
+    lw   r5, 0(r1)
+    push_bq r5
+    b_bq odd
+    j    next
+odd:
+    addi r4, r4, 1
+next:
+    addi r1, r1, 4
+    addi r3, r3, -1
+    bnez r3, loop
+    la   r2, out
+    sw   r4, 0(r2)
+    halt
+"""
+    )
+    functional, result = run_both(program, tiny_config)
+    assert result.pipeline.checker.state.memory.load_word(program.symbol("out")) == 9
+    assert result.stats.bq_misses > 0
+
+
+def test_bq_miss_stall_policy(tiny_config):
+    import dataclasses
+
+    program = assemble(
+        """
+.data
+arr: .word 1, 0, 0, 1, 1, 0, 1, 0
+out: .word 0
+.text
+main:
+    la   r1, arr
+    li   r3, 8
+    li   r4, 0
+loop:
+    lw   r5, 0(r1)
+    push_bq r5
+    b_bq odd
+    j    next
+odd:
+    addi r4, r4, 1
+next:
+    addi r1, r1, 4
+    addi r3, r3, -1
+    bnez r3, loop
+    la   r2, out
+    sw   r4, 0(r2)
+    halt
+"""
+    )
+    config = dataclasses.replace(tiny_config, bq_miss_policy=BQ_MISS_STALL)
+    functional, result = run_both(program, config)
+    assert result.pipeline.checker.state.memory.load_word(program.symbol("out")) == 4
+    assert result.stats.bq_stall_cycles > 0
+    assert result.stats.bq_misses == 0  # stall policy never speculates
+
+
+def test_vq_renamer_links_pushes_to_pops(tiny_config):
+    program = assemble(
+        """
+.data
+arr: .word 10, 20, 30, 40, 50, 60, 70, 80
+.text
+main:
+    la   r1, arr
+    li   r3, 8
+gen:
+    lw   r5, 0(r1)
+    push_vq r5
+    addi r1, r1, 4
+    addi r3, r3, -1
+    bnez r3, gen
+    li   r3, 8
+    li   r4, 0
+use:
+    pop_vq r6
+    add  r4, r4, r6
+    addi r3, r3, -1
+    bnez r3, use
+    halt
+"""
+    )
+    functional, result = run_both(program, tiny_config)
+    assert result.pipeline.checker.state.regs[4] == 360
+    assert result.stats.vq_pushes == 8
+    assert result.stats.vq_pops == 8
+
+
+def test_vq_physical_registers_are_recycled(tiny_config):
+    """Push/pop cycles must not leak physical registers."""
+    program = assemble(
+        """
+.text
+main:
+    li   r3, 300
+loop:
+    push_vq r3
+    pop_vq r4
+    addi r3, r3, -1
+    bnez r3, loop
+    halt
+"""
+    )
+    functional, result = run_both(program, tiny_config)
+    pipeline = result.pipeline
+    # after completion every register is free or architecturally mapped
+    free = pipeline.rename_tables.freelist.available
+    assert free == pipeline.config.num_phys_regs - 32
+
+
+def test_tq_driven_inner_loops(tiny_config):
+    program = assemble(
+        """
+.data
+trips: .word 3, 0, 5, 2, 7, 1, 0, 4
+.text
+main:
+    la   r1, trips
+    li   r3, 8
+gen:
+    lw   r5, 0(r1)
+    push_tq r5
+    addi r1, r1, 4
+    addi r3, r3, -1
+    bnez r3, gen
+    li   r3, 8
+    li   r4, 0
+outer:
+    pop_tq
+    j    test
+body:
+    addi r4, r4, 1
+test:
+    b_tcr body
+    addi r3, r3, -1
+    bnez r3, outer
+    halt
+"""
+    )
+    functional, result = run_both(program, tiny_config)
+    assert result.pipeline.checker.state.regs[4] == 22
+    assert result.stats.tq_pushes == 8
+    assert result.stats.tq_pops == 8
+    assert result.stats.tcr_branches == 22 + 8  # takens + exits
+    # Branch_on_TCR never mispredicts (stall-on-miss TQ policy)
+    for pc, stat in result.stats.branch_stats.items():
+        assert stat.mispredicted == 0 or not stat.resolved_at_fetch
+
+
+def test_tq_miss_stalls_fetch(tiny_config):
+    program = assemble(
+        """
+.text
+main:
+    li   r1, 2
+    push_tq r1
+    pop_tq
+    j    test
+body:
+    addi r4, r4, 1
+test:
+    b_tcr body
+    halt
+"""
+    )
+    functional, result = run_both(program, tiny_config)
+    assert result.pipeline.checker.state.regs[4] == 2
+    assert result.stats.tq_stall_cycles > 0
+
+
+def test_mark_forward_in_pipeline(tiny_config):
+    program = assemble(
+        """
+.text
+main:
+    li   r1, 1
+    li   r3, 6
+gen:
+    push_bq r1
+    addi r3, r3, -1
+    bnez r3, gen
+    mark
+    b_bq a
+a:  b_bq b
+b:  forward
+    li   r2, 1
+    push_bq r2
+    b_bq done
+    li   r9, 99
+done:
+    halt
+"""
+    )
+    functional, result = run_both(program, tiny_config)
+    assert result.stats.forward_bulk_pops == 4
+    assert result.pipeline.checker.state.regs[9] == 0
+
+
+def test_save_restore_bq_serializes(tiny_config):
+    program = assemble(
+        """
+.data
+spill: .space 10
+.text
+main:
+    li   r1, 1
+    push_bq r1
+    push_bq r0
+    la   r2, spill
+    save_bq 0(r2)
+    b_bq x
+x:  b_bq y
+y:  restore_bq 0(r2)
+    b_bq t
+    j    n
+t:  addi r4, r4, 1
+n:  b_bq u
+    j    v
+u:  addi r4, r4, 10
+v:  halt
+"""
+    )
+    functional, result = run_both(program, tiny_config)
+    assert result.pipeline.checker.state.regs[4] == 1  # restored [1, 0]
+
+
+def test_save_restore_vq_serializes(tiny_config):
+    program = assemble(
+        """
+.data
+spill: .space 10
+.text
+main:
+    li   r1, 41
+    push_vq r1
+    li   r1, 42
+    push_vq r1
+    la   r2, spill
+    save_vq 0(r2)
+    pop_vq r3
+    pop_vq r3
+    restore_vq 0(r2)
+    pop_vq r5
+    pop_vq r6
+    halt
+"""
+    )
+    functional, result = run_both(program, tiny_config)
+    assert result.pipeline.checker.state.regs[5] == 41
+    assert result.pipeline.checker.state.regs[6] == 42
+
+
+def test_tq_overflow_bov_path(tiny_config):
+    program = assemble(
+        """
+.text
+main:
+    li   r1, 100000
+    push_tq r1
+    li   r2, 3
+    push_tq r2
+    pop_tq_bov big
+    li   r9, 1
+    j    second
+big:
+    li   r9, 2
+second:
+    pop_tq_bov big2
+    j    done
+big2:
+    li   r9, 99
+done:
+    halt
+"""
+    )
+    functional, result = run_both(program, tiny_config)
+    # first pop overflows -> takes the "big" path; second pop does not
+    assert result.pipeline.checker.state.regs[9] == 2
+    assert result.pipeline.checker.state.tcr == 3

@@ -1,0 +1,214 @@
+"""Misprediction recovery paths: checkpoints, retirement recovery,
+late-push validation, checkpoint policies."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import sandy_bridge_config, simulate
+from repro.isa import assemble
+from repro.workloads.builders import install_array
+from tests.conftest import run_both
+
+
+def _random_branch_program(n=64, seed=11):
+    """A loop whose branch direction is an i.i.d. coin flip."""
+    program = assemble(
+        """
+.data
+arr: .space {n}
+.text
+main:
+    la   r1, arr
+    li   r3, {n}
+    li   r4, 0
+loop:
+    lw   r5, 0(r1)
+    beqz r5, skip
+    addi r4, r4, 1
+    xor  r6, r6, r5
+    addi r6, r6, 3
+skip:
+    addi r1, r1, 4
+    addi r3, r3, -1
+    bnez r3, loop
+    halt
+""".format(n=n),
+        name="random-branches",
+    )
+    values = np.random.default_rng(seed).integers(0, 2, n)
+    install_array(program, "arr", values)
+    return program, int(values.sum())
+
+
+def test_mispredicts_recover_correctly(tiny_config):
+    program, expected = _random_branch_program()
+    functional, result = run_both(program, tiny_config)
+    assert result.pipeline.checker.state.regs[4] == expected
+    assert result.stats.mispredicts > 5  # random directions mispredict
+    assert result.stats.recoveries >= result.stats.mispredicts
+    assert result.stats.squashed > 0  # wrong-path work existed
+
+
+def test_zero_checkpoints_forces_retirement_recovery(tiny_config):
+    program, expected = _random_branch_program()
+    config = dataclasses.replace(tiny_config, num_checkpoints=0)
+    functional, result = run_both(program, config)
+    assert result.pipeline.checker.state.regs[4] == expected
+    assert result.stats.checkpoints_taken == 0
+    assert result.stats.retire_recoveries > 0
+
+
+def test_checkpoints_speed_up_recovery(tiny_config):
+    program, _ = _random_branch_program(n=128)
+    fast = simulate(program, dataclasses.replace(tiny_config, num_checkpoints=16,
+                                                 confidence_guided_checkpoints=False))
+    slow = simulate(program, dataclasses.replace(tiny_config, num_checkpoints=0))
+    assert fast.stats.cycles < slow.stats.cycles
+
+
+def test_confidence_guided_saves_checkpoints(tiny_config):
+    program, _ = _random_branch_program(n=128)
+    guided = simulate(
+        program,
+        dataclasses.replace(tiny_config, confidence_guided_checkpoints=True),
+    )
+    always = simulate(
+        program,
+        dataclasses.replace(tiny_config, confidence_guided_checkpoints=False),
+    )
+    assert guided.stats.checkpoints_skipped_confident > 0
+    assert guided.stats.checkpoints_taken < always.stats.checkpoints_taken
+
+
+def test_in_order_reclamation_runs_correctly(tiny_config):
+    program, expected = _random_branch_program()
+    config = dataclasses.replace(tiny_config, ooo_checkpoint_reclaim=False)
+    functional, result = run_both(program, config)
+    assert result.pipeline.checker.state.regs[4] == expected
+
+
+def test_perfect_prediction_eliminates_recoveries(tiny_config):
+    program, expected = _random_branch_program()
+    config = dataclasses.replace(tiny_config, predictor="perfect")
+    functional, result = run_both(program, config)
+    assert result.pipeline.checker.state.regs[4] == expected
+    assert result.stats.mispredicts == 0
+    assert result.stats.recoveries == 0
+
+
+def test_perfect_cfd_subset(tiny_config):
+    """Oracle only for one PC: that branch never mispredicts, others may."""
+    program, expected = _random_branch_program()
+    hard_pc = program.label("loop") + 1  # the beqz
+    config = dataclasses.replace(tiny_config, perfect_pcs={hard_pc})
+    functional, result = run_both(program, config)
+    assert result.pipeline.checker.state.regs[4] == expected
+    assert result.stats.branch_stats[hard_pc].mispredicted == 0
+
+
+def test_perfect_prediction_beats_real_prediction(tiny_config):
+    program, _ = _random_branch_program(n=128)
+    real = simulate(program, tiny_config)
+    perfect = simulate(
+        program, dataclasses.replace(tiny_config, predictor="perfect")
+    )
+    assert perfect.stats.cycles < real.stats.cycles
+
+
+def test_late_push_mismatch_recovers(tiny_config):
+    """Adjacent push/pop: BQ-miss speculation is ~50% wrong, and every
+    wrong speculation must be repaired by the late push."""
+    program = assemble(
+        """
+.data
+arr: .space 32
+.text
+main:
+    la   r1, arr
+    li   r3, 32
+    li   r4, 0
+loop:
+    lw   r5, 0(r1)
+    push_bq r5
+    b_bq one
+    j    next
+one:
+    addi r4, r4, 1
+next:
+    addi r1, r1, 4
+    addi r3, r3, -1
+    bnez r3, loop
+    halt
+"""
+    )
+    values = np.random.default_rng(13).integers(0, 2, 32)
+    install_array(program, "arr", values)
+    functional, result = run_both(program, tiny_config)
+    assert result.pipeline.checker.state.regs[4] == int(values.sum())
+    assert result.stats.bq_misses > 0
+    assert result.stats.bq_miss_mispredicts > 0
+
+
+def test_mispredict_inside_cfd_region_repairs_queues(tiny_config):
+    """A hard-to-predict normal branch interleaved with BQ pushes: its
+    recoveries must restore BQ fetch pointers exactly."""
+    program = assemble(
+        """
+.data
+arr: .space 64
+.text
+main:
+    la   r1, arr
+    li   r3, 64
+gen:
+    lw   r5, 0(r1)
+    push_bq r5
+    beqz r5, zskip        # hard branch between pushes
+    addi r7, r7, 1
+zskip:
+    addi r1, r1, 4
+    addi r3, r3, -1
+    bnez r3, gen
+    li   r3, 64
+    li   r4, 0
+use:
+    b_bq one
+    j    next
+one:
+    addi r4, r4, 1
+next:
+    addi r3, r3, -1
+    bnez r3, use
+    halt
+"""
+    )
+    values = np.random.default_rng(17).integers(0, 2, 64)
+    install_array(program, "arr", values)
+    functional, result = run_both(program, tiny_config)
+    assert result.pipeline.checker.state.regs[4] == int(values.sum())
+    assert result.pipeline.checker.state.regs[7] == int(values.sum())
+    assert result.stats.mispredicts > 0
+    assert result.stats.bq_misses == 0  # pointers repaired, separation kept
+
+
+def test_deadlock_guard_raises():
+    from repro.core.pipeline import Pipeline, SimulationError
+
+    # A push that can never be matched: 3 pushes into a BQ of size 2.
+    program = assemble(
+        """
+.text
+main:
+    li  r1, 1
+    push_bq r1
+    push_bq r1
+    push_bq r1
+    halt
+"""
+    )
+    config = sandy_bridge_config(bq_size=2)
+    pipeline = Pipeline(program, config)
+    with pytest.raises(SimulationError):
+        pipeline.run()

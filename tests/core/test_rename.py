@@ -1,0 +1,111 @@
+"""Rename structures: freelist, RMT/AMT, VQ renamer."""
+
+import pytest
+
+from repro.core.rename import FreeList, RenameTables, VQRenamer
+from repro.errors import ConfigError
+
+
+class TestFreeList:
+    def test_initial_capacity_excludes_boot_mappings(self):
+        freelist = FreeList(64)
+        assert freelist.available == 64 - 32
+
+    def test_allocate_release_roundtrip(self):
+        freelist = FreeList(40)
+        seen = set()
+        while freelist.available:
+            seen.add(freelist.allocate())
+        assert len(seen) == 8
+        assert freelist.allocate() is None
+        for phys in seen:
+            freelist.release(phys)
+        assert freelist.available == 8
+
+
+class TestRenameTables:
+    def test_requires_enough_registers(self):
+        with pytest.raises(ConfigError):
+            RenameTables(16)
+
+    def test_boot_identity_mapping(self):
+        tables = RenameTables(64)
+        for arch in range(32):
+            assert tables.lookup(arch) == arch
+
+    def test_allocate_and_commit(self):
+        tables = RenameTables(64)
+        phys, old = tables.allocate_dest(5)
+        assert old == 5
+        assert tables.lookup(5) == phys
+        freed = tables.commit_dest(5, phys)
+        assert freed == 5  # the boot mapping is released
+
+    def test_rmt_snapshot_restore(self):
+        tables = RenameTables(64)
+        snap = tables.snapshot_rmt()
+        tables.allocate_dest(3)
+        tables.restore_rmt(snap)
+        assert tables.lookup(3) == 3
+
+    def test_restore_from_amt(self):
+        tables = RenameTables(64)
+        phys, _ = tables.allocate_dest(4)
+        tables.commit_dest(4, phys)
+        tables.allocate_dest(4)  # speculative, will be squashed
+        tables.restore_rmt_from_amt()
+        assert tables.lookup(4) == phys
+
+    def test_no_physical_register_leak(self):
+        """allocate/commit cycles conserve registers: free + mapped == total."""
+        tables = RenameTables(64)
+        for _ in range(100):
+            result = tables.allocate_dest(7)
+            assert result is not None
+            phys, _ = result
+            freed = tables.commit_dest(7, phys)
+            tables.freelist.release(freed)
+        # Steady state: 32 live mappings (one per arch reg), rest free.
+        assert tables.freelist.available == 64 - 32
+        assert len(set(tables.rmt)) == 32
+
+
+class TestVQRenamer:
+    def test_fifo_mappings(self):
+        renamer = VQRenamer(4)
+        renamer.push(40)
+        renamer.push(41)
+        assert renamer.pop() == 40
+        assert renamer.pop() == 41
+
+    def test_empty_pop_returns_none(self):
+        assert VQRenamer(4).pop() is None
+
+    def test_occupancy_counts_unretired(self):
+        renamer = VQRenamer(2)
+        renamer.push(40)
+        renamer.push(41)
+        assert renamer.push_would_stall()
+        renamer.pop()
+        assert renamer.push_would_stall()  # pop fetched but not retired
+        renamer.retire_push()
+        renamer.retire_pop()
+        assert not renamer.push_would_stall()
+
+    def test_snapshot_restore_replays_mapping(self):
+        renamer = VQRenamer(4)
+        renamer.push(50)
+        snap = renamer.snapshot()
+        assert renamer.pop() == 50
+        renamer.restore(snap)
+        assert renamer.pop() == 50  # squashed pop re-reads the same mapping
+
+    def test_restore_committed(self):
+        renamer = VQRenamer(4)
+        renamer.push(50)
+        renamer.retire_push()
+        renamer.push(60)  # in-flight
+        renamer.pop()
+        renamer.restore_committed()
+        assert renamer.fetch_tail == 1
+        assert renamer.pop() == 50

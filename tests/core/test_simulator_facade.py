@@ -1,0 +1,78 @@
+"""Simulator facade and SimStats helpers."""
+
+import pytest
+
+from repro.core import Simulator, sandy_bridge_config, simulate
+from repro.core.stats import BranchStat, SimStats
+from repro.memsys.hierarchy import MemLevel
+
+
+def test_simresult_summary(count_program):
+    result = simulate(count_program, sandy_bridge_config())
+    summary = result.summary()
+    assert summary["program"] == "count"
+    assert summary["retired"] == result.stats.retired
+    assert summary["energy_nj"] > 0
+    assert 0 < summary["ipc"] < 8
+
+
+def test_effective_ipc_definition(count_program):
+    result = simulate(count_program, sandy_bridge_config())
+    assert result.effective_ipc(result.stats.retired) == pytest.approx(
+        result.stats.ipc, rel=1e-6
+    )
+    assert result.effective_ipc(2 * result.stats.retired) == pytest.approx(
+        2 * result.stats.ipc, rel=1e-6
+    )
+
+
+def test_mshr_histogram_exposed(count_program):
+    result = simulate(count_program, sandy_bridge_config())
+    histogram = result.mshr_histogram()
+    assert sum(histogram.values()) == pytest.approx(result.stats.cycles, abs=2)
+
+
+def test_simulator_reusable(count_program):
+    simulator = Simulator(count_program)
+    first = simulator.run()
+    # A Simulator binds program+config; each run builds a fresh pipeline.
+    second = Simulator(count_program, sandy_bridge_config()).run()
+    assert first.stats.retired == second.stats.retired
+
+
+class TestSimStats:
+    def test_branch_stat_accumulates(self):
+        stat = BranchStat()
+        stat.record(taken=True, mispredicted=False)
+        stat.record(taken=False, mispredicted=True, level=MemLevel.L2)
+        assert stat.executed == 2
+        assert stat.taken == 1
+        assert stat.mispredicted == 1
+        assert stat.level_breakdown == {int(MemLevel.L2): 1}
+        assert stat.misprediction_rate == 0.5
+
+    def test_mpki_and_fractions(self):
+        stats = SimStats()
+        stats.retired = 2000
+        stats.record_branch(0x10, True, True, MemLevel.MEM)
+        stats.record_branch(0x10, True, True, MemLevel.L1)
+        stats.record_branch(0x20, False, False)
+        assert stats.mpki == pytest.approx(1.0)
+        fractions = stats.mispredict_level_fractions()
+        assert fractions[MemLevel.MEM] == pytest.approx(0.5)
+        assert fractions[MemLevel.L1] == pytest.approx(0.5)
+
+    def test_top_mispredicting(self):
+        stats = SimStats()
+        for _ in range(3):
+            stats.record_branch(0x10, True, True)
+        stats.record_branch(0x20, True, True)
+        top = stats.top_mispredicting_branches(1)
+        assert top[0][0] == 0x10
+
+    def test_empty_stats_are_safe(self):
+        stats = SimStats()
+        assert stats.ipc == 0.0
+        assert stats.mpki == 0.0
+        assert stats.bq_miss_rate == 0.0
+        assert stats.mispredict_level_fractions() == {}

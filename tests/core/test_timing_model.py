@@ -1,0 +1,212 @@
+"""Pin the timing model's key latencies with cycle-accurate micro-probes.
+
+These are the numbers every paper result rests on: the misprediction
+penalty (~ fetch-to-execute depth), back-to-back dependent ALU issue,
+load-to-use latency, and the fetch-stage resolution of Branch_on_BQ.
+Each probe measures a long steady-state loop and derives per-iteration
+cycles, so front-end fill and cold-cache effects wash out.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import sandy_bridge_config, simulate
+from repro.isa import assemble
+from repro.workloads.builders import install_array
+
+
+def test_dependent_alu_chain_is_one_cycle(tiny_config):
+    """A strict addi chain must sustain ~1 instruction-pair cycle: the
+    bypass network allows dependent single-cycle ops back-to-back."""
+    program = assemble(
+        """
+.text
+main:
+    li   r9, 500
+loop:
+    addi r1, r1, 1
+    addi r1, r1, 1
+    addi r1, r1, 1
+    addi r1, r1, 1
+    addi r9, r9, -1
+    bnez r9, loop
+    halt
+"""
+    )
+    result = simulate(program, tiny_config, warmup_instructions=600)
+    # 4 chained addis per iteration dominate: >= 4 cycles per 6 insts,
+    # i.e. IPC <= 1.5, and the chain must not be slower than ~1.3 cyc/op.
+    assert 0.95 < result.stats.ipc < 1.55
+
+
+def test_mul_latency_visible_in_chain(tiny_config):
+    program = assemble(
+        """
+.text
+main:
+    li   r9, 400
+loop:
+    mul  r1, r1, r1
+    addi r9, r9, -1
+    bnez r9, loop
+    halt
+"""
+    )
+    result = simulate(program, tiny_config, warmup_instructions=300)
+    # 3-cycle mul chain across 3 instructions: IPC ~ 1.0
+    assert 0.8 < result.stats.ipc < 1.2
+
+
+def test_load_to_use_latency(tiny_config):
+    """Pointer-chase through L1: each iteration costs ~hit latency."""
+    # build a 1-element cycle: chase[i] -> address of itself
+    program = assemble(
+        """
+.data
+cell: .word 0
+.text
+main:
+    la   r1, cell
+    sw   r1, 0(r1)        # cell points to itself
+    li   r9, 300
+loop:
+    lw   r1, 0(r1)        # serial load chain, always L1 after warmup
+    addi r9, r9, -1
+    bnez r9, loop
+    halt
+"""
+    )
+    result = simulate(program, tiny_config, warmup_instructions=200)
+    config_l1 = tiny_config.memory.l1d.hit_latency
+    cycles_per_iter = result.stats.cycles / (result.stats.retired / 3)
+    # each iteration is bounded below by the load-to-use latency
+    assert cycles_per_iter >= config_l1 * 0.9
+    assert cycles_per_iter <= config_l1 + 4
+
+
+def test_misprediction_penalty_tracks_pipeline_depth():
+    """The per-misprediction cost grows ~1 cycle per fetch-to-execute
+    stage (the mechanism behind Fig 21a)."""
+    source = """
+.data
+arr: .space 512
+.text
+main:
+    la   r1, arr
+    li   r3, 512
+    li   r4, 0
+loop:
+    lw   r5, 0(r1)
+    beqz r5, skip
+    addi r4, r4, 1
+skip:
+    addi r1, r1, 4
+    addi r3, r3, -1
+    bnez r3, loop
+    halt
+"""
+    values = np.random.default_rng(7).integers(0, 2, 512)
+    costs = {}
+    for depth in (5, 15):
+        program = assemble(source)
+        install_array(program, "arr", values)
+        config = sandy_bridge_config(front_end_depth=depth)
+        result = simulate(program, config, warmup_instructions=500)
+        costs[depth] = (
+            result.stats.cycles,
+            result.stats.mispredicts,
+        )
+    cycles_delta = costs[15][0] - costs[5][0]
+    mispredicts = min(costs[15][1], costs[5][1])
+    assert mispredicts > 50
+    per_mispredict_growth = cycles_delta / mispredicts
+    # 10 extra stages => roughly 6-14 extra cycles per misprediction
+    assert 5.0 < per_mispredict_growth < 16.0
+
+
+def test_fetch_resolved_pops_cost_no_penalty(tiny_config):
+    """Same random directions, two mechanisms: predicted branch vs
+    fetch-resolved Branch_on_BQ.  The decoupled form's *consumer loop*
+    must run misprediction-free."""
+    values = np.random.default_rng(9).integers(0, 2, 64)
+    decoupled = assemble(
+        """
+.data
+arr: .space 64
+.text
+main:
+    li   r8, 12           # repetitions to reach steady state
+rep:
+    la   r1, arr
+    li   r3, 64
+gen:
+    lw   r5, 0(r1)
+    push_bq r5
+    addi r1, r1, 4
+    addi r3, r3, -1
+    bnez r3, gen
+    li   r3, 64
+use:
+    b_bq one
+    j    next
+one:
+    addi r4, r4, 1
+next:
+    addi r3, r3, -1
+    bnez r3, use
+    addi r8, r8, -1
+    bnez r8, rep
+    halt
+"""
+    )
+    install_array(decoupled, "arr", values)
+    result = simulate(decoupled, tiny_config)
+    pops = [
+        stat
+        for stat in result.stats.branch_stats.values()
+        if stat.resolved_at_fetch
+    ]
+    assert sum(s.executed for s in pops) == 12 * 64
+    assert sum(s.mispredicted for s in pops) == 0
+
+
+def test_dram_latency_dominates_cold_chase():
+    """A cold pointer chase over many lines pays ~DRAM latency per hop."""
+    import dataclasses
+
+    n = 64
+    rng = np.random.default_rng(11)
+    order = rng.permutation(n)
+    source = """
+.data
+chase: .space %d
+.text
+main:
+    la   r1, chase
+    lw   r2, 0(r1)
+    li   r9, %d
+loop:
+    lw   r2, 0(r2)
+    addi r9, r9, -1
+    bnez r9, loop
+    halt
+""" % (n * 16, n - 2)
+    program = assemble(source)
+    base = program.symbol("chase")
+    # each element 16 words apart (own cache line); link them in a cycle
+    chain = {}
+    for k in range(n):
+        src = base + int(order[k]) * 64
+        dst = base + int(order[(k + 1) % n]) * 64
+        chain[(src - base) // 4] = dst
+    values = [0] * (n * 16)
+    for index, target in chain.items():
+        values[index] = target
+    install_array(program, "chase", values)
+    config = sandy_bridge_config()
+    result = simulate(program, config)
+    dram = config.memory.dram_latency
+    cycles_per_hop = result.stats.cycles / (n - 2)
+    assert cycles_per_hop > dram * 0.8  # serial misses: no MLP possible

@@ -1,0 +1,77 @@
+"""Pipeline tracer."""
+
+from repro.core import sandy_bridge_config
+from repro.core.pipeline import Pipeline
+from repro.core.trace import PipelineTracer
+
+
+def _tracer(program, **overrides):
+    config = sandy_bridge_config(**overrides)
+    return PipelineTracer(Pipeline(program, config))
+
+
+def test_trace_runs_to_completion(count_program):
+    tracer = _tracer(count_program)
+    records = tracer.run()
+    assert records
+    assert tracer.pipeline.sim_done
+    # totals in the trace match the stats counters
+    assert sum(r.retired for r in records) == tracer.pipeline.stats.retired
+    assert sum(r.fetched for r in records) == tracer.pipeline.stats.fetched
+
+
+def test_trace_captures_bq_activity(count_program):
+    tracer = _tracer(count_program)
+    tracer.run()
+    assert max(r.bq_length for r in tracer.records) > 0
+
+
+def test_trace_flags_recoveries(count_program):
+    import numpy as np
+
+    from repro.isa import assemble
+    from repro.workloads.builders import install_array
+
+    program = assemble(
+        """
+.data
+arr: .space 64
+.text
+main:
+    la   r1, arr
+    li   r3, 64
+loop:
+    lw   r5, 0(r1)
+    beqz r5, skip
+    addi r4, r4, 1
+skip:
+    addi r1, r1, 4
+    addi r3, r3, -1
+    bnez r3, loop
+    halt
+"""
+    )
+    install_array(program, "arr", np.random.default_rng(3).integers(0, 2, 64))
+    tracer = _tracer(program)
+    tracer.run()
+    flagged = [r for r in tracer.records if "R" in r.flags()]
+    assert flagged  # mispredict recoveries visible in the timeline
+
+
+def test_render_and_utilization(count_program):
+    tracer = _tracer(count_program)
+    tracer.run()
+    text = tracer.render(count=20)
+    assert "fetchPC" in text
+    assert len(text.splitlines()) <= 22
+    util = tracer.utilization()
+    assert util["cycles"] == len(tracer.records)
+    assert 0 <= util["avg_fetch"] <= 4
+    assert util["stall_cycles"] >= 0
+
+
+def test_max_cycles_cap(count_program):
+    tracer = _tracer(count_program)
+    tracer.run(max_cycles=5)
+    assert len(tracer.records) == 5
+    assert not tracer.pipeline.sim_done

@@ -1,0 +1,211 @@
+"""The project's central property: the OOO core and the functional
+interpreter agree on final architectural state for *arbitrary* programs.
+
+Hypothesis generates structured random programs — arithmetic, memory
+traffic, data-dependent branches, conditional moves, counted loops, and
+balanced CFD queue segments — and runs each on both simulators.  The
+retirement checker inside the pipeline additionally validates every
+retired instruction's value/direction along the way.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.arch.executor import run_program
+from repro.core import sandy_bridge_config, simulate
+from repro.isa import assemble
+
+_SCRATCH_WORDS = 32
+
+
+class _ProgramBuilder:
+    """Generates terminating, queue-rule-abiding random programs."""
+
+    def __init__(self, draw):
+        self.draw = draw
+        self.lines = [".data", "scratch: .space %d" % _SCRATCH_WORDS, ".text", "main:"]
+        self.label_counter = 0
+        # r1..r8 data registers; r10 scratch base; r11/r12 loop counters
+        self.lines.append("    la   r10, scratch")
+        for reg in range(1, 9):
+            self.lines.append(
+                "    li   r%d, %d" % (reg, self.draw(st.integers(-100, 100)))
+            )
+
+    def label(self):
+        self.label_counter += 1
+        return "L%d" % self.label_counter
+
+    def _reg(self):
+        return self.draw(st.integers(1, 8))
+
+    def arith(self):
+        op = self.draw(
+            st.sampled_from(
+                ["add", "sub", "mul", "and", "or", "xor", "slt", "seq", "sge"]
+            )
+        )
+        self.lines.append(
+            "    %s r%d, r%d, r%d" % (op, self._reg(), self._reg(), self._reg())
+        )
+
+    def arith_imm(self):
+        op = self.draw(st.sampled_from(["addi", "andi", "ori", "xori", "slli", "srli"]))
+        imm = self.draw(st.integers(0, 7)) if op in ("slli", "srli") else self.draw(
+            st.integers(-64, 64)
+        )
+        self.lines.append("    %s r%d, r%d, %d" % (op, self._reg(), self._reg(), imm))
+
+    def cmov(self):
+        op = self.draw(st.sampled_from(["cmovz", "cmovnz"]))
+        self.lines.append(
+            "    %s r%d, r%d, r%d" % (op, self._reg(), self._reg(), self._reg())
+        )
+
+    def memory(self):
+        offset = 4 * self.draw(st.integers(0, _SCRATCH_WORDS - 1))
+        if self.draw(st.booleans()):
+            self.lines.append("    sw   r%d, %d(r10)" % (self._reg(), offset))
+        else:
+            self.lines.append("    lw   r%d, %d(r10)" % (self._reg(), offset))
+
+    def byte_memory(self):
+        offset = self.draw(st.integers(0, 4 * _SCRATCH_WORDS - 1))
+        if self.draw(st.booleans()):
+            self.lines.append("    sb   r%d, %d(r10)" % (self._reg(), offset))
+        else:
+            op = self.draw(st.sampled_from(["lb", "lbu"]))
+            self.lines.append("    %s r%d, %d(r10)" % (op, self._reg(), offset))
+
+    def hammock(self, depth):
+        skip = self.label()
+        op = self.draw(st.sampled_from(["beq", "bne", "blt", "bge"]))
+        self.lines.append(
+            "    %s r%d, r%d, %s" % (op, self._reg(), self._reg(), skip)
+        )
+        for _ in range(self.draw(st.integers(1, 4))):
+            self.block(depth + 1)
+        self.lines.append("%s:" % skip)
+
+    def counted_loop(self, depth):
+        counter = 11 if depth == 0 else 12
+        top = self.label()
+        trips = self.draw(st.integers(1, 6))
+        self.lines.append("    li   r%d, %d" % (counter, trips))
+        self.lines.append("%s:" % top)
+        for _ in range(self.draw(st.integers(1, 3))):
+            self.block(depth + 1)
+        self.lines.append("    addi r%d, r%d, -1" % (counter, counter))
+        self.lines.append("    bnez r%d, %s" % (counter, top))
+
+    def bq_segment(self, depth):
+        """Balanced pushes/pops, optionally with mark/forward."""
+        count = self.draw(st.integers(1, 5))
+        use_mark = self.draw(st.booleans())
+        for _ in range(count):
+            self.lines.append("    push_bq r%d" % self._reg())
+        if use_mark:
+            self.lines.append("    mark")
+            self.lines.append("    forward")
+            return
+        for _ in range(count):
+            target = self.label()
+            self.lines.append("    b_bq %s" % target)
+            self.lines.append("    addi r%d, r%d, 1" % (self._reg(), self._reg()))
+            self.lines.append("%s:" % target)
+
+    def vq_segment(self):
+        count = self.draw(st.integers(1, 4))
+        for _ in range(count):
+            self.lines.append("    push_vq r%d" % self._reg())
+        for _ in range(count):
+            self.lines.append("    pop_vq r%d" % self._reg())
+
+    def tq_segment(self):
+        self.lines.append("    andi r9, r%d, 7" % self._reg())
+        self.lines.append("    push_tq r9")
+        self.lines.append("    pop_tq")
+        body = self.label()
+        test = self.label()
+        self.lines.append("    j    %s" % test)
+        self.lines.append("%s:" % body)
+        self.lines.append("    addi r%d, r%d, 1" % (self._reg(), self._reg()))
+        self.lines.append("%s:" % test)
+        self.lines.append("    b_tcr %s" % body)
+
+    def block(self, depth=0):
+        choices = [
+            (4, self.arith),
+            (3, self.arith_imm),
+            (2, self.memory),
+            (1, self.byte_memory),
+            (1, self.cmov),
+            (1, self.vq_segment),
+            (1, self.tq_segment),
+        ]
+        if depth < 2:
+            choices.append((2, lambda: self.hammock(depth)))
+            choices.append((1, lambda: self.bq_segment(depth)))
+        if depth < 1:
+            choices.append((2, lambda: self.counted_loop(depth)))
+        weighted = [fn for weight, fn in choices for _ in range(weight)]
+        self.draw(st.sampled_from(weighted))()
+
+    def build(self):
+        for _ in range(self.draw(st.integers(3, 10))):
+            self.block()
+        self.lines.append("    halt")
+        return assemble("\n".join(self.lines), name="hypothesis")
+
+
+@st.composite
+def random_program(draw):
+    return _ProgramBuilder(draw).build()
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(random_program())
+def test_core_matches_functional_on_random_programs(program):
+    functional = run_program(program, max_instructions=200_000)
+    assert functional.state.halted
+    result = simulate(program, sandy_bridge_config())
+    checker = result.pipeline.checker.state
+    assert checker.same_architectural_state(functional.state, compare_pc=False), (
+        checker.diff(functional.state)
+    )
+    assert result.stats.retired == functional.retired
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(random_program(), st.sampled_from(["bimodal", "gshare", "perfect"]))
+def test_agreement_holds_across_predictors(program, predictor):
+    functional = run_program(program, max_instructions=200_000)
+    result = simulate(program, sandy_bridge_config(predictor=predictor))
+    checker = result.pipeline.checker.state
+    assert checker.same_architectural_state(functional.state, compare_pc=False)
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    random_program(),
+    st.integers(0, 4),
+)
+def test_agreement_holds_across_window_shapes(program, variant):
+    configs = [
+        sandy_bridge_config(rob_size=32, iq_size=12, lq_size=8, sq_size=6),
+        sandy_bridge_config(rob_size=64, iq_size=24, lq_size=12, sq_size=8),
+        sandy_bridge_config(num_checkpoints=0),
+        sandy_bridge_config(num_checkpoints=2, confidence_guided_checkpoints=False),
+        sandy_bridge_config(fetch_width=2, rename_width=2, retire_width=2),
+    ]
+    functional = run_program(program, max_instructions=200_000)
+    result = simulate(program, configs[variant])
+    checker = result.pipeline.checker.state
+    assert checker.same_architectural_state(functional.state, compare_pc=False)

@@ -1,0 +1,127 @@
+"""End-to-end reproduction checks: the paper's headline effects, small scale.
+
+These run the actual workload binaries on the cycle core and assert the
+*direction* of every headline result (magnitudes belong to the benches).
+"""
+
+import pytest
+
+from repro.analysis import compare_runs
+from repro.arch.executor import run_program
+from repro.core import memory_bound_config, sandy_bridge_config, simulate
+
+
+def _run_pair(workload_name, variant, input_name=None, scale=0.25,
+              config_factory=sandy_bridge_config):
+    from repro.workloads import get_workload
+
+    workload = get_workload(workload_name)
+    base = workload.build("base", input_name, scale=scale)
+    other = workload.build(variant, input_name, scale=scale)
+    base_result = simulate(base.program, config_factory())
+    other_result = simulate(other.program, config_factory())
+    return base, base_result, other, other_result
+
+
+@pytest.fixture(scope="module")
+def soplex_pair():
+    return _run_pair("soplex", "cfd", "ref")
+
+
+def test_cfd_eradicates_mispredictions(soplex_pair):
+    _, base_result, _, cfd_result = soplex_pair
+    assert base_result.stats.mpki > 20
+    assert cfd_result.stats.mpki < 3
+    assert cfd_result.stats.bq_miss_rate < 0.02
+
+
+def test_cfd_speeds_up_despite_overhead(soplex_pair):
+    base, base_result, _, cfd_result = soplex_pair
+    comparison = compare_runs("soplex", "cfd", base_result, cfd_result)
+    assert comparison.overhead > 1.0  # CFD costs instructions...
+    assert comparison.speedup > 1.2  # ...and still wins time...
+
+
+def test_cfd_saves_energy(soplex_pair):
+    base, base_result, _, cfd_result = soplex_pair
+    comparison = compare_runs("soplex", "cfd", base_result, cfd_result)
+    assert comparison.energy_reduction > 0.15  # ...and energy
+
+
+def test_cfd_region_matches_functional_state(soplex_pair):
+    base, base_result, cfd, cfd_result = soplex_pair
+    for built, result in ((base, base_result), (cfd, cfd_result)):
+        functional = run_program(built.program)
+        assert result.pipeline.checker.state.same_architectural_state(
+            functional.state, compare_pc=False
+        )
+
+
+def test_perfect_cfd_configuration():
+    """Base + PerfectCFD (Fig 19): oracle on the separable branches only."""
+    from repro.workloads import get_workload
+
+    workload = get_workload("soplex")
+    base = workload.build("base", "ref", scale=0.25)
+    plain = simulate(base.program, sandy_bridge_config())
+    perfect_cfd = simulate(
+        base.program,
+        sandy_bridge_config(perfect_pcs=set(base.separable_pcs)),
+    )
+    for pc in base.separable_pcs:
+        assert perfect_cfd.stats.branch_stats[pc].mispredicted == 0
+    assert perfect_cfd.stats.cycles < plain.stats.cycles
+
+
+def test_tq_eliminates_loop_branch_mispredictions():
+    base, base_result, _, tq_result = _run_pair("astar_tq", "tq", "BigLakes",
+                                                scale=0.25)
+    # the loop-branch mispredicts vanish; the body branch remains
+    loop_pc = next(
+        pc for label, pc in base.program.labels.items()
+        if label.startswith("SEP_LOOPBR")
+    )
+    assert base_result.stats.branch_stats[loop_pc].mispredicted > 20
+    assert tq_result.stats.mpki < base_result.stats.mpki
+    assert tq_result.stats.tcr_branches > 0
+
+
+def test_dfd_moves_mispredictions_closer():
+    """Fig 25b: DFD replaces far-level-fed mispredictions with near ones."""
+    from repro.memsys.hierarchy import MemLevel
+
+    base, base_result, _, dfd_result = _run_pair(
+        "astar_r1", "dfd", "BigLakes", scale=1.0,
+        config_factory=memory_bound_config,
+    )
+    base_far = sum(
+        fraction
+        for level, fraction in base_result.stats.mispredict_level_fractions().items()
+        if level >= MemLevel.L3
+    )
+    dfd_far = sum(
+        fraction
+        for level, fraction in dfd_result.stats.mispredict_level_fractions().items()
+        if level >= MemLevel.L3
+    )
+    assert dfd_far < base_far
+
+
+def test_window_scaling_catalyst():
+    """Fig 2b/23: without CFD, IPC barely scales with window size; with
+    CFD the larger window pays off."""
+    from repro.core import scale_window
+    from repro.workloads import get_workload
+
+    workload = get_workload("astar_r2")
+    base = workload.build("base", "BigLakes", scale=0.5)
+    cfd = workload.build("cfd", "BigLakes", scale=0.5)
+    small = memory_bound_config()
+    large = scale_window(small, 512)
+    base_small = simulate(base.program, small).stats
+    base_large = simulate(base.program, large).stats
+    cfd_small = simulate(cfd.program, small).stats
+    cfd_large = simulate(cfd.program, large).stats
+    base_gain = base_small.cycles / base_large.cycles
+    cfd_gain = cfd_small.cycles / cfd_large.cycles
+    assert cfd_gain > base_gain

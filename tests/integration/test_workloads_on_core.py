@@ -1,0 +1,36 @@
+"""Every workload variant runs on the cycle core with the retirement
+checker active.
+
+The checker replays each retired instruction functionally and raises on
+any divergence, so simply running each binary for a few thousand
+instructions is a strong whole-stack integration test (fetch-unit queues,
+VQ renamer, recovery machinery, byte memory, cmov if-conversion, ...).
+"""
+
+import pytest
+
+from repro.core import sandy_bridge_config, simulate
+from repro.workloads import all_workloads
+
+_CASES = [
+    (w.name, variant, inp)
+    for w in all_workloads()
+    for variant in w.variants
+    for inp in w.inputs
+]
+
+
+@pytest.mark.parametrize("workload_name,variant,input_name", _CASES)
+def test_variant_simulates_cleanly(workload_name, variant, input_name):
+    from repro.workloads import get_workload
+
+    built = get_workload(workload_name).build(variant, input_name, scale=0.125)
+    result = simulate(
+        built.program, sandy_bridge_config(), max_instructions=5000
+    )
+    assert result.stats.retired > 0
+    assert result.stats.cycles > 0
+    # CFD-hardware accounting is self-consistent
+    stats = result.stats
+    assert stats.bq_misses <= stats.bq_pops
+    assert stats.mispredicts <= stats.branches_retired

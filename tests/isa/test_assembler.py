@@ -1,0 +1,190 @@
+"""Assembler: directives, labels, pseudo-instructions, error reporting."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa import assemble
+from repro.isa.opcodes import Opcode
+from repro.isa.program import DATA_BASE
+
+
+def test_data_layout_and_symbols():
+    program = assemble(
+        """
+.data
+a: .word 1, 2, 3
+b: .space 2
+c: .word 0x10
+.text
+main: halt
+"""
+    )
+    assert program.symbol("a") == DATA_BASE
+    assert program.symbol("b") == DATA_BASE + 12
+    assert program.symbol("c") == DATA_BASE + 20
+    assert program.data[DATA_BASE] == 1
+    assert program.data[DATA_BASE + 8] == 3
+    assert program.data[DATA_BASE + 20] == 0x10
+
+
+def test_negative_word_values_wrap():
+    program = assemble(".data\nx: .word -1\n.text\nhalt")
+    assert program.data[DATA_BASE] == 0xFFFFFFFF
+
+
+def test_labels_resolve_forward_and_backward():
+    program = assemble(
+        """
+.text
+main:
+    j    end
+loop:
+    addi r1, r1, 1
+    bnez r1, loop
+end:
+    halt
+"""
+    )
+    assert program.code[0].target == program.label("end")
+    assert program.code[2].target == program.label("loop")
+
+
+def test_li_small_expands_to_one_instruction():
+    program = assemble(".text\nli r1, 42\nhalt")
+    assert len(program.code) == 2
+    assert program.code[0].opcode == Opcode.ADDI
+    assert program.code[0].imm == 42
+
+
+def test_li_large_expands_to_two_instructions():
+    program = assemble(".text\nli r1, 0x12345678\nhalt")
+    assert program.code[0].opcode == Opcode.LUI
+    assert program.code[0].imm == 0x1234
+    assert program.code[1].opcode == Opcode.ORI
+    assert program.code[1].imm == 0x5678
+
+
+def test_la_resolves_symbol():
+    program = assemble(".data\nbuf: .space 4\n.text\nla r2, buf\nhalt")
+    # DATA_BASE = 0x10000 needs the two-instruction form.
+    assert program.code[0].opcode == Opcode.LUI
+
+
+def test_la_symbol_plus_offset():
+    program = assemble(".data\nbuf: .space 4\n.text\nla r2, buf+8\nhalt")
+    from repro.arch.executor import run_program
+
+    executor = run_program(program)
+    assert executor.state.regs[2] == DATA_BASE + 8
+
+
+def test_pseudo_mv_beqz_bnez():
+    program = assemble(
+        """
+.text
+main:
+    mv   r1, r2
+    beqz r1, main
+    bnez r1, main
+    halt
+"""
+    )
+    assert program.code[0].opcode == Opcode.ADD
+    assert program.code[1].opcode == Opcode.BEQ
+    assert program.code[2].opcode == Opcode.BNE
+    assert program.code[1].rs2 == 0
+
+
+def test_label_pc_accounts_for_pseudo_expansion():
+    program = assemble(
+        """
+.text
+main:
+    li  r1, 0x99999
+target:
+    halt
+"""
+    )
+    assert program.label("target") == 2  # li expanded to two instructions
+
+
+def test_comments_and_blank_lines():
+    program = assemble(
+        """
+# leading comment
+.text
+main:
+    nop   ; trailing comment
+    halt  # another
+"""
+    )
+    assert len(program.code) == 2
+
+
+def test_entry_defaults_to_main_label():
+    program = assemble(".text\nnop\nmain:\nhalt")
+    assert program.entry == 1
+
+
+def test_cfd_instructions_assemble():
+    program = assemble(
+        """
+.text
+main:
+    push_bq r3
+    b_bq main
+    mark
+    forward
+    push_vq r4
+    pop_vq r5
+    push_tq r6
+    pop_tq
+    b_tcr main
+    pop_tq_bov main
+    save_bq 0(r1)
+    restore_bq 4(r1)
+    cmovz r1, r2, r3
+    halt
+"""
+    )
+    opcodes = [inst.opcode for inst in program.code]
+    assert Opcode.PUSH_BQ in opcodes
+    assert Opcode.B_BQ in opcodes
+    assert Opcode.POP_TQ_BOV in opcodes
+    assert Opcode.CMOVZ in opcodes
+
+
+def test_unknown_mnemonic_reports_line():
+    with pytest.raises(AssemblerError) as excinfo:
+        assemble(".text\nmain:\n    bogus r1, r2\n")
+    assert "line 3" in str(excinfo.value)
+
+
+def test_unknown_label_raises():
+    with pytest.raises(AssemblerError):
+        assemble(".text\nj nowhere\n")
+
+
+def test_duplicate_label_raises():
+    with pytest.raises(AssemblerError):
+        assemble(".text\nx:\nnop\nx:\nhalt")
+
+
+def test_wrong_operand_count_raises():
+    with pytest.raises(AssemblerError):
+        assemble(".text\nadd r1, r2\n")
+
+
+def test_instruction_in_data_section_raises():
+    with pytest.raises(AssemblerError):
+        assemble(".data\nadd r1, r2, r3\n")
+
+
+def test_bad_memory_operand_raises():
+    with pytest.raises(AssemblerError):
+        assemble(".text\nlw r1, r2\n")
+
+
+def test_register_out_of_range_raises():
+    with pytest.raises(AssemblerError):
+        assemble(".text\nadd r1, r2, r40\n")

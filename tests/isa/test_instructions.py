@@ -1,0 +1,66 @@
+"""Instruction operand accessors, validation and disassembly."""
+
+from repro.isa.instructions import Instruction, validate_instruction
+from repro.isa.opcodes import Opcode
+
+
+def test_source_registers_r_type():
+    inst = Instruction(Opcode.ADD, rd=3, rs1=1, rs2=2)
+    assert inst.source_registers() == [1, 2]
+    assert inst.destination_register() == 3
+
+
+def test_source_registers_cmov_includes_rd():
+    inst = Instruction(Opcode.CMOVZ, rd=3, rs1=1, rs2=2)
+    assert inst.source_registers() == [1, 2, 3]
+
+
+def test_writes_to_r0_are_discarded():
+    inst = Instruction(Opcode.ADD, rd=0, rs1=1, rs2=2)
+    assert inst.destination_register() is None
+
+
+def test_store_sources():
+    inst = Instruction(Opcode.SW, rs1=4, rs2=7, imm=8)
+    assert inst.source_registers() == [4, 7]
+    assert inst.destination_register() is None
+
+
+def test_disassembly_forms():
+    assert str(Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3)) == "add r1, r2, r3"
+    assert str(Instruction(Opcode.ADDI, rd=1, rs1=2, imm=-5)) == "addi r1, r2, -5"
+    assert str(Instruction(Opcode.LW, rd=1, rs1=2, imm=8)) == "lw r1, 8(r2)"
+    assert str(Instruction(Opcode.SW, rs2=1, rs1=2, imm=0)) == "sw r1, 0(r2)"
+    assert str(Instruction(Opcode.HALT)) == "halt"
+    assert (
+        str(Instruction(Opcode.BEQ, rs1=1, rs2=2, target=5, label="loop"))
+        == "beq r1, r2, loop"
+    )
+    assert str(Instruction(Opcode.B_BQ, target=9)) == "b_bq 9"
+    assert str(Instruction(Opcode.PUSH_BQ, rs1=5)) == "push_bq r5"
+
+
+def test_validate_well_formed():
+    assert validate_instruction(Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3)) == []
+    assert validate_instruction(Instruction(Opcode.NOP)) == []
+
+
+def test_validate_missing_operand():
+    problems = validate_instruction(Instruction(Opcode.ADD, rd=1, rs1=2))
+    assert problems
+
+
+def test_validate_register_range():
+    problems = validate_instruction(Instruction(Opcode.ADD, rd=99, rs1=2, rs2=3))
+    assert any("out of range" in p for p in problems)
+
+
+def test_validate_missing_target():
+    problems = validate_instruction(Instruction(Opcode.J))
+    assert any("target" in p for p in problems)
+
+
+def test_branch_flags():
+    assert Instruction(Opcode.B_BQ, target=0).is_conditional
+    assert Instruction(Opcode.LW, rd=1, rs1=2).is_memory
+    assert not Instruction(Opcode.NOP).is_branch

@@ -1,0 +1,77 @@
+"""Opcode metadata consistency."""
+
+import pytest
+
+from repro.isa.opcodes import (
+    OpClass,
+    Opcode,
+    all_opcodes,
+    op_info,
+    opcode_for_mnemonic,
+)
+
+
+def test_every_opcode_has_info():
+    for opcode in Opcode:
+        info = op_info(opcode)
+        assert info.mnemonic
+        assert info.latency >= 1
+
+
+def test_mnemonics_are_unique():
+    mnemonics = [op_info(op).mnemonic for op in all_opcodes()]
+    assert len(mnemonics) == len(set(mnemonics))
+
+
+def test_mnemonic_lookup_roundtrip():
+    for opcode in all_opcodes():
+        assert opcode_for_mnemonic(op_info(opcode).mnemonic) == opcode
+
+
+def test_unknown_mnemonic_returns_none():
+    assert opcode_for_mnemonic("frobnicate") is None
+
+
+def test_branch_classification():
+    assert op_info(Opcode.BEQ).is_branch
+    assert op_info(Opcode.BEQ).is_conditional
+    assert op_info(Opcode.J).is_branch
+    assert not op_info(Opcode.J).is_conditional
+    assert op_info(Opcode.B_BQ).is_branch
+    assert op_info(Opcode.B_BQ).is_conditional
+    assert op_info(Opcode.B_TCR).is_branch
+    assert not op_info(Opcode.ADD).is_branch
+
+
+def test_memory_classification():
+    assert op_info(Opcode.LW).is_memory
+    assert op_info(Opcode.SW).is_memory
+    assert not op_info(Opcode.PUSH_BQ).is_memory
+
+
+def test_cfd_opcodes_have_dedicated_classes():
+    assert op_info(Opcode.PUSH_BQ).opclass == OpClass.BQ_PUSH
+    assert op_info(Opcode.B_BQ).opclass == OpClass.BQ_BRANCH
+    assert op_info(Opcode.MARK).opclass == OpClass.BQ_MARK
+    assert op_info(Opcode.FORWARD).opclass == OpClass.BQ_FORWARD
+    assert op_info(Opcode.PUSH_VQ).opclass == OpClass.VQ_PUSH
+    assert op_info(Opcode.POP_VQ).opclass == OpClass.VQ_POP
+    assert op_info(Opcode.PUSH_TQ).opclass == OpClass.TQ_PUSH
+    assert op_info(Opcode.POP_TQ).opclass == OpClass.TQ_POP
+    assert op_info(Opcode.B_TCR).opclass == OpClass.TCR_BRANCH
+
+
+def test_cmov_reads_its_destination():
+    assert op_info(Opcode.CMOVZ).reads_rd
+    assert op_info(Opcode.CMOVNZ).reads_rd
+    assert op_info(Opcode.CMOVZ).writes_rd
+    assert not op_info(Opcode.ADD).reads_rd
+
+
+def test_source_read_flags_match_formats():
+    for opcode in all_opcodes():
+        info = op_info(opcode)
+        if "t" in info.fmt:
+            assert info.reads_rs2, info.mnemonic
+        if info.fmt in ("dsi", "dm", "ds"):
+            assert info.reads_rs1, info.mnemonic

@@ -1,0 +1,34 @@
+"""Program container: validation, listing, bounds."""
+
+from repro.isa import assemble
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+
+
+def test_instruction_at_bounds(count_program):
+    assert count_program.instruction_at(0) is not None
+    assert count_program.instruction_at(len(count_program) - 1) is not None
+    assert count_program.instruction_at(len(count_program)) is None
+    assert count_program.instruction_at(-1) is None
+
+
+def test_validate_detects_bad_target():
+    program = Program(code=[Instruction(Opcode.J, target=99)])
+    problems = program.validate()
+    assert any("target" in p for p in problems)
+
+
+def test_validate_clean_program(count_program):
+    assert count_program.validate() == []
+
+
+def test_listing_includes_labels(count_program):
+    listing = count_program.listing()
+    assert "main:" in listing
+    assert "gen:" in listing
+    assert "push_bq" in listing
+
+
+def test_len(count_program):
+    assert len(count_program) == len(count_program.code)

@@ -1,0 +1,101 @@
+"""Set-associative cache: hits, LRU, writebacks, geometry checks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.memsys.cache import Cache, CacheConfig
+
+
+def _small_cache(assoc=2, sets=4, line=64):
+    return Cache(CacheConfig("T", sets * assoc * line, assoc, line))
+
+
+def test_geometry_validation():
+    with pytest.raises(ConfigError):
+        CacheConfig("bad", 3 * 64, 1, 64).num_sets  # 3 sets: not a power of 2
+
+
+def test_cold_miss_then_hit():
+    cache = _small_cache()
+    assert not cache.lookup(0x100)
+    cache.fill(0x100)
+    assert cache.lookup(0x100)
+    assert cache.hits == 1
+    assert cache.misses == 1
+
+
+def test_same_line_different_words_hit():
+    cache = _small_cache()
+    cache.fill(0x100)
+    assert cache.lookup(0x100 + 60)
+
+
+def test_lru_eviction_order():
+    cache = _small_cache(assoc=2, sets=1)
+    cache.fill(0 * 64)
+    cache.fill(1 * 64)
+    cache.lookup(0)  # make line 0 MRU
+    cache.fill(2 * 64)  # evicts line 1
+    assert cache.lookup(0)
+    assert not cache.lookup(64)
+    assert cache.lookup(2 * 64)
+
+
+def test_dirty_eviction_counts_writeback():
+    cache = _small_cache(assoc=1, sets=1)
+    cache.fill(0, is_write=True)
+    cache.fill(64)  # evicts dirty line
+    assert cache.writebacks == 1
+    cache.fill(128)  # evicts clean line
+    assert cache.writebacks == 1
+
+
+def test_write_hit_sets_dirty():
+    cache = _small_cache(assoc=1, sets=1)
+    cache.fill(0)
+    cache.lookup(0, is_write=True)
+    cache.fill(64)
+    assert cache.writebacks == 1
+
+
+def test_contains_does_not_update_stats():
+    cache = _small_cache()
+    cache.contains(0x100)
+    assert cache.misses == 0
+
+
+def test_fill_is_idempotent():
+    cache = _small_cache(assoc=2, sets=1)
+    cache.fill(0)
+    cache.fill(0)
+    cache.fill(64)
+    assert cache.lookup(0)
+    assert cache.lookup(64)
+
+
+def test_reset_stats():
+    cache = _small_cache()
+    cache.lookup(0)
+    cache.reset_stats()
+    assert cache.stats()["misses"] == 0
+
+
+@given(st.lists(st.integers(0, 63), min_size=1, max_size=200))
+def test_within_capacity_no_capacity_misses(addresses):
+    """A direct test of the LRU invariant: touching at most `assoc` distinct
+    lines per set never evicts a line that is re-touched."""
+    cache = _small_cache(assoc=4, sets=1)
+    distinct = []
+    for line_index in addresses:
+        if line_index not in distinct:
+            distinct.append(line_index)
+        if len(distinct) > 4:
+            return  # property only holds within capacity
+    for line_index in addresses:
+        addr = line_index * 64
+        if not cache.lookup(addr):
+            cache.fill(addr)
+    # second pass: everything must hit
+    for line_index in addresses:
+        assert cache.lookup(line_index * 64)

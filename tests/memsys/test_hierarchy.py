@@ -1,0 +1,106 @@
+"""Three-level hierarchy: serving levels, latencies, fills, prefetchers."""
+
+from repro.memsys.cache import CacheConfig
+from repro.memsys.hierarchy import MemLevel, MemoryHierarchy, MemoryHierarchyConfig
+from repro.memsys.prefetch import NextLinePrefetcher, StridePrefetcher
+
+
+def _tiny_hierarchy(prefetcher="none"):
+    return MemoryHierarchy(
+        MemoryHierarchyConfig(
+            l1i=CacheConfig("L1I", 1024, 2, 64, 1),
+            l1d=CacheConfig("L1D", 1024, 2, 64, 4),
+            l2=CacheConfig("L2", 4096, 2, 64, 12),
+            l3=CacheConfig("L3", 16384, 4, 64, 30),
+            dram_latency=100,
+            prefetcher=prefetcher,
+        )
+    )
+
+
+def test_cold_access_comes_from_memory():
+    hierarchy = _tiny_hierarchy()
+    result = hierarchy.access_data(0x1000)
+    assert result.level == MemLevel.MEM
+    assert result.latency == 4 + 12 + 30 + 100
+
+
+def test_second_access_hits_l1():
+    hierarchy = _tiny_hierarchy()
+    hierarchy.access_data(0x1000)
+    result = hierarchy.access_data(0x1000)
+    assert result.level == MemLevel.L1
+    assert result.latency == 4
+
+
+def test_l1_eviction_leaves_l2_copy():
+    hierarchy = _tiny_hierarchy()
+    hierarchy.access_data(0)
+    # L1D: 1KB/2-way/64B = 8 sets; lines mapping to set 0: stride 8*64
+    for way in range(1, 3):
+        hierarchy.access_data(way * 8 * 64)
+    result = hierarchy.access_data(0)
+    assert result.level == MemLevel.L2
+    assert result.latency == 4 + 12
+
+
+def test_memlevel_ordering():
+    assert MemLevel.L1 < MemLevel.L2 < MemLevel.L3 < MemLevel.MEM
+    assert MemLevel.NONE < MemLevel.L1
+
+
+def test_instruction_side_is_independent():
+    hierarchy = _tiny_hierarchy()
+    hierarchy.access_data(0x2000)
+    result = hierarchy.access_inst(0x2000)
+    # L1I misses but L2 was filled by the data access.
+    assert result.level == MemLevel.L2
+
+
+def test_prefetch_fill_installs_everywhere():
+    hierarchy = _tiny_hierarchy()
+    hierarchy.prefetch_fill(0x3000)
+    assert hierarchy.access_data(0x3000).level == MemLevel.L1
+
+
+def test_miss_latency_helper():
+    hierarchy = _tiny_hierarchy()
+    assert hierarchy.miss_latency(MemLevel.L2) == 4 + 12
+    assert hierarchy.miss_latency(MemLevel.MEM) == 4 + 12 + 30 + 100
+
+
+class TestPrefetchers:
+    def test_next_line(self):
+        prefetcher = NextLinePrefetcher(line_bytes=64)
+        assert prefetcher.observe(0, 0x100, was_miss=True) == [0x140]
+        assert prefetcher.observe(0, 0x100, was_miss=False) == []
+
+    def test_stride_detector_confirms_before_issuing(self):
+        prefetcher = StridePrefetcher(line_bytes=64, degree=1)
+        pc = 0x10
+        issued = []
+        for i in range(6):
+            issued.extend(prefetcher.observe(pc, 1000 + 64 * i, was_miss=True))
+        assert 1000 + 64 * 6 in issued or 1000 + 64 * 5 in issued
+
+    def test_stride_ignores_random(self):
+        prefetcher = StridePrefetcher(line_bytes=64, degree=1)
+        import random
+
+        rng = random.Random(3)
+        issued = []
+        for _ in range(50):
+            issued.extend(
+                prefetcher.observe(0x10, rng.randrange(0, 1 << 20), was_miss=True)
+            )
+        assert len(issued) < 10
+
+    def test_hierarchy_stride_prefetcher_covers_stream(self):
+        hierarchy = _tiny_hierarchy(prefetcher="stride")
+        misses = 0
+        for i in range(64):
+            result = hierarchy.access_data(i * 64, pc=0x44)
+            if result.level != MemLevel.L1:
+                misses += 1
+        # after training, prefetches cover most of the stream
+        assert misses < 40

@@ -1,0 +1,50 @@
+"""MSHR file: allocation, merging, capacity stalls, occupancy histogram."""
+
+from repro.memsys.mshr import MSHRFile
+
+
+def test_allocation_and_expiry():
+    mshr = MSHRFile(capacity=2)
+    accepted, ready = mshr.request(0x100, cycle=0, fill_latency=10)
+    assert accepted and ready == 10
+    assert mshr.occupancy(5) == 1
+    assert mshr.occupancy(10) == 0
+
+
+def test_same_block_merges():
+    mshr = MSHRFile(capacity=2, line_bytes=64)
+    _, ready1 = mshr.request(0x100, 0, 10)
+    accepted, ready2 = mshr.request(0x104, 3, 99)  # same 64B block
+    assert accepted
+    assert ready2 == ready1
+    assert mshr.merges == 1
+    assert mshr.allocations == 1
+
+
+def test_capacity_stall():
+    mshr = MSHRFile(capacity=1)
+    mshr.request(0, 0, 100)
+    accepted, ready = mshr.request(64, 0, 100)
+    assert not accepted and ready is None
+    assert mshr.full_stalls == 1
+    # after the first fill returns, a new request is accepted
+    accepted, _ = mshr.request(64, 100, 100)
+    assert accepted
+
+
+def test_histogram_sampling():
+    mshr = MSHRFile(capacity=4)
+    mshr.request(0, 0, 10)
+    mshr.request(64, 0, 10)
+    mshr.sample(1)
+    mshr.sample(2)
+    mshr.sample(11)
+    assert mshr.occupancy_histogram[2] == 2
+    assert mshr.occupancy_histogram[0] == 1
+
+
+def test_flush():
+    mshr = MSHRFile(capacity=2)
+    mshr.request(0, 0, 50)
+    mshr.flush()
+    assert mshr.occupancy(0) == 0

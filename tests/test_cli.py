@@ -1,0 +1,81 @@
+"""Command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def _run(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_list():
+    code, text = _run("list")
+    assert code == 0
+    assert "soplex" in text
+    assert "astar_r1" in text
+    assert "totally_separable" in text
+
+
+def test_run_base():
+    code, text = _run("run", "soplex", "--scale", "0.125",
+                      "--max-instructions", "4000")
+    assert code == 0
+    assert "ipc" in text
+    assert "mpki" in text
+
+
+def test_run_cfd_reports_bq():
+    code, text = _run("run", "soplex", "--variant", "cfd", "--scale", "0.125",
+                      "--max-instructions", "4000")
+    assert code == 0
+    assert "bq_pops" in text
+
+
+def test_compare():
+    code, text = _run("compare", "jpeg_compr", "--variant", "cfd",
+                      "--scale", "0.125")
+    assert code == 0
+    assert "speedup" in text
+    assert "overhead" in text
+
+
+def test_profile():
+    code, text = _run("profile", "soplex", "--scale", "0.125",
+                      "--max-instructions", "20000", "--top", "3")
+    assert code == 0
+    assert "top mispredicting branches" in text
+    assert "[separable]" in text
+
+
+def test_classify():
+    code, text = _run("classify", "--scale", "0.125",
+                      "--max-instructions", "15000")
+    assert code == 0
+    assert "Table I" in text
+    assert "separable (CFD-addressable)" in text
+
+
+def test_disasm():
+    code, text = _run("disasm", "soplex", "--variant", "cfd",
+                      "--scale", "0.125")
+    assert code == 0
+    assert "push_bq" in text
+    assert "b_bq" in text
+
+
+def test_memory_bound_config_and_overrides():
+    code, text = _run("run", "mcf", "--scale", "0.125",
+                      "--config", "memory-bound", "--rob", "64",
+                      "--max-instructions", "3000")
+    assert code == 0
+    assert "memory-bound" in text
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        _run("explode")

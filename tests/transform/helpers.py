@@ -1,0 +1,185 @@
+"""Kernel builders shared across the transform tests."""
+
+import numpy as np
+
+from repro.transform.ir import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Break,
+    Const,
+    For,
+    If,
+    Kernel,
+    Load,
+    Store,
+    Var,
+)
+
+
+def scan_kernel(n=256, seed=3, cd_extra=4, below=0):
+    """The canonical totally separable scan (soplex shape)."""
+    values = np.random.default_rng(seed).integers(-100, 100, n).tolist()
+    x, s, c, i = Var("x"), Var("s"), Var("c"), Var("i")
+    cd = [
+        Assign(s, BinOp("+", s, x)),
+        Assign(c, BinOp("+", c, Const(1))),
+        Store(ArrayRef("out", i), x),
+    ]
+    for k in range(cd_extra):
+        cd.append(Assign(s, BinOp("^", s, BinOp("*", x, Const(k + 3)))))
+    body = [
+        Assign(s, Const(0)),
+        Assign(c, Const(0)),
+        For(i, Const(n), [
+            Assign(x, Load(ArrayRef("vals", i))),
+            If(BinOp("<", x, Const(below)), cd),
+        ]),
+    ]
+    return Kernel(
+        "scan",
+        arrays={"vals": values},
+        out_arrays={"out": n},
+        body=body,
+        results=[s, c],
+    )
+
+
+def partial_kernel(n=256, seed=4):
+    """Partially separable: the CD region updates the threshold the
+    condition reads (a short loop-carried dependence)."""
+    values = np.random.default_rng(seed).integers(0, 1000, n).tolist()
+    x, s, c, t, i = Var("x"), Var("s"), Var("c"), Var("t"), Var("i")
+    body = [
+        Assign(s, Const(0)),
+        Assign(c, Const(0)),
+        Assign(t, Const(500)),
+        For(i, Const(n), [
+            Assign(x, Load(ArrayRef("vals", i))),
+            If(BinOp("<", x, t), [
+                Assign(s, BinOp("+", s, x)),
+                Assign(c, BinOp("+", c, Const(1))),
+                Store(ArrayRef("out", i), x),
+                Assign(s, BinOp("^", s, BinOp(">>", x, Const(2)))),
+                Assign(t, BinOp("-", t, Const(1))),  # feedback
+            ]),
+        ]),
+    ]
+    return Kernel(
+        "partial",
+        arrays={"vals": values},
+        out_arrays={"out": n},
+        body=body,
+        results=[s, c, t],
+    )
+
+
+def break_kernel(n=256, seed=5):
+    """Totally separable with an early exit in the CD region."""
+    values = np.random.default_rng(seed).integers(-100, 100, n).tolist()
+    values[int(n * 0.7)] = -999  # sentinel triggers the break
+    x, s, i = Var("x"), Var("s"), Var("i")
+    body = [
+        Assign(s, Const(0)),
+        For(i, Const(n), [
+            Assign(x, Load(ArrayRef("vals", i))),
+            If(BinOp("<", x, Const(0)), [
+                Assign(s, BinOp("+", s, x)),
+                Store(ArrayRef("out", i), x),
+                Assign(s, BinOp("^", s, BinOp("*", x, Const(5)))),
+                Assign(s, BinOp("+", s, Const(7))),
+                If(BinOp("==", x, Const(-999)), [Break()]),
+            ]),
+        ]),
+    ]
+    return Kernel(
+        "breaker",
+        arrays={"vals": values},
+        out_arrays={"out": n},
+        body=body,
+        results=[s],
+    )
+
+
+def loop_branch_kernel(n=128, seed=6, max_run=7):
+    """Separable loop-branch (astar TQ shape)."""
+    rng = np.random.default_rng(seed)
+    trips = rng.integers(0, max_run + 1, n).tolist()
+    w = rng.integers(-50, 50, n * (max_run + 1)).tolist()
+    s, i, j = Var("s"), Var("i"), Var("j")
+    body = [
+        Assign(s, Const(0)),
+        For(i, Const(n), [
+            For(j, Load(ArrayRef("trips", i)), [
+                Assign(
+                    s,
+                    BinOp(
+                        "+",
+                        s,
+                        Load(
+                            ArrayRef(
+                                "w",
+                                BinOp(
+                                    "+",
+                                    BinOp("*", i, Const(max_run + 1)),
+                                    j,
+                                ),
+                            )
+                        ),
+                    ),
+                ),
+            ]),
+        ]),
+    ]
+    return Kernel(
+        "loop-branch", arrays={"trips": trips, "w": w}, body=body, results=[s]
+    )
+
+
+def hammock_kernel(n=64, seed=7):
+    values = np.random.default_rng(seed).integers(-10, 10, n).tolist()
+    x, s, i = Var("x"), Var("s"), Var("i")
+    body = [
+        Assign(s, Const(0)),
+        For(i, Const(n), [
+            Assign(x, Load(ArrayRef("vals", i))),
+            If(BinOp("<", x, Const(0)), [Assign(s, BinOp("+", s, x))]),
+        ]),
+    ]
+    return Kernel("hammock", arrays={"vals": values}, body=body, results=[s])
+
+
+def inseparable_kernel(n=64, seed=8):
+    values = np.random.default_rng(seed).integers(0, 100, n).tolist()
+    x, s, t, u, v, i = Var("x"), Var("s"), Var("t"), Var("u"), Var("v"), Var("i")
+    body = [
+        Assign(s, Const(0)),
+        Assign(t, Const(50)),
+        Assign(u, Const(1)),
+        Assign(v, Const(2)),
+        For(i, Const(n), [
+            Assign(x, Load(ArrayRef("vals", i))),
+            If(BinOp("<", x, t), [
+                Assign(s, BinOp("+", s, x)),
+                Assign(t, BinOp("-", t, u)),  # feedback 1
+                Assign(u, BinOp("+", u, Const(1))),  # feedback 2
+                Assign(v, BinOp("^", v, x)),  # feedback 3 (t reads v below)
+                Assign(t, BinOp("+", t, BinOp("&", v, Const(3)))),
+            ]),
+        ]),
+    ]
+    return Kernel("insep", arrays={"vals": values}, body=body, results=[s, t])
+
+
+def run_kernel(kernel):
+    """Lower + functionally execute; returns the result vector."""
+    from repro.arch.executor import run_program
+    from repro.transform.lower import lower_kernel
+
+    program = lower_kernel(kernel)
+    executor = run_program(program)
+    base = program.symbol("result")
+    return [
+        executor.state.memory.load_word(base + 4 * k)
+        for k in range(len(kernel.results))
+    ], executor

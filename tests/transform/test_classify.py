@@ -1,0 +1,62 @@
+"""Section II-B classification over the IR."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.transform.classify import BranchClass, classify_kernel
+from repro.transform.ir import Assign, Const, For, Kernel, Var
+from tests.transform.helpers import (
+    break_kernel,
+    hammock_kernel,
+    inseparable_kernel,
+    loop_branch_kernel,
+    partial_kernel,
+    scan_kernel,
+)
+
+
+def test_totally_separable():
+    result = classify_kernel(scan_kernel())
+    assert result.branch_class == BranchClass.TOTALLY_SEPARABLE
+    assert result.feedback_stmts == []
+
+
+def test_partially_separable_finds_feedback():
+    result = classify_kernel(partial_kernel())
+    assert result.branch_class == BranchClass.PARTIALLY_SEPARABLE
+    assert len(result.feedback_stmts) == 1
+    assert result.feedback_stmts[0].var.name == "t"
+
+
+def test_hammock_by_region_size():
+    result = classify_kernel(hammock_kernel())
+    assert result.branch_class == BranchClass.HAMMOCK
+
+
+def test_inseparable_when_slice_swallows_region():
+    result = classify_kernel(inseparable_kernel())
+    assert result.branch_class == BranchClass.INSEPARABLE
+
+
+def test_separable_loop_branch():
+    result = classify_kernel(loop_branch_kernel())
+    assert result.branch_class == BranchClass.SEPARABLE_LOOP_BRANCH
+    assert result.inner_loop is not None
+
+
+def test_break_does_not_affect_separability():
+    result = classify_kernel(break_kernel())
+    assert result.branch_class == BranchClass.TOTALLY_SEPARABLE
+
+
+def test_kernel_without_loop_rejected():
+    kernel = Kernel("flat", body=[Assign(Var("x"), Const(1))])
+    with pytest.raises(TransformError):
+        classify_kernel(kernel)
+
+
+def test_two_top_level_loops_rejected():
+    loop = For(Var("i"), Const(2), [Assign(Var("x"), Const(1))])
+    kernel = Kernel("twoloop", body=[loop, For(Var("j"), Const(2), [Assign(Var("y"), Const(1))])])
+    with pytest.raises(TransformError):
+        classify_kernel(kernel)

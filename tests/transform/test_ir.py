@@ -1,0 +1,105 @@
+"""IR analysis: reads/writes, backward slices, substitution."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.transform.ir import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Const,
+    For,
+    If,
+    Load,
+    Select,
+    Store,
+    Var,
+    backward_slice,
+    expr_arrays,
+    expr_vars,
+    stmt_reads,
+    stmt_writes,
+    subst_expr,
+    subst_stmt,
+)
+
+
+def test_expr_vars_and_arrays():
+    expr = BinOp("+", Var("a"), Load(ArrayRef("data", BinOp("*", Var("i"), Const(2)))))
+    assert expr_vars(expr) == {"a", "i"}
+    assert expr_arrays(expr) == {"data"}
+
+
+def test_select_analysis():
+    expr = Select(Var("p"), Var("a"), Load(ArrayRef("t", Var("i"))))
+    assert expr_vars(expr) == {"p", "a", "i"}
+    assert expr_arrays(expr) == {"t"}
+
+
+def test_stmt_reads_writes():
+    stmt = Store(ArrayRef("out", Var("i")), BinOp("+", Var("x"), Const(1)))
+    reads_vars, reads_arrays = stmt_reads(stmt)
+    writes_vars, writes_arrays = stmt_writes(stmt)
+    assert reads_vars == {"i", "x"}
+    assert writes_arrays == {"out"}
+    assert not writes_vars
+
+
+def test_nested_analysis():
+    loop = For(
+        Var("i"),
+        Const(4),
+        [If(Var("p"), [Assign(Var("s"), BinOp("+", Var("s"), Var("i")))])],
+    )
+    reads_vars, _ = stmt_reads(loop)
+    writes_vars, _ = stmt_writes(loop)
+    assert "p" in reads_vars and "s" in reads_vars
+    assert writes_vars == {"s", "i"}
+
+
+def test_backward_slice_picks_feeding_statements():
+    statements = [
+        Assign(Var("a"), Load(ArrayRef("d", Var("i")))),
+        Assign(Var("b"), Const(5)),  # not in slice
+        Assign(Var("c"), BinOp("+", Var("a"), Const(1))),
+    ]
+    indices = backward_slice(statements, BinOp("<", Var("c"), Const(0)))
+    assert indices == [0, 2]
+
+
+def test_backward_slice_through_arrays():
+    statements = [
+        Store(ArrayRef("tmp", Const(0)), Var("z")),
+        Assign(Var("a"), Load(ArrayRef("tmp", Const(0)))),
+    ]
+    indices = backward_slice(statements, Var("a"))
+    assert indices == [0, 1]
+
+
+def test_subst_expr_replaces_reads():
+    expr = BinOp("+", Var("i"), Load(ArrayRef("d", Var("i"))))
+    replaced = subst_expr(expr, "i", BinOp("*", Var("c"), Const(8)))
+    assert "i" not in expr_vars(replaced)
+    assert expr_vars(replaced) == {"c"}
+
+
+def test_subst_stmt_recurses_into_bodies():
+    stmt = If(Var("i"), [Assign(Var("s"), Var("i"))])
+    replaced = subst_stmt(stmt, "i", Const(3))
+    assert expr_vars(replaced.cond) == set()
+    assert expr_vars(replaced.body[0].expr) == set()
+
+
+def test_binop_rejects_unknown_operator():
+    with pytest.raises(TransformError):
+        BinOp("%%", Var("a"), Var("b"))
+
+
+def test_kernel_array_length():
+    from repro.transform.ir import Kernel
+
+    kernel = Kernel("k", arrays={"a": [1, 2, 3]}, out_arrays={"o": 8})
+    assert kernel.array_length("a") == 3
+    assert kernel.array_length("o") == 8
+    with pytest.raises(TransformError):
+        kernel.array_length("missing")

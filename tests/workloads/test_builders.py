@@ -1,0 +1,70 @@
+"""Workload assembly-building helpers."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.isa import assemble
+from repro.workloads.builders import (
+    AsmBuilder,
+    build_program,
+    chunked,
+    install_array,
+    require,
+)
+
+
+class TestAsmBuilder:
+    def test_raw_and_source(self):
+        builder = AsmBuilder()
+        builder.raw(".text").raw("main:").raw("    halt")
+        assert builder.source() == ".text\nmain:\n    halt"
+
+    def test_labels_are_unique(self):
+        builder = AsmBuilder()
+        labels = {builder.label("L") for _ in range(100)}
+        assert len(labels) == 100
+
+
+class TestInstallArray:
+    def test_fills_space(self):
+        program = assemble(".data\nbuf: .space 4\n.text\nhalt")
+        install_array(program, "buf", [1, -2, 3, 4])
+        base = program.symbol("buf")
+        assert program.data[base] == 1
+        assert program.data[base + 4] == 0xFFFFFFFE
+
+    def test_unknown_symbol(self):
+        program = assemble(".text\nhalt")
+        with pytest.raises(WorkloadError):
+            install_array(program, "ghost", [1])
+
+
+def test_build_program_assembles_and_installs():
+    program = build_program(
+        ".data\na: .space 2\n.text\nmain:\nhalt", "t", {"a": [7, 8]}
+    )
+    assert program.data[program.symbol("a") + 4] == 8
+
+
+class TestChunked:
+    def test_even_split(self):
+        assert chunked(256, 128) == [(0, 128), (128, 128)]
+
+    def test_remainder(self):
+        assert chunked(300, 128) == [(0, 128), (128, 128), (256, 44)]
+
+    def test_single(self):
+        assert chunked(10, 128) == [(0, 10)]
+
+    def test_zero_items(self):
+        assert chunked(0, 128) == []
+
+    def test_invalid_chunk(self):
+        with pytest.raises(WorkloadError):
+            chunked(10, 0)
+
+
+def test_require():
+    require(True, "fine")
+    with pytest.raises(WorkloadError):
+        require(False, "broken invariant")

@@ -1,0 +1,54 @@
+"""Cross-variant functional equivalence.
+
+All variants of a workload perform the same work on the same inputs: the
+result accumulators must match the base binary exactly.  This is the
+manual-CFD analog of the paper's "modified benchmarks are verified by
+compiling natively and verifying outputs" methodology.
+"""
+
+import pytest
+
+from repro.arch.executor import run_program
+from repro.workloads import all_workloads
+
+
+def _result_vector(built, words=2):
+    executor = run_program(built.program, max_instructions=20_000_000)
+    assert executor.state.halted, "%s did not halt" % built.name
+    base = built.program.symbol("result")
+    return [executor.state.memory.load_word(base + 4 * k) for k in range(words)]
+
+
+@pytest.mark.parametrize(
+    "workload_name,input_name",
+    [
+        (w.name, inp)
+        for w in all_workloads()
+        for inp in w.inputs
+    ],
+)
+def test_variants_compute_identical_results(workload_name, input_name):
+    from repro.workloads import get_workload
+
+    workload = get_workload(workload_name)
+    reference = None
+    for variant in workload.variants:
+        built = workload.build(variant, input_name, scale=0.125, seed=3)
+        vector = _result_vector(built)
+        if reference is None:
+            reference = vector
+        else:
+            assert vector == reference, (workload_name, input_name, variant)
+
+
+def test_queue_discipline_holds_functionally():
+    """No workload leaves dangling BQ/TQ state at halt (VQ may retain
+    values by design when a region exits early)."""
+    from repro.workloads import get_workload
+
+    for workload in all_workloads():
+        for variant in workload.variants:
+            built = workload.build(variant, scale=0.125, seed=3)
+            executor = run_program(built.program, max_instructions=20_000_000)
+            assert executor.state.bq.length == 0, built.name
+            assert executor.state.tq.length == 0, built.name

@@ -1,0 +1,92 @@
+"""Workload registry and builder contracts."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import all_workloads, get_workload, workload_names
+from repro.workloads.suite import CLASS_EASY
+
+EXPECTED_WORKLOADS = {
+    "astar_r1",
+    "astar_r2",
+    "astar_tq",
+    "bzip2",
+    "easy_loop",
+    "eclat",
+    "gromacs",
+    "hammock",
+    "hmmer",
+    "inseparable",
+    "jpeg_compr",
+    "mcf",
+    "namd",
+    "soplex",
+    "tiff_2bw",
+    "tiff_median",
+}
+
+
+def test_registry_is_complete():
+    assert set(workload_names()) == EXPECTED_WORKLOADS
+
+
+def test_every_workload_has_base_variant():
+    for workload in all_workloads():
+        assert "base" in workload.variants
+        assert workload.inputs
+        assert 0.0 < workload.time_fraction <= 1.0
+        assert workload.suite in ("SPEC2006", "BioBench", "MineBench", "cBench")
+
+
+def test_cfd_workloads_mark_separable_branches():
+    for workload in all_workloads():
+        if workload.branch_class == CLASS_EASY:
+            continue
+        built = workload.build("base", scale=0.125)
+        assert built.separable_pcs, workload.name
+        for pc in built.separable_pcs:
+            inst = built.program.instruction_at(pc)
+            assert inst.is_branch, (workload.name, pc, inst)
+
+
+def test_unknown_workload_raises():
+    with pytest.raises(WorkloadError):
+        get_workload("specfp95")
+
+
+def test_unknown_variant_and_input_raise():
+    workload = get_workload("soplex")
+    with pytest.raises(WorkloadError):
+        workload.build("tq")
+    with pytest.raises(WorkloadError):
+        workload.build("base", "train")
+
+
+def test_builds_are_deterministic():
+    workload = get_workload("soplex")
+    a = workload.build("base", "ref", scale=0.25, seed=9)
+    b = workload.build("base", "ref", scale=0.25, seed=9)
+    assert a.program.data == b.program.data
+    assert len(a.program.code) == len(b.program.code)
+
+
+def test_seed_changes_data_not_code():
+    workload = get_workload("soplex")
+    a = workload.build("base", "ref", scale=0.25, seed=1)
+    b = workload.build("base", "ref", scale=0.25, seed=2)
+    assert len(a.program.code) == len(b.program.code)
+    assert a.program.data != b.program.data
+
+
+def test_scale_changes_footprint():
+    workload = get_workload("mcf")
+    small = workload.build("base", scale=0.125)
+    large = workload.build("base", scale=0.5)
+    assert large.params["n"] > small.params["n"]
+
+
+def test_built_programs_validate():
+    for workload in all_workloads():
+        for variant in workload.variants:
+            built = workload.build(variant, scale=0.125)
+            assert built.program.validate() == [], (workload.name, variant)
