@@ -46,6 +46,7 @@ def test_fig18_cfd_performance_and_energy(benchmark):
             for c, p in rows
         ],
         notes="paper: CFD up to 1.51 (avg 1.16); energy savings up to 43% (avg 19%)",
+        figure="fig18_cfd",
     )
     comparisons = [c for c, _ in rows]
     speedups = [c.speedup for c in comparisons]

@@ -12,12 +12,21 @@ Scale control: ``REPRO_BENCH_SCALE`` multiplies workload sizes
 at 0.2).  Simulation results are cached per (workload, variant, input,
 scale, config) within the bench session, so figures sharing runs (most
 share the baselines) don't pay twice.
+
+Artifacts: every :func:`print_figure` call also writes the figure as a
+versioned ``BENCH_<figure>.json`` document (headers + rows + run
+parameters) into ``REPRO_BENCH_ARTIFACT_DIR`` (default: current
+directory), so CI and trend tooling can diff bench output without
+scraping tables.
 """
 
+import json
 import os
+import re
 from dataclasses import asdict
 
 from repro.analysis import compare_runs, format_table
+from repro.obs.export import ARTIFACT_VERSION, jsonable
 from repro.core import (
     memory_bound_config,
     sandy_bridge_config,
@@ -133,15 +142,50 @@ def compare(workload_name, variant, input_name=None, config=None, scale=None):
     return compare_runs(label, variant, base_result, var_result), base_result, var_result
 
 
-def print_figure(title, headers, rows, notes=None):
+def _figure_slug(title):
+    """A filesystem-safe slug derived from a figure title."""
+    slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")
+    return slug or "figure"
+
+
+def emit_artifact(figure, headers, rows, title=None, notes=None):
+    """Write one ``BENCH_<figure>.json`` artifact; returns its path.
+
+    The document is versioned (``artifact_version``) and carries the run
+    parameters (scale/seed) so a stored artifact is self-describing.
+    """
+    directory = os.environ.get("REPRO_BENCH_ARTIFACT_DIR", ".")
+    path = os.path.join(directory, "BENCH_%s.json" % figure)
+    payload = {
+        "artifact_version": ARTIFACT_VERSION,
+        "kind": "repro.bench",
+        "figure": figure,
+        "title": title,
+        "scale": SCALE,
+        "seed": SEED,
+        "headers": list(headers),
+        "rows": [jsonable(list(row)) for row in rows],
+        "notes": notes,
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def print_figure(title, headers, rows, notes=None, figure=None):
     """Emit one paper-style table to stdout (visible with pytest -s; the
-    bench harness also captures it into bench_output.txt)."""
+    bench harness also captures it into bench_output.txt) and write the
+    matching ``BENCH_<figure>.json`` artifact (slug derived from *title*
+    unless *figure* is given)."""
     print()
     print("=" * 78)
     print(format_table(headers, rows, title=title))
     if notes:
         print(notes)
     print("=" * 78)
+    emit_artifact(figure or _figure_slug(title), headers, rows,
+                  title=title, notes=notes)
 
 
 def fmt(value, digits=2):

@@ -55,6 +55,20 @@ class BranchPredictor:
         """Optional predictor-internal statistics (dict)."""
         return {}
 
+    def register_metrics(self, registry, prefix="branch.predictor"):
+        """Register the numeric keys of :meth:`stats` as live gauges.
+
+        Default implementation covers every predictor; subclasses with
+        richer internals can override to add counters/histograms.
+        """
+        for key, value in self.stats().items():
+            if isinstance(value, (int, float)):
+                registry.gauge(
+                    "%s.%s" % (prefix, key),
+                    fn=(lambda k=key: self.stats().get(k, 0)),
+                )
+        return registry
+
 
 class _SaturatingCounter:
     """Small helper: saturating counter arithmetic on plain ints."""

@@ -7,22 +7,34 @@ Commands
 ``compare``   base vs a CFD/DFD/TQ variant (speedup, overhead, energy)
 ``profile``   PIN-style branch profile of a binary (top mispredictors)
 ``classify``  the Figure 6 classification study
+``trace``     per-cycle trace of a run (Chrome/Perfetto or JSONL events)
 ``disasm``    disassembly listing of a built workload binary
+
+``run``, ``compare``, ``profile`` and ``classify`` accept ``--json`` to
+emit machine-readable output instead of tables; ``run --json`` prints the
+versioned run manifest (see docs/OBSERVABILITY.md).
 
 Examples::
 
     python -m repro list
-    python -m repro run soplex --variant cfd --scale 0.25
+    python -m repro run soplex --variant cfd --scale 0.25 --json
     python -m repro compare astar_r1 --variant dfd --config memory-bound
     python -m repro profile mcf --top 5
     python -m repro classify --scale 0.125
+    python -m repro trace soplex --variant cfd --cycles 2000
 """
 
 import argparse
+import json
+import re
 import sys
 
 from repro.analysis import compare_runs, format_table
 from repro.core import memory_bound_config, sandy_bridge_config, simulate
+from repro.core.pipeline import Pipeline
+from repro.core.trace import PipelineTracer
+from repro.obs.events import EventTracer, OccupancySampler
+from repro.obs.export import jsonable, write_chrome_trace, write_jsonl
 from repro.profiling import profile_program, run_classification_study
 from repro.workloads import all_workloads, get_workload
 
@@ -47,6 +59,23 @@ def _build(args):
                           seed=args.seed)
 
 
+def _workload_identity(args):
+    """The workload-identity block stored in manifests (reproducibility)."""
+    return {
+        "name": args.workload,
+        "variant": getattr(args, "variant", "base"),
+        "input": args.input,
+        "scale": args.scale,
+        "seed": args.seed,
+    }
+
+
+def _emit_json(out, payload):
+    json.dump(jsonable(payload), out, indent=2, sort_keys=True)
+    out.write("\n")
+    return 0
+
+
 def cmd_list(args, out):
     rows = [
         (w.name, w.suite, w.branch_class, ",".join(w.variants),
@@ -64,6 +93,12 @@ def cmd_run(args, out):
     result = simulate(
         built.program, _make_config(args), max_instructions=args.max_instructions
     )
+    if args.json:
+        manifest = result.manifest(
+            workload=_workload_identity(args),
+            run={"max_instructions": args.max_instructions},
+        )
+        return _emit_json(out, manifest)
     stats = result.stats
     out.write("program: %s\n" % built.name)
     for key, value in sorted(result.summary().items()):
@@ -89,6 +124,14 @@ def cmd_compare(args, out):
     comparison = compare_runs(
         workload.name, args.variant, base_result, var_result
     )
+    if args.json:
+        return _emit_json(out, {
+            "kind": "repro.compare",
+            "workload": _workload_identity(args),
+            "comparison": comparison,
+            "base": base_result.summary(),
+            "variant": var_result.summary(),
+        })
     out.write(format_table(
         ["metric", "base", args.variant],
         [
@@ -113,6 +156,25 @@ def cmd_profile(args, out):
     profiler = profile_program(
         built.program, max_instructions=args.max_instructions or 500_000
     )
+    if args.json:
+        return _emit_json(out, {
+            "kind": "repro.profile",
+            "workload": _workload_identity(args),
+            "program": built.name,
+            "total_instructions": profiler.total_instructions,
+            "mpki": profiler.mpki,
+            "misprediction_rate": profiler.misprediction_rate,
+            "top_branches": [
+                {
+                    "pc": p.pc,
+                    "executed": p.executed,
+                    "mispredicted": p.mispredicted,
+                    "misprediction_rate": p.misprediction_rate,
+                    "separable": p.pc in built.separable_pcs,
+                }
+                for p in profiler.top_branches(args.top)
+            ],
+        })
     out.write("%s: %d instructions, MPKI %.2f, misprediction rate %.3f\n" % (
         built.name, profiler.total_instructions, profiler.mpki,
         profiler.misprediction_rate))
@@ -132,6 +194,16 @@ def cmd_classify(args, out):
     study = run_classification_study(
         scale=args.scale, max_instructions=args.max_instructions or 100_000
     )
+    if args.json:
+        return _emit_json(out, {
+            "kind": "repro.classify",
+            "scale": args.scale,
+            "rows": study.table_rows(),
+            "suite_shares": study.suite_shares(),
+            "targeted_share": study.targeted_share(),
+            "class_shares": study.class_shares(),
+            "separable_share": study.separable_share(),
+        })
     out.write(format_table(
         ["suite", "application", "MPKI", "excluded"],
         [
@@ -148,6 +220,48 @@ def cmd_classify(args, out):
     return 0
 
 
+def cmd_trace(args, out):
+    built = _build(args)
+    config = _make_config(args)
+    if args.max_instructions is not None:
+        config._oracle_horizon = args.max_instructions + 50_000
+    pipeline = Pipeline(built.program, config)
+    if args.max_instructions is not None:
+        pipeline.retire_limit = args.max_instructions
+    tracer = PipelineTracer(pipeline)
+    events = EventTracer(capacity=args.events)
+    occupancy = OccupancySampler()
+    pipeline.attach_observer(events)
+    pipeline.attach_observer(occupancy)
+    tracer.run(max_cycles=args.cycles)
+
+    slug = re.sub(r"[^A-Za-z0-9_.-]+", "_", built.name).strip("_")
+    path = args.output or "trace_%s.%s" % (
+        slug, "jsonl" if args.format == "jsonl" else "json"
+    )
+    if args.format == "jsonl":
+        write_jsonl(path, events.iter_events())
+    else:
+        write_chrome_trace(path, tracer=events, occupancy=occupancy,
+                           name=built.name)
+    if args.render:
+        out.write(tracer.render(start=args.render_start,
+                                count=args.render_count) + "\n")
+    out.write(
+        "traced %d cycles of %s: %d events (%d dropped), "
+        "%d lifecycles -> %s\n"
+        % (
+            len(tracer.records),
+            built.name,
+            sum(events.counts.values()),
+            events.events.dropped,
+            len(events.lifecycles),
+            path,
+        )
+    )
+    return 0
+
+
 def cmd_disasm(args, out):
     built = _build(args)
     out.write(built.program.listing() + "\n")
@@ -160,7 +274,7 @@ def build_parser():
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p, variant=True):
+    def common(p, variant=True, json_flag=False):
         p.add_argument("workload")
         if variant:
             p.add_argument("--variant", default="base")
@@ -171,17 +285,38 @@ def build_parser():
         p.add_argument("--config", choices=sorted(_CONFIGS), default="baseline")
         p.add_argument("--predictor", default=None)
         p.add_argument("--rob", type=int, default=None)
+        if json_flag:
+            p.add_argument("--json", action="store_true",
+                           help="emit machine-readable JSON")
 
     sub.add_parser("list", help="list the workload registry")
-    common(sub.add_parser("run", help="simulate one binary"))
+    common(sub.add_parser("run", help="simulate one binary"), json_flag=True)
     compare_parser = sub.add_parser("compare", help="base vs variant")
-    common(compare_parser)
+    common(compare_parser, json_flag=True)
     profile_parser = sub.add_parser("profile", help="branch profile")
-    common(profile_parser)
+    common(profile_parser, json_flag=True)
     profile_parser.add_argument("--top", type=int, default=10)
     classify_parser = sub.add_parser("classify", help="Fig 6 study")
     classify_parser.add_argument("--scale", type=float, default=0.125)
     classify_parser.add_argument("--max-instructions", type=int, default=None)
+    classify_parser.add_argument("--json", action="store_true",
+                                 help="emit machine-readable JSON")
+    trace_parser = sub.add_parser(
+        "trace", help="per-cycle trace to Chrome/Perfetto JSON or JSONL"
+    )
+    common(trace_parser)
+    trace_parser.add_argument("--cycles", type=int, default=10_000,
+                              help="max cycles to trace")
+    trace_parser.add_argument("--output", default=None,
+                              help="output path (default trace_<name>.json)")
+    trace_parser.add_argument("--format", choices=("chrome", "jsonl"),
+                              default="chrome")
+    trace_parser.add_argument("--events", type=int, default=65536,
+                              help="event ring-buffer capacity")
+    trace_parser.add_argument("--render", action="store_true",
+                              help="also print the per-cycle timeline")
+    trace_parser.add_argument("--render-start", type=int, default=0)
+    trace_parser.add_argument("--render-count", type=int, default=50)
     common(sub.add_parser("disasm", help="disassemble a built binary"))
     return parser
 
@@ -192,6 +327,7 @@ _COMMANDS = {
     "compare": cmd_compare,
     "profile": cmd_profile,
     "classify": cmd_classify,
+    "trace": cmd_trace,
     "disasm": cmd_disasm,
 }
 

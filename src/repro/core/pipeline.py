@@ -35,6 +35,8 @@ from repro.isa.instructions import LINK_REG, ZERO_REG
 from repro.isa.opcodes import OpClass, Opcode
 from repro.memsys.hierarchy import MemLevel, MemoryHierarchy
 from repro.memsys.mshr import MSHRFile
+from repro.obs.events import MultiObserver
+from repro.obs.metrics import register_stats_dict
 
 #: Instruction-space base address (keeps code blocks apart from data in L2/L3).
 CODE_BASE = 0x40000000
@@ -215,6 +217,11 @@ class Pipeline:
         self.mshr = MSHRFile(config.memory.mshr_capacity, config.memory.l1d.line_bytes)
         self.pending_fill_level = {}  # block -> MemLevel of in-flight fill
 
+        # Observability: a PipelineObserver, or None (tracing disabled).
+        # Every hook site is guarded with ``if obs is not None`` so the
+        # disabled path costs one attribute test per stage boundary.
+        self.obs = None
+
         # Execution bookkeeping
         self.completions = {}  # cycle -> [uop]
         self.div_busy_until = 0
@@ -226,6 +233,55 @@ class Pipeline:
         self.retire_limit = None
         self.region_pcs = region_pcs
         self.warmup_stats = None
+
+    # -------------------------------------------------------------- observers
+
+    def attach_observer(self, observer):
+        """Attach a :class:`~repro.obs.events.PipelineObserver`.
+
+        Multiple observers compose through a
+        :class:`~repro.obs.events.MultiObserver`.  Returns *observer*.
+        """
+        if self.obs is None:
+            self.obs = observer
+        elif isinstance(self.obs, MultiObserver):
+            self.obs.add(observer)
+        else:
+            self.obs = MultiObserver([self.obs, observer])
+        return observer
+
+    def detach_observer(self, observer):
+        """Detach a previously attached observer (no-op if absent)."""
+        if self.obs is observer:
+            self.obs = None
+        elif isinstance(self.obs, MultiObserver):
+            try:
+                self.obs.remove(observer)
+            except ValueError:
+                return
+            if len(self.obs.observers) == 1:
+                self.obs = self.obs.observers[0]
+            elif not self.obs.observers:
+                self.obs = None
+
+    def register_metrics(self, registry):
+        """Register every component's instruments into *registry*.
+
+        Wires the stats counters, the cache hierarchy, the L1D MSHR file,
+        the branch predictor and BTB, and the fetch-unit CFD hardware into
+        one :class:`~repro.obs.metrics.MetricsRegistry`.
+        """
+        self.stats.register_metrics(registry)
+        self.memory.register_metrics(registry)
+        self.mshr.register_metrics(registry)
+        self.predictor.register_metrics(registry)
+        register_stats_dict(registry, "branch.btb", self.btb.stats)
+        self.hw_bq.register_metrics(registry)
+        self.hw_tq.register_metrics(registry)
+        registry.gauge(
+            "checkpoint.available", fn=lambda: self.checkpoints.available
+        )
+        return registry
 
     # ------------------------------------------------------------------ utils
 
@@ -264,6 +320,7 @@ class Pipeline:
     def stage_fetch(self):
         config = self.config
         stats = self.stats
+        obs = self.obs
         if self.fetch_halted or self.sim_done:
             return
         if self.cycle < self.next_fetch_cycle:
@@ -463,6 +520,8 @@ class Pipeline:
             self.fetch_pipe.append((self.cycle + config.front_end_depth, uop))
             stats.fetched += 1
             stats.events["fetch"] += 1
+            if obs is not None:
+                obs.on_fetch(uop, self.cycle)
             self.fetch_pc = next_pc
             fetched += 1
             if opclass == OpClass.HALT or opclass in (
@@ -482,6 +541,7 @@ class Pipeline:
     def stage_rename(self):
         config = self.config
         stats = self.stats
+        obs = self.obs
         renamed = 0
         while renamed < config.rename_width and self.fetch_pipe:
             ready_cycle, uop = self.fetch_pipe[0]
@@ -516,6 +576,8 @@ class Pipeline:
             renamed += 1
             stats.renamed += 1
             stats.events["rename"] += 1
+            if obs is not None:
+                obs.on_rename(uop, self.cycle)
 
             # Sources
             sources = []
@@ -631,6 +693,7 @@ class Pipeline:
     def stage_issue(self):
         config = self.config
         stats = self.stats
+        obs = self.obs
         alu_free = config.num_alu
         ldst_free = config.num_ldst
         mul_free = config.num_mul
@@ -673,6 +736,8 @@ class Pipeline:
             issued += 1
             stats.issued += 1
             stats.events["iq_issue"] += 1
+            if obs is not None:
+                obs.on_issue(uop, self.cycle)
         self.iq = remaining
 
     def _issue_compute(self, uop):
@@ -823,6 +888,7 @@ class Pipeline:
 
     def stage_complete(self):
         stats = self.stats
+        obs = self.obs
         uops = self.completions.pop(self.cycle, None)
         if not uops:
             return
@@ -839,11 +905,15 @@ class Pipeline:
                 uop.value = self.prf_value[data_phys]
                 uop.done = True
                 stats.executed += 1
+                if obs is not None:
+                    obs.on_execute(uop, self.cycle)
                 continue
             self._execute_uop(uop)
             uop.done = True
             stats.executed += 1
             stats.events["execute"] += 1
+            if obs is not None:
+                obs.on_execute(uop, self.cycle)
 
     def _execute_uop(self, uop):
         inst = uop.inst
@@ -966,6 +1036,12 @@ class Pipeline:
         uop.mispredicted = True
         uop.level = level
         self.stats.recoveries += 1
+        if self.obs is not None:
+            self.obs.on_recovery(
+                uop,
+                self.cycle,
+                "checkpoint" if uop.ckpt_id is not None else "retire-pending",
+            )
         if uop.ckpt_id is not None:
             self._recover_from_checkpoint(uop, correct_pc)
         else:
@@ -1016,6 +1092,8 @@ class Pipeline:
 
     def _retire_recovery(self, uop):
         self.stats.retire_recoveries += 1
+        if self.obs is not None:
+            self.obs.on_recovery(uop, self.cycle, "retire")
         self._squash_younger(uop.seq)
         self.checkpoints.release_younger(uop.seq)
         self.rename_tables.restore_rmt_from_amt()
@@ -1036,10 +1114,13 @@ class Pipeline:
 
     def _squash_younger(self, seq):
         stats = self.stats
+        obs = self.obs
         while self.rob and self.rob[-1].seq > seq:
             uop = self.rob.pop()
             uop.squashed = True
             stats.squashed += 1
+            if obs is not None:
+                obs.on_squash(uop, self.cycle)
             if uop.issued or uop.done:
                 stats.wrong_path_executed += 1
             if uop.phys_rd is not None:
@@ -1053,6 +1134,8 @@ class Pipeline:
             if uop.seq > seq:
                 uop.squashed = True
                 stats.squashed += 1
+                if obs is not None:
+                    obs.on_squash(uop, self.cycle)
                 self.inflight.pop(uop.seq, None)
         self.fetch_pipe = deque(
             item for item in self.fetch_pipe if item[1].seq <= seq
@@ -1067,6 +1150,7 @@ class Pipeline:
     def stage_retire(self):
         config = self.config
         stats = self.stats
+        obs = self.obs
         retired = 0
         while retired < config.retire_width and self.rob:
             uop = self.rob[0]
@@ -1082,6 +1166,8 @@ class Pipeline:
             retired += 1
             stats.retired += 1
             stats.events["retire"] += 1
+            if obs is not None:
+                obs.on_retire(uop, self.cycle)
             self.last_retire_cycle = self.cycle
             if self.sim_done:
                 break
@@ -1311,6 +1397,8 @@ class Pipeline:
             self.stage_rename()
             self.stage_fetch()
             self.mshr.sample(self.cycle)
+            if self.obs is not None:
+                self.obs.on_cycle_end(self)
             self.cycle += 1
             self.stats.cycles = self.cycle - self._cycle_base
             if warm_target is not None and self.stats.retired >= warm_target:

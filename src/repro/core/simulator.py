@@ -5,6 +5,11 @@ This is the public entry point of :mod:`repro.core`::
     from repro.core import sandy_bridge_config, simulate
     result = simulate(program, sandy_bridge_config(), max_instructions=50_000)
     print(result.stats.ipc, result.stats.mpki, result.energy.total_nj)
+
+Observability: pass ``observer=`` (a
+:class:`~repro.obs.events.PipelineObserver`) to trace the run, and/or
+``manifest_path=`` to write the versioned machine-readable run manifest
+(config + workload identity + full metrics snapshot) after the run.
 """
 
 from dataclasses import dataclass
@@ -13,6 +18,8 @@ from repro.core.config import CoreConfig, sandy_bridge_config
 from repro.core.pipeline import Pipeline
 from repro.core.stats import SimStats
 from repro.energy.mcpat import EnergyModel, EnergyReport
+from repro.obs.export import run_manifest, write_json
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -44,6 +51,29 @@ class SimResult:
         """Per-cycle L1D MSHR occupancy histogram (paper Fig 25a)."""
         return dict(self.pipeline.mshr.occupancy_histogram)
 
+    def metrics_registry(self):
+        """A fresh :class:`MetricsRegistry` with every pipeline instrument.
+
+        Instruments are callback-backed, so the registry stays live: a
+        snapshot taken later reflects the pipeline's state at that moment.
+        """
+        registry = MetricsRegistry()
+        self.pipeline.register_metrics(registry)
+        registry.gauge("energy.total_nj", fn=lambda: self.energy.total_nj)
+        return registry
+
+    def metrics_snapshot(self):
+        """Flat {metric_name: value} over the full registry."""
+        return self.metrics_registry().snapshot()
+
+    def manifest(self, workload=None, run=None):
+        """The versioned run-manifest dict (see docs/OBSERVABILITY.md)."""
+        return run_manifest(self, workload=workload, run=run)
+
+    def write_manifest(self, path, workload=None, run=None):
+        """Write the run manifest as JSON; returns *path*."""
+        return write_json(path, self.manifest(workload=workload, run=run))
+
     def summary(self):
         info = self.stats.summary()
         info["program"] = self.program_name
@@ -59,7 +89,7 @@ class Simulator:
         self.program = program
         self.config = config if config is not None else sandy_bridge_config()
 
-    def run(self, max_instructions=None, warmup_instructions=0):
+    def run(self, max_instructions=None, warmup_instructions=0, observer=None):
         """Simulate and return a :class:`SimResult`."""
         if max_instructions is not None:
             # Let the perfect-prediction oracle pre-run far enough.
@@ -67,6 +97,8 @@ class Simulator:
                 warmup_instructions + max_instructions + 50_000
             )
         pipeline = Pipeline(self.program, self.config)
+        if observer is not None:
+            pipeline.attach_observer(observer)
         stats = pipeline.run(
             max_instructions=max_instructions,
             warmup_instructions=warmup_instructions,
@@ -81,6 +113,23 @@ class Simulator:
         )
 
 
-def simulate(program, config=None, max_instructions=None, warmup_instructions=0):
-    """One-shot convenience wrapper around :class:`Simulator`."""
-    return Simulator(program, config).run(max_instructions, warmup_instructions)
+def simulate(program, config=None, max_instructions=None, warmup_instructions=0,
+             observer=None, manifest_path=None, workload=None):
+    """One-shot convenience wrapper around :class:`Simulator`.
+
+    When *manifest_path* is given, the run manifest (optionally carrying
+    the *workload* identity dict) is written there after the simulation.
+    """
+    result = Simulator(program, config).run(
+        max_instructions, warmup_instructions, observer=observer
+    )
+    if manifest_path is not None:
+        result.write_manifest(
+            manifest_path,
+            workload=workload,
+            run={
+                "max_instructions": max_instructions,
+                "warmup_instructions": warmup_instructions,
+            },
+        )
+    return result

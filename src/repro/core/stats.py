@@ -13,6 +13,52 @@ from typing import Dict
 
 from repro.memsys.hierarchy import MemLevel
 
+#: (metric name, SimStats attribute) for every scalar counter.  Single
+#: source of truth shared by :meth:`SimStats.to_dict` and
+#: :meth:`SimStats.register_metrics`; the metric names follow the
+#: ``<structure>.<what>`` scheme documented in docs/OBSERVABILITY.md.
+COUNTER_METRICS = (
+    ("core.cycles", "cycles"),
+    ("core.retired", "retired"),
+    ("fetch.instructions", "fetched"),
+    ("rename.instructions", "renamed"),
+    ("issue.instructions", "issued"),
+    ("execute.instructions", "executed"),
+    ("squash.instructions", "squashed"),
+    ("squash.wrong_path_executed", "wrong_path_executed"),
+    ("recovery.total", "recoveries"),
+    ("recovery.at_retire", "retire_recoveries"),
+    ("fetch.misfetches", "misfetches"),
+    ("fetch.stall_cycles", "fetch_cycles_stalled"),
+    ("fetch.icache_stall_cycles", "icache_stall_cycles"),
+    ("branch.retired", "branches_retired"),
+    ("branch.conditional_retired", "cond_branches_retired"),
+    ("branch.mispredicts", "mispredicts"),
+    ("bq.pushes", "bq_pushes"),
+    ("bq.pops", "bq_pops"),
+    ("bq.misses", "bq_misses"),
+    ("bq.miss_mispredicts", "bq_miss_mispredicts"),
+    ("bq.stall_cycles", "bq_stall_cycles"),
+    ("bq.full_stalls", "bq_full_stalls"),
+    ("bq.forward_bulk_pops", "forward_bulk_pops"),
+    ("vq.pushes", "vq_pushes"),
+    ("vq.pops", "vq_pops"),
+    ("tq.pushes", "tq_pushes"),
+    ("tq.pops", "tq_pops"),
+    ("tq.stall_cycles", "tq_stall_cycles"),
+    ("tq.tcr_branches", "tcr_branches"),
+    ("checkpoint.taken", "checkpoints_taken"),
+    ("checkpoint.denied", "checkpoints_denied"),
+    ("checkpoint.skipped_confident", "checkpoints_skipped_confident"),
+)
+
+#: (metric name, SimStats property) for derived rates/ratios.
+GAUGE_METRICS = (
+    ("core.ipc", "ipc"),
+    ("core.mpki", "mpki"),
+    ("bq.miss_rate", "bq_miss_rate"),
+)
+
 
 @dataclass
 class BranchStat:
@@ -136,17 +182,79 @@ class SimStats:
         )
         return ranked[:count]
 
-    def summary(self):
-        """Compact dict for reports and tests."""
-        return {
-            "cycles": self.cycles,
-            "retired": self.retired,
-            "ipc": round(self.ipc, 4),
-            "mpki": round(self.mpki, 3),
-            "mispredicts": self.mispredicts,
-            "recoveries": self.recoveries,
-            "squashed": self.squashed,
-            "bq_pops": self.bq_pops,
-            "bq_miss_rate": round(self.bq_miss_rate, 4),
-            "checkpoints_taken": self.checkpoints_taken,
+    def to_dict(self):
+        """Complete JSON-safe snapshot of every counter this run produced.
+
+        This is the canonical machine-readable form: every scalar counter
+        (keyed by attribute name), the derived rates, the per-memory-level
+        breakdowns (keyed by :class:`MemLevel` name) and the energy-model
+        event counters.  The run manifest embeds it verbatim;
+        :meth:`summary` is a documented subset of it.
+        """
+        out = {attr: getattr(self, attr) for _, attr in COUNTER_METRICS}
+        out["ipc"] = self.ipc
+        out["mpki"] = self.mpki
+        out["bq_miss_rate"] = self.bq_miss_rate
+        out["static_branches"] = len(self.branch_stats)
+        out["mispredict_levels"] = {
+            MemLevel(level).name: count
+            for level, count in sorted(self.mispredict_levels.items())
         }
+        out["load_level_counts"] = {
+            MemLevel(level).name: count
+            for level, count in sorted(self.load_level_counts.items())
+        }
+        out["events"] = dict(sorted(self.events.items()))
+        return out
+
+    #: The keys :meth:`summary` extracts from :meth:`to_dict` (the floats
+    #: are rounded for display; everything else is passed through).
+    SUMMARY_KEYS = (
+        "cycles", "retired", "ipc", "mpki", "mispredicts", "recoveries",
+        "squashed", "bq_pops", "bq_miss_rate", "checkpoints_taken",
+    )
+
+    def summary(self):
+        """Compact dict for reports and tests — a subset of :meth:`to_dict`."""
+        full = self.to_dict()
+        out = {key: full[key] for key in self.SUMMARY_KEYS}
+        out["ipc"] = round(out["ipc"], 4)
+        out["mpki"] = round(out["mpki"], 3)
+        out["bq_miss_rate"] = round(out["bq_miss_rate"], 4)
+        return out
+
+    def register_metrics(self, registry):
+        """Register every counter into a :class:`MetricsRegistry`.
+
+        All instruments are callback-backed — the hot loop keeps bumping
+        plain attributes and the registry reads them at snapshot time.
+        Call after (or during) a run; event counters discovered later are
+        still visible because the histogram callbacks read live dicts.
+        """
+        for name, attr in COUNTER_METRICS:
+            registry.counter(name, fn=(lambda a=attr: getattr(self, a)))
+        for name, attr in GAUGE_METRICS:
+            registry.gauge(name, fn=(lambda a=attr: getattr(self, a)))
+        registry.gauge("branch.static_branches", fn=lambda: len(self.branch_stats))
+        registry.histogram(
+            "branch.mispredict_levels",
+            help="mispredictions by furthest feeding memory level (Fig 2a)",
+            fn=lambda: {
+                MemLevel(level).name: count
+                for level, count in self.mispredict_levels.items()
+            },
+        )
+        registry.histogram(
+            "memsys.load_levels",
+            help="retired loads by serving memory level",
+            fn=lambda: {
+                MemLevel(level).name: count
+                for level, count in self.load_level_counts.items()
+            },
+        )
+        registry.histogram(
+            "core.events",
+            help="raw event counters consumed by the energy model",
+            fn=lambda: dict(self.events),
+        )
+        return registry

@@ -6,6 +6,14 @@ speculative TCR), window occupancies, and the cycle's deltas (fetched /
 renamed / issued / retired / squashed).  ``render()`` prints a timeline —
 the fastest way to *see* a BQ miss storm, a recovery, or a fetch stall.
 
+The per-cycle deltas come from the pipeline's observer hooks
+(:class:`~repro.obs.events.PipelineObserver`), not from subtracting stats
+snapshots — the tracer counts the same ``on_fetch`` / ``on_retire`` /
+``on_squash`` / ``on_recovery`` events every other observer sees, so the
+timeline cannot drift from the pipeline's instrumentation.  Other
+observers (e.g. :class:`~repro.obs.events.EventTracer`) can be attached
+to the same pipeline and record alongside the tracer.
+
 Usage::
 
     from repro.core.pipeline import Pipeline
@@ -18,6 +26,9 @@ Usage::
 
 from dataclasses import dataclass
 from typing import List
+
+from repro.isa.opcodes import OpClass
+from repro.obs.events import PipelineObserver
 
 
 @dataclass
@@ -54,28 +65,68 @@ class CycleRecord:
         return marks
 
 
+class _CycleDeltas(PipelineObserver):
+    """Counts this cycle's stage events; reset at each tracer step.
+
+    ``bq_misses`` counts retiring speculative BQ pops — exactly the
+    retirements that bump ``SimStats.bq_misses`` — and ``recoveries``
+    counts every ``on_recovery`` hook (both the execute-time repair and
+    the retirement recovery), matching the tracer's historical
+    ``recoveries + retire_recoveries`` delta.
+    """
+
+    __slots__ = ("fetched", "renamed", "issued", "retired", "squashed",
+                 "recoveries", "bq_misses")
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self):
+        self.fetched = 0
+        self.renamed = 0
+        self.issued = 0
+        self.retired = 0
+        self.squashed = 0
+        self.recoveries = 0
+        self.bq_misses = 0
+
+    def on_fetch(self, uop, cycle):
+        self.fetched += 1
+
+    def on_rename(self, uop, cycle):
+        self.renamed += 1
+
+    def on_issue(self, uop, cycle):
+        self.issued += 1
+
+    def on_retire(self, uop, cycle):
+        self.retired += 1
+        if uop.bq_spec and uop.opclass == OpClass.BQ_BRANCH:
+            self.bq_misses += 1
+
+    def on_squash(self, uop, cycle):
+        self.squashed += 1
+
+    def on_recovery(self, uop, cycle, kind):
+        self.recoveries += 1
+
+
 class PipelineTracer:
     """Steps a pipeline cycle-by-cycle and records :class:`CycleRecord`s."""
 
     def __init__(self, pipeline):
         self.pipeline = pipeline
         self.records: List[CycleRecord] = []
+        self._deltas = _CycleDeltas()
+        pipeline.attach_observer(self._deltas)
 
     def step(self):
         """Advance one cycle; returns the new record (None when done)."""
         pipeline = self.pipeline
         if pipeline.sim_done:
             return None
-        stats = pipeline.stats
-        before = (
-            stats.fetched,
-            stats.renamed,
-            stats.issued,
-            stats.retired,
-            stats.squashed,
-            stats.recoveries + stats.retire_recoveries,
-            stats.bq_misses,
-        )
+        deltas = self._deltas
+        deltas.reset()
         pipeline.stage_retire()
         if not pipeline.sim_done:
             pipeline.stage_complete()
@@ -84,8 +135,10 @@ class PipelineTracer:
             pipeline.stage_rename()
             pipeline.stage_fetch()
             pipeline.mshr.sample(pipeline.cycle)
+        if pipeline.obs is not None:
+            pipeline.obs.on_cycle_end(pipeline)
         pipeline.cycle += 1
-        stats.cycles = pipeline.cycle
+        pipeline.stats.cycles = pipeline.cycle
         if (
             pipeline.fetch_halted
             and not pipeline.rob
@@ -96,16 +149,16 @@ class PipelineTracer:
         record = CycleRecord(
             cycle=pipeline.cycle,
             fetch_pc=pipeline.fetch_pc,
-            fetched=stats.fetched - before[0],
-            renamed=stats.renamed - before[1],
-            issued=stats.issued - before[2],
-            retired=stats.retired - before[3],
-            squashed=stats.squashed - before[4],
-            recoveries=(stats.recoveries + stats.retire_recoveries) - before[5],
+            fetched=deltas.fetched,
+            renamed=deltas.renamed,
+            issued=deltas.issued,
+            retired=deltas.retired,
+            squashed=deltas.squashed,
+            recoveries=deltas.recoveries,
             rob_occupancy=len(pipeline.rob),
             iq_occupancy=len(pipeline.iq),
             bq_length=pipeline.hw_bq.length,
-            bq_misses=stats.bq_misses - before[6],
+            bq_misses=deltas.bq_misses,
             tq_length=pipeline.hw_tq.length,
             spec_tcr=pipeline.spec_tcr,
             fetch_stalled=(

@@ -1,0 +1,328 @@
+"""Structured pipeline event tracing.
+
+The :class:`PipelineObserver` protocol defines the hook points the cycle
+core calls at its stage boundaries.  Every method is a no-op here, and the
+pipeline guards each call site with ``if self.obs is not None`` — so with
+tracing disabled (the default) a simulation pays exactly one attribute
+test per boundary, nothing more.
+
+Hook points (see ``docs/OBSERVABILITY.md``):
+
+===============  ==========================================================
+``on_fetch``     a uop entered the fetch pipe
+``on_rename``    a uop was renamed/dispatched into the window
+``on_issue``     a uop was selected by the scheduler
+``on_execute``   a uop finished execution (or a store captured its data)
+``on_retire``    a uop committed
+``on_squash``    a wrong-path uop was discarded
+``on_recovery``  a control-flow recovery fired (``kind`` says which repair:
+                 ``checkpoint``, ``retire-pending`` or ``retire``)
+``on_cycle_end`` one simulated cycle finished (pipeline passed for sampling)
+===============  ==========================================================
+
+:class:`EventTracer` records these as :class:`TraceEvent` tuples in a
+bounded :class:`RingBuffer` and assembles per-instruction
+:class:`InstLifecycle` records; :class:`OccupancySampler` captures
+per-cycle structure occupancies for counter tracks.  Both are plain
+observers — attach them with ``pipeline.attach_observer(...)``.
+"""
+
+from collections import namedtuple
+
+#: Event kinds produced by :class:`EventTracer`, in pipeline order.
+EVENT_KINDS = (
+    "fetch",
+    "rename",
+    "issue",
+    "execute",
+    "retire",
+    "squash",
+    "recovery",
+)
+
+#: One structured event: simulated cycle, kind (see :data:`EVENT_KINDS`),
+#: instruction sequence number, PC, opcode mnemonic, optional info dict.
+TraceEvent = namedtuple("TraceEvent", "cycle kind seq pc op info")
+
+
+class PipelineObserver:
+    """No-op base observer; subclass and override the hooks you need."""
+
+    __slots__ = ()
+
+    def on_fetch(self, uop, cycle):
+        pass
+
+    def on_rename(self, uop, cycle):
+        pass
+
+    def on_issue(self, uop, cycle):
+        pass
+
+    def on_execute(self, uop, cycle):
+        pass
+
+    def on_retire(self, uop, cycle):
+        pass
+
+    def on_squash(self, uop, cycle):
+        pass
+
+    def on_recovery(self, uop, cycle, kind):
+        pass
+
+    def on_cycle_end(self, pipeline):
+        pass
+
+
+class MultiObserver(PipelineObserver):
+    """Fans every hook out to a list of observers."""
+
+    __slots__ = ("observers",)
+
+    def __init__(self, observers=()):
+        self.observers = list(observers)
+
+    def add(self, observer):
+        self.observers.append(observer)
+        return observer
+
+    def remove(self, observer):
+        self.observers.remove(observer)
+
+    def on_fetch(self, uop, cycle):
+        for obs in self.observers:
+            obs.on_fetch(uop, cycle)
+
+    def on_rename(self, uop, cycle):
+        for obs in self.observers:
+            obs.on_rename(uop, cycle)
+
+    def on_issue(self, uop, cycle):
+        for obs in self.observers:
+            obs.on_issue(uop, cycle)
+
+    def on_execute(self, uop, cycle):
+        for obs in self.observers:
+            obs.on_execute(uop, cycle)
+
+    def on_retire(self, uop, cycle):
+        for obs in self.observers:
+            obs.on_retire(uop, cycle)
+
+    def on_squash(self, uop, cycle):
+        for obs in self.observers:
+            obs.on_squash(uop, cycle)
+
+    def on_recovery(self, uop, cycle, kind):
+        for obs in self.observers:
+            obs.on_recovery(uop, cycle, kind)
+
+    def on_cycle_end(self, pipeline):
+        for obs in self.observers:
+            obs.on_cycle_end(pipeline)
+
+
+class RingBuffer:
+    """Fixed-capacity ring: appends overwrite the oldest entry.
+
+    Iteration yields surviving items oldest-first; ``dropped`` counts the
+    overwritten ones, so exporters can say how much history was truncated.
+    """
+
+    __slots__ = ("capacity", "_items", "_start", "dropped")
+
+    def __init__(self, capacity):
+        if capacity <= 0:
+            raise ValueError("ring capacity must be positive (got %r)" % capacity)
+        self.capacity = capacity
+        self._items = []
+        self._start = 0
+        self.dropped = 0
+
+    def append(self, item):
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+        else:
+            self._items[self._start] = item
+            self._start = (self._start + 1) % self.capacity
+            self.dropped += 1
+
+    def __len__(self):
+        return len(self._items)
+
+    def __iter__(self):
+        items = self._items
+        start = self._start
+        for offset in range(len(items)):
+            yield items[(start + offset) % len(items)]
+
+    def to_list(self):
+        return list(self)
+
+    def clear(self):
+        self._items = []
+        self._start = 0
+        self.dropped = 0
+
+
+class InstLifecycle:
+    """Per-instruction stage timestamps (cycles; ``None`` = not reached)."""
+
+    __slots__ = ("seq", "pc", "op", "fetch", "rename", "issue", "execute",
+                 "retire", "squash")
+
+    def __init__(self, seq, pc, op, fetch=None):
+        self.seq = seq
+        self.pc = pc
+        self.op = op
+        self.fetch = fetch
+        self.rename = None
+        self.issue = None
+        self.execute = None
+        self.retire = None
+        self.squash = None
+
+    @property
+    def end(self):
+        """Cycle the instruction left the pipeline (retire or squash)."""
+        return self.retire if self.retire is not None else self.squash
+
+    @property
+    def completed(self):
+        return self.end is not None
+
+    def to_dict(self):
+        return {
+            "seq": self.seq,
+            "pc": self.pc,
+            "op": self.op,
+            "fetch": self.fetch,
+            "rename": self.rename,
+            "issue": self.issue,
+            "execute": self.execute,
+            "retire": self.retire,
+            "squash": self.squash,
+        }
+
+
+def _mnemonic(uop):
+    opcode = getattr(uop.inst, "opcode", None)
+    name = getattr(opcode, "name", None)
+    return name.lower() if name else str(opcode)
+
+
+class EventTracer(PipelineObserver):
+    """Records structured events and instruction lifecycles.
+
+    *capacity* bounds the event ring; *lifecycle_capacity* bounds the ring
+    of completed lifecycles (in-flight ones live in a dict until they
+    retire or squash).  ``counts`` aggregates events per kind regardless
+    of truncation.
+    """
+
+    __slots__ = ("events", "lifecycles", "counts", "_open")
+
+    def __init__(self, capacity=65536, lifecycle_capacity=8192):
+        self.events = RingBuffer(capacity)
+        self.lifecycles = RingBuffer(lifecycle_capacity)
+        self.counts = {kind: 0 for kind in EVENT_KINDS}
+        self._open = {}
+
+    # -- hook implementations -------------------------------------------------
+
+    def _event(self, kind, uop, cycle, info=None):
+        self.counts[kind] += 1
+        self.events.append(
+            TraceEvent(cycle, kind, uop.seq, uop.pc, _mnemonic(uop), info)
+        )
+
+    def on_fetch(self, uop, cycle):
+        self._event("fetch", uop, cycle)
+        self._open[uop.seq] = InstLifecycle(
+            uop.seq, uop.pc, _mnemonic(uop), fetch=cycle
+        )
+
+    def on_rename(self, uop, cycle):
+        self._event("rename", uop, cycle)
+        lifecycle = self._open.get(uop.seq)
+        if lifecycle is not None:
+            lifecycle.rename = cycle
+
+    def on_issue(self, uop, cycle):
+        self._event("issue", uop, cycle)
+        lifecycle = self._open.get(uop.seq)
+        if lifecycle is not None:
+            lifecycle.issue = cycle
+
+    def on_execute(self, uop, cycle):
+        self._event("execute", uop, cycle)
+        lifecycle = self._open.get(uop.seq)
+        if lifecycle is not None:
+            lifecycle.execute = cycle
+
+    def on_retire(self, uop, cycle):
+        self._event("retire", uop, cycle)
+        self._close(uop.seq, "retire", cycle)
+
+    def on_squash(self, uop, cycle):
+        self._event("squash", uop, cycle)
+        self._close(uop.seq, "squash", cycle)
+
+    def on_recovery(self, uop, cycle, kind):
+        self._event("recovery", uop, cycle, info={"repair": kind})
+
+    def _close(self, seq, attr, cycle):
+        lifecycle = self._open.pop(seq, None)
+        if lifecycle is not None:
+            setattr(lifecycle, attr, cycle)
+            self.lifecycles.append(lifecycle)
+
+    # -- access ---------------------------------------------------------------
+
+    def __len__(self):
+        return len(self.events)
+
+    def iter_events(self):
+        return iter(self.events)
+
+    def iter_lifecycles(self, include_open=False):
+        """Completed lifecycles oldest-first (optionally in-flight too)."""
+        for lifecycle in self.lifecycles:
+            yield lifecycle
+        if include_open:
+            for seq in sorted(self._open):
+                yield self._open[seq]
+
+
+#: Per-cycle occupancy snapshot for counter tracks.
+OccupancySample = namedtuple(
+    "OccupancySample", "cycle rob iq bq tq lq sq mshr"
+)
+
+
+class OccupancySampler(PipelineObserver):
+    """Samples window / queue / MSHR occupancy once per simulated cycle."""
+
+    __slots__ = ("samples", "every")
+
+    def __init__(self, capacity=65536, every=1):
+        self.samples = RingBuffer(capacity)
+        self.every = max(1, every)
+
+    def on_cycle_end(self, pipeline):
+        cycle = pipeline.cycle
+        if cycle % self.every:
+            return
+        self.samples.append(
+            OccupancySample(
+                cycle=cycle,
+                rob=len(pipeline.rob),
+                iq=len(pipeline.iq),
+                bq=pipeline.hw_bq.length,
+                tq=pipeline.hw_tq.length,
+                lq=len(pipeline.load_queue),
+                sq=len(pipeline.store_queue),
+                mshr=pipeline.mshr.occupancy(cycle),
+            )
+        )

@@ -1,0 +1,241 @@
+"""Exporters: JSONL events, Chrome trace-event JSON, and the run manifest.
+
+Three machine-readable artifact formats (schemas in
+``docs/OBSERVABILITY.md``):
+
+JSONL event dump
+    One :class:`~repro.obs.events.TraceEvent` per line, oldest first.
+
+Chrome trace-event / Perfetto JSON
+    The ``{"traceEvents": [...]}`` container format.  Instruction
+    lifecycles become complete (``"ph": "X"``) duration events — one lane
+    per ROB-slot-like track so overlapping instructions stack — and
+    occupancy samples become counter (``"ph": "C"``) tracks.  Load the
+    file in https://ui.perfetto.dev or ``chrome://tracing``.  Cycles are
+    reported as microseconds (1 cycle = 1us) because the format requires
+    a time unit.
+
+Run manifest
+    A versioned JSON document binding together the workload identity,
+    the full core configuration, the complete metrics snapshot and the
+    energy report — the diffable, trendable record of one simulation.
+"""
+
+import dataclasses
+import enum
+import json
+
+#: Version of the ``repro.run`` manifest schema.
+MANIFEST_VERSION = 1
+
+#: Version of the bench artifact schema (``BENCH_*.json``).
+ARTIFACT_VERSION = 1
+
+
+def jsonable(value):
+    """Recursively convert *value* into JSON-safe plain data."""
+    if isinstance(value, enum.Enum):
+        return value.name
+    if isinstance(value, dict):
+        return {_key(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(jsonable(v) for v in value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return str(value)
+
+
+def _key(key):
+    if isinstance(key, enum.Enum):
+        return key.name
+    if isinstance(key, (str, int, float, bool)):
+        return key
+    return str(key)
+
+
+def write_json(path, payload):
+    """Write *payload* as indented JSON; returns *path*."""
+    with open(path, "w") as fh:
+        json.dump(jsonable(payload), fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return path
+
+
+# ---------------------------------------------------------------- JSONL
+
+
+def events_to_jsonl(events):
+    """Yield one compact JSON line per :class:`TraceEvent`."""
+    for event in events:
+        record = {
+            "cycle": event.cycle,
+            "kind": event.kind,
+            "seq": event.seq,
+            "pc": event.pc,
+            "op": event.op,
+        }
+        if event.info:
+            record["info"] = jsonable(event.info)
+        yield json.dumps(record, sort_keys=False)
+
+
+def write_jsonl(path, events):
+    """Write an event iterable as JSON-lines; returns *path*."""
+    with open(path, "w") as fh:
+        for line in events_to_jsonl(events):
+            fh.write(line)
+            fh.write("\n")
+    return path
+
+
+# --------------------------------------------------- Chrome trace events
+
+#: Lanes used to spread overlapping instruction lifecycles across tids.
+_TRACE_LANES = 16
+
+
+def chrome_trace(tracer=None, occupancy=None, name="repro", lanes=_TRACE_LANES):
+    """Build a Chrome trace-event document (Perfetto-loadable dict).
+
+    *tracer* is an :class:`~repro.obs.events.EventTracer` (instruction
+    lifecycles -> "X" duration events, recoveries -> "i" instant events);
+    *occupancy* an :class:`~repro.obs.events.OccupancySampler` (counter
+    tracks).  Either may be ``None``.
+    """
+    events = [
+        {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+         "args": {"name": "%s occupancy" % name}},
+        {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+         "args": {"name": "%s instructions" % name}},
+    ]
+    dropped = {}
+    if tracer is not None:
+        dropped["events"] = tracer.events.dropped
+        dropped["lifecycles"] = tracer.lifecycles.dropped
+        for lifecycle in tracer.iter_lifecycles():
+            start = lifecycle.fetch if lifecycle.fetch is not None else lifecycle.end
+            end = lifecycle.end
+            if start is None or end is None:
+                continue
+            events.append({
+                "name": "%s@%d" % (lifecycle.op, lifecycle.pc),
+                "cat": "instruction",
+                "ph": "X",
+                "ts": start,
+                "dur": max(1, end - start),
+                "pid": 1,
+                "tid": lifecycle.seq % lanes,
+                "args": lifecycle.to_dict(),
+            })
+        for event in tracer.iter_events():
+            if event.kind != "recovery":
+                continue
+            events.append({
+                "name": "recovery:%s" % (event.info or {}).get("repair", "?"),
+                "cat": "recovery",
+                "ph": "i",
+                "s": "g",
+                "ts": event.cycle,
+                "pid": 1,
+                "tid": event.seq % lanes,
+                "args": {"pc": event.pc, "seq": event.seq, "op": event.op},
+            })
+    if occupancy is not None:
+        dropped["occupancy"] = occupancy.samples.dropped
+        for sample in occupancy.samples:
+            events.append({
+                "name": "occupancy",
+                "ph": "C",
+                "ts": sample.cycle,
+                "pid": 0,
+                "tid": 0,
+                "args": {
+                    "rob": sample.rob,
+                    "iq": sample.iq,
+                    "bq": sample.bq,
+                    "tq": sample.tq,
+                    "mshr": sample.mshr,
+                },
+            })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs",
+            "program": name,
+            "time_unit": "1us = 1 simulated cycle",
+            "dropped": dropped,
+        },
+    }
+
+
+def write_chrome_trace(path, tracer=None, occupancy=None, name="repro"):
+    """Build and write a Chrome trace-event file; returns *path*."""
+    return write_json(path, chrome_trace(tracer, occupancy, name))
+
+
+# -------------------------------------------------------- run manifest
+
+
+def config_to_dict(config):
+    """A JSON-safe dict of every field of a :class:`CoreConfig`."""
+    return jsonable(config)
+
+
+def run_manifest(result, workload=None, run=None, registry=None):
+    """The versioned machine-readable record of one simulation.
+
+    *result* is a :class:`~repro.core.simulator.SimResult`; *workload* an
+    optional identity dict ({"name", "variant", "input", "scale", "seed"});
+    *run* optional invocation parameters ({"max_instructions", ...}).
+    The metrics section is the full registry snapshot — every counter the
+    core, memory system, predictors and CFD hardware registered.
+    """
+    if registry is None:
+        registry = result.metrics_registry()
+    stats = result.stats
+    manifest = {
+        "manifest_version": MANIFEST_VERSION,
+        "kind": "repro.run",
+        "generator": "repro.obs",
+        "paper": "Control-Flow Decoupling (Sheikh, Tuck, Rotenberg; MICRO 2012)",
+        "program": result.program_name,
+        "workload": jsonable(workload) if workload else None,
+        "run": jsonable(run) if run else None,
+        "config": config_to_dict(result.config),
+        "metrics": registry.snapshot(),
+        "stats": jsonable(stats.to_dict()),
+        "derived": {
+            "ipc": stats.ipc,
+            "mpki": stats.mpki,
+            "bq_miss_rate": stats.bq_miss_rate,
+            "mispredict_level_fractions": jsonable(
+                stats.mispredict_level_fractions()
+            ),
+        },
+        "energy": {
+            "total_nj": result.energy.total_nj,
+            "dynamic_pj": result.energy.dynamic_pj,
+            "static_pj": result.energy.static_pj,
+            "breakdown_pj": jsonable(result.energy.breakdown_pj),
+        },
+        "top_mispredicting_branches": [
+            {
+                "pc": pc,
+                "executed": branch.executed,
+                "mispredicted": branch.mispredicted,
+                "misprediction_rate": branch.misprediction_rate,
+            }
+            for pc, branch in stats.top_mispredicting_branches(10)
+        ],
+    }
+    return manifest

@@ -1,0 +1,141 @@
+"""Metrics registry: registration, snapshots, trees."""
+
+import json
+
+import pytest
+
+from repro.core import sandy_bridge_config, simulate
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    build_registry,
+    register_stats_dict,
+)
+
+
+def test_counter_and_gauge_basics():
+    registry = MetricsRegistry()
+    counter = registry.counter("fetch.stall_cycles", help="stalled cycles")
+    gauge = registry.gauge("bq.miss_rate")
+    counter.inc()
+    counter.inc(4)
+    gauge.set(0.25)
+    assert registry.get("fetch.stall_cycles").value == 5
+    assert registry.get("bq.miss_rate").value == 0.25
+    assert "fetch.stall_cycles" in registry
+    assert len(registry) == 2
+    assert set(registry.names()) == {"fetch.stall_cycles", "bq.miss_rate"}
+
+
+def test_counter_rejects_decrease():
+    counter = Counter("a.b")
+    with pytest.raises(MetricError):
+        counter.inc(-1)
+
+
+def test_callback_backed_instruments_are_live_and_read_only():
+    state = {"hits": 0}
+    registry = MetricsRegistry()
+    counter = registry.counter("memsys.l1d.hits", fn=lambda: state["hits"])
+    state["hits"] = 7
+    assert counter.value == 7
+    with pytest.raises(MetricError):
+        counter.inc()
+    gauge = Gauge("x.y", fn=lambda: 1.5)
+    with pytest.raises(MetricError):
+        gauge.set(2.0)
+
+
+def test_duplicate_registration_rejected():
+    registry = MetricsRegistry()
+    registry.counter("core.cycles")
+    with pytest.raises(MetricError):
+        registry.gauge("core.cycles")
+
+
+@pytest.mark.parametrize("bad", ["", "Core.cycles", "core..x", "1core", "a b",
+                                 ".core", "core."])
+def test_bad_names_rejected(bad):
+    registry = MetricsRegistry()
+    with pytest.raises(MetricError):
+        registry.counter(bad)
+
+
+def test_histogram_observe_and_snapshot():
+    hist = Histogram("memsys.l1d.mshr.occupancy")
+    hist.observe(0, count=10)
+    hist.observe(2, count=5)
+    snap = hist.snapshot_value()
+    assert snap["count"] == 15
+    assert snap["buckets"] == {"0": 10, "2": 5}
+    assert snap["sum"] == 10.0
+    assert snap["mean"] == pytest.approx(10 / 15)
+
+
+def test_histogram_callback_reads_live_dict():
+    buckets = {}
+    hist = Histogram("h.x", fn=lambda: buckets)
+    assert hist.snapshot_value()["count"] == 0
+    buckets[3] = 2
+    assert hist.snapshot_value()["buckets"] == {"3": 2}
+    with pytest.raises(MetricError):
+        hist.observe(1)
+
+
+def test_snapshot_round_trips_through_json():
+    registry = MetricsRegistry()
+    registry.counter("core.retired").inc(100)
+    registry.gauge("core.ipc").set(1.5)
+    registry.histogram("core.events").observe("alu", count=3)
+    snap = registry.snapshot()
+    assert json.loads(json.dumps(snap)) == snap
+
+
+def test_as_tree_nests_by_dots():
+    registry = MetricsRegistry()
+    registry.counter("bq.pops").inc(4)
+    registry.counter("bq.misses").inc(1)
+    registry.gauge("core.ipc").set(2.0)
+    tree = registry.as_tree()
+    assert tree["bq"]["pops"] == 4
+    assert tree["bq"]["misses"] == 1
+    assert tree["core"]["ipc"] == 2.0
+
+
+def test_describe_reports_kinds():
+    registry = MetricsRegistry()
+    registry.counter("a.b", help="a counter")
+    registry.histogram("a.c")
+    desc = registry.describe()
+    assert desc["a.b"] == {"kind": "counter", "help": "a counter"}
+    assert desc["a.c"]["kind"] == "histogram"
+
+
+def test_register_stats_dict_adapter():
+    stats = {"hits": 10, "misses": 2, "label": "l1d"}
+    registry = MetricsRegistry()
+    register_stats_dict(registry, "memsys.l1d", lambda: stats)
+    snap = registry.snapshot()
+    assert snap["memsys.l1d.hits"] == 10
+    assert snap["memsys.l1d.misses"] == 2
+    assert "memsys.l1d.label" not in snap  # non-numeric skipped
+    stats["hits"] = 11  # live
+    assert registry.snapshot()["memsys.l1d.hits"] == 11
+
+
+def test_build_registry_covers_the_pipeline(count_program):
+    result = simulate(count_program, sandy_bridge_config())
+    registry = build_registry(result.pipeline)
+    snap = registry.snapshot()
+    # every subsystem contributed instruments
+    assert snap["core.cycles"] == result.stats.cycles
+    assert snap["core.retired"] == result.stats.retired
+    assert snap["bq.pops"] == result.stats.bq_pops > 0
+    assert snap["memsys.l1d.hits"] >= 0
+    assert snap["memsys.l1d.mshr.allocations"] >= 0
+    assert snap["bq.hw.length"] == result.pipeline.hw_bq.length
+    assert "branch.mispredict_levels" in snap
+    assert json.loads(json.dumps(snap)) == snap
