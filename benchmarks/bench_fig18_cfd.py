@@ -11,12 +11,15 @@ from benchmarks.common import (
     CFD_PLUS_APPS,
     compare,
     fmt,
+    prefetch,
     print_figure,
 )
 from repro.analysis import geometric_mean
 
 
 def _sweep():
+    prefetch(CFD_BQ_APPS, variants=("base", "cfd"))
+    prefetch(CFD_PLUS_APPS, variants=("cfd_plus",))
     rows = []
     for workload, input_name in CFD_BQ_APPS:
         comparison, base_result, cfd_result = compare(workload, "cfd", input_name)

@@ -7,11 +7,14 @@ three groups: CFD below / equal to / above PerfectCFD (the last thanks to
 CFD's prefetching side-effect and removed fetch disruption).
 """
 
-from benchmarks.common import CFD_BQ_APPS, fmt, print_figure, run
+from benchmarks.common import CFD_BQ_APPS, fmt, prefetch, print_figure, run
 from repro.core import sandy_bridge_config
 
 
 def _sweep():
+    prefetch(CFD_BQ_APPS, variants=("base", "cfd"))
+    prefetch(CFD_BQ_APPS, variants=("base",),
+             config=sandy_bridge_config(predictor="perfect"))
     rows = []
     for workload, input_name in CFD_BQ_APPS:
         base_built, base = run(workload, "base", input_name)

@@ -6,14 +6,16 @@ significantly more energy-efficient.  The memory-bound configuration is
 required — DFD's whole point is prefetching the miss-fed branch slices.
 """
 
-from benchmarks.common import DFD_APPS, compare, fmt, print_figure
+from benchmarks.common import DFD_APPS, compare, fmt, prefetch, print_figure
 from repro.core import memory_bound_config
 
 
 def _sweep():
+    config = memory_bound_config()
+    prefetch(DFD_APPS, variants=("base", "cfd", "dfd"), config=config,
+             scale=1.0)
     rows = []
     for workload, input_name in DFD_APPS:
-        config = memory_bound_config()
         cfd, _, _ = compare(workload, "cfd", input_name, config=config, scale=1.0)
         dfd, _, dfd_result = compare(
             workload, "dfd", input_name, config=config, scale=1.0

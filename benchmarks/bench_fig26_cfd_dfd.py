@@ -4,14 +4,16 @@ Paper: DFD prefetches the data CFD's predicate loop needs, so the
 combination beats either alone where both apply.
 """
 
-from benchmarks.common import DFD_APPS, compare, fmt, print_figure
+from benchmarks.common import DFD_APPS, compare, fmt, prefetch, print_figure
 from repro.core import memory_bound_config
 
 
 def _sweep():
+    config = memory_bound_config()
+    prefetch(DFD_APPS, variants=("base", "dfd", "cfd", "cfd_dfd"),
+             config=config, scale=1.0)
     rows = []
     for workload, input_name in DFD_APPS:
-        config = memory_bound_config()
         dfd, _, _ = compare(workload, "dfd", input_name, config=config, scale=1.0)
         cfd, _, _ = compare(workload, "cfd", input_name, config=config, scale=1.0)
         both, _, _ = compare(

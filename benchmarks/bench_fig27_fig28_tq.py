@@ -6,16 +6,20 @@ to 55% performance and 49% energy, with the combination exceeding the
 sum of the parts.
 """
 
-from benchmarks.common import TQ_APPS, compare, fmt, print_figure
+from benchmarks.common import TQ_APPS, compare, fmt, prefetch, print_figure
+from repro.workloads import get_workload
 
 
 def _sweep():
+    prefetch(TQ_APPS, variants=("base", "tq"))
+    prefetch(
+        [(w, i) for w, i in TQ_APPS if "bq_tq" in get_workload(w).variants],
+        variants=("bq_tq",),
+    )
     rows = []
     for workload, input_name in TQ_APPS:
         tq, base_result, tq_result = compare(workload, "tq", input_name)
         both = None
-        from repro.workloads import get_workload
-
         if "bq_tq" in get_workload(workload).variants:
             both, _, _ = compare(workload, "bq_tq", input_name)
         rows.append((tq, both, base_result))

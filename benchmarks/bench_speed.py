@@ -1,0 +1,69 @@
+"""Host-throughput benchmark: simulated KIPS vs the stored baseline.
+
+Not a paper figure — this tracks the *simulator's* speed (how many
+thousand instructions the cycle core retires per host second) across the
+reference workload set in :mod:`repro.perf.speed`, so perf regressions
+in the hot loop show up in CI trend data.  The pre-PR reference numbers
+live in ``benchmarks/baseline_speed.json``; ``BENCH_speed.json`` records
+both those and the fresh measurement.
+
+Run directly for full budgets (same as ``python -m repro bench-speed``)::
+
+    PYTHONPATH=src:. python -m pytest benchmarks/bench_speed.py -s
+
+The pytest entry caps budgets (REPRO_SPEED_MAX_INSTRUCTIONS, default
+20000) so it stays quick inside a bench session.
+"""
+
+import dataclasses
+import os
+
+from benchmarks.common import fmt, print_figure
+from repro.perf.speed import (
+    REFERENCE_CASES,
+    run_speed_benchmark,
+    write_speed_artifact,
+)
+
+_MAX = int(os.environ.get("REPRO_SPEED_MAX_INSTRUCTIONS", "20000"))
+
+
+def _measure():
+    cases = [
+        dataclasses.replace(
+            case, max_instructions=min(case.max_instructions, _MAX)
+        )
+        for case in REFERENCE_CASES
+    ]
+    return run_speed_benchmark(cases=cases, repeats=3)
+
+
+def test_bench_speed(benchmark):
+    payload = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    print_figure(
+        "Host throughput — simulated KIPS (best of 3)",
+        ["case", "KIPS", "baseline", "retired", "seconds"],
+        [
+            (
+                name,
+                fmt(case["kips"]),
+                fmt(case["baseline_kips"]) if case["baseline_kips"] else "-",
+                case["retired"],
+                fmt(case["seconds"], 3),
+            )
+            for name, case in sorted(payload["cases"].items())
+        ],
+        notes="geomean %.2f KIPS vs baseline %.2f (speedup %.3fx)" % (
+            payload["geomean_kips"],
+            payload["baseline"]["geomean_kips"],
+            payload["speedup_vs_baseline"],
+        ),
+        figure="speed_table",
+    )
+    write_speed_artifact(payload)
+    # The simulator must actually simulate at a sane pace; the 1.5x
+    # acceptance gate for this PR is asserted by the recorded artifact,
+    # not here (CI hosts vary too much for a hard KIPS threshold).
+    assert payload["geomean_kips"] > 0
+    for case in payload["cases"].values():
+        assert case["retired"] > 0

@@ -9,9 +9,21 @@ EXPERIMENTS.md discuss per experiment.
 
 Scale control: ``REPRO_BENCH_SCALE`` multiplies workload sizes
 (default 0.2; the paper-vs-measured records in EXPERIMENTS.md were made
-at 0.2).  Simulation results are cached per (workload, variant, input,
-scale, config) within the bench session, so figures sharing runs (most
-share the baselines) don't pay twice.
+at 0.2).
+
+Caching: simulation results are cached in two layers.  A bounded
+in-process LRU serves repeats within one bench session (figures share
+most baselines), and the persistent :class:`repro.perf.ResultCache`
+(``~/.cache/repro``, override with ``REPRO_CACHE_DIR``) survives across
+sessions, so re-running a figure after an unrelated edit is incremental.
+Set ``REPRO_BENCH_NO_CACHE=1`` to bypass the persistent layer.
+
+Parallelism: figures call :func:`prefetch` with their full point list
+before the (serial) table-building loop; with ``REPRO_BENCH_JOBS=N``
+(N > 1) the uncached points fan out over a process pool via
+:func:`repro.perf.run_sweep` and land in both cache layers, after which
+the loop is pure cache hits.  The default is serial — results are
+byte-identical either way.
 
 Artifacts: every :func:`print_figure` call also writes the figure as a
 versioned ``BENCH_<figure>.json`` document (headers + rows + run
@@ -23,6 +35,7 @@ scraping tables.
 import json
 import os
 import re
+from collections import OrderedDict
 from dataclasses import asdict
 
 from repro.analysis import compare_runs, format_table
@@ -33,10 +46,13 @@ from repro.core import (
     scale_window,
     simulate,
 )
+from repro.perf import ResultCache, SweepPoint, run_sweep
 from repro.workloads import get_workload
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
 SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+#: Worker processes for :func:`prefetch` (1 = serial, same results).
+JOBS = max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1") or 1))
 
 #: The paper's CFD(BQ) application list (Table III), as (workload, input).
 CFD_BQ_APPS = [
@@ -83,7 +99,19 @@ TQ_APPS = [
 ]
 
 _BUILD_CACHE = {}
-_RUN_CACHE = {}
+
+#: In-process result LRU (bounded; the old unbounded ``_RUN_CACHE``).
+#: Backed by the persistent on-disk cache below, so an eviction costs a
+#: JSON read, not a re-simulation.
+_RUN_CACHE = OrderedDict()
+_RUN_CACHE_MAX = 128
+
+#: The persistent cross-session layer (None when disabled via env).
+_DISK_CACHE = (
+    None
+    if os.environ.get("REPRO_BENCH_NO_CACHE")
+    else ResultCache()
+)
 
 
 def build(workload_name, variant, input_name=None, scale=None):
@@ -94,6 +122,15 @@ def build(workload_name, variant, input_name=None, scale=None):
         workload = get_workload(workload_name)
         _BUILD_CACHE[key] = workload.build(variant, input_name, scale, SEED)
     return _BUILD_CACHE[key]
+
+
+def _remember(key, result):
+    """Insert into the in-process LRU, evicting the oldest past the cap."""
+    _RUN_CACHE[key] = result
+    _RUN_CACHE.move_to_end(key)
+    while len(_RUN_CACHE) > _RUN_CACHE_MAX:
+        _RUN_CACHE.popitem(last=False)
+    return result
 
 
 def _config_key(config):
@@ -118,7 +155,12 @@ def _config_key(config):
 
 def run(workload_name, variant, input_name=None, config=None, scale=None,
         max_instructions=None):
-    """Cached simulation of one workload binary on one core config."""
+    """Cached simulation of one workload binary on one core config.
+
+    Lookup order: in-process LRU, then the persistent on-disk cache,
+    then a live :func:`simulate` (whose snapshot is persisted for next
+    time).  All three produce byte-identical ``stats.to_dict()``.
+    """
     config = sandy_bridge_config() if config is None else config
     built = build(workload_name, variant, input_name, scale)
     key = (
@@ -127,11 +169,70 @@ def run(workload_name, variant, input_name=None, config=None, scale=None,
         _config_key(config),
         max_instructions,
     )
-    if key not in _RUN_CACHE:
-        _RUN_CACHE[key] = simulate(
-            built.program, config, max_instructions=max_instructions
+    result = _RUN_CACHE.get(key)
+    if result is not None:
+        _RUN_CACHE.move_to_end(key)
+        return built, result
+    disk_key = None
+    if _DISK_CACHE is not None:
+        disk_key = _DISK_CACHE.key_for(built.program, config, max_instructions)
+        result = _DISK_CACHE.load(disk_key, config=config)
+        if result is not None:
+            return built, _remember(key, result)
+    result = simulate(built.program, config, max_instructions=max_instructions)
+    if _DISK_CACHE is not None:
+        _DISK_CACHE.store_result(
+            disk_key,
+            result,
+            workload={
+                "name": workload_name,
+                "variant": variant,
+                "input": input_name,
+                "scale": SCALE if scale is None else scale,
+                "seed": SEED,
+            },
+            run={"max_instructions": max_instructions,
+                 "warmup_instructions": 0},
         )
-    return built, _RUN_CACHE[key]
+    return built, _remember(key, result)
+
+
+def prefetch(apps, variants=("base",), config=None, scale=None,
+             max_instructions=None, jobs=None):
+    """Warm both cache layers for a figure's {app x variant} grid.
+
+    *apps* is a list of ``(workload, input_name)`` pairs (the module-level
+    app lists above); *variants* the variant names each app runs under.
+    Uncached points fan out over :func:`repro.perf.run_sweep` with *jobs*
+    workers (default: ``REPRO_BENCH_JOBS``), after which the figure's
+    serial ``run()``/``compare()`` loop is pure cache hits.  Points that
+    fail are left for the serial path to re-raise with full context.
+    """
+    jobs = JOBS if jobs is None else max(1, int(jobs))
+    config = sandy_bridge_config() if config is None else config
+    scale = SCALE if scale is None else scale
+    points = [
+        SweepPoint(
+            workload=workload,
+            variant=variant,
+            input_name=input_name,
+            config=config,
+            scale=scale,
+            seed=SEED,
+            max_instructions=max_instructions,
+        )
+        for workload, input_name in apps
+        for variant in variants
+    ]
+    outcomes = run_sweep(points, jobs=jobs, cache=_DISK_CACHE)
+    for outcome in outcomes:
+        if not outcome.ok or outcome.result is None:
+            continue
+        point = outcome.point
+        built = build(point.workload, point.variant, point.input_name, scale)
+        key = (built.name, scale, _config_key(config), max_instructions)
+        _remember(key, outcome.result)
+    return outcomes
 
 
 def compare(workload_name, variant, input_name=None, config=None, scale=None):

@@ -15,14 +15,14 @@ legal (and simpler) choice.
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.arch.semantics import alu_compute, branch_taken, is_alu_i, is_alu_r
+from repro.arch.semantics import alu_fn, branch_fn
 from repro.arch.state import ArchState
 from repro.errors import ExecutionError
 from repro.isa.instructions import Instruction
-from repro.isa.opcodes import OpClass, Opcode
+from repro.isa.opcodes import Opcode
 
 
-@dataclass
+@dataclass(slots=True)
 class RetireRecord:
     """What one retired instruction did (for profilers and tests)."""
 
@@ -42,6 +42,271 @@ class FunctionalExecutor:
         self.state = state if state is not None else ArchState(program)
         self.max_instructions = max_instructions
         self.retired = 0
+        self._code = program.code  # hot-path alias for instruction fetch
+        # Per-PC compiled handlers: all opcode dispatch, operand-field
+        # decoding, and register-0 special-casing is resolved once here, so
+        # the hot loop is one list index + one closure call per instruction.
+        self._dispatch = [self._compile(pc, inst) for pc, inst in enumerate(program.code)]
+
+    def _compile(self, pc, inst):
+        """Build the ``handler(state) -> RetireRecord`` closure for one PC.
+
+        Each handler replicates exactly one arm of the interpreter's opcode
+        chain: it performs the architectural side effects, advances
+        ``state.pc``, and returns the retire record.  Registers read as 0
+        when the field is r0 or absent (``ArchState.regs[0]`` is invariantly
+        0, so indexing ``regs`` directly is safe); writes to r0 are
+        discarded at compile time, mirroring ``ArchState.write_reg``.
+        """
+        opcode = inst.opcode
+        rd, rs1, rs2 = inst.rd, inst.rs1, inst.rs2
+        imm, target = inst.imm, inst.target
+        next_pc = pc + 1
+        R = RetireRecord
+
+        fn = alu_fn(opcode)
+        if fn is not None:
+
+            def h(state):
+                regs = state.regs
+                value = fn(regs[rs1] if rs1 else 0, regs[rs2] if rs2 else 0, imm)
+                if rd:
+                    regs[rd] = value
+                state.pc = next_pc
+                return R(pc, inst, None, None, None, value)
+
+            return h
+        if opcode is Opcode.CMOVZ or opcode is Opcode.CMOVNZ:
+            want_zero = opcode is Opcode.CMOVZ
+
+            def h(state):
+                regs = state.regs
+                if ((regs[rs2] if rs2 else 0) == 0) == want_zero and rd:
+                    regs[rd] = regs[rs1] if rs1 else 0
+                state.pc = next_pc
+                return R(pc, inst, None, None, None, regs[rd] if rd else 0)
+
+            return h
+        if opcode is Opcode.LW:
+
+            def h(state):
+                regs = state.regs
+                addr = ((regs[rs1] if rs1 else 0) + imm) & 0xFFFFFFFF
+                value = state.memory.load_word(addr)
+                if rd:
+                    regs[rd] = value & 0xFFFFFFFF
+                state.pc = next_pc
+                return R(pc, inst, None, None, addr, value)
+
+            return h
+        if opcode is Opcode.LB or opcode is Opcode.LBU:
+            sign_extend = opcode is Opcode.LB
+
+            def h(state):
+                regs = state.regs
+                addr = ((regs[rs1] if rs1 else 0) + imm) & 0xFFFFFFFF
+                value = state.memory.load_byte(addr)
+                if sign_extend and value & 0x80:
+                    value |= 0xFFFFFF00
+                if rd:
+                    regs[rd] = value
+                state.pc = next_pc
+                return R(pc, inst, None, None, addr, value)
+
+            return h
+        if opcode is Opcode.SW or opcode is Opcode.SB:
+
+            def h(state, _word=opcode is Opcode.SW):
+                regs = state.regs
+                addr = ((regs[rs1] if rs1 else 0) + imm) & 0xFFFFFFFF
+                value = regs[rs2] if rs2 else 0
+                if _word:
+                    state.memory.store_word(addr, value)
+                else:
+                    state.memory.store_byte(addr, value)
+                state.pc = next_pc
+                return R(pc, inst, None, None, addr, value)
+
+            return h
+        if opcode is Opcode.PREFETCH:
+
+            def h(state):
+                addr = ((state.regs[rs1] if rs1 else 0) + imm) & 0xFFFFFFFF
+                state.pc = next_pc
+                return R(pc, inst, None, None, addr, None)
+
+            return h
+        bfn = branch_fn(opcode)
+        if bfn is not None:
+
+            def h(state):
+                regs = state.regs
+                if bfn(regs[rs1] if rs1 else 0, regs[rs2] if rs2 else 0):
+                    state.pc = target
+                    return R(pc, inst, True, target, None, None)
+                state.pc = next_pc
+                return R(pc, inst, False, None, None, None)
+
+            return h
+        if opcode is Opcode.J:
+
+            def h(state):
+                state.pc = target
+                return R(pc, inst, True, target, None, None)
+
+            return h
+        if opcode is Opcode.JAL:
+
+            def h(state):
+                if rd:
+                    state.regs[rd] = next_pc
+                state.pc = target
+                return R(pc, inst, True, target, None, None)
+
+            return h
+        if opcode is Opcode.JALR:
+
+            def h(state):
+                regs = state.regs
+                if rd:
+                    regs[rd] = next_pc
+                dest = regs[rs1] if rs1 else 0
+                state.pc = dest
+                return R(pc, inst, True, dest, None, None)
+
+            return h
+        if opcode is Opcode.HALT:
+
+            def h(state):
+                state.halted = True
+                state.pc = next_pc
+                return R(pc, inst)
+
+            return h
+        if opcode is Opcode.NOP:
+
+            def h(state):
+                state.pc = next_pc
+                return R(pc, inst)
+
+            return h
+        if opcode is Opcode.PUSH_BQ:
+
+            def h(state):
+                state.bq.push(state.regs[rs1] if rs1 else 0)
+                state.pc = next_pc
+                return R(pc, inst)
+
+            return h
+        if opcode is Opcode.B_BQ:
+
+            def h(state):
+                predicate = state.bq.pop()
+                if predicate:
+                    state.pc = target
+                    return R(pc, inst, True, target, None, None)
+                state.pc = next_pc
+                return R(pc, inst, False, None, None, None)
+
+            return h
+        if opcode is Opcode.MARK:
+
+            def h(state):
+                state.bq.mark()
+                state.pc = next_pc
+                return R(pc, inst)
+
+            return h
+        if opcode is Opcode.FORWARD:
+
+            def h(state):
+                value = state.bq.forward()
+                state.pc = next_pc
+                return R(pc, inst, None, None, None, value)
+
+            return h
+        if opcode is Opcode.PUSH_VQ:
+
+            def h(state):
+                state.vq.push(state.regs[rs1] if rs1 else 0)
+                state.pc = next_pc
+                return R(pc, inst)
+
+            return h
+        if opcode is Opcode.POP_VQ:
+
+            def h(state):
+                value = state.vq.pop()
+                if rd:
+                    state.regs[rd] = value & 0xFFFFFFFF
+                state.pc = next_pc
+                return R(pc, inst, None, None, None, value)
+
+            return h
+        if opcode is Opcode.PUSH_TQ:
+
+            def h(state):
+                state.tq.push(state.regs[rs1] if rs1 else 0)
+                state.pc = next_pc
+                return R(pc, inst)
+
+            return h
+        if opcode is Opcode.POP_TQ:
+
+            def h(state):
+                count, overflow = state.tq.pop()
+                state.tcr = tcr = 0 if overflow else count
+                state.pc = next_pc
+                return R(pc, inst, None, None, None, tcr)
+
+            return h
+        if opcode is Opcode.B_TCR:
+
+            def h(state):
+                if state.tcr:
+                    state.tcr -= 1
+                    state.pc = target
+                    return R(pc, inst, True, target, None, None)
+                state.pc = next_pc
+                return R(pc, inst, False, None, None, None)
+
+            return h
+        if opcode is Opcode.POP_TQ_BOV:
+
+            def h(state):
+                count, overflow = state.tq.pop()
+                state.tcr = count
+                if overflow:
+                    state.pc = target
+                    return R(pc, inst, True, target, None, None)
+                state.pc = next_pc
+                return R(pc, inst, False, None, None, None)
+
+            return h
+        _SAVE_RESTORE = {
+            Opcode.SAVE_BQ: ("bq", True),
+            Opcode.RESTORE_BQ: ("bq", False),
+            Opcode.SAVE_VQ: ("vq", True),
+            Opcode.RESTORE_VQ: ("vq", False),
+            Opcode.SAVE_TQ: ("tq", True),
+            Opcode.RESTORE_TQ: ("tq", False),
+        }
+        pair = _SAVE_RESTORE.get(opcode)
+        if pair is not None:
+            qname, is_save = pair
+            helper = self._save_queue if is_save else self._restore_queue
+
+            def h(state):
+                helper(getattr(state, qname), (state.regs[rs1] if rs1 else 0) + imm)
+                state.pc = next_pc
+                return R(pc, inst)
+
+            return h
+
+        def h(state):  # pragma: no cover - exhaustive over defined opcodes
+            raise ExecutionError("unimplemented opcode %s" % opcode)
+
+        return h
 
     def step(self):
         """Execute one instruction; return a :class:`RetireRecord`.
@@ -53,135 +318,12 @@ class FunctionalExecutor:
         if state.halted:
             return None
         pc = state.pc
-        inst = self.program.instruction_at(pc)
-        if inst is None:
-            state.halted = True
-            return None
-
-        opcode = inst.opcode
-        next_pc = pc + 1
-        record = RetireRecord(pc=pc, inst=inst)
-
-        if is_alu_r(opcode) or is_alu_i(opcode) or opcode == Opcode.LUI:
-            a = state.read_reg(inst.rs1) if inst.rs1 is not None else 0
-            b = state.read_reg(inst.rs2) if inst.rs2 is not None else 0
-            value = alu_compute(opcode, a, b, inst.imm)
-            state.write_reg(inst.rd, value)
-            record.value = value
-        elif opcode in (Opcode.CMOVZ, Opcode.CMOVNZ):
-            condition = state.read_reg(inst.rs2)
-            move = (condition == 0) == (opcode == Opcode.CMOVZ)
-            if move:
-                state.write_reg(inst.rd, state.read_reg(inst.rs1))
-            record.value = state.read_reg(inst.rd)
-        elif opcode == Opcode.LW:
-            addr = (state.read_reg(inst.rs1) + inst.imm) & 0xFFFFFFFF
-            value = state.memory.load_word(addr)
-            state.write_reg(inst.rd, value)
-            record.mem_addr, record.value = addr, value
-        elif opcode == Opcode.LB:
-            addr = (state.read_reg(inst.rs1) + inst.imm) & 0xFFFFFFFF
-            value = state.memory.load_byte(addr)
-            if value & 0x80:
-                value |= 0xFFFFFF00
-            state.write_reg(inst.rd, value)
-            record.mem_addr, record.value = addr, value
-        elif opcode == Opcode.LBU:
-            addr = (state.read_reg(inst.rs1) + inst.imm) & 0xFFFFFFFF
-            value = state.memory.load_byte(addr)
-            state.write_reg(inst.rd, value)
-            record.mem_addr, record.value = addr, value
-        elif opcode == Opcode.SW:
-            addr = (state.read_reg(inst.rs1) + inst.imm) & 0xFFFFFFFF
-            value = state.read_reg(inst.rs2)
-            state.memory.store_word(addr, value)
-            record.mem_addr, record.value = addr, value
-        elif opcode == Opcode.SB:
-            addr = (state.read_reg(inst.rs1) + inst.imm) & 0xFFFFFFFF
-            value = state.read_reg(inst.rs2)
-            state.memory.store_byte(addr, value)
-            record.mem_addr, record.value = addr, value
-        elif opcode == Opcode.PREFETCH:
-            record.mem_addr = (state.read_reg(inst.rs1) + inst.imm) & 0xFFFFFFFF
-        elif inst.info.opclass == OpClass.BRANCH:
-            taken = branch_taken(
-                opcode, state.read_reg(inst.rs1), state.read_reg(inst.rs2)
-            )
-            record.taken = taken
-            if taken:
-                next_pc = inst.target
-                record.target = inst.target
-        elif opcode == Opcode.J:
-            next_pc = inst.target
-            record.taken, record.target = True, inst.target
-        elif opcode == Opcode.JAL:
-            state.write_reg(inst.rd, pc + 1)
-            next_pc = inst.target
-            record.taken, record.target = True, inst.target
-        elif opcode == Opcode.JALR:
-            state.write_reg(inst.rd, pc + 1)
-            next_pc = state.read_reg(inst.rs1)
-            record.taken, record.target = True, next_pc
-        elif opcode == Opcode.HALT:
-            state.halted = True
-        elif opcode == Opcode.NOP:
-            pass
-        elif opcode == Opcode.PUSH_BQ:
-            state.bq.push(state.read_reg(inst.rs1))
-        elif opcode == Opcode.B_BQ:
-            predicate = state.bq.pop()
-            record.taken = bool(predicate)
-            if predicate:
-                next_pc = inst.target
-                record.target = inst.target
-        elif opcode == Opcode.MARK:
-            state.bq.mark()
-        elif opcode == Opcode.FORWARD:
-            record.value = state.bq.forward()
-        elif opcode == Opcode.PUSH_VQ:
-            state.vq.push(state.read_reg(inst.rs1))
-        elif opcode == Opcode.POP_VQ:
-            value = state.vq.pop()
-            state.write_reg(inst.rd, value)
-            record.value = value
-        elif opcode == Opcode.PUSH_TQ:
-            state.tq.push(state.read_reg(inst.rs1))
-        elif opcode == Opcode.POP_TQ:
-            count, overflow = state.tq.pop()
-            state.tcr = 0 if overflow else count
-            record.value = state.tcr
-        elif opcode == Opcode.B_TCR:
-            if state.tcr:
-                state.tcr -= 1
-                next_pc = inst.target
-                record.taken, record.target = True, inst.target
-            else:
-                record.taken = False
-        elif opcode == Opcode.POP_TQ_BOV:
-            count, overflow = state.tq.pop()
-            state.tcr = count
-            record.taken = bool(overflow)
-            if overflow:
-                next_pc = inst.target
-                record.target = inst.target
-        elif opcode == Opcode.SAVE_BQ:
-            self._save_queue(state.bq, state.read_reg(inst.rs1) + inst.imm)
-        elif opcode == Opcode.RESTORE_BQ:
-            self._restore_queue(state.bq, state.read_reg(inst.rs1) + inst.imm)
-        elif opcode == Opcode.SAVE_VQ:
-            self._save_queue(state.vq, state.read_reg(inst.rs1) + inst.imm)
-        elif opcode == Opcode.RESTORE_VQ:
-            self._restore_queue(state.vq, state.read_reg(inst.rs1) + inst.imm)
-        elif opcode == Opcode.SAVE_TQ:
-            self._save_queue(state.tq, state.read_reg(inst.rs1) + inst.imm)
-        elif opcode == Opcode.RESTORE_TQ:
-            self._restore_queue(state.tq, state.read_reg(inst.rs1) + inst.imm)
-        else:  # pragma: no cover - exhaustive over defined opcodes
-            raise ExecutionError("unimplemented opcode %s" % opcode)
-
-        state.pc = next_pc
-        self.retired += 1
-        return record
+        if 0 <= pc < len(self._code):
+            record = self._dispatch[pc](state)
+            self.retired += 1
+            return record
+        state.halted = True
+        return None
 
     def _save_queue(self, queue, addr):
         image = queue.save_image()

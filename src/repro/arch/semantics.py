@@ -51,6 +51,10 @@ _BRANCH = {
 }
 
 
+#: Every opcode ``alu_compute`` accepts (R-form, I-form, and LUI).
+ALU_OPCODES = frozenset(_ALU_R) | frozenset(_ALU_I) | {Opcode.LUI}
+
+
 def is_alu_r(opcode):
     return opcode in _ALU_R
 
@@ -70,6 +74,32 @@ def alu_compute(opcode, a, b=0, imm=0):
     if opcode == Opcode.LUI:
         return to_unsigned(imm << 16)
     raise ValueError("not an ALU opcode: %s" % opcode)
+
+
+def alu_fn(opcode):
+    """Resolved ``(a, b, imm) -> unsigned-32`` callable, or ``None``.
+
+    Binds the opcode's semantic function once so hot loops can predecode
+    the dispatch (the two dict probes in :func:`alu_compute`) per PC
+    instead of per dynamic instance.  Returns ``None`` for non-ALU
+    opcodes, conditional moves included (they merge with the old ``rd``
+    and are handled by their callers).
+    """
+    fn = _ALU_R.get(opcode)
+    if fn is not None:
+        return lambda a, b, imm, _fn=fn: to_unsigned(_fn(a, b))
+    fn = _ALU_I.get(opcode)
+    if fn is not None:
+        return lambda a, b, imm, _fn=fn: to_unsigned(_fn(a, imm))
+    if opcode == Opcode.LUI:
+        return lambda a, b, imm: to_unsigned(imm << 16)
+    return None
+
+
+def branch_fn(opcode):
+    """The ``(a, b) -> bool`` comparison for a conditional branch opcode,
+    or ``None`` when *opcode* is not one."""
+    return _BRANCH.get(opcode)
 
 
 def branch_taken(opcode, a, b):

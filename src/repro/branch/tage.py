@@ -30,7 +30,7 @@ class _TaggedEntry:
         self.useful = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class _PredMeta:
     """Everything ``update`` needs about one prediction."""
 
@@ -50,16 +50,22 @@ class _PredMeta:
 
 
 def _fold(history, in_bits, out_bits):
-    """XOR-fold the low *in_bits* of *history* down to *out_bits*."""
+    """XOR-fold the low *in_bits* of *history* down to *out_bits*.
+
+    The result is the XOR of consecutive *out_bits*-wide chunks.  Chunk
+    folding is associative — folding by any multiple of *out_bits* first
+    and then by *out_bits* XORs the same chunks — so we halve the chunk
+    count each round (log passes) instead of peeling one chunk at a time.
+    """
     if out_bits <= 0:
         return 0
-    mask_out = (1 << out_bits) - 1
     history &= (1 << in_bits) - 1
-    folded = 0
-    while history:
-        folded ^= history & mask_out
-        history >>= out_bits
-    return folded
+    while in_bits > out_bits:
+        chunks = (in_bits + out_bits - 1) // out_bits
+        half = (chunks + 1) // 2 * out_bits
+        history = (history ^ (history >> half)) & ((1 << half) - 1)
+        in_bits = half
+    return history
 
 
 class TAGEPredictor(BranchPredictor):
@@ -89,40 +95,136 @@ class TAGEPredictor(BranchPredictor):
         self._use_alt_on_na = 8  # 4-bit counter, >=8 means "use alt"
         self._update_count = 0
         self._alloc_tick = 0
+        # Memoized XOR-folds backing _folds_for (cold path helpers only;
+        # the hot predict path uses the incremental registers below).
+        self._fold_cache = {}
+        self._len_masks = tuple((1 << l) - 1 for l in self.history_lengths)
+        # pc ^ (pc >> (table + 1)) per table, memoized per static PC.
+        self._pc_parts = {}
+        # Incrementally-maintained folded histories (the hardware CSR
+        # trick): register 3t+k holds _fold(history & (2^L - 1), L, B) for
+        # table t's index/tag/tag2 fold width B.  speculative_update shifts
+        # them in O(1) per register; restore() recomputes from scratch.
+        # _fold_params rows are (L-1, B-1, 2^B - 1, L % B).
+        params = []
+        for length in self.history_lengths:
+            for bits in (table_bits, tag_bits, tag_bits - 1):
+                params.append((length - 1, bits - 1, (1 << bits) - 1, length % bits))
+        self._fold_params = params
+        self._fold_regs = [0] * len(params)  # folds of the empty history
+        self._hist_mask = (1 << (self.history_lengths[-1] + 1)) - 1
+        self._build_shift()
+        self._build_index_tags()
+
+    _FOLD_CACHE_LIMIT = 1 << 17
+
+    def _build_shift(self):
+        """Compile the history-shift step with every constant inlined.
+
+        One straight-line exec-generated function updates all folded
+        registers and the history in a single call — the interpreted
+        per-register loop would pay tuple unpacking and index arithmetic
+        on every predicted branch.
+        """
+        lines = ["def _shift(regs, h, b):"]
+        for i, (lm1, bm1, mask, topshift) in enumerate(self._fold_params):
+            # Rotate the fold left within its B bits, then cancel the
+            # history bit that left the L-bit window and shift in the new
+            # direction bit.  This preserves the chunk-XOR fold exactly.
+            lines.append("    f = regs[%d]" % i)
+            lines.append("    f = ((f << 1) | (f >> %d)) & %d" % (bm1, mask))
+            lines.append(
+                "    regs[%d] = f ^ (((h >> %d) & 1) << %d) ^ b" % (i, lm1, topshift)
+            )
+        lines.append("    return ((h << 1) | b) & %d" % self._hist_mask)
+        namespace = {}
+        exec("\n".join(lines), namespace)
+        self._shift = namespace["_shift"]
+
+    def _build_index_tags(self):
+        """Compile the per-table index/tag computation as two list displays
+        (same rationale as :meth:`_build_shift`: no per-table loop, no
+        appends, masks inlined as constants)."""
+        idx_terms = []
+        tag_terms = []
+        for t in range(self.num_tables):
+            i = 3 * t
+            idx_terms.append(
+                "(parts[%d] ^ regs[%d]) & %d" % (t, i, self._index_mask)
+            )
+            tag_terms.append(
+                "(pc ^ regs[%d] ^ (regs[%d] << 1)) & %d"
+                % (i + 1, i + 2, self._tag_mask)
+            )
+        src = "def _it(parts, regs, pc):\n    return [%s], [%s]" % (
+            ", ".join(idx_terms),
+            ", ".join(tag_terms),
+        )
+        namespace = {}
+        exec(src, namespace)
+        self._index_tags = namespace["_it"]
 
     # -- history management -------------------------------------------------
 
     def speculative_update(self, pc, taken):
-        self._history = (self._history << 1) | (1 if taken else 0)
-        self._history &= (1 << (self.history_lengths[-1] + 1)) - 1
+        self._history = self._shift(
+            self._fold_regs, self._history, 1 if taken else 0
+        )
 
     def snapshot(self):
         return HistorySnapshot(self._history)
 
     def restore(self, snapshot):
-        self._history = snapshot.payload
+        self._history = h = snapshot.payload
+        regs = self._fold_regs
+        i = 0
+        for lm1, bm1, _mask, _topshift in self._fold_params:
+            length = lm1 + 1
+            regs[i] = _fold(h & ((1 << length) - 1), length, bm1 + 1)
+            i += 1
 
     # -- indexing ------------------------------------------------------------
 
-    def _compute_index(self, pc, table):
+    def _folds_for(self, table):
+        """The (index, tag, tag-1) folds of the current history for *table*."""
         length = self.history_lengths[table]
-        folded = _fold(self._history, length, self.table_bits)
+        masked = self._history & ((1 << length) - 1)
+        key = (length, masked)
+        cache = self._fold_cache
+        folds = cache.get(key)
+        if folds is None:
+            folds = (
+                _fold(masked, length, self.table_bits),
+                _fold(masked, length, self.tag_bits),
+                _fold(masked, length, self.tag_bits - 1),
+            )
+            if len(cache) >= self._FOLD_CACHE_LIMIT:
+                cache.clear()
+            cache[key] = folds
+        return folds
+
+    def _compute_index(self, pc, table):
+        folded = self._folds_for(table)[0]
         return (pc ^ (pc >> (table + 1)) ^ folded) & self._index_mask
 
     def _compute_tag(self, pc, table):
-        length = self.history_lengths[table]
-        folded = _fold(self._history, length, self.tag_bits)
-        folded2 = _fold(self._history, length, self.tag_bits - 1)
+        _, folded, folded2 = self._folds_for(table)
         return (pc ^ folded ^ (folded2 << 1)) & self._tag_mask
 
     # -- predict -------------------------------------------------------------
 
     def _tage_predict(self, pc):
-        indices = [self._compute_index(pc, t) for t in range(self.num_tables)]
-        tags = [self._compute_tag(pc, t) for t in range(self.num_tables)]
+        parts = self._pc_parts.get(pc)
+        if parts is None:
+            parts = tuple(
+                pc ^ (pc >> (t + 1)) for t in range(self.num_tables)
+            )
+            self._pc_parts[pc] = parts
+        indices, tags = self._index_tags(parts, self._fold_regs, pc)
         provider = alt = None
+        tables = self._tables
         for table in range(self.num_tables - 1, -1, -1):
-            if self._tables[table][indices[table]].tag == tags[table]:
+            if tables[table][indices[table]].tag == tags[table]:
                 if provider is None:
                     provider = table
                 elif alt is None:
@@ -254,6 +356,18 @@ class ISLTAGEPredictor(TAGEPredictor):
         self._sc_tables = [[0] * sc_size for _ in self.SC_HISTORY]
         self._sc_mask = sc_size - 1
         self._sc_threshold = 6
+        # The corrector's folds ride the same incremental registers as the
+        # TAGE tables: append one register per non-zero SC history length
+        # (appending keeps the TAGE registers at their expected offsets).
+        self._sc_reg_base = len(self._fold_params)
+        bits = self.SC_TABLE_BITS
+        for length in self.SC_HISTORY:
+            if length:
+                self._fold_params.append(
+                    (length - 1, bits - 1, (1 << bits) - 1, length % bits)
+                )
+                self._fold_regs.append(0)
+        self._build_shift()  # re-unroll with the corrector registers included
 
     def predict(self, pc):
         meta = self._tage_predict(pc)
@@ -266,12 +380,17 @@ class ISLTAGEPredictor(TAGEPredictor):
             final = loop_pred
         else:
             # Statistical corrector: vetoes only weak TAGE predictions.
-            sc_indices = tuple(
-                (pc ^ _fold(self._history, h, self.SC_TABLE_BITS)) & self._sc_mask
-                if h
-                else pc & self._sc_mask
-                for h in self.SC_HISTORY
-            )
+            regs = self._fold_regs
+            sc_mask = self._sc_mask
+            sc_indices = []
+            j = self._sc_reg_base
+            for h in self.SC_HISTORY:
+                if h:
+                    sc_indices.append((pc ^ regs[j]) & sc_mask)
+                    j += 1
+                else:
+                    sc_indices.append(pc & sc_mask)
+            sc_indices = tuple(sc_indices)
             meta.sc_indices = sc_indices
             sc_sum = sum(
                 table[idx] for table, idx in zip(self._sc_tables, sc_indices)

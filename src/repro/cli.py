@@ -3,25 +3,32 @@
 Commands
 --------
 ``list``      the workload registry (Table I's applications)
-``run``       simulate one workload binary and print its summary
-``compare``   base vs a CFD/DFD/TQ variant (speedup, overhead, energy)
-``profile``   PIN-style branch profile of a binary (top mispredictors)
-``classify``  the Figure 6 classification study
-``trace``     per-cycle trace of a run (Chrome/Perfetto or JSONL events)
-``disasm``    disassembly listing of a built workload binary
+``run``          simulate one workload binary and print its summary
+``compare``      base vs a CFD/DFD/TQ variant (speedup, overhead, energy)
+``profile``      PIN-style branch profile of a binary (top mispredictors)
+``classify``     the Figure 6 classification study
+``trace``        per-cycle trace of a run (Chrome/Perfetto or JSONL events)
+``disasm``       disassembly listing of a built workload binary
+``bench-speed``  host throughput (simulated KIPS) vs the stored baseline
 
-``run``, ``compare``, ``profile`` and ``classify`` accept ``--json`` to
-emit machine-readable output instead of tables; ``run --json`` prints the
-versioned run manifest (see docs/OBSERVABILITY.md).
+``run``, ``compare``, ``profile``, ``classify`` and ``bench-speed``
+accept ``--json`` to emit machine-readable output instead of tables;
+``run --json`` prints the versioned run manifest (see
+docs/OBSERVABILITY.md).  ``run`` and ``compare`` serve repeated
+simulations from the persistent result cache (``~/.cache/repro``; see
+docs/PERFORMANCE.md) — ``--no-cache`` forces a fresh simulation, and
+``--jobs N`` fans ``compare``'s independent points over N processes.
 
 Examples::
 
     python -m repro list
     python -m repro run soplex --variant cfd --scale 0.25 --json
     python -m repro compare astar_r1 --variant dfd --config memory-bound
+    python -m repro compare soplex --variant cfd --jobs 2
     python -m repro profile mcf --top 5
     python -m repro classify --scale 0.125
     python -m repro trace soplex --variant cfd --cycles 2000
+    python -m repro bench-speed --repeats 3
 """
 
 import argparse
@@ -35,6 +42,7 @@ from repro.core.pipeline import Pipeline
 from repro.core.trace import PipelineTracer
 from repro.obs.events import EventTracer, OccupancySampler
 from repro.obs.export import jsonable, write_chrome_trace, write_jsonl
+from repro.perf import ResultCache, SweepPoint, run_sweep
 from repro.profiling import profile_program, run_classification_study
 from repro.workloads import all_workloads, get_workload
 
@@ -88,11 +96,30 @@ def cmd_list(args, out):
     return 0
 
 
+def _result_cache(args):
+    """The persistent cache, or ``None`` under ``--no-cache``."""
+    return None if getattr(args, "no_cache", False) else ResultCache()
+
+
 def cmd_run(args, out):
     built = _build(args)
-    result = simulate(
-        built.program, _make_config(args), max_instructions=args.max_instructions
-    )
+    config = _make_config(args)
+    cache = _result_cache(args)
+    result = None
+    key = None
+    if cache is not None:
+        key = cache.key_for(built.program, config, args.max_instructions)
+        result = cache.load(key, config=config)
+    if result is None:
+        result = simulate(
+            built.program, config, max_instructions=args.max_instructions
+        )
+        if cache is not None:
+            cache.store_result(
+                key, result,
+                workload=_workload_identity(args),
+                run={"max_instructions": args.max_instructions},
+            )
     if args.json:
         manifest = result.manifest(
             workload=_workload_identity(args),
@@ -114,13 +141,25 @@ def cmd_run(args, out):
 def cmd_compare(args, out):
     workload = get_workload(args.workload)
     config = _make_config(args)
-    base = workload.build("base", args.input, scale=args.scale, seed=args.seed)
-    variant = workload.build(args.variant, args.input, scale=args.scale,
-                             seed=args.seed)
-    base_result = simulate(base.program, config,
-                           max_instructions=args.max_instructions)
-    var_result = simulate(variant.program, config,
-                          max_instructions=args.max_instructions)
+    points = [
+        SweepPoint(
+            workload=args.workload,
+            variant=variant,
+            input_name=args.input,
+            config=config,
+            scale=args.scale,
+            seed=args.seed,
+            max_instructions=args.max_instructions,
+        )
+        for variant in ("base", args.variant)
+    ]
+    outcomes = run_sweep(points, jobs=args.jobs, cache=_result_cache(args))
+    for outcome in outcomes:
+        if not outcome.ok:
+            out.write("%s failed:\n%s\n" % (outcome.point.label(),
+                                            outcome.error))
+            return 1
+    base_result, var_result = (o.result for o in outcomes)
     comparison = compare_runs(
         workload.name, args.variant, base_result, var_result
     )
@@ -268,6 +307,55 @@ def cmd_disasm(args, out):
     return 0
 
 
+def cmd_bench_speed(args, out):
+    import dataclasses
+
+    from repro.perf.speed import (
+        REFERENCE_CASES,
+        run_speed_benchmark,
+        write_speed_artifact,
+    )
+
+    cases = REFERENCE_CASES
+    if args.cases:
+        wanted = [name.strip() for name in args.cases.split(",") if name.strip()]
+        known = {case.name: case for case in REFERENCE_CASES}
+        unknown = [name for name in wanted if name not in known]
+        if unknown:
+            out.write("unknown case(s): %s (known: %s)\n" % (
+                ", ".join(unknown), ", ".join(sorted(known))))
+            return 2
+        cases = [known[name] for name in wanted]
+    if args.max_instructions is not None:
+        cases = [
+            dataclasses.replace(
+                case,
+                max_instructions=min(case.max_instructions,
+                                     args.max_instructions),
+            )
+            for case in cases
+        ]
+
+    def progress(case, result, done, total):
+        if not args.json:
+            out.write("[%d/%d] %-22s %8.2f KIPS (%d insts in %.3fs)\n" % (
+                done, total, case.name, result["kips"], result["retired"],
+                result["seconds"]))
+
+    payload = run_speed_benchmark(cases=cases, repeats=args.repeats,
+                                  progress=progress, jobs=args.jobs)
+    path = write_speed_artifact(payload, directory=args.artifact_dir)
+    if args.json:
+        return _emit_json(out, payload)
+    out.write("geomean: %.2f KIPS" % payload["geomean_kips"])
+    baseline = payload["baseline"]["geomean_kips"]
+    if baseline and payload["speedup_vs_baseline"]:
+        out.write("  (baseline %.2f, speedup %.3fx)" % (
+            baseline, payload["speedup_vs_baseline"]))
+    out.write("\nartifact: %s\n" % path)
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro", description="Control-Flow Decoupling reproduction"
@@ -289,10 +377,25 @@ def build_parser():
             p.add_argument("--json", action="store_true",
                            help="emit machine-readable JSON")
 
+    def perf_flags(p, jobs=True):
+        if jobs:
+            p.add_argument(
+                "--jobs", type=int, default=1,
+                help="worker processes for independent simulation points "
+                     "(compare runs base and variant concurrently with "
+                     "--jobs 2; a single run needs one)")
+        p.add_argument(
+            "--no-cache", action="store_true",
+            help="always simulate fresh; skip the persistent result cache "
+                 "(~/.cache/repro, override with REPRO_CACHE_DIR)")
+
     sub.add_parser("list", help="list the workload registry")
-    common(sub.add_parser("run", help="simulate one binary"), json_flag=True)
+    run_parser = sub.add_parser("run", help="simulate one binary")
+    common(run_parser, json_flag=True)
+    perf_flags(run_parser)
     compare_parser = sub.add_parser("compare", help="base vs variant")
     common(compare_parser, json_flag=True)
+    perf_flags(compare_parser)
     profile_parser = sub.add_parser("profile", help="branch profile")
     common(profile_parser, json_flag=True)
     profile_parser.add_argument("--top", type=int, default=10)
@@ -318,6 +421,33 @@ def build_parser():
     trace_parser.add_argument("--render-start", type=int, default=0)
     trace_parser.add_argument("--render-count", type=int, default=50)
     common(sub.add_parser("disasm", help="disassemble a built binary"))
+    speed_parser = sub.add_parser(
+        "bench-speed",
+        help="host throughput (simulated KIPS) vs the stored baseline",
+    )
+    speed_parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repetitions per case; the best is kept (default 3)")
+    speed_parser.add_argument(
+        "--cases", default=None,
+        help="comma-separated subset of reference case names")
+    speed_parser.add_argument(
+        "--max-instructions", type=int, default=None,
+        help="cap every case's instruction budget (smoke runs)")
+    speed_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="overlap case measurement across N processes (faster but "
+             "noisier; keep 1 for trustworthy numbers)")
+    speed_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="accepted for flag uniformity; bench-speed always times "
+             "fresh simulations and never consults the result cache")
+    speed_parser.add_argument(
+        "--artifact-dir", default=None,
+        help="where to write BENCH_speed.json "
+             "(default $REPRO_BENCH_ARTIFACT_DIR or .)")
+    speed_parser.add_argument("--json", action="store_true",
+                              help="emit the full payload as JSON")
     return parser
 
 
@@ -329,6 +459,7 @@ _COMMANDS = {
     "classify": cmd_classify,
     "trace": cmd_trace,
     "disasm": cmd_disasm,
+    "bench-speed": cmd_bench_speed,
 }
 
 

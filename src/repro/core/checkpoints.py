@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional, Tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class FrontEndSnapshot:
     """Speculative front-end state captured when a branch is fetched."""
 

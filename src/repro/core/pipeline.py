@@ -12,10 +12,12 @@ retire -> complete/writeback (branch resolution, recoveries) ->
 memory pipeline -> issue -> rename/dispatch -> fetch.
 """
 
+import gc
 from collections import deque
+from operator import attrgetter
 
 from repro.arch.executor import FunctionalExecutor
-from repro.arch.semantics import alu_compute, branch_taken
+from repro.arch.semantics import alu_fn, branch_fn
 from repro.arch.state import ArchState
 from repro.branch import (
     BranchTargetBuffer,
@@ -74,71 +76,108 @@ class SimulationError(ReproError):
     """Internal simulator invariant violation (checker mismatch, deadlock)."""
 
 
+#: Per-PC predecode record layout (see :meth:`Pipeline._predecode`).
+#: Tuple indices, kept in one place so the stage code reads like field
+#: access: ``d[_D_OPCLASS]`` etc.
+_D_INST = 0
+_D_OPCLASS = 1
+_D_OPCODE = 2
+_D_SRC_ARCH = 3
+_D_DEST_ARCH = 4
+_D_NEEDS_IQ = 5
+_D_IS_LOAD = 6
+_D_IS_STORE = 7
+_D_IS_BYTE = 8
+_D_LATENCY = 9
+_D_IS_PREFETCH = 10
+_D_FETCH_SIMPLE = 11
+_D_RETIRE_SIMPLE = 12
+_D_ALU_FN = 13
+_D_BR_FN = 14
+
+#: Opclasses the fetch stage has dedicated handling for (CFD queue ops,
+#: control transfers, serializers).  Everything else takes the lean fetch
+#: path: create the uop and advance the PC.
+_FETCH_SPECIAL = frozenset({
+    OpClass.BQ_PUSH, OpClass.BQ_BRANCH, OpClass.BQ_MARK, OpClass.BQ_FORWARD,
+    OpClass.TQ_PUSH, OpClass.TQ_POP, OpClass.TQ_POP_BOV, OpClass.TCR_BRANCH,
+    OpClass.BRANCH, OpClass.JUMP, OpClass.HALT,
+    OpClass.QSAVE, OpClass.QRESTORE,
+})
+
+#: Opclasses whose retirement touches a structure beyond the ROB/PRF
+#: (queues, predictors, branch bookkeeping).  Plain ALU/MUL/DIV/NOP ops
+#: skip the whole dispatch chain in ``_retire_one``.
+_RETIRE_SPECIAL = frozenset({
+    OpClass.LOAD, OpClass.STORE,
+    OpClass.BQ_PUSH, OpClass.BQ_BRANCH, OpClass.BQ_MARK, OpClass.BQ_FORWARD,
+    OpClass.TQ_PUSH, OpClass.TQ_POP, OpClass.TQ_POP_BOV, OpClass.TCR_BRANCH,
+    OpClass.VQ_PUSH, OpClass.VQ_POP,
+    OpClass.BRANCH, OpClass.JUMP, OpClass.HALT,
+    OpClass.QSAVE, OpClass.QRESTORE,
+})
+
+
 class Uop:
-    """One in-flight instruction."""
+    """One in-flight instruction.
 
-    __slots__ = (
-        "seq", "pc", "inst", "opclass", "fetched_cycle",
-        "phys_rd", "old_phys_rd", "arch_rd", "src_phys",
-        "in_iq", "issued", "done", "squashed", "serializing", "serialize_start",
-        "is_ctrl", "conditional", "predicted_taken", "predicted_target",
-        "pred_meta", "actual_taken", "actual_target", "mispredicted",
-        "uses_predictor", "oracle_used", "conf_confident",
-        "ckpt_id", "fe_snap",
-        "bq_ptr", "bq_spec", "bq_pred",
-        "tq_ptr", "popped_count", "popped_ovf",
-        "is_load", "is_store", "is_byte", "addr", "addr_known", "mem_level",
-        "value", "level", "vq_source_phys", "vq_dangling",
-        "needs_retire_redirect", "redirect_pc",
-    )
+    Every field except the five identity ones defaults at class level:
+    reads fall through to the class attribute until a stage writes the
+    instance's own value.  (All defaults are immutable, so sharing is
+    safe.)  Constructing a uop therefore writes 5 attributes, not ~45 —
+    fetch creates one of these per slot per cycle, wrong path included,
+    which made ``__init__`` one of the hottest functions in the
+    simulator.
+    """
 
-    def __init__(self, seq, pc, inst, cycle):
+    phys_rd = None
+    old_phys_rd = None
+    arch_rd = None
+    src_phys = ()
+    in_iq = False
+    issued = False
+    done = False
+    squashed = False
+    serializing = False
+    serialize_start = None
+    is_ctrl = False
+    conditional = False
+    predicted_taken = False
+    predicted_target = None
+    pred_meta = None
+    actual_taken = None
+    actual_target = None
+    mispredicted = False
+    uses_predictor = False
+    oracle_used = False
+    conf_confident = True
+    ckpt_id = None
+    fe_snap = None
+    bq_ptr = None
+    bq_spec = False
+    bq_pred = None
+    tq_ptr = None
+    popped_count = None
+    popped_ovf = None
+    is_load = False
+    is_store = False
+    is_byte = False
+    addr = None
+    addr_known = False
+    mem_level = MemLevel.NONE
+    value = None
+    level = MemLevel.NONE
+    vq_source_phys = None
+    vq_dangling = False
+    needs_retire_redirect = False
+    redirect_pc = None
+
+    def __init__(self, seq, pc, inst, cycle, opclass=None):
         self.seq = seq
         self.pc = pc
         self.inst = inst
-        self.opclass = inst.info.opclass
+        self.opclass = inst.info.opclass if opclass is None else opclass
         self.fetched_cycle = cycle
-        self.phys_rd = None
-        self.old_phys_rd = None
-        self.arch_rd = None
-        self.src_phys = ()
-        self.in_iq = False
-        self.issued = False
-        self.done = False
-        self.squashed = False
-        self.serializing = False
-        self.serialize_start = None
-        self.is_ctrl = False
-        self.conditional = False
-        self.predicted_taken = False
-        self.predicted_target = None
-        self.pred_meta = None
-        self.actual_taken = None
-        self.actual_target = None
-        self.mispredicted = False
-        self.uses_predictor = False
-        self.oracle_used = False
-        self.conf_confident = True
-        self.ckpt_id = None
-        self.fe_snap = None
-        self.bq_ptr = None
-        self.bq_spec = False
-        self.bq_pred = None
-        self.tq_ptr = None
-        self.popped_count = None
-        self.popped_ovf = None
-        self.is_load = False
-        self.is_store = False
-        self.is_byte = False
-        self.addr = None
-        self.addr_known = False
-        self.mem_level = MemLevel.NONE
-        self.value = None
-        self.level = MemLevel.NONE
-        self.vq_source_phys = None
-        self.vq_dangling = False
-        self.needs_retire_redirect = False
-        self.redirect_pc = None
 
 
 class Pipeline:
@@ -149,6 +188,10 @@ class Pipeline:
         self.program = program
         self.config = config
         self.stats = SimStats()
+        # Per-PC predecode: everything fetch/rename/issue would otherwise
+        # re-derive from ``inst.info`` on every dynamic instance of a PC.
+        self._decoded = self._predecode(program)
+        self._l1i_line_bytes = config.memory.l1i.line_bytes
 
         # Architectural checker (also the committed state).
         self.checker = FunctionalExecutor(
@@ -211,6 +254,10 @@ class Pipeline:
         )
         self.inflight = {}  # seq -> uop (for BQ late-push validation)
         self.serialize_pending = False
+        # Issue-scan skip flag: cleared after a scan that issued nothing,
+        # set again by any event that could wake an IQ entry (a register
+        # writeback, a new dispatch, a squash, the divider freeing up).
+        self._issue_dirty = True
 
         # Memory
         self.memory = MemoryHierarchy(config.memory)
@@ -285,8 +332,60 @@ class Pipeline:
 
     # ------------------------------------------------------------------ utils
 
+    def _predecode(self, program):
+        """Static per-PC decode table, built once per simulation.
+
+        Each record caches what the hot stages (fetch, rename, issue) need
+        about the instruction at that PC, so the per-cycle loops do one
+        list index instead of chasing ``inst.info`` attributes and
+        recomputing source/destination/IQ classification for every dynamic
+        instance.  See the ``_D_*`` indices above for the layout.
+        """
+        decoded = []
+        for inst in program.code:
+            info = inst.info
+            opclass = info.opclass
+            opcode = inst.opcode
+            sources = []
+            if info.reads_rs1 and inst.rs1 is not None:
+                sources.append(inst.rs1)
+            if info.reads_rs2 and inst.rs2 is not None:
+                sources.append(inst.rs2)
+            if info.reads_rd and inst.rd is not None:
+                sources.append(inst.rd)
+            needs_iq = (
+                opclass not in _FETCH_RESOLVED
+                and not (opclass is OpClass.JUMP and opcode is not Opcode.JALR)
+                and opclass is not OpClass.QSAVE
+                and opclass is not OpClass.QRESTORE
+            )
+            decoded.append((
+                inst,
+                opclass,
+                opcode,
+                tuple(sources),
+                inst.destination_register(),
+                needs_iq,
+                opclass is OpClass.LOAD and opcode is not Opcode.PREFETCH,
+                opclass is OpClass.STORE,
+                opcode in (Opcode.LB, Opcode.LBU, Opcode.SB),
+                info.latency,
+                opcode is Opcode.PREFETCH,
+                opclass not in _FETCH_SPECIAL,
+                opclass not in _RETIRE_SPECIAL,
+                alu_fn(opcode),
+                branch_fn(opcode),
+            ))
+        return decoded
+
     def _schedule(self, uop, delay):
-        self.completions.setdefault(self.cycle + delay, []).append(uop)
+        completions = self.completions
+        when = self.cycle + delay
+        bucket = completions.get(when)
+        if bucket is None:
+            completions[when] = [uop]
+        else:
+            bucket.append(uop)
 
     def _inst_addr(self, pc):
         return CODE_BASE + pc * 4
@@ -318,52 +417,79 @@ class Pipeline:
         )
 
     def stage_fetch(self):
-        config = self.config
-        stats = self.stats
-        obs = self.obs
         if self.fetch_halted or self.sim_done:
             return
-        if self.cycle < self.next_fetch_cycle:
+        stats = self.stats
+        cycle = self.cycle
+        if cycle < self.next_fetch_cycle:
             stats.fetch_cycles_stalled += 1
             return
-        if len(self.fetch_pipe) >= self.fetch_pipe_cap:
+        fetch_pipe = self.fetch_pipe
+        fetch_pipe_cap = self.fetch_pipe_cap
+        if len(fetch_pipe) >= fetch_pipe_cap:
             stats.fetch_cycles_stalled += 1
             return
+        config = self.config
+        events = stats.events
 
         # Instruction cache: one block access per new fetch block.
-        block = self._inst_addr(self.fetch_pc) // config.memory.l1i.line_bytes
+        block = (CODE_BASE + self.fetch_pc * 4) // self._l1i_line_bytes
         if block != self.last_inst_block:
             self.last_inst_block = block
-            result = self.memory.access_inst(self._inst_addr(self.fetch_pc))
-            stats.events["icache_access"] += 1
+            result = self.memory.access_inst(CODE_BASE + self.fetch_pc * 4)
+            events["icache_access"] += 1
             if result.level != MemLevel.L1:
                 stats.icache_stall_cycles += result.latency
-                self.next_fetch_cycle = self.cycle + result.latency
+                self.next_fetch_cycle = cycle + result.latency
                 return
 
+        obs = self.obs
+        decoded = self._decoded
+        ncode = len(decoded)
+        hw_bq = self.hw_bq
+        hw_tq = self.hw_tq
+        ready_cycle = cycle + config.front_end_depth
+        fetch_width = config.fetch_width
+        seq = self.seq
         fetched = 0
-        while fetched < config.fetch_width:
-            inst = self.program.instruction_at(self.fetch_pc)
-            if inst is None:
+        while fetched < fetch_width:
+            pc = self.fetch_pc
+            if pc < 0 or pc >= ncode:
                 self.fetch_halted = True
                 break
-            opclass = inst.info.opclass
-            pc = self.fetch_pc
+            entry = decoded[pc]
+            inst = entry[_D_INST]
+            opclass = entry[_D_OPCLASS]
+
+            if entry[_D_FETCH_SIMPLE]:
+                # Plain ALU/memory/VQ op: touches no front-end structure
+                # and is never a taken transfer — the common case.
+                uop = Uop(seq, pc, inst, cycle, opclass)
+                seq += 1
+                fetch_pipe.append((ready_cycle, uop))
+                fetched += 1
+                if obs is not None:
+                    obs.on_fetch(uop, cycle)
+                self.fetch_pc = pc + 1
+                if len(fetch_pipe) >= fetch_pipe_cap:
+                    break
+                continue
+
             next_pc = pc + 1
             taken_transfer = False
 
-            uop = Uop(self.seq, pc, inst, self.cycle)
+            uop = Uop(seq, pc, inst, cycle, opclass)
 
-            if opclass == OpClass.BQ_PUSH:
-                if self.hw_bq.push_would_stall():
+            if opclass is OpClass.BQ_PUSH:
+                if hw_bq.push_would_stall():
                     stats.bq_full_stalls += 1
                     break
-                uop.bq_ptr = self.hw_bq.allocate_push()
-                stats.events["bq_access"] += 1
-            elif opclass == OpClass.BQ_BRANCH:
-                stats.events["bq_access"] += 1
-                stats.events["btb_access"] += 1
-                kind, pointer, predicate, level = self.hw_bq.pop_at_fetch()
+                uop.bq_ptr = hw_bq.allocate_push()
+                events["bq_access"] += 1
+            elif opclass is OpClass.BQ_BRANCH:
+                events["bq_access"] += 1
+                events["btb_access"] += 1
+                kind, pointer, predicate, level = hw_bq.pop_at_fetch()
                 if kind == POP_HIT:
                     uop.bq_ptr = pointer
                     uop.bq_pred = predicate
@@ -383,11 +509,11 @@ class Pipeline:
                         break
                     snap = self._capture_fe_snapshot()
                     predicted, meta = self.predictor.predict(pc)
-                    stats.events["predictor_access"] += 1
+                    events["predictor_access"] += 1
                     uop.conf_confident = self.confidence.is_confident(pc)
                     self.predictor.speculative_update(pc, predicted)
                     self.confidence.speculative_update(predicted)
-                    uop.bq_ptr = self.hw_bq.speculate_pop(predicted, uop.seq)
+                    uop.bq_ptr = hw_bq.speculate_pop(predicted, uop.seq)
                     uop.bq_spec = True
                     uop.is_ctrl = True
                     uop.conditional = True
@@ -402,19 +528,19 @@ class Pipeline:
                     if predicted:
                         taken_transfer = True
                         next_pc = inst.target
-            elif opclass == OpClass.BQ_MARK:
-                self.hw_bq.mark_at_fetch()
-            elif opclass == OpClass.BQ_FORWARD:
-                self.hw_bq.forward_at_fetch()
-                stats.events["bq_access"] += 1
-            elif opclass == OpClass.TQ_PUSH:
-                if self.hw_tq.push_would_stall():
+            elif opclass is OpClass.BQ_MARK:
+                hw_bq.mark_at_fetch()
+            elif opclass is OpClass.BQ_FORWARD:
+                hw_bq.forward_at_fetch()
+                events["bq_access"] += 1
+            elif opclass is OpClass.TQ_PUSH:
+                if hw_tq.push_would_stall():
                     break
-                uop.tq_ptr = self.hw_tq.allocate_push()
-                stats.events["tq_access"] += 1
-            elif opclass == OpClass.TQ_POP:
-                stats.events["tq_access"] += 1
-                kind, pointer, count, overflow = self.hw_tq.pop_at_fetch()
+                uop.tq_ptr = hw_tq.allocate_push()
+                events["tq_access"] += 1
+            elif opclass is OpClass.TQ_POP:
+                events["tq_access"] += 1
+                kind, pointer, count, overflow = hw_tq.pop_at_fetch()
                 if kind != POP_HIT:
                     stats.tq_stall_cycles += 1
                     break
@@ -422,10 +548,10 @@ class Pipeline:
                 uop.popped_count = count
                 uop.popped_ovf = overflow
                 self.spec_tcr = 0 if overflow else count
-            elif opclass == OpClass.TQ_POP_BOV:
-                stats.events["tq_access"] += 1
-                stats.events["btb_access"] += 1
-                kind, pointer, count, overflow = self.hw_tq.pop_at_fetch()
+            elif opclass is OpClass.TQ_POP_BOV:
+                events["tq_access"] += 1
+                events["btb_access"] += 1
+                kind, pointer, count, overflow = hw_tq.pop_at_fetch()
                 if kind != POP_HIT:
                     stats.tq_stall_cycles += 1
                     break
@@ -439,8 +565,8 @@ class Pipeline:
                 if overflow:
                     taken_transfer = True
                     next_pc = inst.target
-            elif opclass == OpClass.TCR_BRANCH:
-                stats.events["btb_access"] += 1
+            elif opclass is OpClass.TCR_BRANCH:
+                events["btb_access"] += 1
                 uop.is_ctrl = True
                 taken = self.spec_tcr > 0
                 if taken:
@@ -449,8 +575,8 @@ class Pipeline:
                     next_pc = inst.target
                 uop.actual_taken = taken
                 uop.actual_target = inst.target if taken else pc + 1
-            elif opclass == OpClass.BRANCH:
-                stats.events["btb_access"] += 1
+            elif opclass is OpClass.BRANCH:
+                events["btb_access"] += 1
                 uop.is_ctrl = True
                 uop.conditional = True
                 snap = self._capture_fe_snapshot()
@@ -460,7 +586,7 @@ class Pipeline:
                     uop.conf_confident = True
                 else:
                     predicted, meta = self.predictor.predict(pc)
-                    stats.events["predictor_access"] += 1
+                    events["predictor_access"] += 1
                     uop.pred_meta = meta
                     uop.uses_predictor = True
                     uop.conf_confident = self.confidence.is_confident(pc)
@@ -472,15 +598,16 @@ class Pipeline:
                 if predicted:
                     taken_transfer = True
                     next_pc = inst.target
-            elif opclass == OpClass.JUMP:
-                stats.events["btb_access"] += 1
+            elif opclass is OpClass.JUMP:
+                events["btb_access"] += 1
                 uop.is_ctrl = True
-                if inst.opcode == Opcode.J:
+                opcode = entry[_D_OPCODE]
+                if opcode is Opcode.J:
                     uop.predicted_taken = uop.actual_taken = True
                     uop.predicted_target = uop.actual_target = inst.target
                     taken_transfer = True
                     next_pc = inst.target
-                elif inst.opcode == Opcode.JAL:
+                elif opcode is Opcode.JAL:
                     uop.predicted_taken = uop.actual_taken = True
                     uop.predicted_target = uop.actual_target = inst.target
                     if inst.rd == LINK_REG:
@@ -501,97 +628,128 @@ class Pipeline:
                     uop.fe_snap = self._finish_fe_snapshot(snap)
                     taken_transfer = True
                     next_pc = predicted_target
-            elif opclass == OpClass.HALT:
+            elif opclass is OpClass.HALT:
                 self.fetch_halted = True
-            elif opclass in (OpClass.QSAVE, OpClass.QRESTORE):
+            elif opclass is OpClass.QSAVE or opclass is OpClass.QRESTORE:
                 # Queue save/restore fully serializes: later instructions
                 # (in particular pops) must see the restored queue state.
                 self.fetch_halted = True
 
             # BTB-driven misfetch penalty for taken transfers.
             misfetch = False
-            if taken_transfer and inst.opcode != Opcode.JALR:
+            if taken_transfer and entry[_D_OPCODE] is not Opcode.JALR:
                 if self.btb.lookup(pc) is None:
                     misfetch = True
                     stats.misfetches += 1
                 self.btb.install(pc, next_pc)
 
-            self.seq += 1
-            self.fetch_pipe.append((self.cycle + config.front_end_depth, uop))
-            stats.fetched += 1
-            stats.events["fetch"] += 1
+            seq += 1
+            fetch_pipe.append((ready_cycle, uop))
             if obs is not None:
-                obs.on_fetch(uop, self.cycle)
+                obs.on_fetch(uop, cycle)
             self.fetch_pc = next_pc
             fetched += 1
-            if opclass == OpClass.HALT or opclass in (
-                OpClass.QSAVE,
-                OpClass.QRESTORE,
+            if (
+                opclass is OpClass.HALT
+                or opclass is OpClass.QSAVE
+                or opclass is OpClass.QRESTORE
             ):
                 break
             if taken_transfer:
                 if misfetch:
-                    self.next_fetch_cycle = self.cycle + 2
+                    self.next_fetch_cycle = cycle + 2
                 break
-            if len(self.fetch_pipe) >= self.fetch_pipe_cap:
+            if len(fetch_pipe) >= fetch_pipe_cap:
                 break
+        self.seq = seq
+        if fetched:
+            stats.fetched += fetched
+            events["fetch"] += fetched
 
     # ----------------------------------------------------------------- rename
 
     def stage_rename(self):
+        fetch_pipe = self.fetch_pipe
+        if not fetch_pipe:
+            return
+        cycle = self.cycle
+        # Nothing can rename this cycle: head still in the front-end pipe,
+        # or a serializing instruction is draining.
+        if fetch_pipe[0][0] > cycle or self.serialize_pending:
+            return
         config = self.config
+        rob = self.rob
+        rob_size = config.rob_size
+        if len(rob) >= rob_size:
+            return  # window full: the first iteration would break anyway
         stats = self.stats
+        events = stats.events
         obs = self.obs
+        decoded = self._decoded
+        rename_tables = self.rename_tables
+        # rmt / the freelist stack are mutated only in place while renaming
+        # (restores, which rebind them, happen in other stages), so both can
+        # be hoisted for the whole call and probed without method calls.
+        rmt = rename_tables.rmt
+        free_phys = rename_tables.freelist._free
+        iq = self.iq
+        load_queue = self.load_queue
+        store_queue = self.store_queue
+        prf_ready = self.prf_ready
+        prf_level = self.prf_level
+        rename_width = config.rename_width
+        iq_size = config.iq_size
         renamed = 0
-        while renamed < config.rename_width and self.fetch_pipe:
-            ready_cycle, uop = self.fetch_pipe[0]
-            if ready_cycle > self.cycle:
+        iq_writes = 0
+        prf_allocs = 0
+        rob_len = len(rob)  # rob/iq only grow inside this loop
+        iq_len = len(iq)
+        while renamed < rename_width and fetch_pipe:
+            ready_cycle, uop = fetch_pipe[0]
+            if ready_cycle > cycle:
                 break
             if self.serialize_pending:
                 break
-            if len(self.rob) >= config.rob_size:
+            if rob_len >= rob_size:
                 break
             opclass = uop.opclass
-            inst = uop.inst
-            needs_iq = (
-                opclass not in _FETCH_RESOLVED
-                and not (opclass == OpClass.JUMP and inst.opcode != Opcode.JALR)
-            )
-            if opclass in (OpClass.QSAVE, OpClass.QRESTORE):
-                needs_iq = False
-            if needs_iq and len(self.iq) >= config.iq_size:
+            entry = decoded[uop.pc]
+            needs_iq = entry[_D_NEEDS_IQ]
+            if needs_iq and iq_len >= iq_size:
                 break
-            if uop.opclass == OpClass.LOAD and len(self.load_queue) >= config.lq_size:
+            if opclass is OpClass.LOAD and len(load_queue) >= config.lq_size:
                 break
-            if uop.opclass == OpClass.STORE and len(self.store_queue) >= config.sq_size:
+            if opclass is OpClass.STORE and len(store_queue) >= config.sq_size:
                 break
-            if opclass == OpClass.VQ_PUSH and self.vq_renamer.push_would_stall():
+            if opclass is OpClass.VQ_PUSH and self.vq_renamer.push_would_stall():
                 break
-            dest_arch = inst.destination_register()
-            needs_phys = dest_arch is not None or opclass == OpClass.VQ_PUSH
-            if needs_phys and self.rename_tables.freelist.available == 0:
+            dest_arch = entry[_D_DEST_ARCH]
+            needs_phys = dest_arch is not None or opclass is OpClass.VQ_PUSH
+            if needs_phys and not free_phys:
                 break
 
-            self.fetch_pipe.popleft()
+            fetch_pipe.popleft()
             renamed += 1
-            stats.renamed += 1
-            stats.events["rename"] += 1
+            self._issue_dirty = True  # new dispatch (or a front-end
+            # -resolved JAL writeback) can wake the issue scan
             if obs is not None:
-                obs.on_rename(uop, self.cycle)
+                obs.on_rename(uop, cycle)
 
-            # Sources
-            sources = []
-            info = inst.info
-            if info.reads_rs1 and inst.rs1 is not None:
-                sources.append(self.rename_tables.lookup(inst.rs1))
-            if info.reads_rs2 and inst.rs2 is not None:
-                sources.append(self.rename_tables.lookup(inst.rs2))
-            if info.reads_rd and inst.rd is not None:
-                # Conditional moves merge with the previous rd value.
-                sources.append(self.rename_tables.lookup(inst.rd))
-            if opclass == OpClass.VQ_POP:
+            # Sources (predecoded arch registers, in rs1/rs2/rd read order;
+            # conditional moves merge with the previous rd value).
+            src_arch = entry[_D_SRC_ARCH]
+            n_src = len(src_arch)
+            if n_src == 1:
+                sources = [rmt[src_arch[0]]]
+            elif n_src == 2:
+                sources = [rmt[src_arch[0]], rmt[src_arch[1]]]
+            elif n_src == 0:
+                sources = []
+            else:
+                sources = [rmt[reg] for reg in src_arch]
+            if opclass is OpClass.VQ_POP:
                 src = self.vq_renamer.pop()
-                stats.events["vq_renamer_access"] += 1
+                events["vq_renamer_access"] += 1
                 if src is None:
                     uop.vq_dangling = True
                     src = 0  # p0 (zero) — wrong-path only
@@ -599,21 +757,24 @@ class Pipeline:
                 sources.append(src)
             uop.src_phys = tuple(sources)
 
-            # Destination
+            # Destination (inline of RenameTables.allocate_dest; the
+            # freelist was checked non-empty above).
             if dest_arch is not None:
-                allocated = self.rename_tables.allocate_dest(dest_arch)
+                phys = free_phys.pop()
                 uop.arch_rd = dest_arch
-                uop.phys_rd, uop.old_phys_rd = allocated
-                self.prf_ready[uop.phys_rd] = False
-                self.prf_level[uop.phys_rd] = MemLevel.NONE
-                stats.events["prf_write_alloc"] += 1
-            elif opclass == OpClass.VQ_PUSH:
-                phys = self.rename_tables.freelist.allocate()
                 uop.phys_rd = phys
-                self.prf_ready[phys] = False
-                self.prf_level[phys] = MemLevel.NONE
+                uop.old_phys_rd = rmt[dest_arch]
+                rmt[dest_arch] = phys
+                prf_ready[phys] = False
+                prf_level[phys] = MemLevel.NONE
+                prf_allocs += 1
+            elif opclass is OpClass.VQ_PUSH:
+                phys = free_phys.pop()
+                uop.phys_rd = phys
+                prf_ready[phys] = False
+                prf_level[phys] = MemLevel.NONE
                 self.vq_renamer.push(phys)
-                stats.events["vq_renamer_access"] += 1
+                events["vq_renamer_access"] += 1
 
             # Checkpoint allocation for recoverable control uops.  A pop
             # already invalidated by a late push (while it sat in the fetch
@@ -633,7 +794,7 @@ class Pipeline:
                 else:
                     ckpt_id = self.checkpoints.allocate(
                         uop.seq,
-                        self.rename_tables.snapshot_rmt(),
+                        rename_tables.snapshot_rmt(),
                         self.vq_renamer.snapshot(),
                         uop.fe_snap,
                     )
@@ -642,40 +803,49 @@ class Pipeline:
                     else:
                         uop.ckpt_id = ckpt_id
                         stats.checkpoints_taken += 1
-                        stats.events["checkpoint_save"] += 1
+                        events["checkpoint_save"] += 1
                         if uop.bq_spec:
                             self.hw_bq.set_pop_checkpoint(uop.bq_ptr, ckpt_id)
 
             # Dispatch
-            self.rob.append(uop)
+            rob.append(uop)
+            rob_len += 1
             self.inflight[uop.seq] = uop
-            stats.events["rob_write"] += 1
 
-            if opclass in (OpClass.QSAVE, OpClass.QRESTORE):
+            if opclass is OpClass.QSAVE or opclass is OpClass.QRESTORE:
                 uop.serializing = True
                 self.serialize_pending = True
-            elif opclass in _FETCH_RESOLVED or (
-                opclass == OpClass.JUMP and inst.opcode != Opcode.JALR
-            ):
+            elif not needs_iq:
                 # Resolved in the front end: no execution needed.
-                if inst.opcode == Opcode.JAL and uop.phys_rd is not None:
+                if entry[_D_OPCODE] is Opcode.JAL and uop.phys_rd is not None:
                     self.prf_value[uop.phys_rd] = uop.pc + 1
-                    self.prf_ready[uop.phys_rd] = True
+                    prf_ready[uop.phys_rd] = True
                     uop.value = uop.pc + 1
                 uop.done = True
             else:
-                uop.is_load = opclass == OpClass.LOAD and inst.opcode != Opcode.PREFETCH
-                uop.is_store = opclass == OpClass.STORE
-                uop.is_byte = inst.opcode in (Opcode.LB, Opcode.LBU, Opcode.SB)
+                is_load = entry[_D_IS_LOAD]
+                is_store = entry[_D_IS_STORE]
+                uop.is_load = is_load
+                uop.is_store = is_store
+                uop.is_byte = entry[_D_IS_BYTE]
                 uop.in_iq = True
-                self.iq.append(uop)
-                stats.events["iq_write"] += 1
-                if uop.is_load or inst.opcode == Opcode.PREFETCH:
-                    self.load_queue.append(uop)
-                if uop.is_store:
-                    entry = StoreQueueEntry(uop)
-                    entry.is_byte = uop.is_byte
-                    self.store_queue.append(entry)
+                iq.append(uop)
+                iq_len += 1
+                iq_writes += 1
+                if is_load or entry[_D_IS_PREFETCH]:
+                    load_queue.append(uop)
+                if is_store:
+                    sq_entry = StoreQueueEntry(uop)
+                    sq_entry.is_byte = uop.is_byte
+                    store_queue.append(sq_entry)
+        if renamed:
+            stats.renamed += renamed
+            events["rename"] += renamed
+            events["rob_write"] += renamed
+            if iq_writes:
+                events["iq_write"] += iq_writes
+            if prf_allocs:
+                events["prf_write_alloc"] += prf_allocs
 
     # ------------------------------------------------------------------ issue
 
@@ -691,54 +861,101 @@ class Pipeline:
         return True
 
     def stage_issue(self):
+        iq = self.iq
+        if not iq:
+            return
+        # If the last scan issued nothing and no wakeup event happened
+        # since (writeback, dispatch, squash, divider release), rescanning
+        # would be an identical no-op — skip it.
+        if not self._issue_dirty:
+            return
         config = self.config
         stats = self.stats
+        events = stats.events
         obs = self.obs
+        cycle = self.cycle
+        prf_ready = self.prf_ready
+        decoded = self._decoded
+        completions = self.completions
+        issue_width = config.issue_width
         alu_free = config.num_alu
         ldst_free = config.num_ldst
         mul_free = config.num_mul
         issued = 0
+        div_waited = False
         remaining = []
-        for uop in self.iq:
+        append = remaining.append
+        for uop in iq:
             if uop.squashed or uop.issued:
                 continue
-            if issued >= config.issue_width:
-                remaining.append(uop)
+            if issued >= issue_width:
+                append(uop)
                 continue
+            # Wakeup check (inlined _sources_ready): stores issue to the
+            # AGU on the address register alone — the data register is
+            # captured later (split store) — everything else needs all
+            # sources ready.
+            src_phys = uop.src_phys
+            if uop.is_store:
+                if not prf_ready[src_phys[0]]:
+                    append(uop)
+                    continue
+            else:
+                ready = True
+                for phys in src_phys:
+                    if not prf_ready[phys]:
+                        ready = False
+                        break
+                if not ready:
+                    append(uop)
+                    continue
             opclass = uop.opclass
-            if not self._sources_ready(uop):
-                remaining.append(uop)
-                continue
-            if opclass in (OpClass.LOAD, OpClass.STORE):
+            if opclass is OpClass.LOAD or opclass is OpClass.STORE:
                 if ldst_free <= 0:
-                    remaining.append(uop)
+                    append(uop)
                     continue
                 ldst_free -= 1
                 self._issue_memory(uop)
-            elif opclass == OpClass.MUL:
+            elif opclass is OpClass.MUL:
                 if mul_free <= 0:
-                    remaining.append(uop)
+                    append(uop)
                     continue
                 mul_free -= 1
                 self._issue_compute(uop)
-            elif opclass == OpClass.DIV:
-                if self.cycle < self.div_busy_until:
-                    remaining.append(uop)
+            elif opclass is OpClass.DIV:
+                if cycle < self.div_busy_until:
+                    append(uop)
+                    div_waited = True
                     continue
-                self.div_busy_until = self.cycle + uop.inst.info.latency
+                self.div_busy_until = cycle + decoded[uop.pc][_D_LATENCY]
                 self._issue_compute(uop)
             else:
                 if alu_free <= 0:
-                    remaining.append(uop)
+                    append(uop)
                     continue
                 alu_free -= 1
-                self._issue_compute(uop)
+                # Inline of _issue_compute + _schedule: the single-cycle
+                # ALU op is the dominant issue case.
+                uop.issued = True
+                uop.in_iq = False
+                latency = decoded[uop.pc][_D_LATENCY]
+                when = cycle + (latency if latency > 1 else 1)
+                bucket = completions.get(when)
+                if bucket is None:
+                    completions[when] = [uop]
+                else:
+                    bucket.append(uop)
             issued += 1
-            stats.issued += 1
-            stats.events["iq_issue"] += 1
             if obs is not None:
-                obs.on_issue(uop, self.cycle)
+                obs.on_issue(uop, cycle)
         self.iq = remaining
+        if issued:
+            stats.issued += issued
+            events["iq_issue"] += issued
+        elif not div_waited:
+            # Every entry is waiting on a source register (the divider
+            # case advances with the clock, so it keeps the flag set).
+            self._issue_dirty = False
 
     def _issue_compute(self, uop):
         uop.issued = True
@@ -747,7 +964,8 @@ class Pipeline:
         # issue back-to-back through the bypass network, as in real cores.
         # The deeper issue-to-execute pipe shows up only in the branch
         # misprediction penalty, which front_end_depth accounts for.
-        self._schedule(uop, max(1, uop.inst.info.latency))
+        latency = self._decoded[uop.pc][_D_LATENCY]
+        self._schedule(uop, latency if latency > 1 else 1)
 
     def _issue_memory(self, uop):
         """AGU issue: compute the address; the memory pipe takes it next."""
@@ -773,6 +991,8 @@ class Pipeline:
 
     def stage_memory(self):
         """Disambiguate and launch address-known loads/prefetches."""
+        if not self.waiting_loads:
+            return
         stats = self.stats
         still_waiting = []
         for uop in self.waiting_loads:
@@ -887,60 +1107,103 @@ class Pipeline:
     # -------------------------------------------------------------- complete
 
     def stage_complete(self):
-        stats = self.stats
-        obs = self.obs
         uops = self.completions.pop(self.cycle, None)
         if not uops:
             return
-        uops.sort(key=lambda u: u.seq)
+        stats = self.stats
+        events = stats.events
+        obs = self.obs
+        cycle = self.cycle
+        if len(uops) > 1:
+            uops.sort(key=attrgetter("seq"))
+        executed = 0
+        fu_executed = 0  # non-store: these also count an FU "execute" event
         for uop in uops:
             if uop.squashed or uop.done:
                 continue
             opclass = uop.opclass
-            if opclass == OpClass.STORE:
+            if opclass is OpClass.STORE:
                 data_phys = uop.src_phys[1]
                 if not self.prf_ready[data_phys]:
                     self._schedule(uop, 1)  # data not ready yet; retry
                     continue
                 uop.value = self.prf_value[data_phys]
                 uop.done = True
-                stats.executed += 1
+                executed += 1
                 if obs is not None:
-                    obs.on_execute(uop, self.cycle)
+                    obs.on_execute(uop, cycle)
                 continue
             self._execute_uop(uop)
             uop.done = True
-            stats.executed += 1
-            stats.events["execute"] += 1
+            executed += 1
+            fu_executed += 1
             if obs is not None:
-                obs.on_execute(uop, self.cycle)
+                obs.on_execute(uop, cycle)
+        if executed:
+            stats.executed += executed
+            if fu_executed:
+                events["execute"] += fu_executed
 
     def _execute_uop(self, uop):
         inst = uop.inst
         opclass = uop.opclass
         opcode = inst.opcode
-        src_values = [self.prf_value[p] for p in uop.src_phys]
-        src_levels = [self.prf_level[p] for p in uop.src_phys]
-        level = max(src_levels) if src_levels else MemLevel.NONE
+        src_phys = uop.src_phys
+        prf_value = self.prf_value
+        prf_level = self.prf_level
+        # Gather operands; specialized for the overwhelmingly common 1-2
+        # source cases (a conditional move's 3 sources take the generic
+        # path).  ``level`` is the furthest feeding memory level.
+        n = len(src_phys)
+        if n == 1:
+            p0 = src_phys[0]
+            src_values = [prf_value[p0]]
+            level = prf_level[p0]
+            src_levels = [level]
+        elif n == 2:
+            p0, p1 = src_phys
+            l0 = prf_level[p0]
+            l1 = prf_level[p1]
+            src_values = [prf_value[p0], prf_value[p1]]
+            src_levels = [l0, l1]
+            level = l0 if l0 >= l1 else l1
+        elif n == 0:
+            src_values = src_levels = ()
+            level = MemLevel.NONE
+        else:
+            src_values = [prf_value[p] for p in src_phys]
+            src_levels = [prf_level[p] for p in src_phys]
+            level = max(src_levels)
 
-        if opclass == OpClass.ALU or opclass == OpClass.MUL or opclass == OpClass.DIV:
-            if opcode in (Opcode.CMOVZ, Opcode.CMOVNZ):
+        if opclass is OpClass.ALU or opclass is OpClass.MUL or opclass is OpClass.DIV:
+            fn = self._decoded[uop.pc][_D_ALU_FN]
+            if fn is None:  # CMOVZ / CMOVNZ merge with the previous rd
                 a, condition, old_rd = src_values
-                move = (condition == 0) == (opcode == Opcode.CMOVZ)
+                move = (condition == 0) == (opcode is Opcode.CMOVZ)
                 self._write_dest(uop, a if move else old_rd, level)
             else:
-                a = src_values[0] if src_values else 0
-                b = src_values[1] if len(src_values) > 1 else 0
-                value = alu_compute(opcode, a, b, inst.imm)
-                self._write_dest(uop, value, level)
-        elif opclass == OpClass.LOAD:
-            if opcode != Opcode.PREFETCH:
+                n = len(src_values)
+                a = src_values[0] if n else 0
+                b = src_values[1] if n > 1 else 0
+                # Inline of _write_dest/_write_phys; fn's result is already
+                # a masked 32-bit unsigned value.
+                uop.value = value = fn(a, b, inst.imm)
+                uop.level = level
+                phys = uop.phys_rd
+                if phys is not None:
+                    prf_value[phys] = value
+                    self.prf_ready[phys] = True
+                    prf_level[phys] = level
+                    self._issue_dirty = True
+                    self.stats.events["prf_write"] += 1
+        elif opclass is OpClass.LOAD:
+            if opcode is not Opcode.PREFETCH:
                 self._write_dest(uop, uop.value, uop.mem_level)
             uop.level = uop.mem_level
-        elif opclass == OpClass.BRANCH:
+        elif opclass is OpClass.BRANCH:
             a = src_values[0]
             b = src_values[1] if len(src_values) > 1 else 0
-            taken = branch_taken(opcode, a, b)
+            taken = self._decoded[uop.pc][_D_BR_FN](a, b)
             uop.actual_taken = taken
             uop.actual_target = inst.target if taken else uop.pc + 1
             uop.level = level
@@ -950,7 +1213,7 @@ class Pipeline:
                 self._mispredict(uop, uop.actual_target, level)
             else:
                 self._confirm_control(uop)
-        elif opclass == OpClass.JUMP:  # JALR only
+        elif opclass is OpClass.JUMP:  # JALR only
             target = src_values[0]
             uop.actual_taken = True
             uop.actual_target = target
@@ -960,7 +1223,7 @@ class Pipeline:
                 self._mispredict(uop, target, level)
             else:
                 self._confirm_control(uop)
-        elif opclass == OpClass.BQ_PUSH:
+        elif opclass is OpClass.BQ_PUSH:
             predicate = 1 if src_values[0] else 0
             uop.value = predicate
             uop.level = level
@@ -970,15 +1233,15 @@ class Pipeline:
                 self._late_push_mismatch(uop, mismatch, level)
             else:
                 self._late_push_confirm(uop)
-        elif opclass == OpClass.TQ_PUSH:
+        elif opclass is OpClass.TQ_PUSH:
             count = src_values[0]
             uop.value = count
             self.hw_tq.execute_push(uop.tq_ptr, count)
             self.stats.events["tq_access"] += 1
-        elif opclass == OpClass.VQ_PUSH:
+        elif opclass is OpClass.VQ_PUSH:
             self._write_phys(uop.phys_rd, src_values[0], src_levels[0])
             uop.value = src_values[0]
-        elif opclass == OpClass.VQ_POP:
+        elif opclass is OpClass.VQ_POP:
             self._write_dest(uop, src_values[0], src_levels[0])
         else:  # pragma: no cover
             raise SimulationError("unexpected opclass in execute: %s" % opclass)
@@ -987,6 +1250,7 @@ class Pipeline:
         self.prf_value[phys] = value & 0xFFFFFFFF
         self.prf_ready[phys] = True
         self.prf_level[phys] = level
+        self._issue_dirty = True  # a writeback can wake IQ entries
         self.stats.events["prf_write"] += 1
 
     def _write_dest(self, uop, value, level):
@@ -1115,6 +1379,7 @@ class Pipeline:
     def _squash_younger(self, seq):
         stats = self.stats
         obs = self.obs
+        self._issue_dirty = True  # IQ membership changes below
         while self.rob and self.rob[-1].seq > seq:
             uop = self.rob.pop()
             uop.squashed = True
@@ -1148,12 +1413,20 @@ class Pipeline:
     # ---------------------------------------------------------------- retire
 
     def stage_retire(self):
-        config = self.config
+        rob = self.rob
+        if not rob or not rob[0].done and not rob[0].serializing:
+            return
         stats = self.stats
+        events = stats.events
         obs = self.obs
+        cycle = self.cycle
+        inflight_pop = self.inflight.pop
+        retire_width = self.config.retire_width
+        retire_limit = self.retire_limit
         retired = 0
-        while retired < config.retire_width and self.rob:
-            uop = self.rob[0]
+        base_retired = stats.retired
+        while retired < retire_width and rob:
+            uop = rob[0]
             if uop.serializing and not uop.done:
                 self._progress_serializing(uop)
                 if not uop.done:
@@ -1161,22 +1434,23 @@ class Pipeline:
             if not uop.done:
                 break
             self._retire_one(uop)
-            self.rob.popleft()
-            self.inflight.pop(uop.seq, None)
+            rob.popleft()
+            inflight_pop(uop.seq, None)
             retired += 1
-            stats.retired += 1
-            stats.events["retire"] += 1
             if obs is not None:
-                obs.on_retire(uop, self.cycle)
-            self.last_retire_cycle = self.cycle
+                obs.on_retire(uop, cycle)
             if self.sim_done:
                 break
             if uop.needs_retire_redirect:
                 self._retire_recovery(uop)
                 break
-            if self.retire_limit is not None and stats.retired >= self.retire_limit:
+            if retire_limit is not None and base_retired + retired >= retire_limit:
                 self.sim_done = True
                 break
+        if retired:
+            stats.retired = base_retired + retired
+            events["retire"] += retired
+            self.last_retire_cycle = cycle
 
     def _progress_serializing(self, uop):
         """Save/Restore queue macro-instruction at the ROB head."""
@@ -1200,26 +1474,23 @@ class Pipeline:
         return state.tq
 
     def _retire_one(self, uop):
-        stats = self.stats
-        inst = uop.inst
-        opclass = uop.opclass
-
         # Architectural checker: replay and compare.
-        record = self.checker.step()
+        checker = self.checker
+        record = checker.step()
         if record is None:
             raise SimulationError(
-                "checker halted but core retired pc %d (%s)" % (uop.pc, inst)
+                "checker halted but core retired pc %d (%s)" % (uop.pc, uop.inst)
             )
         if record.pc != uop.pc:
             raise SimulationError(
                 "retire stream diverged: core pc %d, checker pc %d (%s vs %s)"
-                % (uop.pc, record.pc, inst, record.inst)
+                % (uop.pc, record.pc, uop.inst, record.inst)
             )
         if uop.is_ctrl and record.taken is not None and uop.actual_taken is not None:
             if bool(record.taken) != bool(uop.actual_taken):
                 raise SimulationError(
                     "direction mismatch at pc %d (%s): core %s checker %s"
-                    % (uop.pc, inst, uop.actual_taken, record.taken)
+                    % (uop.pc, uop.inst, uop.actual_taken, record.taken)
                 )
         if (
             uop.arch_rd is not None
@@ -1229,23 +1500,48 @@ class Pipeline:
         ):
             raise SimulationError(
                 "value mismatch at pc %d (%s): core %#x checker %#x"
-                % (uop.pc, inst, uop.value, record.value)
+                % (uop.pc, uop.inst, uop.value, record.value)
             )
-        self.committed_tcr = self.checker.state.tcr
+        self.committed_tcr = checker.state.tcr
 
-        # Register commitment.
-        if uop.arch_rd is not None and uop.phys_rd is not None:
-            freed = self.rename_tables.commit_dest(uop.arch_rd, uop.phys_rd)
-            self.rename_tables.freelist.release(freed)
+        # Register commitment (inline of RenameTables.commit_dest plus the
+        # freelist release).
+        arch_rd = uop.arch_rd
+        phys_rd = uop.phys_rd
+        if arch_rd is not None and phys_rd is not None:
+            rename_tables = self.rename_tables
+            amt = rename_tables.amt
+            rename_tables.freelist._free.append(amt[arch_rd])
+            amt[arch_rd] = phys_rd
             uop.phys_rd = None  # now owned by the AMT
 
+        # Plain ALU/MUL/DIV/NOP ops retire without touching any other
+        # structure (and never hold a checkpoint): skip the dispatch chain.
+        if self._decoded[uop.pc][_D_RETIRE_SIMPLE]:
+            return
+
+        stats = self.stats
+        events = stats.events
+        inst = uop.inst
+        opclass = uop.opclass
+
         # Structure-specific retirement.
-        if opclass == OpClass.STORE:
+        if opclass is OpClass.STORE:
             self.memory.access_data(uop.addr, is_write=True, pc=uop.pc)
-            stats.events["l1d_access"] += 1
-            self.store_queue = [e for e in self.store_queue if e.uop is not uop]
-        elif opclass == OpClass.LOAD:
-            self.load_queue = [u for u in self.load_queue if u is not uop]
+            events["l1d_access"] += 1
+            # Retirement is in program order, so the retiring store is the
+            # oldest SQ entry; fall back to a filter just in case.
+            store_queue = self.store_queue
+            if store_queue and store_queue[0].uop is uop:
+                del store_queue[0]
+            else:
+                self.store_queue = [e for e in store_queue if e.uop is not uop]
+        elif opclass is OpClass.LOAD:
+            load_queue = self.load_queue
+            if load_queue and load_queue[0] is uop:
+                del load_queue[0]
+            else:
+                self.load_queue = [u for u in load_queue if u is not uop]
         elif opclass == OpClass.BQ_PUSH:
             self.hw_bq.retire_push()
             stats.bq_pushes += 1
@@ -1378,8 +1674,37 @@ class Pipeline:
         if max_instructions is not None:
             self.retire_limit = (warmup_instructions or 0) + max_instructions
         stall_guard = 100_000
+        stage_retire = self.stage_retire
+        stage_complete = self.stage_complete
+        stage_memory = self.stage_memory
+        stage_issue = self.stage_issue
+        stage_rename = self.stage_rename
+        stage_fetch = self.stage_fetch
+        mshr_sample = self.mshr.sample
+        max_cycles = self.config.max_cycles
+        # Uops never form reference cycles, so the cyclic collector only
+        # burns time re-scanning the (large, growing) simulator heap.
+        # Pause it for the duration of the run; refcounting still frees
+        # everything promptly.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            self._run_loop(warm_target, stall_guard, max_cycles,
+                           stage_retire, stage_complete, stage_memory,
+                           stage_issue, stage_rename, stage_fetch,
+                           mshr_sample)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        self.stats.cycles = self.cycle - self._cycle_base
+        return self.stats
+
+    def _run_loop(self, warm_target, stall_guard, max_cycles,
+                  stage_retire, stage_complete, stage_memory,
+                  stage_issue, stage_rename, stage_fetch, mshr_sample):
         while not self.sim_done:
-            self.stage_retire()
+            stage_retire()
             if self.sim_done:
                 break
             if (
@@ -1391,17 +1716,24 @@ class Pipeline:
                 # Ran off the end of the code segment (implicit halt).
                 self.sim_done = True
                 break
-            self.stage_complete()
-            self.stage_memory()
-            self.stage_issue()
-            self.stage_rename()
-            self.stage_fetch()
-            self.mshr.sample(self.cycle)
+            stage_complete()
+            stage_memory()
+            stage_issue()
+            stage_rename()
+            stage_fetch()
+            mshr_sample(self.cycle)
             if self.obs is not None:
                 self.obs.on_cycle_end(self)
-            self.cycle += 1
-            self.stats.cycles = self.cycle - self._cycle_base
+                self.cycle += 1
+                self.stats.cycles = self.cycle - self._cycle_base
+            else:
+                # Fast path: stats.cycles is derived from self.cycle, so
+                # the per-cycle store is deferred to the warmup boundary
+                # and to run() exit — observers are the only per-cycle
+                # readers.
+                self.cycle += 1
             if warm_target is not None and self.stats.retired >= warm_target:
+                self.stats.cycles = self.cycle - self._cycle_base
                 self._reset_stats_after_warmup()
                 warm_target = None
             if self.cycle - self.last_retire_cycle > stall_guard:
@@ -1409,10 +1741,8 @@ class Pipeline:
                     "pipeline deadlock at cycle %d (pc %d, rob %d, iq %d)"
                     % (self.cycle, self.fetch_pc, len(self.rob), len(self.iq))
                 )
-            if self.cycle >= self.config.max_cycles:
+            if self.cycle >= max_cycles:
                 break
-        self.stats.cycles = self.cycle - self._cycle_base
-        return self.stats
 
     def _reset_stats_after_warmup(self):
         """Zero the measurement counters; keep all microarchitectural state.

@@ -207,6 +207,65 @@ class SimStats:
         out["events"] = dict(sorted(self.events.items()))
         return out
 
+    def to_snapshot(self):
+        """Complete, lossless, JSON-safe serialization of this object.
+
+        Unlike :meth:`to_dict` (the reporting form), this round-trips:
+        :meth:`from_snapshot` rebuilds a :class:`SimStats` whose
+        :meth:`to_dict` is byte-identical to the original's.  Dict keys
+        are stringified (JSON requirement) and the per-static-branch
+        table is kept in insertion order so tie-breaking in
+        :meth:`top_mispredicting_branches` survives the round-trip.
+        The persistent result cache (:mod:`repro.perf.cache`) and the
+        process-pool sweep engine ship results in this form.
+        """
+        return {
+            "counters": {attr: getattr(self, attr) for _, attr in COUNTER_METRICS},
+            "mispredict_levels": {
+                str(level): count for level, count in self.mispredict_levels.items()
+            },
+            "load_level_counts": {
+                str(level): count for level, count in self.load_level_counts.items()
+            },
+            "events": dict(self.events),
+            "branch_stats": {
+                str(pc): {
+                    "executed": branch.executed,
+                    "taken": branch.taken,
+                    "mispredicted": branch.mispredicted,
+                    "resolved_at_fetch": branch.resolved_at_fetch,
+                    "level_breakdown": {
+                        str(level): count
+                        for level, count in branch.level_breakdown.items()
+                    },
+                }
+                for pc, branch in self.branch_stats.items()
+            },
+        }
+
+    @classmethod
+    def from_snapshot(cls, snapshot):
+        """Rebuild a :class:`SimStats` from :meth:`to_snapshot` output."""
+        stats = cls()
+        for attr, value in snapshot["counters"].items():
+            setattr(stats, attr, value)
+        for level, count in snapshot["mispredict_levels"].items():
+            stats.mispredict_levels[int(level)] = count
+        for level, count in snapshot["load_level_counts"].items():
+            stats.load_level_counts[int(level)] = count
+        stats.events.update(snapshot["events"])
+        for pc, fields in snapshot["branch_stats"].items():
+            branch = stats.branch_stats[int(pc)]
+            branch.executed = fields["executed"]
+            branch.taken = fields["taken"]
+            branch.mispredicted = fields["mispredicted"]
+            branch.resolved_at_fetch = fields["resolved_at_fetch"]
+            branch.level_breakdown = {
+                int(level): count
+                for level, count in fields["level_breakdown"].items()
+            }
+        return stats
+
     #: The keys :meth:`summary` extracts from :meth:`to_dict` (the floats
     #: are rounded for display; everything else is passed through).
     SUMMARY_KEYS = (

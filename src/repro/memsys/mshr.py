@@ -54,8 +54,16 @@ class MSHRFile:
 
     def sample(self, cycle):
         """Record the current occupancy into the per-cycle histogram."""
-        occ = self.occupancy(cycle)
-        self.occupancy_histogram[occ] = self.occupancy_histogram.get(occ, 0) + 1
+        pending = self._pending
+        if pending:  # inline of occupancy(): this runs every cycle
+            expired = [b for b, ready in pending.items() if ready <= cycle]
+            for block in expired:
+                del pending[block]
+            occ = len(pending)
+        else:
+            occ = 0
+        hist = self.occupancy_histogram
+        hist[occ] = hist.get(occ, 0) + 1
 
     def flush(self):
         self._pending.clear()

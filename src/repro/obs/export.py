@@ -191,17 +191,21 @@ def config_to_dict(config):
     return jsonable(config)
 
 
-def run_manifest(result, workload=None, run=None, registry=None):
+def run_manifest(result, workload=None, run=None, registry=None, metrics=None):
     """The versioned machine-readable record of one simulation.
 
     *result* is a :class:`~repro.core.simulator.SimResult`; *workload* an
     optional identity dict ({"name", "variant", "input", "scale", "seed"});
     *run* optional invocation parameters ({"max_instructions", ...}).
     The metrics section is the full registry snapshot — every counter the
-    core, memory system, predictors and CFD hardware registered.
+    core, memory system, predictors and CFD hardware registered.  Pass a
+    pre-taken flat *metrics* dict instead when the result has no live
+    pipeline (a rehydrated :class:`~repro.perf.cache.CachedSimResult`).
     """
-    if registry is None:
-        registry = result.metrics_registry()
+    if metrics is None:
+        if registry is None:
+            registry = result.metrics_registry()
+        metrics = registry.snapshot()
     stats = result.stats
     manifest = {
         "manifest_version": MANIFEST_VERSION,
@@ -212,7 +216,7 @@ def run_manifest(result, workload=None, run=None, registry=None):
         "workload": jsonable(workload) if workload else None,
         "run": jsonable(run) if run else None,
         "config": config_to_dict(result.config),
-        "metrics": registry.snapshot(),
+        "metrics": metrics,
         "stats": jsonable(stats.to_dict()),
         "derived": {
             "ipc": stats.ipc,

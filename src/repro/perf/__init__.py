@@ -1,0 +1,61 @@
+"""Performance subsystem: persistent result cache + parallel sweep engine.
+
+The paper's evaluation is a large grid of *independent* simulations —
+{workload x variant x input x config} — and a pure-Python cycle core makes
+each point expensive.  This package makes the grid cheap two ways:
+
+:mod:`repro.perf.cache`
+    A persistent on-disk result cache keyed by a content hash of the
+    *simulation inputs* (encoded program bytes, config fingerprint,
+    instruction budgets, cache schema version).  Re-running a figure
+    after an unrelated edit is incremental: every already-simulated
+    point loads in microseconds.
+
+:mod:`repro.perf.sweep`
+    A process-pool sweep engine that fans independent points out over
+    ``ProcessPoolExecutor`` workers with deterministic result ordering
+    and per-point error capture, so one crashed point doesn't kill a
+    whole figure.
+
+:mod:`repro.perf.speed`
+    The host-throughput benchmark (simulated kilo-instructions per host
+    second) behind ``repro bench-speed`` and ``BENCH_speed.json``.
+
+See docs/PERFORMANCE.md for the cache layout, invalidation rules and
+the KIPS methodology.
+"""
+
+from repro.perf.cache import (
+    CACHE_SCHEMA_VERSION,
+    CachedSimResult,
+    ResultCache,
+    default_cache_dir,
+    program_digest,
+    result_key,
+    snapshot_result,
+)
+from repro.perf.speed import (
+    REFERENCE_CASES,
+    SpeedCase,
+    run_speed_benchmark,
+    write_speed_artifact,
+)
+from repro.perf.sweep import SweepOutcome, SweepPoint, default_jobs, run_sweep
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CachedSimResult",
+    "REFERENCE_CASES",
+    "ResultCache",
+    "SpeedCase",
+    "SweepOutcome",
+    "SweepPoint",
+    "default_cache_dir",
+    "default_jobs",
+    "program_digest",
+    "result_key",
+    "run_speed_benchmark",
+    "run_sweep",
+    "snapshot_result",
+    "write_speed_artifact",
+]

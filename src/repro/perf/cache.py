@@ -1,0 +1,261 @@
+"""Persistent on-disk simulation-result cache.
+
+A simulation is a pure function of (program, config, instruction budgets),
+so its results can be cached by a content hash of exactly those inputs:
+
+* the encoded program bytes (code words + data image + entry point —
+  names, labels and symbols are display-only and excluded),
+* the config fingerprint (every :class:`~repro.core.config.CoreConfig`
+  field, memory hierarchy included, as canonical JSON),
+* ``max_instructions`` and ``warmup_instructions``,
+* the cache schema version (bump :data:`CACHE_SCHEMA_VERSION` whenever
+  the simulator's timing semantics or the entry layout change).
+
+Entries live under ``~/.cache/repro`` (override with ``REPRO_CACHE_DIR``)
+as ``v<schema>/<key[:2]>/<key>.json``; each stores the full lossless
+stats snapshot (:meth:`~repro.core.stats.SimStats.to_snapshot`), the
+energy report, the L1D MSHR occupancy histogram and the flat metrics
+snapshot, which is everything the benchmarks, figures and manifests
+consume.  A cached entry rehydrates into a :class:`CachedSimResult`
+whose ``stats.to_dict()`` is byte-identical to the live run's.
+
+Corrupt or schema-mismatched entries are treated as misses and silently
+recomputed (then overwritten); writes are atomic (tempfile + rename), so
+concurrent sweep workers and bench processes can share one cache.
+"""
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+
+from repro.core.stats import SimStats
+from repro.energy.mcpat import EnergyReport
+from repro.obs.export import jsonable, run_manifest, write_json
+
+#: Bump when the simulator's timing semantics or this entry layout change:
+#: every older entry then misses and is recomputed.
+CACHE_SCHEMA_VERSION = 1
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir():
+    """``$REPRO_CACHE_DIR``, or ``~/.cache/repro``."""
+    env = os.environ.get(_ENV_DIR)
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+def program_digest(program):
+    """Content hash of a program's *semantic* content.
+
+    Covers each instruction's executable fields (opcode, registers,
+    immediate, target), the initial data image and the entry PC.
+    Deliberately excludes ``name``, ``labels`` and ``symbols``: they are
+    display/debug metadata and never influence simulation.  Hashing the
+    field tuples (rather than encoded words) keeps synthetic workloads
+    with immediates wider than the 16-bit encodable range cacheable.
+    """
+    hasher = hashlib.sha256()
+    for inst in program.code:
+        hasher.update(
+            (
+                "%s|%r|%r|%r|%r|%r\n"
+                % (inst.opcode.name, inst.rd, inst.rs1, inst.rs2,
+                   inst.imm, inst.target)
+            ).encode()
+        )
+    hasher.update(b"--data--\n")
+    for addr in sorted(program.data):
+        hasher.update(addr.to_bytes(8, "little", signed=False))
+        hasher.update((program.data[addr] & 0xFFFFFFFF).to_bytes(4, "little"))
+    hasher.update(program.entry.to_bytes(8, "little"))
+    return hasher.hexdigest()
+
+
+def config_fingerprint(config):
+    """Canonical JSON of every config field (memory hierarchy included)."""
+    return json.dumps(jsonable(config), sort_keys=True, separators=(",", ":"))
+
+
+def result_key(program, config, max_instructions=None, warmup_instructions=0,
+               schema_version=None):
+    """The cache key (hex digest) for one simulation point."""
+    version = CACHE_SCHEMA_VERSION if schema_version is None else schema_version
+    hasher = hashlib.sha256()
+    hasher.update(("repro.perf.cache/v%d\n" % version).encode())
+    hasher.update(program_digest(program).encode())
+    hasher.update(b"\n")
+    hasher.update(config_fingerprint(config).encode())
+    hasher.update(
+        ("\nmax=%r warmup=%r" % (max_instructions, warmup_instructions)).encode()
+    )
+    return hasher.hexdigest()
+
+
+def snapshot_result(result, workload=None, run=None):
+    """Serialize a live :class:`~repro.core.simulator.SimResult` to a
+    JSON-safe dict (the cache entry payload, also the form the sweep
+    engine ships across process boundaries)."""
+    energy = result.energy
+    return {
+        "schema": CACHE_SCHEMA_VERSION,
+        "kind": "repro.perf.result",
+        "created": time.time(),
+        "program": result.program_name,
+        "config_name": result.config.name,
+        "workload": jsonable(workload) if workload else None,
+        "run": jsonable(run) if run else None,
+        "stats": result.stats.to_snapshot(),
+        "energy": {
+            "dynamic_pj": energy.dynamic_pj,
+            "static_pj": energy.static_pj,
+            "breakdown_pj": dict(energy.breakdown_pj),
+        },
+        "mshr_histogram": {
+            str(occupancy): count
+            for occupancy, count in result.mshr_histogram().items()
+        },
+        "metrics": result.metrics_snapshot(),
+    }
+
+
+class CachedSimResult:
+    """A rehydrated simulation result.
+
+    Mirrors the :class:`~repro.core.simulator.SimResult` surface the
+    benchmarks, figures and manifest exporter use — ``stats`` (a fully
+    restored :class:`SimStats`), ``energy``, ``ipc``/``effective_ipc``,
+    ``mshr_histogram()``, ``summary()``, ``manifest()`` — without a live
+    ``pipeline`` (deep inspection needs a fresh, uncached run).
+    """
+
+    pipeline = None
+
+    def __init__(self, payload, config=None):
+        self.payload = payload
+        self.program_name = payload["program"]
+        self.config = config
+        self.stats = SimStats.from_snapshot(payload["stats"])
+        self.energy = EnergyReport(
+            dynamic_pj=payload["energy"]["dynamic_pj"],
+            static_pj=payload["energy"]["static_pj"],
+            breakdown_pj=dict(payload["energy"]["breakdown_pj"]),
+        )
+
+    @property
+    def ipc(self):
+        return self.stats.ipc
+
+    def effective_ipc(self, baseline_instructions):
+        if self.stats.cycles == 0:
+            return 0.0
+        return baseline_instructions / self.stats.cycles
+
+    def mshr_histogram(self):
+        return {
+            int(occupancy): count
+            for occupancy, count in self.payload["mshr_histogram"].items()
+        }
+
+    def metrics_snapshot(self):
+        return dict(self.payload["metrics"])
+
+    def manifest(self, workload=None, run=None):
+        return run_manifest(
+            self,
+            workload=workload or self.payload.get("workload"),
+            run=run or self.payload.get("run"),
+            metrics=self.metrics_snapshot(),
+        )
+
+    def write_manifest(self, path, workload=None, run=None):
+        return write_json(path, self.manifest(workload=workload, run=run))
+
+    def summary(self):
+        info = self.stats.summary()
+        info["program"] = self.program_name
+        info["config"] = self.payload["config_name"]
+        info["energy_nj"] = round(self.energy.total_nj, 1)
+        return info
+
+
+class ResultCache:
+    """The on-disk cache: ``<root>/v<schema>/<key[:2]>/<key>.json``."""
+
+    def __init__(self, root=None, schema_version=None):
+        self.root = root or default_cache_dir()
+        self.schema_version = (
+            CACHE_SCHEMA_VERSION if schema_version is None else schema_version
+        )
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def key_for(self, program, config, max_instructions=None,
+                warmup_instructions=0):
+        return result_key(
+            program, config, max_instructions, warmup_instructions,
+            schema_version=self.schema_version,
+        )
+
+    def path_for(self, key):
+        return os.path.join(
+            self.root, "v%d" % self.schema_version, key[:2], key + ".json"
+        )
+
+    def load(self, key, config=None):
+        """The :class:`CachedSimResult` for *key*, or ``None``.
+
+        Unreadable, corrupt, or wrong-schema entries count as misses —
+        the caller recomputes and overwrites them.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+            if payload.get("schema") != self.schema_version:
+                raise ValueError("schema mismatch")
+            result = CachedSimResult(payload, config=config)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key, payload):
+        """Atomically write *payload* under *key*; returns the entry path.
+
+        A failure to persist (read-only cache dir, disk full) is not an
+        error — the result is simply not cached.
+        """
+        path = self.path_for(key)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=os.path.dirname(path), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(payload, fh)
+                    fh.write("\n")
+                os.replace(tmp, path)
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        except OSError:
+            return None
+        self.stores += 1
+        return path
+
+    def store_result(self, key, result, workload=None, run=None):
+        """Snapshot a live SimResult and persist it; returns the payload."""
+        payload = snapshot_result(result, workload=workload, run=run)
+        self.store(key, payload)
+        return payload
+
+    def counters(self):
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}

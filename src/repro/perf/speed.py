@@ -1,0 +1,182 @@
+"""Host-throughput benchmark: simulated kilo-instructions per host second.
+
+``repro bench-speed`` runs a small fixed set of reference simulation
+points (:data:`REFERENCE_CASES` — the same four cases recorded in
+``benchmarks/baseline_speed.json`` before the perf PR) and reports, per
+case and as a geometric mean, how many thousand instructions the cycle
+core retires per second of host wall-clock.  The emitted
+``BENCH_speed.json`` artifact records both the stored baseline and the
+fresh measurement, so the perf trajectory of the simulator is tracked
+from one commit to the next.
+
+Methodology (see docs/PERFORMANCE.md):
+
+* each case builds its workload once, then runs :class:`Simulator`
+  ``repeats`` times on a fresh config object and keeps the **best**
+  time — the best-of-N is the closest observable to the true cost on a
+  noisy shared host;
+* timing covers ``Simulator(...).run(...)`` only (no build, no cache);
+* the headline number is the geometric mean across cases, so no single
+  workload dominates.
+"""
+
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+#: The pre-PR reference numbers (benchmarks/baseline_speed.json, commit
+#: 3765e9e).  Embedded so ``bench-speed`` is self-contained wherever the
+#: package is importable; the JSON file remains the provenance record.
+BASELINE_LABEL = "pre-perf-PR seed (commit 3765e9e)"
+BASELINE_KIPS = {
+    "astar_base_membound": 13.58,
+    "astar_dfd": 19.41,
+    "bzip2_tq": 46.35,
+    "soplex_cfd": 35.07,
+}
+BASELINE_GEOMEAN_KIPS = 25.58
+
+
+@dataclass(frozen=True)
+class SpeedCase:
+    """One reference point: a workload binary on a config, budget-capped."""
+
+    name: str
+    workload: str
+    variant: str
+    input_name: str
+    config: str  # "sandy_bridge" | "memory_bound"
+    scale: float
+    max_instructions: int
+
+
+#: The reference workload set: one memory-bound baseline, one DFD binary
+#: (prefetch/MSHR pressure), one TQ binary (queue traffic) and one CFD
+#: binary — together they exercise every hot path in the cycle core.
+REFERENCE_CASES = (
+    SpeedCase("astar_base_membound", "astar_r1", "base", "BigLakes",
+              "memory_bound", 0.125, 20_000),
+    SpeedCase("astar_dfd", "astar_r1", "dfd", "Rivers",
+              "memory_bound", 0.125, 15_000),
+    SpeedCase("bzip2_tq", "bzip2", "tq", "chicken",
+              "sandy_bridge", 0.125, 20_000),
+    SpeedCase("soplex_cfd", "soplex", "cfd", "ref",
+              "sandy_bridge", 0.125, 20_000),
+)
+
+
+def _make_config(name):
+    from repro.core import memory_bound_config, sandy_bridge_config
+
+    return memory_bound_config() if name == "memory_bound" else sandy_bridge_config()
+
+
+def geometric_mean(values):
+    values = list(values)
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def measure_case(case, repeats=3, seed=1):
+    """Best-of-*repeats* timing of one case; returns its result dict."""
+    from repro.core.simulator import Simulator
+    from repro.workloads import get_workload
+
+    built = get_workload(case.workload).build(
+        case.variant, case.input_name, case.scale, seed
+    )
+    best_seconds = None
+    retired = 0
+    for _ in range(max(1, repeats)):
+        config = _make_config(case.config)
+        start = time.perf_counter()
+        result = Simulator(built.program, config).run(case.max_instructions)
+        elapsed = time.perf_counter() - start
+        retired = result.stats.retired
+        if best_seconds is None or elapsed < best_seconds:
+            best_seconds = elapsed
+    kips = (retired / best_seconds / 1000.0) if best_seconds else 0.0
+    return {
+        "workload": case.workload,
+        "variant": case.variant,
+        "input": case.input_name,
+        "config": case.config,
+        "scale": case.scale,
+        "max_instructions": case.max_instructions,
+        "retired": retired,
+        "seconds": round(best_seconds, 4),
+        "kips": round(kips, 2),
+        "baseline_kips": BASELINE_KIPS.get(case.name),
+    }
+
+
+def run_speed_benchmark(cases=None, repeats=3, progress=None, jobs=1):
+    """Measure every case; returns the ``BENCH_speed.json`` payload.
+
+    The payload carries both the stored pre-PR baseline and the fresh
+    numbers (per case and geomean) plus the overall speedup, so a stored
+    artifact is a complete before/after record.  ``jobs > 1`` overlaps
+    case measurement across processes — faster, but the cases contend
+    for the host, so keep the default of 1 for trustworthy numbers.
+    """
+    from repro.obs.export import ARTIFACT_VERSION
+
+    cases = REFERENCE_CASES if cases is None else tuple(cases)
+    measured = {}
+    if jobs > 1 and len(cases) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(jobs, len(cases))) as pool:
+            futures = [
+                pool.submit(measure_case, case, repeats) for case in cases
+            ]
+            for index, (case, future) in enumerate(zip(cases, futures)):
+                measured[case.name] = future.result()
+                if progress is not None:
+                    progress(case, measured[case.name], index + 1, len(cases))
+    else:
+        for index, case in enumerate(cases):
+            measured[case.name] = measure_case(case, repeats=repeats)
+            if progress is not None:
+                progress(case, measured[case.name], index + 1, len(cases))
+    geomean = round(geometric_mean(r["kips"] for r in measured.values()), 2)
+    baselines = [
+        r["baseline_kips"] for r in measured.values()
+        if r["baseline_kips"]
+    ]
+    baseline_geomean = (
+        round(geometric_mean(baselines), 2) if baselines else None
+    )
+    return {
+        "artifact_version": ARTIFACT_VERSION,
+        "kind": "repro.bench_speed",
+        "python": "%d.%d.%d" % sys.version_info[:3],
+        "repeats": repeats,
+        "baseline": {
+            "label": BASELINE_LABEL,
+            "geomean_kips": baseline_geomean,
+            "cases": {name: BASELINE_KIPS.get(name) for name in measured},
+        },
+        "cases": measured,
+        "geomean_kips": geomean,
+        "speedup_vs_baseline": (
+            round(geomean / baseline_geomean, 3) if baseline_geomean else None
+        ),
+    }
+
+
+def write_speed_artifact(payload, directory=None):
+    """Write ``BENCH_speed.json`` (``REPRO_BENCH_ARTIFACT_DIR`` default)."""
+    directory = directory or os.environ.get("REPRO_BENCH_ARTIFACT_DIR", ".")
+    path = os.path.join(directory, "BENCH_speed.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -1,0 +1,219 @@
+"""Parallel sweep engine: fan independent simulation points over processes.
+
+The evaluation grid — {workload x variant x input x config} — is
+embarrassingly parallel: no point depends on another.  :func:`run_sweep`
+executes a list of :class:`SweepPoint` s with a ``ProcessPoolExecutor``
+(``jobs`` workers, default ``os.cpu_count()`` / ``$REPRO_JOBS``) and
+returns one :class:`SweepOutcome` per point **in input order**, however
+the pool interleaved them.
+
+Each worker rebuilds its workload from the (deterministic) build recipe
+and ships the result back as the lossless snapshot dict from
+:func:`repro.perf.cache.snapshot_result`, so nothing heavyweight (live
+pipelines, cache hierarchies, predictor state) crosses the process
+boundary.  A point that raises is captured as ``outcome.error`` (a full
+traceback string) without killing the sweep.
+
+With a :class:`~repro.perf.cache.ResultCache` attached, already-simulated
+points are served from disk without touching the pool, and fresh results
+are persisted as they arrive — a second run of the same figure is
+incremental.  ``jobs=1`` (or a single point) runs inline in-process,
+which is also the reference path the determinism tests compare the pool
+against: both produce byte-identical ``stats.to_dict()``.
+"""
+
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import CoreConfig
+from repro.perf.cache import CachedSimResult, snapshot_result
+
+_ENV_JOBS = "REPRO_JOBS"
+
+
+def default_jobs():
+    """``$REPRO_JOBS`` if set, else ``os.cpu_count()``."""
+    env = os.environ.get(_ENV_JOBS)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+@dataclass
+class SweepPoint:
+    """One independent simulation: a workload binary on a core config."""
+
+    workload: str
+    variant: str = "base"
+    input_name: Optional[str] = None
+    config: Optional[CoreConfig] = None  # None -> sandy_bridge_config()
+    scale: float = 1.0
+    seed: int = 1
+    max_instructions: Optional[int] = None
+    warmup_instructions: int = 0
+
+    def label(self):
+        return "%s(%s)/%s" % (self.workload, self.input_name or "", self.variant)
+
+
+@dataclass
+class SweepOutcome:
+    """What happened to one point: a result, a cache hit, or an error."""
+
+    point: SweepPoint
+    result: Optional[CachedSimResult] = None
+    error: Optional[str] = None
+    cached: bool = False
+    elapsed: float = 0.0
+
+    @property
+    def ok(self):
+        return self.error is None
+
+
+def _build_point(point):
+    from repro.workloads import get_workload
+
+    return get_workload(point.workload).build(
+        point.variant, point.input_name, point.scale, point.seed
+    )
+
+
+def _workload_identity(point):
+    return {
+        "name": point.workload,
+        "variant": point.variant,
+        "input": point.input_name,
+        "scale": point.scale,
+        "seed": point.seed,
+    }
+
+
+def _simulate_point(point):
+    """Pool worker: build + simulate one point; never raises.
+
+    Returns ``(snapshot_dict, None)`` on success or ``(None, traceback)``
+    on failure — per-point error capture so one bad point cannot take
+    down the executor (or the figure driving it).
+    """
+    try:
+        from repro.core import sandy_bridge_config
+        from repro.core.simulator import Simulator
+
+        built = _build_point(point)
+        config = point.config if point.config is not None else sandy_bridge_config()
+        result = Simulator(built.program, config).run(
+            point.max_instructions, point.warmup_instructions
+        )
+        return (
+            snapshot_result(
+                result,
+                workload=_workload_identity(point),
+                run={
+                    "max_instructions": point.max_instructions,
+                    "warmup_instructions": point.warmup_instructions,
+                },
+            ),
+            None,
+        )
+    except BaseException:
+        return None, traceback.format_exc()
+
+
+def run_sweep(points, jobs=None, cache=None, progress=None):
+    """Run every point; returns ``[SweepOutcome]`` aligned with *points*.
+
+    *jobs* ``<= 1`` runs inline (no pool).  With *cache* (a
+    :class:`~repro.perf.cache.ResultCache`), hits skip simulation
+    entirely and misses are persisted on completion.  *progress*, if
+    given, is called as ``progress(outcome, done_count, total)`` as each
+    point settles (pool completion order, not input order).
+    """
+    points = list(points)
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    outcomes = [None] * len(points)
+    pending = []  # (index, point, key)
+    done = 0
+
+    # Serve cache hits up front; only misses go to the pool.
+    for index, point in enumerate(points):
+        if point.config is None:
+            from repro.core import sandy_bridge_config
+
+            point.config = sandy_bridge_config()
+        key = None
+        if cache is not None:
+            try:
+                built = _build_point(point)
+                key = cache.key_for(
+                    built.program, point.config,
+                    point.max_instructions, point.warmup_instructions,
+                )
+            except Exception:
+                outcomes[index] = SweepOutcome(
+                    point=point, error=traceback.format_exc()
+                )
+                done += 1
+                if progress is not None:
+                    progress(outcomes[index], done, len(points))
+                continue
+            hit = cache.load(key, config=point.config)
+            if hit is not None:
+                outcomes[index] = SweepOutcome(
+                    point=point, result=hit, cached=True
+                )
+                done += 1
+                if progress is not None:
+                    progress(outcomes[index], done, len(points))
+                continue
+        pending.append((index, point, key))
+
+    def settle(index, point, key, payload, error, elapsed):
+        nonlocal done
+        if error is not None:
+            outcome = SweepOutcome(point=point, error=error, elapsed=elapsed)
+        else:
+            if cache is not None and key is not None:
+                cache.store(key, payload)
+            outcome = SweepOutcome(
+                point=point,
+                result=CachedSimResult(payload, config=point.config),
+                elapsed=elapsed,
+            )
+        outcomes[index] = outcome
+        done += 1
+        if progress is not None:
+            progress(outcome, done, len(points))
+
+    if jobs <= 1 or len(pending) <= 1:
+        for index, point, key in pending:
+            start = time.perf_counter()
+            payload, error = _simulate_point(point)
+            settle(index, point, key, payload, error,
+                   time.perf_counter() - start)
+        return outcomes
+
+    with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+        futures = {}
+        started = time.perf_counter()
+        for index, point, key in pending:
+            futures[pool.submit(_simulate_point, point)] = (index, point, key)
+        remaining = set(futures)
+        while remaining:
+            finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+            for future in finished:
+                index, point, key = futures[future]
+                try:
+                    payload, error = future.result()
+                except BaseException:
+                    payload, error = None, traceback.format_exc()
+                settle(index, point, key, payload, error,
+                       time.perf_counter() - started)
+    return outcomes

@@ -1,0 +1,121 @@
+"""Persistent result-cache correctness.
+
+The cache is sound only if (a) a rehydrated entry is indistinguishable
+from the live run it snapshotted, (b) the key covers every input that
+can change the result (program, config, budgets, schema version), and
+(c) a damaged entry silently misses instead of poisoning a figure.
+"""
+
+import json
+
+import pytest
+
+from repro.core import sandy_bridge_config, simulate
+from repro.isa import assemble
+from repro.perf import CachedSimResult, ResultCache, program_digest, result_key
+
+_LOOP = """
+.text
+main:
+    addi r1, r0, 50
+    addi r2, r0, 0
+loop:
+    addi r2, r2, 3
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    halt
+"""
+
+
+@pytest.fixture
+def program():
+    return assemble(_LOOP, name="cache-loop")
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(root=str(tmp_path))
+
+
+def _stats_json(result):
+    return json.dumps(result.stats.to_dict(), sort_keys=True)
+
+
+def test_cached_vs_fresh_identical(program, cache):
+    config = sandy_bridge_config()
+    live = simulate(program, config)
+    key = cache.key_for(program, config)
+    cache.store_result(key, live)
+
+    cached = cache.load(key, config=config)
+    assert isinstance(cached, CachedSimResult)
+    assert _stats_json(cached) == _stats_json(live)
+    assert cached.stats.retired == live.stats.retired
+    assert cached.stats.cycles == live.stats.cycles
+    assert cached.energy.total_pj == pytest.approx(live.energy.total_pj)
+    assert cached.mshr_histogram() == live.mshr_histogram()
+    assert cached.metrics_snapshot() == live.metrics_snapshot()
+    assert cached.summary() == live.summary()
+
+
+def test_key_covers_config(program):
+    base = sandy_bridge_config()
+    bigger_rob = sandy_bridge_config(rob_size=base.rob_size * 2)
+    assert result_key(program, base) != result_key(program, bigger_rob)
+
+
+def test_key_covers_program(program):
+    other = assemble(_LOOP.replace("addi r2, r2, 3", "addi r2, r2, 4"),
+                     name="cache-loop")
+    config = sandy_bridge_config()
+    assert program_digest(program) != program_digest(other)
+    assert result_key(program, config) != result_key(other, config)
+
+
+def test_key_ignores_display_metadata(program):
+    renamed = assemble(_LOOP, name="completely-different-name")
+    assert program_digest(program) == program_digest(renamed)
+
+
+def test_key_covers_budgets(program):
+    config = sandy_bridge_config()
+    assert (result_key(program, config, max_instructions=100)
+            != result_key(program, config, max_instructions=200))
+    assert (result_key(program, config, warmup_instructions=0)
+            != result_key(program, config, warmup_instructions=50))
+
+
+def test_key_covers_schema_version(program, tmp_path):
+    config = sandy_bridge_config()
+    v1 = ResultCache(root=str(tmp_path), schema_version=1)
+    v2 = ResultCache(root=str(tmp_path), schema_version=2)
+    assert v1.key_for(program, config) != v2.key_for(program, config)
+    # An entry stored under one schema is invisible to the other.
+    live = simulate(program, config)
+    v1.store_result(v1.key_for(program, config), live)
+    assert v2.load(v2.key_for(program, config), config=config) is None
+
+
+def test_corrupt_entry_is_recomputed(program, cache):
+    config = sandy_bridge_config()
+    live = simulate(program, config)
+    key = cache.key_for(program, config)
+    cache.store_result(key, live)
+
+    # Truncated JSON, valid JSON of the wrong shape, wrong schema number:
+    # all must read as misses, and a fresh store must recover the entry.
+    path = cache.path_for(key)
+    for garbage in ('{"stats": {', '{"unexpected": 1}', '{"schema": 999}'):
+        with open(path, "w") as fh:
+            fh.write(garbage)
+        assert cache.load(key, config=config) is None
+        cache.store_result(key, live)
+        recovered = cache.load(key, config=config)
+        assert recovered is not None
+        assert _stats_json(recovered) == _stats_json(live)
+
+
+def test_missing_entry_is_a_miss(cache, program):
+    config = sandy_bridge_config()
+    assert cache.load(cache.key_for(program, config), config=config) is None
+    assert cache.counters()["misses"] == 1

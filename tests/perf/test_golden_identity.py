@@ -1,0 +1,47 @@
+"""Hot-loop optimizations must be semantics-preserving.
+
+``golden_stats.json`` stores the complete ``stats.to_dict()`` of four
+reference simulations (three distinct workloads — astar, bzip2, soplex —
+across both stock configs and the base/cfd/dfd/tq variants), recorded on
+the pre-optimization seed.  Any timing or architectural divergence
+introduced by a pipeline/predictor/executor speedup shows up here as a
+field-level diff, not a vague "numbers moved".
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core import memory_bound_config, sandy_bridge_config, simulate
+from repro.workloads import get_workload
+
+_GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_stats.json")
+_CONFIGS = {
+    "sandy_bridge": sandy_bridge_config,
+    "memory_bound": memory_bound_config,
+}
+
+with open(_GOLDEN_PATH) as fh:
+    _GOLDEN = json.load(fh)
+
+
+@pytest.mark.parametrize("name", sorted(_GOLDEN))
+def test_stats_byte_identical_to_golden(name):
+    case = _GOLDEN[name]
+    built = get_workload(case["workload"]).build(
+        case["variant"], case["input"], case["scale"], 1
+    )
+    config = _CONFIGS[case["config"]]()
+    result = simulate(built.program, config,
+                      max_instructions=case["max_instructions"])
+    got = json.dumps(result.stats.to_dict(), sort_keys=True)
+    want = json.dumps(case["stats"], sort_keys=True)
+    if got != want:  # diff the individual fields for a readable failure
+        got_d, want_d = json.loads(got), json.loads(want)
+        diffs = {
+            key: (got_d.get(key), want_d.get(key))
+            for key in sorted(set(got_d) | set(want_d))
+            if got_d.get(key) != want_d.get(key)
+        }
+        pytest.fail("stats diverged from golden %s: %r" % (name, diffs))

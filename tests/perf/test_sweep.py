@@ -1,0 +1,70 @@
+"""Sweep-engine determinism and robustness.
+
+The pool must be an implementation detail: the same points run serially
+and via worker processes produce byte-identical statistics, results come
+back in input order regardless of completion order, and one crashing
+point surfaces as ``outcome.error`` without killing the sweep.
+"""
+
+import json
+
+import pytest
+
+from repro.perf import ResultCache, SweepPoint, run_sweep
+
+#: Two small, distinct points (different workloads and configs exercise
+#: the per-point build + config plumbing through the process boundary).
+def _points():
+    return [
+        SweepPoint(workload="astar_r1", variant="base", input_name="Rivers",
+                   scale=0.125, max_instructions=2000),
+        SweepPoint(workload="soplex", variant="cfd", input_name="ref",
+                   scale=0.125, max_instructions=2000),
+    ]
+
+
+def _stats_blobs(outcomes):
+    return [
+        json.dumps(o.result.stats.to_dict(), sort_keys=True)
+        for o in outcomes
+    ]
+
+
+def test_serial_and_pool_identical():
+    serial = run_sweep(_points(), jobs=1)
+    pooled = run_sweep(_points(), jobs=2)
+    assert all(o.ok for o in serial)
+    assert all(o.ok for o in pooled)
+    assert _stats_blobs(serial) == _stats_blobs(pooled)
+
+
+def test_results_in_input_order():
+    points = _points()
+    outcomes = run_sweep(points, jobs=2)
+    assert [o.point.label() for o in outcomes] == [p.label() for p in points]
+
+
+def test_error_capture_does_not_kill_the_sweep():
+    points = _points()
+    points.insert(1, SweepPoint(workload="no-such-workload"))
+    outcomes = run_sweep(points, jobs=2)
+    assert outcomes[0].ok and outcomes[2].ok
+    assert not outcomes[1].ok
+    assert "no-such-workload" in outcomes[1].error
+    assert outcomes[1].result is None
+
+
+def test_cache_round_trip(tmp_path):
+    cache = ResultCache(root=str(tmp_path))
+    first = run_sweep(_points(), jobs=1, cache=cache)
+    assert all(o.ok and not o.cached for o in first)
+    second = run_sweep(_points(), jobs=1, cache=cache)
+    assert all(o.ok and o.cached for o in second)
+    assert _stats_blobs(first) == _stats_blobs(second)
+
+
+def test_progress_callback_sees_every_point():
+    seen = []
+    run_sweep(_points(), jobs=1,
+              progress=lambda outcome, done, total: seen.append((done, total)))
+    assert sorted(seen) == [(1, 2), (2, 2)]
