@@ -21,9 +21,16 @@ Set ``REPRO_BENCH_NO_CACHE=1`` to bypass the persistent layer.
 Parallelism: figures call :func:`prefetch` with their full point list
 before the (serial) table-building loop; with ``REPRO_BENCH_JOBS=N``
 (N > 1) the uncached points fan out over a process pool via
-:func:`repro.perf.run_sweep` and land in both cache layers, after which
-the loop is pure cache hits.  The default is serial — results are
-byte-identical either way.
+:func:`repro.rel.run_supervised_sweep` and land in both cache layers,
+after which the loop is pure cache hits.  The default is serial —
+results are byte-identical either way.
+
+Supervision (see docs/ROBUSTNESS.md): ``REPRO_BENCH_TIMEOUT`` puts a
+per-point wall-clock limit (seconds) on prefetched points,
+``REPRO_BENCH_RETRIES`` bounds retries after a timeout/worker death
+(default 1), and ``REPRO_BENCH_JOURNAL`` names a JSONL checkpoint
+journal — when set, completed points are recorded there and an
+interrupted bench resumes from it on the next run.
 
 Artifacts: every :func:`print_figure` call also writes the figure as a
 versioned ``BENCH_<figure>.json`` document (headers + rows + run
@@ -46,13 +53,18 @@ from repro.core import (
     scale_window,
     simulate,
 )
-from repro.perf import ResultCache, SweepPoint, run_sweep
+from repro.perf import ResultCache, SweepPoint
+from repro.rel import SupervisionPolicy, run_supervised_sweep
 from repro.workloads import get_workload
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
 SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
 #: Worker processes for :func:`prefetch` (1 = serial, same results).
 JOBS = max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1") or 1))
+#: Prefetch supervision knobs (docs/ROBUSTNESS.md).
+TIMEOUT = float(os.environ.get("REPRO_BENCH_TIMEOUT", "0") or 0) or None
+RETRIES = max(0, int(os.environ.get("REPRO_BENCH_RETRIES", "1") or 1))
+JOURNAL = os.environ.get("REPRO_BENCH_JOURNAL") or None
 
 #: The paper's CFD(BQ) application list (Table III), as (workload, input).
 CFD_BQ_APPS = [
@@ -203,10 +215,12 @@ def prefetch(apps, variants=("base",), config=None, scale=None,
 
     *apps* is a list of ``(workload, input_name)`` pairs (the module-level
     app lists above); *variants* the variant names each app runs under.
-    Uncached points fan out over :func:`repro.perf.run_sweep` with *jobs*
-    workers (default: ``REPRO_BENCH_JOBS``), after which the figure's
-    serial ``run()``/``compare()`` loop is pure cache hits.  Points that
-    fail are left for the serial path to re-raise with full context.
+    Uncached points fan out over :func:`repro.rel.run_supervised_sweep`
+    with *jobs* workers (default: ``REPRO_BENCH_JOBS``) under the
+    ``REPRO_BENCH_TIMEOUT``/``RETRIES``/``JOURNAL`` supervision policy,
+    after which the figure's serial ``run()``/``compare()`` loop is pure
+    cache hits.  Points that fail are left for the serial path to
+    re-raise with full context.
     """
     jobs = JOBS if jobs is None else max(1, int(jobs))
     config = sandy_bridge_config() if config is None else config
@@ -224,7 +238,15 @@ def prefetch(apps, variants=("base",), config=None, scale=None,
         for workload, input_name in apps
         for variant in variants
     ]
-    outcomes = run_sweep(points, jobs=jobs, cache=_DISK_CACHE)
+    policy = SupervisionPolicy(
+        timeout=TIMEOUT,
+        retries=RETRIES,
+        journal_path=JOURNAL,
+        resume=JOURNAL is not None,
+    )
+    outcomes = run_supervised_sweep(
+        points, jobs=jobs, cache=_DISK_CACHE, policy=policy
+    )
     for outcome in outcomes:
         if not outcome.ok or outcome.result is None:
             continue

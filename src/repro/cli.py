@@ -19,6 +19,11 @@ simulations from the persistent result cache (``~/.cache/repro``; see
 docs/PERFORMANCE.md) — ``--no-cache`` forces a fresh simulation, and
 ``--jobs N`` fans ``compare``'s independent points over N processes.
 
+``compare`` runs under sweep supervision (``--timeout``, ``--retries``,
+``--journal``/``--resume``), ``run --check`` attaches the independent
+invariant checker, and failures exit with distinct codes — 2 usage,
+3 simulation error, 4 invariant violation (see docs/ROBUSTNESS.md).
+
 Examples::
 
     python -m repro list
@@ -40,11 +45,20 @@ from repro.analysis import compare_runs, format_table
 from repro.core import memory_bound_config, sandy_bridge_config, simulate
 from repro.core.pipeline import Pipeline
 from repro.core.trace import PipelineTracer
+from repro.errors import ReproError, SimulatorInvariantError
 from repro.obs.events import EventTracer, OccupancySampler
 from repro.obs.export import jsonable, write_chrome_trace, write_jsonl
-from repro.perf import ResultCache, SweepPoint, run_sweep
+from repro.perf import ResultCache, SweepPoint
 from repro.profiling import profile_program, run_classification_study
+from repro.rel import InvariantChecker, SupervisionPolicy, run_supervised_sweep
 from repro.workloads import all_workloads, get_workload
+
+#: Distinct nonzero exit codes (see docs/ROBUSTNESS.md): argparse already
+#: exits 2 on usage errors; 1 stays for command-level failures (a failed
+#: compare point), so supervision tooling can tell the classes apart.
+EXIT_USAGE = 2
+EXIT_SIMULATION_ERROR = 3
+EXIT_INVARIANT_VIOLATION = 4
 
 _CONFIGS = {
     "baseline": sandy_bridge_config,
@@ -58,6 +72,8 @@ def _make_config(args):
         overrides["predictor"] = args.predictor
     if getattr(args, "rob", None):
         overrides["rob_size"] = args.rob
+    if getattr(args, "deadlock_cycles", None):
+        overrides["deadlock_cycles"] = args.deadlock_cycles
     return _CONFIGS[args.config](**overrides)
 
 
@@ -101,18 +117,32 @@ def _result_cache(args):
     return None if getattr(args, "no_cache", False) else ResultCache()
 
 
+def _supervision_policy(args):
+    """Sweep supervision from ``--timeout/--retries/--journal/--resume``."""
+    return SupervisionPolicy(
+        timeout=args.timeout,
+        retries=args.retries,
+        journal_path=args.journal,
+        resume=args.resume,
+    )
+
+
 def cmd_run(args, out):
     built = _build(args)
     config = _make_config(args)
-    cache = _result_cache(args)
+    # --check simulates fresh with the independent invariant checker
+    # attached; a cached result would bypass the very validation asked for.
+    cache = None if args.check else _result_cache(args)
     result = None
     key = None
     if cache is not None:
         key = cache.key_for(built.program, config, args.max_instructions)
         result = cache.load(key, config=config)
     if result is None:
+        observer = InvariantChecker() if args.check else None
         result = simulate(
-            built.program, config, max_instructions=args.max_instructions
+            built.program, config, max_instructions=args.max_instructions,
+            observer=observer,
         )
         if cache is not None:
             cache.store_result(
@@ -153,11 +183,19 @@ def cmd_compare(args, out):
         )
         for variant in ("base", args.variant)
     ]
-    outcomes = run_sweep(points, jobs=args.jobs, cache=_result_cache(args))
+    outcomes = run_supervised_sweep(
+        points, jobs=args.jobs, cache=_result_cache(args),
+        policy=_supervision_policy(args),
+    )
     for outcome in outcomes:
         if not outcome.ok:
-            out.write("%s failed:\n%s\n" % (outcome.point.label(),
-                                            outcome.error))
+            label = outcome.point.label()
+            if outcome.timed_out:
+                out.write("%s timed out after %d attempt(s) "
+                          "(--timeout %.3gs)\n"
+                          % (label, outcome.attempts, args.timeout))
+            else:
+                out.write("%s failed:\n%s\n" % (label, outcome.error))
             return 1
     base_result, var_result = (o.result for o in outcomes)
     comparison = compare_runs(
@@ -373,11 +411,15 @@ def build_parser():
         p.add_argument("--config", choices=sorted(_CONFIGS), default="baseline")
         p.add_argument("--predictor", default=None)
         p.add_argument("--rob", type=int, default=None)
+        p.add_argument(
+            "--deadlock-cycles", type=int, default=None,
+            help="cycles without a retirement before the pipeline watchdog "
+                 "aborts with an invariant violation (default 100000)")
         if json_flag:
             p.add_argument("--json", action="store_true",
                            help="emit machine-readable JSON")
 
-    def perf_flags(p, jobs=True):
+    def perf_flags(p, jobs=True, supervise=False):
         if jobs:
             p.add_argument(
                 "--jobs", type=int, default=1,
@@ -388,14 +430,37 @@ def build_parser():
             "--no-cache", action="store_true",
             help="always simulate fresh; skip the persistent result cache "
                  "(~/.cache/repro, override with REPRO_CACHE_DIR)")
+        if supervise:
+            p.add_argument(
+                "--timeout", type=float, default=None,
+                help="per-point wall-clock timeout in seconds; a point "
+                     "exceeding it is killed and retried (needs --jobs >= 2; "
+                     "see docs/ROBUSTNESS.md)")
+            p.add_argument(
+                "--retries", type=int, default=1,
+                help="retries per point after a timeout, worker death or "
+                     "error (default 1)")
+            p.add_argument(
+                "--journal", default=None,
+                help="JSONL checkpoint journal recording each completed "
+                     "point; pair with --resume to continue an interrupted "
+                     "sweep")
+            p.add_argument(
+                "--resume", action="store_true",
+                help="serve points already recorded in --journal instead of "
+                     "re-simulating them")
 
     sub.add_parser("list", help="list the workload registry")
     run_parser = sub.add_parser("run", help="simulate one binary")
     common(run_parser, json_flag=True)
     perf_flags(run_parser)
+    run_parser.add_argument(
+        "--check", action="store_true",
+        help="attach the independent invariant checker (fresh simulation, "
+             "bypasses the cache; see docs/ROBUSTNESS.md)")
     compare_parser = sub.add_parser("compare", help="base vs variant")
     common(compare_parser, json_flag=True)
-    perf_flags(compare_parser)
+    perf_flags(compare_parser, supervise=True)
     profile_parser = sub.add_parser("profile", help="branch profile")
     common(profile_parser, json_flag=True)
     profile_parser.add_argument("--top", type=int, default=10)
@@ -465,7 +530,15 @@ _COMMANDS = {
 
 def main(argv=None, out=None):
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args, out or sys.stdout)
+    try:
+        return _COMMANDS[args.command](args, out or sys.stdout)
+    except SimulatorInvariantError as exc:
+        first_line = str(exc).splitlines()[0] if str(exc) else str(exc)
+        print("repro: invariant violation: %s" % first_line, file=sys.stderr)
+        return EXIT_INVARIANT_VIOLATION
+    except ReproError as exc:
+        print("repro: error: %s" % exc, file=sys.stderr)
+        return EXIT_SIMULATION_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

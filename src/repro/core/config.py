@@ -86,6 +86,12 @@ class CoreConfig:
 
     # Limits
     max_cycles: int = 200_000_000
+    #: No-retire-progress watchdog: abort with
+    #: :class:`~repro.errors.SimulatorInvariantError` when this many cycles
+    #: pass without a single retirement (a wedged pipeline, not a slow one —
+    #: the longest legitimate stall is a DRAM-fed dependence chain, orders
+    #: of magnitude shorter).
+    deadlock_cycles: int = 100_000
 
     @property
     def num_phys_regs(self):
@@ -104,6 +110,8 @@ class CoreConfig:
             raise ConfigError("negative checkpoint count")
         if self.front_end_depth < 1:
             raise ConfigError("front_end_depth must be >= 1")
+        if self.deadlock_cycles < 1:
+            raise ConfigError("deadlock_cycles must be >= 1")
         return self
 
 

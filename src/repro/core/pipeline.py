@@ -32,7 +32,7 @@ from repro.core.lsq import StoreQueueEntry, scan_older_stores
 from repro.core.oracle import DirectionOracle
 from repro.core.rename import RenameTables, VQRenamer
 from repro.core.stats import SimStats
-from repro.errors import ReproError
+from repro.errors import SimulatorInvariantError
 from repro.isa.instructions import LINK_REG, ZERO_REG
 from repro.isa.opcodes import OpClass, Opcode
 from repro.memsys.hierarchy import MemLevel, MemoryHierarchy
@@ -72,8 +72,14 @@ _FETCH_RESOLVED = frozenset(
 )
 
 
-class SimulationError(ReproError):
-    """Internal simulator invariant violation (checker mismatch, deadlock)."""
+class SimulationError(SimulatorInvariantError):
+    """Internal simulator invariant violation (checker mismatch, deadlock).
+
+    A subclass of :class:`~repro.errors.SimulatorInvariantError` so the
+    reliability layer (and the CLI's exit-code mapping) can catch every
+    invariant violation — from this built-in checker or from the opt-in
+    :class:`repro.rel.InvariantChecker` — with one ``except``.
+    """
 
 
 #: Per-PC predecode record layout (see :meth:`Pipeline._predecode`).
@@ -1673,7 +1679,7 @@ class Pipeline:
         warm_target = warmup_instructions if warmup_instructions else None
         if max_instructions is not None:
             self.retire_limit = (warmup_instructions or 0) + max_instructions
-        stall_guard = 100_000
+        stall_guard = getattr(self.config, "deadlock_cycles", 100_000)
         stage_retire = self.stage_retire
         stage_complete = self.stage_complete
         stage_memory = self.stage_memory
@@ -1737,12 +1743,54 @@ class Pipeline:
                 self._reset_stats_after_warmup()
                 warm_target = None
             if self.cycle - self.last_retire_cycle > stall_guard:
-                raise SimulationError(
-                    "pipeline deadlock at cycle %d (pc %d, rob %d, iq %d)"
-                    % (self.cycle, self.fetch_pc, len(self.rob), len(self.iq))
-                )
+                raise SimulationError(self._deadlock_report(stall_guard))
             if self.cycle >= max_cycles:
                 break
+
+    def _deadlock_report(self, stall_guard, event_limit=20):
+        """Diagnostics for the no-retire-progress watchdog.
+
+        Besides the wedge location (cycle/pc/occupancies), pulls the last
+        few pipeline events from any attached observer that keeps an event
+        ring (``EventTracer``, ``InvariantChecker``), so a deadlock in a
+        long sweep is diagnosable from the exception text alone.
+        """
+        head = self.rob[0] if self.rob else None
+        lines = [
+            "pipeline deadlock at cycle %d (pc %d, rob %d, iq %d): "
+            "no retirement in %d cycles (deadlock_cycles=%d)"
+            % (self.cycle, self.fetch_pc, len(self.rob), len(self.iq),
+               self.cycle - self.last_retire_cycle, stall_guard),
+            "  last retire: cycle %d; rob head: %s"
+            % (self.last_retire_cycle,
+               "pc %d (%s) done=%s" % (head.pc, head.inst, head.done)
+               if head is not None else "<empty>"),
+            "  occupancy: bq %d/%d tq %d/%d vq %d/%d lq %d sq %d"
+            % (self.hw_bq.length, self.hw_bq.size,
+               self.hw_tq.length, self.hw_tq.size,
+               self.vq_renamer.length, self.vq_renamer.size,
+               len(self.load_queue), len(self.store_queue)),
+        ]
+        observers = []
+        if isinstance(self.obs, MultiObserver):
+            observers = self.obs.observers
+        elif self.obs is not None:
+            observers = [self.obs]
+        for observer in observers:
+            iter_events = getattr(observer, "iter_events", None)
+            if not callable(iter_events):
+                continue
+            recent = list(iter_events())[-event_limit:]
+            if not recent:
+                continue
+            lines.append("  last %d events (%s):"
+                         % (len(recent), type(observer).__name__))
+            lines.extend(
+                "    cycle %d %-8s seq=%d pc=%d %s"
+                % (e.cycle, e.kind, e.seq, e.pc, e.op)
+                for e in recent
+            )
+        return "\n".join(lines)
 
     def _reset_stats_after_warmup(self):
         """Zero the measurement counters; keep all microarchitectural state.

@@ -52,6 +52,18 @@ class TripCountOverflowError(QueueError):
     """A trip-count exceeds 2**N on a plain Push_TQ (Section IV-C4)."""
 
 
+class SimulatorInvariantError(ReproError):
+    """A microarchitectural invariant of the cycle core was violated.
+
+    Raised by the retire-time architectural checker, the no-retire-progress
+    (deadlock) watchdog, and the opt-in :class:`repro.rel.InvariantChecker`.
+    Distinct from the queue/execution errors above: those mean the *program*
+    is wrong, this means the *simulator* (or injected fault) is.  The CLI
+    maps it to its own exit code (4) so sweep drivers can tell corrupted
+    simulations apart from ordinary failures.
+    """
+
+
 class ConfigError(ReproError):
     """Raised for inconsistent simulator configuration values."""
 

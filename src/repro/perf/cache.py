@@ -19,16 +19,25 @@ snapshot, which is everything the benchmarks, figures and manifests
 consume.  A cached entry rehydrates into a :class:`CachedSimResult`
 whose ``stats.to_dict()`` is byte-identical to the live run's.
 
-Corrupt or schema-mismatched entries are treated as misses and silently
-recomputed (then overwritten); writes are atomic (tempfile + rename), so
+Corrupt or schema-mismatched entries are treated as misses, but not
+silently: the damaged file is quarantined (renamed to ``*.corrupt``) so
+it can be inspected, and the entry is recomputed.  Writes are atomic
+(tempfile + rename) and additionally serialized across processes by an
+``flock``-based write lock (``.write.lock`` in the schema directory), so
 concurrent sweep workers and bench processes can share one cache.
 """
 
+import contextlib
 import hashlib
 import json
 import os
 import tempfile
 import time
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX host
+    fcntl = None
 
 from repro.core.stats import SimStats
 from repro.energy.mcpat import EnergyReport
@@ -194,6 +203,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.quarantined = 0
 
     def key_for(self, program, config, max_instructions=None,
                 warmup_instructions=0):
@@ -210,21 +220,61 @@ class ResultCache:
     def load(self, key, config=None):
         """The :class:`CachedSimResult` for *key*, or ``None``.
 
-        Unreadable, corrupt, or wrong-schema entries count as misses —
-        the caller recomputes and overwrites them.
+        A missing entry is a plain miss.  An entry that *exists* but does
+        not parse/rehydrate (truncated write, bit rot, foreign schema) is
+        quarantined — renamed to ``<entry>.corrupt`` so it can be
+        inspected — and then counts as a miss; the caller recomputes and
+        the fresh store lands at the original path.
         """
         path = self.path_for(key)
         try:
-            with open(path) as fh:
-                payload = json.load(fh)
+            # Bytes, not text: decode failures (bit rot) must reach the
+            # quarantine handler below, not escape as UnicodeDecodeError.
+            with open(path, "rb") as fh:
+                raw = fh.read()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(raw)
             if payload.get("schema") != self.schema_version:
                 raise ValueError("schema mismatch")
             result = CachedSimResult(payload, config=config)
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
         return result
+
+    def _quarantine(self, path):
+        """Move a damaged entry aside as ``<entry>.corrupt`` (best effort)."""
+        try:
+            os.replace(path, path + ".corrupt")
+        except OSError:
+            return
+        self.quarantined += 1
+
+    @contextlib.contextmanager
+    def _write_lock(self):
+        """Cross-process write lock (``flock`` on ``.write.lock``).
+
+        Atomic rename already makes readers safe; the lock serializes
+        *writers* so two processes storing the same key cannot interleave
+        their tempfile/rename pairs.  Held only for the duration of one
+        entry write.  A no-op where ``fcntl`` is unavailable.
+        """
+        if fcntl is None:
+            yield
+            return
+        lock_dir = os.path.join(self.root, "v%d" % self.schema_version)
+        os.makedirs(lock_dir, exist_ok=True)
+        with open(os.path.join(lock_dir, ".write.lock"), "a") as fh:
+            fcntl.flock(fh, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh, fcntl.LOCK_UN)
 
     def store(self, key, payload):
         """Atomically write *payload* under *key*; returns the entry path.
@@ -234,18 +284,19 @@ class ResultCache:
         """
         path = self.path_for(key)
         try:
-            os.makedirs(os.path.dirname(path), exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=os.path.dirname(path), suffix=".tmp"
-            )
-            try:
-                with os.fdopen(fd, "w") as fh:
-                    json.dump(payload, fh)
-                    fh.write("\n")
-                os.replace(tmp, path)
-            finally:
-                if os.path.exists(tmp):
-                    os.unlink(tmp)
+            with self._write_lock():
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                fd, tmp = tempfile.mkstemp(
+                    dir=os.path.dirname(path), suffix=".tmp"
+                )
+                try:
+                    with os.fdopen(fd, "w") as fh:
+                        json.dump(payload, fh)
+                        fh.write("\n")
+                    os.replace(tmp, path)
+                finally:
+                    if os.path.exists(tmp):
+                        os.unlink(tmp)
         except OSError:
             return None
         self.stores += 1
@@ -258,4 +309,9 @@ class ResultCache:
         return payload
 
     def counters(self):
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "quarantined": self.quarantined,
+        }

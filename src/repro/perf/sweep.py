@@ -72,6 +72,11 @@ class SweepOutcome:
     error: Optional[str] = None
     cached: bool = False
     elapsed: float = 0.0
+    #: PID of the process that simulated the point (the pool worker, or
+    #: this process for inline/cache-key failures) — with the full
+    #: traceback in ``error``, enough to match a failed point against
+    #: worker logs or a core dump.  ``None`` for cache hits.
+    worker_pid: Optional[int] = None
 
     @property
     def ok(self):
@@ -99,10 +104,13 @@ def _workload_identity(point):
 def _simulate_point(point):
     """Pool worker: build + simulate one point; never raises.
 
-    Returns ``(snapshot_dict, None)`` on success or ``(None, traceback)``
-    on failure — per-point error capture so one bad point cannot take
-    down the executor (or the figure driving it).
+    Returns ``(snapshot_dict, None, pid)`` on success or
+    ``(None, traceback, pid)`` on failure — per-point error capture so one
+    bad point cannot take down the executor (or the figure driving it).
+    The worker pid rides along so a failure is attributable to a specific
+    pool process.
     """
+    pid = os.getpid()
     try:
         from repro.core import sandy_bridge_config
         from repro.core.simulator import Simulator
@@ -122,9 +130,10 @@ def _simulate_point(point):
                 },
             ),
             None,
+            pid,
         )
     except BaseException:
-        return None, traceback.format_exc()
+        return None, traceback.format_exc(), pid
 
 
 def run_sweep(points, jobs=None, cache=None, progress=None):
@@ -158,7 +167,8 @@ def run_sweep(points, jobs=None, cache=None, progress=None):
                 )
             except Exception:
                 outcomes[index] = SweepOutcome(
-                    point=point, error=traceback.format_exc()
+                    point=point, error=traceback.format_exc(),
+                    worker_pid=os.getpid(),
                 )
                 done += 1
                 if progress is not None:
@@ -175,10 +185,11 @@ def run_sweep(points, jobs=None, cache=None, progress=None):
                 continue
         pending.append((index, point, key))
 
-    def settle(index, point, key, payload, error, elapsed):
+    def settle(index, point, key, payload, error, pid, elapsed):
         nonlocal done
         if error is not None:
-            outcome = SweepOutcome(point=point, error=error, elapsed=elapsed)
+            outcome = SweepOutcome(point=point, error=error, elapsed=elapsed,
+                                   worker_pid=pid)
         else:
             if cache is not None and key is not None:
                 cache.store(key, payload)
@@ -186,6 +197,7 @@ def run_sweep(points, jobs=None, cache=None, progress=None):
                 point=point,
                 result=CachedSimResult(payload, config=point.config),
                 elapsed=elapsed,
+                worker_pid=pid,
             )
         outcomes[index] = outcome
         done += 1
@@ -195,8 +207,8 @@ def run_sweep(points, jobs=None, cache=None, progress=None):
     if jobs <= 1 or len(pending) <= 1:
         for index, point, key in pending:
             start = time.perf_counter()
-            payload, error = _simulate_point(point)
-            settle(index, point, key, payload, error,
+            payload, error, pid = _simulate_point(point)
+            settle(index, point, key, payload, error, pid,
                    time.perf_counter() - start)
         return outcomes
 
@@ -211,9 +223,9 @@ def run_sweep(points, jobs=None, cache=None, progress=None):
             for future in finished:
                 index, point, key = futures[future]
                 try:
-                    payload, error = future.result()
+                    payload, error, pid = future.result()
                 except BaseException:
-                    payload, error = None, traceback.format_exc()
-                settle(index, point, key, payload, error,
+                    payload, error, pid = None, traceback.format_exc(), None
+                settle(index, point, key, payload, error, pid,
                        time.perf_counter() - started)
     return outcomes

@@ -1,0 +1,328 @@
+"""Deterministic fault injection for the simulator and the sweep stack.
+
+Reliability machinery is only trustworthy if it has been watched catching
+real faults.  This module is the fault catalogue the ``tests/rel`` suite
+drives; every injector is **seeded and deterministic** (same seed, same
+trigger, same corruption) so a failing run reproduces exactly.
+
+Three fault families:
+
+**Pipeline state corruption** — :class:`FaultInjector` subclasses, armed
+as ordinary :class:`~repro.obs.events.PipelineObserver` s.  Each waits for
+its trigger cycle, applies one single-shot corruption, and sets
+``fired``.  They split into *detectable* faults (corrupt architectural or
+queue state; the retire-time checker or the
+:class:`~repro.rel.invariants.InvariantChecker` must raise
+:class:`~repro.errors.SimulatorInvariantError`) and *recoverable* faults
+(corrupt purely speculative structures — predictor, BTB, cache timing;
+the run must complete with the architectural state intact, because those
+structures are validated-and-repaired by design).
+
+**Worker faults** — :func:`maybe_trip_worker_fault`, called by the
+supervised sweep's pool-worker entry point.  Armed through environment
+variables (inherited by pool workers), one-shot through an exclusive
+token file, so exactly one worker dies/hangs per armed fault:
+
+===============================  =========================================
+``REPRO_REL_WORKER_FAULT``       ``kill`` (SIGKILL self) or
+                                 ``hang[:seconds]`` (sleep, default 3600)
+``REPRO_REL_WORKER_FAULT_TOKEN`` path used as a fire-once latch
+                                 (``O_CREAT | O_EXCL``)
+===============================  =========================================
+
+**Result-cache corruption** — :func:`corrupt_cache_entry` truncates or
+garbles an on-disk :class:`~repro.perf.cache.ResultCache` entry in place,
+exercising the quarantine-and-recompute path.
+"""
+
+import os
+import random
+import signal
+import time
+
+from repro.obs.events import PipelineObserver
+
+WORKER_FAULT_ENV = "REPRO_REL_WORKER_FAULT"
+WORKER_FAULT_TOKEN_ENV = "REPRO_REL_WORKER_FAULT_TOKEN"
+
+
+# --------------------------------------------------------------- pipeline
+
+
+class FaultInjector(PipelineObserver):
+    """Single-shot deterministic pipeline-state corruption.
+
+    Subclasses implement :meth:`inject` and return True once the fault
+    was applied; until then the injector retries every cycle end past
+    ``trigger_cycle`` (some faults need a target — e.g. an occupied queue
+    entry — that may not exist yet on the trigger cycle).  Attach the
+    injector *before* any checker so a corruption is visible to the same
+    cycle's validation.
+    """
+
+    __slots__ = ("trigger_cycle", "rng", "fired")
+
+    def __init__(self, trigger_cycle=100, seed=1):
+        self.trigger_cycle = trigger_cycle
+        self.rng = random.Random(seed)
+        self.fired = False
+
+    def on_cycle_end(self, pipeline):
+        if self.fired or pipeline.cycle < self.trigger_cycle:
+            return
+        if self.inject(pipeline):
+            self.fired = True
+
+    def inject(self, pipeline):
+        raise NotImplementedError
+
+
+class BQPredicateFlip(FaultInjector):
+    """Flip the stored predicate of an executed-but-unpopped BQ entry.
+
+    Detected: the Branch_on_BQ that pops the entry steers on the flipped
+    predicate, and its retirement disagrees with the functional checker
+    (direction mismatch).
+    """
+
+    def inject(self, pipeline):
+        bq = pipeline.hw_bq
+        candidates = [
+            pointer for pointer in range(bq.fetch_head, bq.fetch_tail)
+            if bq.pushed[pointer % bq.size]
+        ]
+        if not candidates:
+            return False
+        index = self.rng.choice(candidates) % bq.size
+        bq.predicate[index] ^= 1
+        return True
+
+
+class TQCountCorrupt(FaultInjector):
+    """Perturb the trip count of an executed-but-unpopped TQ entry.
+
+    Detected: the Branch_on_TCR loop driven by the popped count exits on
+    the wrong iteration, diverging from the functional checker.
+    """
+
+    def inject(self, pipeline):
+        tq = pipeline.hw_tq
+        candidates = [
+            pointer for pointer in range(tq.fetch_head, tq.fetch_tail)
+            if tq.pushed[pointer % tq.size]
+        ]
+        if not candidates:
+            return False
+        index = self.rng.choice(candidates) % tq.size
+        tq.count[index] += 1 if tq.count[index] == 0 else -1
+        return True
+
+
+class CommittedStateCorrupt(FaultInjector):
+    """Flip one bit of the *committed* architectural register state.
+
+    This corrupts the pipeline's own reference (the built-in retire-time
+    checker replays on exactly this state), so only the independent
+    :class:`~repro.rel.invariants.InvariantChecker` oracle — or a later
+    value mismatch against the re-derived core value — can catch it.
+    """
+
+    __slots__ = ("arch_reg",)
+
+    def __init__(self, arch_reg, trigger_cycle=100, seed=1):
+        super().__init__(trigger_cycle, seed)
+        self.arch_reg = arch_reg
+
+    def inject(self, pipeline):
+        state = pipeline.checker.state
+        state.regs[self.arch_reg] ^= 1
+        return True
+
+
+class PRFCorrupt(FaultInjector):
+    """Flip one bit of a committed architectural register's PRF copy.
+
+    Picks the physical register the AMT maps for ``arch_reg`` — and only
+    when no in-flight writer has renamed past it, so the corrupted value
+    is the one subsequent readers source.  Detected: the next consumer
+    computes a wrong result and the retire-time checker flags a value or
+    direction mismatch.
+    """
+
+    __slots__ = ("arch_reg",)
+
+    def __init__(self, arch_reg, trigger_cycle=100, seed=1):
+        super().__init__(trigger_cycle, seed)
+        self.arch_reg = arch_reg
+
+    def inject(self, pipeline):
+        tables = pipeline.rename_tables
+        phys = tables.amt[self.arch_reg]
+        if tables.rmt[self.arch_reg] != phys:
+            return False  # in-flight writer; retry next cycle
+        pipeline.prf_value[phys] ^= 1
+        return True
+
+
+class BQPointerCorrupt(FaultInjector):
+    """Wreck the hardware BQ's monotonic pointer algebra.
+
+    Detected: the per-cycle occupancy invariant (``length <= size``)
+    fails on the same cycle the fault lands.
+    """
+
+    def inject(self, pipeline):
+        pipeline.hw_bq.fetch_tail += pipeline.hw_bq.size + 1
+        return True
+
+
+class PredictorStateFlip(FaultInjector):
+    """Feed the branch predictor a burst of fabricated outcomes.
+
+    Recovered: predictions are always validated at execute/retire, so a
+    polluted predictor changes timing only — the run completes with the
+    architectural state bit-identical to an uninjected run.
+    """
+
+    __slots__ = ("updates",)
+
+    def __init__(self, trigger_cycle=100, seed=1, updates=32):
+        super().__init__(trigger_cycle, seed)
+        self.updates = updates
+
+    def inject(self, pipeline):
+        ncode = len(pipeline.program.code)
+        for _ in range(self.updates):
+            pipeline.predictor.speculative_update(
+                self.rng.randrange(ncode), self.rng.random() < 0.5
+            )
+        return True
+
+
+class BTBCorrupt(FaultInjector):
+    """Install bogus targets into the BTB.
+
+    Recovered: the BTB only steers fetch; wrong targets cost misfetch /
+    misprediction penalties and are repaired by the ordinary recovery
+    machinery.
+    """
+
+    __slots__ = ("installs",)
+
+    def __init__(self, trigger_cycle=100, seed=1, installs=16):
+        super().__init__(trigger_cycle, seed)
+        self.installs = installs
+
+    def inject(self, pipeline):
+        ncode = len(pipeline.program.code)
+        for _ in range(self.installs):
+            pipeline.btb.install(
+                self.rng.randrange(ncode), self.rng.randrange(ncode)
+            )
+        return True
+
+
+class CacheWriteDrop(FaultInjector):
+    """Drop the next *count* data-cache write completions.
+
+    Recovered: architectural stores commit through the checker state; the
+    dropped accesses only mean the written lines are not installed in the
+    cache hierarchy, a pure timing effect.
+    """
+
+    __slots__ = ("count", "dropped")
+
+    def __init__(self, trigger_cycle=100, seed=1, count=8):
+        super().__init__(trigger_cycle, seed)
+        self.count = count
+        self.dropped = 0
+
+    def inject(self, pipeline):
+        memory = pipeline.memory
+        original = memory.access_data
+        injector = self
+
+        def dropping_access_data(addr, is_write=False, pc=None):
+            if is_write and injector.dropped < injector.count:
+                injector.dropped += 1
+                return None  # store-retire ignores the result
+            return original(addr, is_write=is_write, pc=pc)
+
+        memory.access_data = dropping_access_data
+        return True
+
+
+# ---------------------------------------------------------------- workers
+
+
+def arm_worker_fault(environ, kind, token_path):
+    """Arm a one-shot worker fault in *environ* (usually ``os.environ``).
+
+    *kind* is ``"kill"`` or ``"hang[:seconds]"``; *token_path* must not
+    exist yet — the first worker to latch it trips the fault, everyone
+    else proceeds normally.
+    """
+    environ[WORKER_FAULT_ENV] = kind
+    environ[WORKER_FAULT_TOKEN_ENV] = token_path
+
+
+def disarm_worker_fault(environ):
+    environ.pop(WORKER_FAULT_ENV, None)
+    environ.pop(WORKER_FAULT_TOKEN_ENV, None)
+
+
+def maybe_trip_worker_fault():
+    """Die or hang if an armed worker fault latches onto this process.
+
+    Called at the top of the supervised sweep's pool-worker entry point;
+    a no-op unless :data:`WORKER_FAULT_ENV` is set.  With a token path
+    configured the fault fires at most once across all workers.
+    """
+    spec = os.environ.get(WORKER_FAULT_ENV)
+    if not spec:
+        return
+    token = os.environ.get(WORKER_FAULT_TOKEN_ENV)
+    if token:
+        try:
+            fd = os.open(token, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return  # someone already tripped this fault
+        except OSError:
+            return
+        os.close(fd)
+    if spec == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif spec.startswith("hang"):
+        _, _, seconds = spec.partition(":")
+        time.sleep(float(seconds) if seconds else 3600.0)
+
+
+# ------------------------------------------------------------ cache files
+
+
+def corrupt_cache_entry(path, mode="truncate", seed=1):
+    """Damage an on-disk cache entry in place (``truncate`` or ``garble``).
+
+    ``truncate`` cuts the file mid-JSON (the interrupted-write shape);
+    ``garble`` overwrites a deterministic selection of bytes with noise
+    (the bit-rot shape).  Either way the entry still *exists*, so a read
+    must quarantine it rather than treat it as absent.
+    """
+    rng = random.Random(seed)
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    if not blob:
+        raise ValueError("refusing to corrupt empty file %s" % path)
+    if mode == "truncate":
+        blob = blob[: max(1, len(blob) // 2)]
+    elif mode == "garble":
+        data = bytearray(blob)
+        for _ in range(max(4, len(data) // 64)):
+            data[rng.randrange(len(data))] = rng.randrange(256)
+        data[0] = 0x7B  # keep it byte-garbage inside a '{' so json fails
+        data[1] = 0x00
+        blob = bytes(data)
+    else:
+        raise ValueError("unknown corruption mode %r" % mode)
+    with open(path, "wb") as fh:
+        fh.write(blob)

@@ -1,0 +1,490 @@
+"""Supervised sweeps: per-point timeouts, retries, pool recovery, resume.
+
+:func:`repro.perf.sweep.run_sweep` assumes a healthy pool: a hung point
+occupies its worker forever, a SIGKILLed worker poisons the whole
+``ProcessPoolExecutor`` (every outstanding future raises
+``BrokenProcessPool``), and an interrupted sweep restarts from zero.
+:func:`run_supervised_sweep` keeps the same contract — one outcome per
+point, in input order, stats byte-identical to an inline run — and adds
+the supervision a production-scale sweep needs:
+
+* per-point wall-clock **timeouts**: when a point exceeds
+  ``policy.timeout`` seconds, the pool's workers are killed (SIGKILL — a
+  wedged worker may not honour anything milder), the pool is respawned,
+  and the point is retried or failed with ``timed_out=True``.  Points
+  that were merely sharing the pool are requeued with their retry budget
+  refunded.
+* bounded **retries** with exponential backoff (``policy.retries`` extra
+  attempts, ``backoff * backoff_factor**(attempt-1)`` seconds apart) —
+  applied uniformly to timeouts, worker deaths and point-level errors.
+* **BrokenProcessPool recovery**: an unexpectedly dying pool is respawned
+  and its in-flight points re-run; after ``max_pool_respawns`` deaths the
+  sweep degrades gracefully to inline in-process execution (marked
+  ``degraded=True`` on the affected outcomes) instead of giving up.
+* a JSONL checkpoint **journal**: every successfully completed point is
+  appended as one line (deterministic :func:`point_key` + the result
+  snapshot).  With ``resume=True`` a re-run serves journaled points
+  without simulating, so an n-point sweep interrupted after k completions
+  runs exactly n−k points.  The journal format is tolerant by
+  construction — unknown lines and a truncated final line (the crash
+  case) are skipped, and only successes are recorded, so failed points
+  re-run on resume.
+
+Timeouts need worker processes to kill; inline execution (``jobs=1`` or
+degraded mode) runs without them, which is the documented trade-off of
+graceful degradation.
+"""
+
+import hashlib
+import json
+import os
+import time
+import traceback
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.perf.cache import CachedSimResult, config_fingerprint
+from repro.perf.sweep import (
+    SweepOutcome,
+    _build_point,
+    _simulate_point,
+    default_jobs,
+)
+
+#: Bump when the journal line format changes (old journals then resume
+#: nothing, which is always safe — they just re-simulate).
+JOURNAL_VERSION = 1
+
+
+@dataclass
+class SupervisionPolicy:
+    """Knobs for :func:`run_supervised_sweep` (see the module docstring)."""
+
+    #: Per-point wall-clock budget in seconds (None = unlimited).
+    timeout: Optional[float] = None
+    #: Extra attempts after the first, per point.
+    retries: int = 2
+    #: First retry delay in seconds; grows by ``backoff_factor`` each time.
+    backoff: float = 0.25
+    backoff_factor: float = 2.0
+    #: Unexpected pool deaths tolerated before degrading to inline runs.
+    max_pool_respawns: int = 3
+    #: JSONL checkpoint journal path (None = no journal).
+    journal_path: Optional[str] = None
+    #: Serve already-journaled points without re-simulating.
+    resume: bool = False
+
+
+@dataclass
+class SupervisedOutcome(SweepOutcome):
+    """A :class:`SweepOutcome` plus the supervision history of the point."""
+
+    #: Simulation attempts actually launched (0 for cache/journal hits).
+    attempts: int = 0
+    #: The final failure was a wall-clock timeout.
+    timed_out: bool = False
+    #: Served from the checkpoint journal of an earlier, interrupted run.
+    resumed: bool = False
+    #: Ran inline after the pool was declared unrecoverable.
+    degraded: bool = False
+
+
+def point_key(point):
+    """Deterministic identity digest of one sweep point.
+
+    Covers the workload recipe (name/variant/input/scale/seed), the
+    instruction budgets and the config fingerprint — everything that
+    determines the simulation result — without building the workload, so
+    journal lookup stays cheap.
+    """
+    identity = {
+        "workload": point.workload,
+        "variant": point.variant,
+        "input": point.input_name,
+        "scale": point.scale,
+        "seed": point.seed,
+        "max_instructions": point.max_instructions,
+        "warmup_instructions": point.warmup_instructions,
+        "config": (
+            config_fingerprint(point.config) if point.config is not None else None
+        ),
+    }
+    blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class SweepJournal:
+    """Append-only JSONL checkpoint journal for resumable sweeps.
+
+    One header line (version stamp), then one ``{"kind": "point", ...}``
+    line per successfully completed point carrying its key and full result
+    snapshot.  Appends are flushed per line, so after a crash at worst the
+    final line is truncated — and :meth:`load` skips anything that does
+    not parse as a complete point record.
+    """
+
+    def __init__(self, path):
+        self.path = path
+
+    def load(self):
+        """``{key: entry}`` for every complete point line (empty if absent)."""
+        entries = {}
+        try:
+            fh = open(self.path)
+        except OSError:
+            return entries
+        with fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                except ValueError:
+                    continue  # truncated tail from an interrupted append
+                if (
+                    isinstance(doc, dict)
+                    and doc.get("kind") == "point"
+                    and doc.get("version", JOURNAL_VERSION) == JOURNAL_VERSION
+                    and isinstance(doc.get("key"), str)
+                    and isinstance(doc.get("payload"), dict)
+                ):
+                    entries[doc["key"]] = doc
+        return entries
+
+    def open(self, total):
+        """Ensure the journal exists and starts with a header line."""
+        if os.path.exists(self.path) and os.path.getsize(self.path) > 0:
+            return
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._append({
+            "kind": "header",
+            "version": JOURNAL_VERSION,
+            "total": total,
+            "created": time.time(),
+        })
+
+    def record(self, key, label, payload, elapsed):
+        self._append({
+            "kind": "point",
+            "version": JOURNAL_VERSION,
+            "key": key,
+            "label": label,
+            "elapsed": elapsed,
+            "payload": payload,
+        })
+
+    def _append(self, doc):
+        with open(self.path, "a") as fh:
+            fh.write(json.dumps(doc) + "\n")
+            fh.flush()
+
+
+def _supervised_simulate_point(point):
+    """Pool-worker entry point: fault hook + the plain point simulation.
+
+    The fault hook is how the fault-injection tests make a *worker* die or
+    hang mid-sweep (armed via environment variables, one-shot via a token
+    file — see :func:`repro.rel.inject.maybe_trip_worker_fault`); it is a
+    no-op unless explicitly armed.  Deliberately not called on the inline
+    path, where "kill the worker" would kill the caller.
+    """
+    from repro.rel.inject import maybe_trip_worker_fault
+
+    maybe_trip_worker_fault()
+    return _simulate_point(point)
+
+
+class _Task:
+    """Mutable supervision state for one not-yet-settled point."""
+
+    __slots__ = ("index", "point", "key", "cache_key", "attempts",
+                 "not_before", "started")
+
+    def __init__(self, index, point, key, cache_key=None):
+        self.index = index
+        self.point = point
+        self.key = key
+        self.cache_key = cache_key
+        self.attempts = 0
+        self.not_before = 0.0
+        self.started = 0.0
+
+
+class _PoolRestart(Exception):
+    """Internal: tear the current pool down and start a fresh one."""
+
+    def __init__(self, unexpected):
+        self.unexpected = unexpected  # counts toward max_pool_respawns
+
+
+def _backoff_delay(policy, attempt):
+    return policy.backoff * (policy.backoff_factor ** max(0, attempt - 1))
+
+
+def _kill_pool_processes(pool):
+    """SIGKILL every worker of *pool* (used to reclaim hung points).
+
+    ``_processes`` is a CPython implementation detail, so fall back to a
+    plain shutdown if it is absent; the subsequent BrokenProcessPool
+    handling works either way.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.kill()
+        except Exception:
+            pass
+
+
+def run_supervised_sweep(points, jobs=None, cache=None, policy=None,
+                         progress=None):
+    """Run every point under supervision; ``[SupervisedOutcome]`` in order.
+
+    Drop-in superset of :func:`repro.perf.sweep.run_sweep`: with the
+    default :class:`SupervisionPolicy` and healthy workers the results are
+    byte-identical (simulation is deterministic; supervision only decides
+    *whether and where* a point runs, never what it computes).
+    """
+    policy = SupervisionPolicy() if policy is None else policy
+    points = list(points)
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    outcomes = [None] * len(points)
+    total = len(points)
+    done = 0
+
+    def settle(index, outcome):
+        nonlocal done
+        outcomes[index] = outcome
+        done += 1
+        if progress is not None:
+            progress(outcome, done, total)
+
+    journal = SweepJournal(policy.journal_path) if policy.journal_path else None
+    journaled = journal.load() if (journal is not None and policy.resume) else {}
+
+    # Serve journal entries and cache hits up front; the rest become tasks.
+    tasks = deque()
+    for index, point in enumerate(points):
+        if point.config is None:
+            from repro.core import sandy_bridge_config
+
+            point.config = sandy_bridge_config()
+        key = point_key(point)
+        entry = journaled.get(key)
+        if entry is not None:
+            settle(index, SupervisedOutcome(
+                point=point,
+                result=CachedSimResult(entry["payload"], config=point.config),
+                elapsed=entry.get("elapsed", 0.0),
+                resumed=True,
+            ))
+            continue
+        cache_key = None
+        if cache is not None:
+            try:
+                built = _build_point(point)
+                cache_key = cache.key_for(
+                    built.program, point.config,
+                    point.max_instructions, point.warmup_instructions,
+                )
+            except Exception:
+                settle(index, SupervisedOutcome(
+                    point=point, error=traceback.format_exc(),
+                    worker_pid=os.getpid(),
+                ))
+                continue
+            hit = cache.load(cache_key, config=point.config)
+            if hit is not None:
+                settle(index, SupervisedOutcome(
+                    point=point, result=hit, cached=True,
+                ))
+                continue
+        tasks.append(_Task(index, point, key, cache_key=cache_key))
+
+    if journal is not None and tasks:
+        journal.open(total)
+
+    def complete(task, payload, error, pid, elapsed,
+                 timed_out=False, degraded=False):
+        if error is not None:
+            outcome = SupervisedOutcome(
+                point=task.point, error=error, elapsed=elapsed,
+                worker_pid=pid, attempts=task.attempts,
+                timed_out=timed_out, degraded=degraded,
+            )
+        else:
+            if cache is not None and task.cache_key is not None:
+                cache.store(task.cache_key, payload)
+            if journal is not None:
+                journal.record(task.key, task.point.label(), payload, elapsed)
+            outcome = SupervisedOutcome(
+                point=task.point,
+                result=CachedSimResult(payload, config=task.point.config),
+                elapsed=elapsed, worker_pid=pid, attempts=task.attempts,
+                degraded=degraded,
+            )
+        settle(task.index, outcome)
+
+    if jobs <= 1 or len(tasks) <= 1:
+        _run_inline(tasks, policy, complete)
+    else:
+        _run_pool(tasks, jobs, policy, complete)
+    return outcomes
+
+
+def _run_inline(tasks, policy, complete, degraded=False):
+    """Serial in-process execution with the same retry discipline.
+
+    No per-point timeout here: there is no worker process to kill.  This
+    is both the ``jobs=1`` reference path and the degraded last resort.
+    """
+    for task in tasks:
+        while True:
+            task.attempts += 1
+            start = time.monotonic()
+            payload, error, pid = _simulate_point(task.point)
+            elapsed = time.monotonic() - start
+            if error is None or task.attempts > policy.retries:
+                complete(task, payload, error, pid, elapsed, degraded=degraded)
+                break
+            time.sleep(_backoff_delay(policy, task.attempts))
+
+
+def _run_pool(tasks, jobs, policy, complete):
+    """Pool execution with restart-on-death and bounded degradation."""
+    pending = deque(tasks)
+    respawns = 0
+    while pending:
+        try:
+            _drive_pool(pending, jobs, policy, complete)
+        except _PoolRestart as restart:
+            if restart.unexpected:
+                respawns += 1
+                if respawns > policy.max_pool_respawns:
+                    _run_inline(pending, policy, complete, degraded=True)
+                    return
+                time.sleep(_backoff_delay(policy, respawns))
+
+
+def _requeue_or_fail(task, pending, policy, complete, error, elapsed,
+                     timed_out=False):
+    if task.attempts <= policy.retries:
+        task.not_before = time.monotonic() + _backoff_delay(policy, task.attempts)
+        pending.append(task)
+    else:
+        complete(task, None, error, None, elapsed, timed_out=timed_out)
+
+
+def _drive_pool(pending, jobs, policy, complete):
+    """Run one pool until *pending* drains or the pool must be replaced.
+
+    At most ``workers`` tasks are in flight at once, so a submitted task
+    starts (almost) immediately and its submit time is an honest start
+    time for the wall-clock timeout.
+    """
+    workers = min(jobs, len(pending))
+    pool = ProcessPoolExecutor(max_workers=workers)
+    inflight = {}
+
+    def abandon(error_text, unexpected):
+        """The pool is gone: requeue/fail every in-flight task, restart."""
+        now = time.monotonic()
+        for future, task in list(inflight.items()):
+            _requeue_or_fail(task, pending, policy, complete,
+                             error_text, now - task.started)
+        inflight.clear()
+        pool.shutdown(wait=False)
+        raise _PoolRestart(unexpected)
+
+    try:
+        while pending or inflight:
+            now = time.monotonic()
+            while pending and len(inflight) < workers:
+                if pending[0].not_before > now:
+                    break
+                task = pending.popleft()
+                task.attempts += 1
+                task.started = now
+                try:
+                    future = pool.submit(_supervised_simulate_point, task.point)
+                except BrokenProcessPool:
+                    task.attempts -= 1  # never launched; refund
+                    pending.appendleft(task)
+                    abandon("worker pool broke before submission:\n"
+                            + traceback.format_exc(), unexpected=True)
+                inflight[future] = task
+
+            if not inflight:
+                # Everything pending is backoff-gated; sleep to the gate.
+                soonest = min(task.not_before for task in pending)
+                time.sleep(min(max(soonest - now, 0.0), 1.0) or 0.01)
+                continue
+
+            if policy.timeout is None:
+                tick = 0.1 if pending else None
+            else:
+                deadline = min(t.started for t in inflight.values()) + policy.timeout
+                tick = max(0.01, min(deadline - now, 0.5))
+            finished, _ = wait(set(inflight), timeout=tick,
+                               return_when=FIRST_COMPLETED)
+            now = time.monotonic()
+
+            for future in finished:
+                task = inflight.pop(future)
+                try:
+                    payload, error, pid = future.result()
+                except BrokenProcessPool:
+                    elapsed = now - task.started
+                    _requeue_or_fail(
+                        task, pending, policy, complete,
+                        "worker process died (BrokenProcessPool):\n"
+                        + traceback.format_exc(),
+                        elapsed,
+                    )
+                    abandon("worker pool died; point was in flight when the "
+                            "pool broke", unexpected=True)
+                except BaseException:
+                    payload, error, pid = None, traceback.format_exc(), None
+                if error is not None and task.attempts <= policy.retries:
+                    task.not_before = now + _backoff_delay(policy, task.attempts)
+                    pending.append(task)
+                else:
+                    complete(task, payload, error, pid, now - task.started)
+
+            if policy.timeout is None:
+                continue
+            expired = [
+                (future, task) for future, task in inflight.items()
+                if now - task.started >= policy.timeout and not future.done()
+            ]
+            if not expired:
+                continue
+            # Kill the whole pool: there is no portable way to kill one
+            # worker's task, and the pool is cheap to respawn relative to
+            # a simulation point.
+            _kill_pool_processes(pool)
+            for future, task in expired:
+                inflight.pop(future)
+                _requeue_or_fail(
+                    task, pending, policy, complete,
+                    "point timed out after %.1fs (worker killed)"
+                    % policy.timeout,
+                    now - task.started, timed_out=True,
+                )
+            for future, task in list(inflight.items()):
+                # Innocent bystanders: refund the attempt, run again first.
+                inflight.pop(future)
+                task.attempts -= 1
+                pending.appendleft(task)
+            pool.shutdown(wait=False)
+            raise _PoolRestart(unexpected=False)
+    except _PoolRestart:
+        raise
+    else:
+        pool.shutdown(wait=True)

@@ -119,3 +119,51 @@ def test_missing_entry_is_a_miss(cache, program):
     config = sandy_bridge_config()
     assert cache.load(cache.key_for(program, config), config=config) is None
     assert cache.counters()["misses"] == 1
+    assert cache.counters()["quarantined"] == 0  # absent != damaged
+
+
+def test_corrupt_entry_is_quarantined_for_inspection(program, cache):
+    import os
+
+    config = sandy_bridge_config()
+    key = cache.key_for(program, config)
+    cache.store_result(key, simulate(program, config))
+    path = cache.path_for(key)
+    with open(path, "w") as fh:
+        fh.write('{"stats": {')
+    assert cache.load(key, config=config) is None
+    assert cache.counters()["quarantined"] == 1
+    assert not os.path.exists(path)  # moved aside, not left to re-trip
+    with open(path + ".corrupt") as fh:
+        assert fh.read() == '{"stats": {'  # damaged bytes preserved
+
+
+def _hammer_store(root, key, payload, rounds):
+    """Cross-process stress worker: must be module-level (pickled)."""
+    cache = ResultCache(root=root)
+    for _ in range(rounds):
+        assert cache.store(key, payload) is not None
+    return cache.counters()["stores"]
+
+
+def test_concurrent_writers_never_corrupt_an_entry(program, cache):
+    """Satellite: many processes storing the same key under the flock
+    write lock must leave a loadable entry (no interleaved tempfile /
+    rename pairs), with zero quarantines."""
+    import multiprocessing
+
+    from repro.perf.cache import snapshot_result
+
+    config = sandy_bridge_config()
+    key = cache.key_for(program, config)
+    payload = snapshot_result(simulate(program, config))
+    ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(4) as pool:
+        stores = pool.starmap(
+            _hammer_store, [(cache.root, key, payload, 25)] * 4
+        )
+    assert stores == [25] * 4
+    recovered = cache.load(key, config=config)
+    assert recovered is not None
+    assert _stats_json(recovered) == _stats_json(CachedSimResult(payload))
+    assert cache.counters()["quarantined"] == 0

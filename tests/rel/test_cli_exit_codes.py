@@ -1,0 +1,66 @@
+"""The CLI exit-code contract, exercised through real subprocesses.
+
+Supervision tooling (CI, sweep drivers) must be able to classify a
+failed invocation from the exit code alone: 2 usage, 3 simulation
+error, 4 invariant violation — each with a clean one-line stderr
+message, never a raw traceback.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+def _repro(args, tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, cwd=str(ROOT), env=env, timeout=120,
+    )
+
+
+def test_success_exits_zero(tmp_path):
+    proc = _repro(["list"], tmp_path)
+    assert proc.returncode == 0
+    assert "astar_r1" in proc.stdout
+
+
+def test_usage_error_exits_two(tmp_path):
+    proc = _repro(["frobnicate"], tmp_path)
+    assert proc.returncode == 2
+
+
+def test_simulation_error_exits_three(tmp_path):
+    proc = _repro(["run", "no-such-workload"], tmp_path)
+    assert proc.returncode == 3
+    assert proc.stderr.startswith("repro: error:")
+    assert "no-such-workload" in proc.stderr
+    assert "Traceback" not in proc.stderr
+
+
+def test_invariant_violation_exits_four(tmp_path):
+    proc = _repro(
+        ["run", "astar_r1", "--deadlock-cycles", "1", "--scale", "0.0625",
+         "--max-instructions", "2000", "--no-cache"],
+        tmp_path,
+    )
+    assert proc.returncode == 4
+    assert proc.stderr.startswith("repro: invariant violation:")
+    assert "deadlock" in proc.stderr
+    assert "Traceback" not in proc.stderr
+    assert len(proc.stderr.strip().splitlines()) == 1  # one-line, greppable
+
+
+def test_run_check_flag_passes_on_healthy_workload(tmp_path):
+    proc = _repro(
+        ["run", "astar_r1", "--check", "--scale", "0.0625",
+         "--max-instructions", "2000"],
+        tmp_path,
+    )
+    assert proc.returncode == 0
+    assert "retired" in proc.stdout

@@ -1,0 +1,238 @@
+"""The fault catalogue, proven fault by fault (``-m faultinject``).
+
+Detection matrix: corruption of architectural or CFD-queue state must
+raise :class:`~repro.errors.SimulatorInvariantError` (from the built-in
+retire-time checker, the independent oracle, or the per-cycle occupancy
+invariants — whichever sees it first).
+
+Recovery matrix: corruption of purely speculative structures (predictor,
+BTB, cache timing) must be absorbed — the run completes and the final
+committed architectural state is bit-identical to an uninjected run.
+
+Cache-entry corruption: a damaged on-disk result must be quarantined to
+``*.corrupt`` and transparently recomputed, bit-identical.
+"""
+
+import glob
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import sandy_bridge_config, simulate
+from repro.errors import SimulatorInvariantError
+from repro.isa import assemble
+from repro.obs.events import MultiObserver
+from repro.perf import ResultCache
+from repro.rel import (
+    BQPointerCorrupt,
+    BQPredicateFlip,
+    BTBCorrupt,
+    CacheWriteDrop,
+    CommittedStateCorrupt,
+    InvariantChecker,
+    PRFCorrupt,
+    PredictorStateFlip,
+    TQCountCorrupt,
+    corrupt_cache_entry,
+)
+from repro.workloads.builders import install_array
+
+pytestmark = pytest.mark.faultinject
+
+
+def _bq_program():
+    """Two-phase push-then-pop: executed BQ entries sit unpopped for a
+    long window, so a predicate flip always lands on live state."""
+    program = assemble(
+        """
+.data
+arr: .space 64
+.text
+main:
+    la   r1, arr
+    li   r3, 64
+gen:
+    lw   r5, 0(r1)
+    push_bq r5
+    addi r1, r1, 4
+    addi r3, r3, -1
+    bnez r3, gen
+    li   r3, 64
+    li   r4, 0
+use:
+    b_bq one
+    j    next
+one:
+    addi r4, r4, 1
+next:
+    addi r3, r3, -1
+    bnez r3, use
+    halt
+""",
+        name="bq-two-phase",
+    )
+    values = np.random.default_rng(7).integers(0, 2, 64)
+    install_array(program, "arr", values)
+    return program
+
+
+def _tq_program():
+    """Batched TQ pushes consumed by staggered pop/b_tcr loops."""
+    return assemble(
+        """
+.text
+main:
+    li   r1, 5
+    push_tq r1
+    push_tq r1
+    push_tq r1
+    push_tq r1
+    li   r6, 4
+outer:
+    pop_tq
+    li   r2, 0
+    j    test
+body:
+    addi r2, r2, 1
+test:
+    b_tcr body
+    addi r6, r6, -1
+    bnez r6, outer
+    halt
+""",
+        name="tq-batched",
+    )
+
+
+def _scalar_program():
+    """A branchy loop plus a quiescent register (r9) read only at the
+    very end — the PRF/committed-state corruption target."""
+    program = assemble(
+        """
+.data
+arr: .space 64
+.text
+main:
+    li   r9, 7
+    la   r1, arr
+    li   r3, 64
+    li   r4, 0
+loop:
+    lw   r5, 0(r1)
+    beqz r5, skip
+    addi r4, r4, 1
+skip:
+    sw   r4, 0(r1)
+    addi r1, r1, 4
+    addi r3, r3, -1
+    bnez r3, loop
+    add  r4, r4, r9
+    halt
+""",
+        name="scalar-loop",
+    )
+    values = np.random.default_rng(9).integers(0, 2, 64)
+    install_array(program, "arr", values)
+    return program
+
+
+def _run(program, injector=None, checker=False, **kwargs):
+    observers = []
+    if injector is not None:
+        observers.append(injector)  # injector first: same-cycle detection
+    if checker:
+        observers.append(InvariantChecker(arch_check_every=1))
+    observer = MultiObserver(observers) if observers else None
+    return simulate(program, sandy_bridge_config(), observer=observer,
+                    **kwargs)
+
+
+# --------------------------------------------------------- detection matrix
+
+
+def test_bq_predicate_flip_is_detected():
+    injector = BQPredicateFlip(trigger_cycle=30)
+    with pytest.raises(SimulatorInvariantError):
+        _run(_bq_program(), injector)
+    assert injector.fired
+
+
+def test_tq_count_corruption_is_detected():
+    injector = TQCountCorrupt(trigger_cycle=20)
+    with pytest.raises(SimulatorInvariantError):
+        _run(_tq_program(), injector)
+    assert injector.fired
+
+
+def test_committed_state_corruption_is_detected():
+    # Trigger mid-loop: r9 must already hold its committed value (an early
+    # corruption would be overwritten when ``li r9`` itself retires).
+    injector = CommittedStateCorrupt(arch_reg=9, trigger_cycle=600)
+    with pytest.raises(SimulatorInvariantError):
+        _run(_scalar_program(), injector)
+    assert injector.fired
+
+
+def test_prf_corruption_is_detected():
+    injector = PRFCorrupt(arch_reg=9, trigger_cycle=600)
+    with pytest.raises(SimulatorInvariantError):
+        _run(_scalar_program(), injector)
+    assert injector.fired
+
+
+def test_bq_pointer_corruption_is_detected():
+    injector = BQPointerCorrupt(trigger_cycle=30)
+    with pytest.raises(SimulatorInvariantError) as exc:
+        _run(_bq_program(), injector, checker=True)
+    assert injector.fired
+    assert "occupancy out of range" in str(exc.value)
+
+
+# ---------------------------------------------------------- recovery matrix
+
+
+def _arch_outcome(result):
+    state = result.pipeline.checker.state
+    return list(int(v) for v in state.regs), result.stats.retired
+
+
+@pytest.mark.parametrize("make_injector", [
+    lambda: PredictorStateFlip(trigger_cycle=40, updates=64),
+    lambda: BTBCorrupt(trigger_cycle=40, installs=32),
+    lambda: CacheWriteDrop(trigger_cycle=40, count=8),
+], ids=["predictor", "btb", "cache-write-drop"])
+def test_speculative_corruption_is_absorbed(make_injector):
+    program = _scalar_program()
+    clean = _run(program)
+    injector = make_injector()
+    injected = _run(program, injector, checker=True)
+    assert injector.fired
+    assert _arch_outcome(injected) == _arch_outcome(clean)
+
+
+# ------------------------------------------------------- cache corruption
+
+
+@pytest.mark.parametrize("mode", ["truncate", "garble"])
+def test_corrupted_cache_entry_is_quarantined_and_recomputed(tmp_path, mode):
+    cache = ResultCache(root=str(tmp_path))
+    program = _scalar_program()
+    config = sandy_bridge_config()
+    live = simulate(program, config)
+    key = cache.key_for(program, config)
+    cache.store_result(key, live)
+
+    corrupt_cache_entry(cache.path_for(key), mode=mode)
+    assert cache.load(key, config=config) is None
+    assert cache.counters()["quarantined"] == 1
+    quarantined = glob.glob(str(tmp_path / "**" / "*.corrupt"),
+                            recursive=True)
+    assert len(quarantined) == 1  # damaged bytes kept for inspection
+
+    # The recompute-and-store path recovers the entry bit-identically.
+    cache.store_result(key, simulate(program, config))
+    recovered = cache.load(key, config=config)
+    assert recovered is not None
+    assert (json.dumps(recovered.stats.to_dict(), sort_keys=True)
+            == json.dumps(live.stats.to_dict(), sort_keys=True))

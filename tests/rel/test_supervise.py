@@ -1,0 +1,195 @@
+"""Supervised-sweep behaviour: identity, resume, bounded retries, and the
+worker-fault recovery paths (``-m faultinject``).
+
+The supervision layer must be invisible when nothing goes wrong (stats
+byte-identical to a plain sweep), and when something does go wrong —
+a SIGKILLed worker, a hung point, a crashed sweep — the outcome must be
+either a bit-identical recovered result or an attributed failure, never
+a silent loss.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.perf import SweepPoint, run_sweep
+from repro.rel import (
+    SupervisionPolicy,
+    arm_worker_fault,
+    disarm_worker_fault,
+    run_supervised_sweep,
+)
+
+
+def _points(n=2):
+    all_points = [
+        SweepPoint(workload="astar_r1", variant="base", input_name="Rivers",
+                   scale=0.125, max_instructions=2000),
+        SweepPoint(workload="soplex", variant="cfd", input_name="ref",
+                   scale=0.125, max_instructions=2000),
+        SweepPoint(workload="astar_r1", variant="dfd", input_name="Rivers",
+                   scale=0.125, max_instructions=2000),
+    ]
+    return all_points[:n]
+
+
+def _stats_blobs(outcomes):
+    return [
+        json.dumps(o.result.stats.to_dict(), sort_keys=True)
+        for o in outcomes
+    ]
+
+
+def test_supervised_pool_matches_plain_serial_sweep():
+    plain = run_sweep(_points(), jobs=1)
+    supervised = run_supervised_sweep(_points(), jobs=2)
+    assert all(o.ok for o in supervised)
+    assert _stats_blobs(supervised) == _stats_blobs(plain)
+    assert [o.attempts for o in supervised] == [1, 1]
+    assert all(o.worker_pid and o.worker_pid != os.getpid()
+               for o in supervised)
+    assert not any(o.timed_out or o.resumed or o.degraded
+                   for o in supervised)
+
+
+def test_resume_runs_exactly_the_missing_points(tmp_path):
+    # The journal lands in REPRO_REL_ARTIFACT_DIR when set so CI can
+    # upload it as a build artifact; tmp_path otherwise.
+    artifact_dir = os.environ.get("REPRO_REL_ARTIFACT_DIR") or str(tmp_path)
+    os.makedirs(artifact_dir, exist_ok=True)
+    journal = os.path.join(artifact_dir, "sweep_resume_journal.jsonl")
+    if os.path.exists(journal):
+        os.remove(journal)
+
+    # "Interrupted" sweep: only k of the n points complete and journal.
+    k, n = 1, 3
+    first = run_supervised_sweep(
+        _points(k), jobs=1, policy=SupervisionPolicy(journal_path=journal)
+    )
+    assert all(o.ok and not o.resumed for o in first)
+
+    resumed = run_supervised_sweep(
+        _points(n), jobs=1,
+        policy=SupervisionPolicy(journal_path=journal, resume=True),
+    )
+    assert all(o.ok for o in resumed)
+    assert [o.resumed for o in resumed] == [True, False, False]
+    fresh = [o for o in resumed if not o.resumed]
+    assert len(fresh) == n - k
+    assert all(o.attempts == 1 for o in fresh)
+    # The journal-served result is the one the interrupted run computed.
+    assert _stats_blobs(resumed[:k]) == _stats_blobs(first)
+
+    # A third run is now a pure resume: zero simulations.
+    third = run_supervised_sweep(
+        _points(n), jobs=1,
+        policy=SupervisionPolicy(journal_path=journal, resume=True),
+    )
+    assert all(o.ok and o.resumed and o.attempts == 0 for o in third)
+    assert _stats_blobs(third) == _stats_blobs(resumed)
+
+
+def test_journal_tolerates_a_truncated_tail(tmp_path):
+    journal = str(tmp_path / "journal.jsonl")
+    run_supervised_sweep(
+        _points(2), jobs=1, policy=SupervisionPolicy(journal_path=journal)
+    )
+    with open(journal) as fh:
+        lines = fh.readlines()
+    # Crash shape: the final append got half-written.
+    with open(journal, "w") as fh:
+        fh.writelines(lines[:-1])
+        fh.write(lines[-1][: len(lines[-1]) // 2])
+    resumed = run_supervised_sweep(
+        _points(2), jobs=1,
+        policy=SupervisionPolicy(journal_path=journal, resume=True),
+    )
+    assert all(o.ok for o in resumed)
+    assert [o.resumed for o in resumed] == [True, False]
+
+
+def test_error_retries_are_bounded_and_attributed():
+    policy = SupervisionPolicy(retries=2, backoff=0.0)
+    outcomes = run_supervised_sweep(
+        [SweepPoint(workload="no-such-workload")], jobs=1, policy=policy
+    )
+    (outcome,) = outcomes
+    assert not outcome.ok
+    assert outcome.attempts == policy.retries + 1
+    assert "no-such-workload" in outcome.error
+    assert "Traceback" in outcome.error  # full traceback, not just repr
+    assert outcome.worker_pid == os.getpid()  # inline path
+
+
+def test_pool_error_carries_worker_pid():
+    points = [_points(1)[0], SweepPoint(workload="no-such-workload")]
+    policy = SupervisionPolicy(retries=0)
+    outcomes = run_supervised_sweep(points, jobs=2, policy=policy)
+    assert outcomes[0].ok
+    bad = outcomes[1]
+    assert not bad.ok and bad.attempts == 1
+    assert "no-such-workload" in bad.error and "Traceback" in bad.error
+    assert bad.worker_pid and bad.worker_pid != os.getpid()
+
+
+def test_progress_callback_sees_every_point():
+    seen = []
+    run_supervised_sweep(
+        _points(2), jobs=1,
+        progress=lambda outcome, done, total: seen.append((done, total)),
+    )
+    assert sorted(seen) == [(1, 2), (2, 2)]
+
+
+# ------------------------------------------------------------ fault paths
+
+
+@pytest.mark.faultinject
+def test_sigkilled_worker_recovers_bit_identical(tmp_path):
+    baseline = run_sweep(_points(), jobs=1)
+    arm_worker_fault(os.environ, "kill", str(tmp_path / "kill.token"))
+    try:
+        outcomes = run_supervised_sweep(
+            _points(), jobs=2,
+            policy=SupervisionPolicy(retries=2, backoff=0.01),
+        )
+    finally:
+        disarm_worker_fault(os.environ)
+    assert os.path.exists(str(tmp_path / "kill.token"))  # fault did fire
+    assert all(o.ok for o in outcomes)
+    assert any(o.attempts > 1 for o in outcomes)  # someone was re-run
+    assert _stats_blobs(outcomes) == _stats_blobs(baseline)
+
+
+@pytest.mark.faultinject
+def test_hung_worker_is_killed_and_retried(tmp_path):
+    baseline = run_sweep(_points(), jobs=1)
+    arm_worker_fault(os.environ, "hang:120", str(tmp_path / "hang.token"))
+    try:
+        outcomes = run_supervised_sweep(
+            _points(), jobs=2,
+            policy=SupervisionPolicy(timeout=3.0, retries=2, backoff=0.01),
+        )
+    finally:
+        disarm_worker_fault(os.environ)
+    assert all(o.ok for o in outcomes)
+    assert any(o.attempts > 1 for o in outcomes)
+    assert _stats_blobs(outcomes) == _stats_blobs(baseline)
+
+
+@pytest.mark.faultinject
+def test_hung_worker_without_retries_reports_timeout(tmp_path):
+    arm_worker_fault(os.environ, "hang:120", str(tmp_path / "hang.token"))
+    try:
+        outcomes = run_supervised_sweep(
+            _points(), jobs=2,
+            policy=SupervisionPolicy(timeout=2.0, retries=0),
+        )
+    finally:
+        disarm_worker_fault(os.environ)
+    timed = [o for o in outcomes if o.timed_out]
+    assert len(timed) == 1
+    assert not timed[0].ok
+    assert "timed out" in timed[0].error
+    assert all(o.ok for o in outcomes if not o.timed_out)

@@ -1,0 +1,61 @@
+"""The no-retire-progress watchdog: a wedged pipeline must abort with a
+diagnosable :class:`~repro.errors.SimulatorInvariantError`, not spin for
+the full ``max_cycles`` budget.
+"""
+
+import pytest
+
+from repro.core import sandy_bridge_config, simulate
+from repro.core.pipeline import SimulationError
+from repro.errors import SimulatorInvariantError
+from repro.isa import assemble
+from repro.obs.events import EventTracer
+
+#: Fetch blocks forever on the pop: the TQ never receives a push.
+_STARVED = """
+.text
+main:
+    li  r1, 1
+    addi r2, r1, 2
+    pop_tq
+    halt
+"""
+
+
+def test_starved_retire_trips_watchdog():
+    program = assemble(_STARVED, name="starved")
+    config = sandy_bridge_config(deadlock_cycles=1500)
+    with pytest.raises(SimulatorInvariantError) as exc:
+        simulate(program, config)
+    message = str(exc.value)
+    assert "pipeline deadlock" in message
+    assert "deadlock_cycles=1500" in message
+    assert "pc" in message and "cycle" in message
+    assert "occupancy:" in message  # bq/tq/vq/lq/sq dump
+
+
+def test_watchdog_error_is_the_legacy_simulation_error():
+    # Existing callers catch pipeline.SimulationError; the re-parenting
+    # under SimulatorInvariantError must not break them.
+    assert issubclass(SimulationError, SimulatorInvariantError)
+    program = assemble(_STARVED, name="starved")
+    with pytest.raises(SimulationError):
+        simulate(program, sandy_bridge_config(deadlock_cycles=800))
+
+
+def test_watchdog_dump_includes_observer_events():
+    program = assemble(_STARVED, name="starved")
+    config = sandy_bridge_config(deadlock_cycles=1500)
+    tracer = EventTracer()
+    with pytest.raises(SimulatorInvariantError) as exc:
+        simulate(program, config, observer=tracer)
+    message = str(exc.value)
+    assert "events (EventTracer)" in message
+    assert "fetch" in message  # the starved region's fetches are in the ring
+
+
+def test_deadlock_cycles_is_validated():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        sandy_bridge_config(deadlock_cycles=0).validate()
