@@ -6,10 +6,10 @@ validated against this layer: both must produce identical final
 architectural state for every program (a core property test).
 """
 
-from repro.arch.memory import Memory
-from repro.arch.queues import BranchQueue, ValueQueue, TripCountQueue
-from repro.arch.state import ArchState
 from repro.arch.executor import FunctionalExecutor
+from repro.arch.memory import Memory
+from repro.arch.queues import BranchQueue, TripCountQueue, ValueQueue
+from repro.arch.state import ArchState
 
 __all__ = [
     "Memory",

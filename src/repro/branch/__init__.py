@@ -9,14 +9,18 @@ policy, Section VI), a BTB, and a return-address stack.
 """
 
 from repro.branch.base import BranchPredictor, HistorySnapshot
-from repro.branch.static_pred import AlwaysTakenPredictor, BTFNPredictor, NotTakenPredictor
 from repro.branch.bimodal import BimodalPredictor
-from repro.branch.gshare import GSharePredictor
-from repro.branch.tage import ISLTAGEPredictor, TAGEPredictor
-from repro.branch.perfect import PerfectPredictor
-from repro.branch.confidence import JRSConfidenceEstimator
 from repro.branch.btb import BranchTargetBuffer
+from repro.branch.confidence import JRSConfidenceEstimator
+from repro.branch.gshare import GSharePredictor
+from repro.branch.perfect import PerfectPredictor
 from repro.branch.ras import ReturnAddressStack
+from repro.branch.static_pred import (
+    AlwaysTakenPredictor,
+    BTFNPredictor,
+    NotTakenPredictor,
+)
+from repro.branch.tage import ISLTAGEPredictor, TAGEPredictor
 
 PREDICTOR_FACTORIES = {
     "always_taken": AlwaysTakenPredictor,

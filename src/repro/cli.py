@@ -10,6 +10,7 @@ Commands
 ``trace``        per-cycle trace of a run (Chrome/Perfetto or JSONL events)
 ``disasm``       disassembly listing of a built workload binary
 ``bench-speed``  host throughput (simulated KIPS) vs the stored baseline
+``lint``         static CFD contract verification of built binaries
 
 ``run``, ``compare``, ``profile``, ``classify`` and ``bench-speed``
 accept ``--json`` to emit machine-readable output instead of tables;
@@ -22,7 +23,8 @@ docs/PERFORMANCE.md) — ``--no-cache`` forces a fresh simulation, and
 ``compare`` runs under sweep supervision (``--timeout``, ``--retries``,
 ``--journal``/``--resume``), ``run --check`` attaches the independent
 invariant checker, and failures exit with distinct codes — 2 usage,
-3 simulation error, 4 invariant violation (see docs/ROBUSTNESS.md).
+3 simulation error, 4 invariant violation, 5 lint findings (see
+docs/ROBUSTNESS.md and docs/STATIC_ANALYSIS.md).
 
 Examples::
 
@@ -34,10 +36,13 @@ Examples::
     python -m repro classify --scale 0.125
     python -m repro trace soplex --variant cfd --cycles 2000
     python -m repro bench-speed --repeats 3
+    python -m repro lint                      # whole registry
+    python -m repro lint soplex --variant cfd --json
 """
 
 import argparse
 import json
+import os
 import re
 import sys
 
@@ -59,6 +64,7 @@ from repro.workloads import all_workloads, get_workload
 EXIT_USAGE = 2
 EXIT_SIMULATION_ERROR = 3
 EXIT_INVARIANT_VIOLATION = 4
+EXIT_LINT_FINDINGS = 5
 
 _CONFIGS = {
     "baseline": sandy_bridge_config,
@@ -394,6 +400,70 @@ def cmd_bench_speed(args, out):
     return 0
 
 
+def cmd_lint(args, out):
+    from repro.lint import lint_program
+
+    if args.workload:
+        workload = get_workload(args.workload)
+        variants = (args.variant,) if args.variant else workload.variants
+        targets = [(workload, variant) for variant in variants]
+    else:
+        targets = [
+            (workload, variant)
+            for workload in all_workloads()
+            for variant in workload.variants
+        ]
+
+    # Build with the gate off: the lint command reports findings itself
+    # (exit code 5) instead of dying on the strict build gate (exit 3).
+    saved_mode = os.environ.get("REPRO_LINT")
+    os.environ["REPRO_LINT"] = "off"
+    try:
+        reports = []
+        for workload, variant in targets:
+            built = workload.build(variant, args.input, scale=args.scale,
+                                   seed=args.seed)
+            diagnostics = lint_program(built.program)
+            reports.append((built, diagnostics))
+    finally:
+        if saved_mode is None:
+            del os.environ["REPRO_LINT"]
+        else:
+            os.environ["REPRO_LINT"] = saved_mode
+
+    total = sum(len(diagnostics) for _, diagnostics in reports)
+    if args.json:
+        payload = {
+            "kind": "repro.lint",
+            "programs": [
+                {
+                    "name": built.name,
+                    "workload": built.workload,
+                    "variant": built.variant,
+                    "input": built.input_name,
+                    "instructions": len(built.program.code),
+                    "count": len(diagnostics),
+                    "diagnostics": [d.to_dict() for d in diagnostics],
+                }
+                for built, diagnostics in reports
+            ],
+            "total_findings": total,
+        }
+        _emit_json(out, payload)
+    else:
+        for built, diagnostics in reports:
+            if diagnostics:
+                out.write("%s: %d finding%s\n" % (
+                    built.name, len(diagnostics),
+                    "" if len(diagnostics) == 1 else "s"))
+                for diag in diagnostics:
+                    out.write("  %s\n" % diag.render(built.program))
+        out.write("linted %d program%s: %d finding%s\n" % (
+            len(reports), "" if len(reports) == 1 else "s",
+            total, "" if total == 1 else "s"))
+    return EXIT_LINT_FINDINGS if total else 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro", description="Control-Flow Decoupling reproduction"
@@ -513,6 +583,22 @@ def build_parser():
              "(default $REPRO_BENCH_ARTIFACT_DIR or .)")
     speed_parser.add_argument("--json", action="store_true",
                               help="emit the full payload as JSON")
+    lint_parser = sub.add_parser(
+        "lint",
+        help="statically verify built binaries (CFG, dataflow, queue "
+             "discipline); exit code 5 on findings",
+    )
+    lint_parser.add_argument(
+        "workload", nargs="?", default=None,
+        help="workload to lint (omit to lint the whole registry)")
+    lint_parser.add_argument(
+        "--variant", default=None,
+        help="single variant to lint (default: every variant)")
+    lint_parser.add_argument("--input", default=None)
+    lint_parser.add_argument("--scale", type=float, default=0.25)
+    lint_parser.add_argument("--seed", type=int, default=1)
+    lint_parser.add_argument("--json", action="store_true",
+                             help="emit machine-readable JSON")
     return parser
 
 
@@ -525,6 +611,7 @@ _COMMANDS = {
     "trace": cmd_trace,
     "disasm": cmd_disasm,
     "bench-speed": cmd_bench_speed,
+    "lint": cmd_lint,
 }
 
 

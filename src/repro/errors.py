@@ -64,6 +64,21 @@ class SimulatorInvariantError(ReproError):
     """
 
 
+class LintError(ReproError):
+    """A program failed the static CFD contract verifier.
+
+    Raised by the ``REPRO_LINT=strict`` build gate in
+    :mod:`repro.workloads.builders` when :func:`repro.lint.lint_program`
+    reports diagnostics for a freshly assembled program.  Catching it at
+    build time means a queue-unbalanced or structurally broken program
+    never reaches the simulator.
+    """
+
+    def __init__(self, message, diagnostics=()):
+        self.diagnostics = list(diagnostics)
+        super().__init__(message)
+
+
 class ConfigError(ReproError):
     """Raised for inconsistent simulator configuration values."""
 

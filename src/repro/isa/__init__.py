@@ -15,11 +15,11 @@ Public API:
 - :mod:`repro.isa.encoding` — 32-bit encode/decode.
 """
 
-from repro.isa.opcodes import Opcode, OpClass, op_info
-from repro.isa.instructions import Instruction
-from repro.isa.program import Program
 from repro.isa.assembler import assemble
-from repro.isa.encoding import encode, decode
+from repro.isa.encoding import decode, encode
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import OpClass, Opcode, op_info
+from repro.isa.program import Program
 
 __all__ = [
     "Opcode",

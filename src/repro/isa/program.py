@@ -43,16 +43,33 @@ class Program:
         return self.labels[name]
 
     def validate(self):
-        """Validate every instruction; returns a list of problem strings."""
+        """Validate every instruction; returns a list of problem strings.
+
+        Per-instruction operand checks (including branches missing their
+        target) come from :func:`validate_instruction`; this adds the
+        program-level rules — branch targets in range, no stray targets
+        on non-branches, and label/symbol namespaces that do not collide.
+        """
         problems = []
         for pc, inst in enumerate(self.code):
             for problem in validate_instruction(inst):
                 problems.append("pc %d: %s" % (pc, problem))
-            if inst.target is not None and inst.info.is_branch:
-                if not 0 <= inst.target < len(self.code):
-                    problems.append(
-                        "pc %d: target %d outside code" % (pc, inst.target)
-                    )
+            if inst.info.is_branch:
+                if inst.target is not None:
+                    if not 0 <= inst.target < len(self.code):
+                        problems.append(
+                            "pc %d: target %d outside code" % (pc, inst.target)
+                        )
+            elif inst.target is not None:
+                problems.append(
+                    "pc %d: non-branch %s carries branch target %d"
+                    % (pc, inst.info.mnemonic, inst.target)
+                )
+        for name in sorted(set(self.labels) & set(self.symbols)):
+            problems.append(
+                "name %r is both a code label (pc %d) and a data symbol "
+                "(addr %d)" % (name, self.labels[name], self.symbols[name])
+            )
         return problems
 
     def listing(self):

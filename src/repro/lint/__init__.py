@@ -1,0 +1,57 @@
+"""Static CFD contract verifier (``repro.lint``).
+
+Lints an assembled :class:`~repro.isa.program.Program` without running
+it: CFG structure (``cfg``), register dataflow (``dataflow``) and
+queue-discipline abstract interpretation (``queues``), reporting
+catalogued :class:`~repro.lint.rules.Diagnostic` findings.  The same
+engine backs the ``REPRO_LINT`` build gate in
+:mod:`repro.workloads.builders`, the ``repro lint`` CLI command and the
+registry-wide CI job.
+
+>>> from repro.lint import lint_program
+>>> lint_program(program)            # -> [Diagnostic, ...] (empty = clean)
+
+All depth rules are *definite* (they fire only when every execution
+violates the contract), so the registry of shipped workloads lints
+clean; see ``docs/STATIC_ANALYSIS.md`` for the rule catalogue.
+"""
+
+from repro.lint.cfg import CFG, check_cfg
+from repro.lint.dataflow import check_uninitialized_uses
+from repro.lint.queues import check_queues
+from repro.lint.rules import (
+    RULES,
+    Diagnostic,
+    render_json,
+    sort_diagnostics,
+)
+
+__all__ = [
+    "CFG",
+    "Diagnostic",
+    "RULES",
+    "lint_program",
+    "render_json",
+    "sort_diagnostics",
+]
+
+
+def lint_program(program, config=None):
+    """Run every analysis over *program*; returns sorted diagnostics.
+
+    *config* supplies queue capacities (any object with
+    ``bq_size``/``vq_size``/``tq_size``, e.g. a
+    :class:`~repro.core.config.CoreConfig`); without one the
+    architectural defaults apply.  Structural validation problems from
+    :meth:`Program.validate` are assumed to have been rejected earlier
+    (the assembler refuses such programs), so the analyses may trust
+    decoded targets.
+    """
+    if not program.code:
+        return []
+    cfg = CFG(program)
+    problems = []
+    problems.extend(check_cfg(cfg))
+    problems.extend(check_uninitialized_uses(cfg))
+    problems.extend(check_queues(cfg, config))
+    return sort_diagnostics(problems)

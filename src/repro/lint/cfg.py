@@ -1,0 +1,226 @@
+"""Control-flow graph over an assembled :class:`~repro.isa.program.Program`.
+
+PCs index the code list directly, so CFG construction is a single pass:
+leaders are the entry PC, every decoded branch target, and every
+instruction following a control transfer.  Successor edges come from the
+opcode metadata:
+
+- ``HALT`` terminates a path (no successors);
+- ``J`` is unconditional (target only);
+- ``JAL`` is modelled as a call: both the target and the return point
+  ``pc+1`` are successors, which over-approximates paths and therefore
+  only ever *widens* the must-analyses built on top;
+- ``JALR`` is an indirect jump with no static successors;
+- conditional branches (including ``B_BQ``, ``B_TCR`` and
+  ``POP_TQ_BOV``) have the target and the fall-through;
+- everything else falls through to ``pc+1``.
+
+On top of the graph this module computes entry-reachability, dominators
+(iterative dataflow on reachable blocks), back edges (``tail -> head``
+where ``head`` dominates ``tail``) and their natural loops — the inputs
+the queue-discipline analysis needs to reason about per-iteration queue
+deltas.
+"""
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.isa.opcodes import Opcode
+
+
+@dataclass
+class BasicBlock:
+    """Half-open PC range ``[start, end)`` of straight-line code."""
+
+    index: int
+    start: int
+    end: int
+    successors: List[int] = field(default_factory=list)  # block indices
+    predecessors: List[int] = field(default_factory=list)
+
+    def pcs(self):
+        return range(self.start, self.end)
+
+    @property
+    def last_pc(self):
+        return self.end - 1
+
+
+@dataclass(frozen=True)
+class Loop:
+    """Natural loop of one back edge: ``header`` plus its body blocks."""
+
+    header: int  # block index
+    back_edge_tail: int  # block index whose edge to header closes the loop
+    blocks: frozenset  # block indices, header included
+
+
+def instruction_successors(program, pc):
+    """Static successor PCs of the instruction at *pc* (may be empty)."""
+    inst = program.code[pc]
+    info = inst.info
+    opcode = inst.opcode
+    if opcode is Opcode.HALT:
+        return []
+    if opcode is Opcode.J:
+        return [inst.target]
+    if opcode is Opcode.JAL:
+        return [inst.target, pc + 1]
+    if opcode is Opcode.JALR:
+        return []
+    if info.is_conditional and inst.target is not None:
+        return [inst.target, pc + 1]
+    return [pc + 1]
+
+
+class CFG:
+    """Basic blocks + edges + loop structure for one program."""
+
+    def __init__(self, program):
+        self.program = program
+        self.blocks = []
+        self._block_of_pc = {}
+        self._build()
+        self.reachable = self._compute_reachable()
+        self.dominators = self._compute_dominators()
+        self.back_edges = self._find_back_edges()
+        self.loops = [self._natural_loop(t, h) for t, h in self.back_edges]
+
+    # ------------------------------------------------------------ building
+
+    def _build(self):
+        code = self.program.code
+        if not code:
+            return
+        leaders = {self.program.entry}
+        for pc in range(len(code)):
+            inst = code[pc]
+            if inst.info.is_branch or inst.opcode is Opcode.HALT:
+                if pc + 1 < len(code):
+                    leaders.add(pc + 1)
+                if inst.target is not None:
+                    leaders.add(inst.target)
+        ordered = sorted(pc for pc in leaders if 0 <= pc < len(code))
+        bounds = ordered + [len(code)]
+        for index, start in enumerate(ordered):
+            block = BasicBlock(index=index, start=start, end=bounds[index + 1])
+            self.blocks.append(block)
+            for pc in block.pcs():
+                self._block_of_pc[pc] = index
+        for block in self.blocks:
+            for succ_pc in instruction_successors(self.program, block.last_pc):
+                succ = self._block_of_pc.get(succ_pc)
+                if succ is not None and succ not in block.successors:
+                    block.successors.append(succ)
+        for block in self.blocks:
+            for succ in block.successors:
+                self.blocks[succ].predecessors.append(block.index)
+
+    def block_of(self, pc):
+        """Block index containing *pc* (``None`` for out-of-range PCs)."""
+        return self._block_of_pc.get(pc)
+
+    @property
+    def entry_block(self):
+        return self._block_of_pc.get(self.program.entry)
+
+    # ------------------------------------------------------------ analyses
+
+    def _compute_reachable(self):
+        entry = self.entry_block
+        if entry is None:
+            return frozenset()
+        seen = {entry}
+        stack = [entry]
+        while stack:
+            block = self.blocks[stack.pop()]
+            for succ in block.successors:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return frozenset(seen)
+
+    def _compute_dominators(self):
+        """dominators[b] = set of blocks dominating b (reachable only)."""
+        entry = self.entry_block
+        reachable = self.reachable
+        if entry is None:
+            return {}
+        everything = set(reachable)
+        dom = {b: set(everything) for b in reachable}
+        dom[entry] = {entry}
+        changed = True
+        while changed:
+            changed = False
+            for b in sorted(reachable):
+                if b == entry:
+                    continue
+                preds = [p for p in self.blocks[b].predecessors
+                         if p in reachable]
+                if preds:
+                    new = set.intersection(*(dom[p] for p in preds))
+                else:
+                    new = set()
+                new.add(b)
+                if new != dom[b]:
+                    dom[b] = new
+                    changed = True
+        return dom
+
+    def _find_back_edges(self):
+        """(tail, header) edges where header dominates tail."""
+        edges = []
+        for b in sorted(self.reachable):
+            for succ in self.blocks[b].successors:
+                if succ in self.reachable and succ in self.dominators.get(b, ()):
+                    edges.append((b, succ))
+        return edges
+
+    def _natural_loop(self, tail, header):
+        """All blocks on paths from header to tail avoiding header re-entry."""
+        body = {header, tail}
+        stack = [tail]
+        while stack:
+            block = stack.pop()
+            if block == header:
+                continue
+            for pred in self.blocks[block].predecessors:
+                if pred not in body and pred in self.reachable:
+                    body.add(pred)
+                    stack.append(pred)
+        return Loop(header=header, back_edge_tail=tail,
+                    blocks=frozenset(body))
+
+    def reachable_pcs(self):
+        """All PCs inside entry-reachable blocks, ascending."""
+        pcs = []
+        for index in sorted(self.reachable):
+            pcs.extend(self.blocks[index].pcs())
+        return pcs
+
+
+def check_cfg(cfg):
+    """Structural diagnostics: CFG001 unreachable, CFG002 fall-off-end."""
+    from repro.lint.rules import diagnostic
+
+    problems = []
+    for block in cfg.blocks:
+        if block.index not in cfg.reachable:
+            problems.append(diagnostic(
+                "CFG001", block.start,
+                "block [%d, %d) is unreachable from entry %d"
+                % (block.start, block.end, cfg.program.entry),
+            ))
+    code = cfg.program.code
+    for index in sorted(cfg.reachable):
+        block = cfg.blocks[index]
+        pc = block.last_pc
+        for succ_pc in instruction_successors(cfg.program, pc):
+            if succ_pc >= len(code):
+                problems.append(diagnostic(
+                    "CFG002", pc,
+                    "execution can continue past the last instruction "
+                    "(no halt or branch terminates this path)",
+                ))
+                break
+    return problems

@@ -1,0 +1,139 @@
+"""Generic iterative dataflow over a lint :class:`~repro.lint.cfg.CFG`.
+
+One worklist solver handles both directions; an analysis is four pieces:
+direction, the initial value at the boundary, the join, and a per-block
+transfer.  Values are frozensets (gen/kill bit-vector analyses), which
+keeps the solver simple and guarantees termination on the finite
+lattice.  Two classic instances are provided — reaching definitions
+(forward, may) and liveness (backward, may) — plus the derived
+use-before-initialization check.
+
+Registers start architecturally zeroed, so reading a register that is
+*never* written anywhere is a well-defined (if eccentric) way to read
+zero and several hand templates rely on it for accumulators.  DF001
+therefore fires only when a register **has** definitions in reachable
+code but *none* of them can reach the use — the classic
+read-before-first-write bug — which keeps the rule definite.
+"""
+
+from repro.isa.instructions import ZERO_REG
+
+FORWARD = "forward"
+BACKWARD = "backward"
+
+
+def solve(cfg, direction, boundary, transfer, join=frozenset.union):
+    """Run a worklist fixpoint; returns ``{block: value-at-block-entry}``
+    for forward analyses, ``{block: value-at-block-exit}`` for backward.
+
+    *transfer(block, value)* maps the block's input value to its output.
+    Only entry-reachable blocks participate.
+    """
+    reachable = cfg.reachable
+    if not reachable:
+        return {}
+    values = {b: frozenset() for b in reachable}
+    if direction == FORWARD:
+        edges_in = {b: [p for p in cfg.blocks[b].predecessors
+                        if p in reachable] for b in reachable}
+        start = cfg.entry_block
+    else:
+        edges_in = {b: [s for s in cfg.blocks[b].successors
+                        if s in reachable] for b in reachable}
+        # Every block with no in-edges (exit blocks, for backward) starts
+        # from the boundary value.
+        start = None
+    worklist = sorted(reachable)
+    in_worklist = set(worklist)
+    while worklist:
+        block = worklist.pop(0)
+        in_worklist.discard(block)
+        inputs = [transfer(other, values[other]) for other in edges_in[block]]
+        if block == start or not edges_in[block]:
+            inputs.append(boundary)
+        new = join(*inputs) if inputs else frozenset()
+        if new != values[block]:
+            values[block] = new
+            if direction == FORWARD:
+                forward_to = cfg.blocks[block].successors
+            else:
+                forward_to = cfg.blocks[block].predecessors
+            for nxt in forward_to:
+                if nxt in reachable and nxt not in in_worklist:
+                    worklist.append(nxt)
+                    in_worklist.add(nxt)
+    return values
+
+
+# ------------------------------------------------------------------ instances
+
+
+def _definitions(cfg):
+    """All (pc, register) definition points in reachable code."""
+    defs = []
+    for pc in cfg.reachable_pcs():
+        dest = cfg.program.code[pc].destination_register()
+        if dest is not None:
+            defs.append((pc, dest))
+    return defs
+
+
+def reaching_definitions(cfg):
+    """Forward may-analysis; returns ``{block: frozenset((pc, reg))}`` of
+    definitions reaching each block entry."""
+
+    def transfer(block, reaching):
+        live = set(reaching)
+        for pc in cfg.blocks[block].pcs():
+            dest = cfg.program.code[pc].destination_register()
+            if dest is not None:
+                live = {d for d in live if d[1] != dest}
+                live.add((pc, dest))
+        return frozenset(live)
+
+    return solve(cfg, FORWARD, frozenset(), transfer)
+
+
+def liveness(cfg):
+    """Backward may-analysis; returns ``{block: frozenset(reg)}`` of
+    registers live at each block exit."""
+
+    def transfer(block, live_out):
+        live = set(live_out)
+        for pc in reversed(list(cfg.blocks[block].pcs())):
+            inst = cfg.program.code[pc]
+            dest = inst.destination_register()
+            if dest is not None:
+                live.discard(dest)
+            for reg in inst.source_registers():
+                if reg != ZERO_REG:
+                    live.add(reg)
+        return frozenset(live)
+
+    return solve(cfg, BACKWARD, frozenset(), transfer)
+
+
+def check_uninitialized_uses(cfg):
+    """DF001: reads of a defined-somewhere register before any def reaches."""
+    from repro.lint.rules import diagnostic
+
+    ever_defined = {reg for _, reg in _definitions(cfg)}
+    reaching_in = reaching_definitions(cfg)
+    problems = []
+    for block_index in sorted(cfg.reachable):
+        block = cfg.blocks[block_index]
+        reaching = {reg for _, reg in reaching_in[block_index]}
+        for pc in block.pcs():
+            inst = cfg.program.code[pc]
+            for reg in inst.source_registers():
+                if (reg != ZERO_REG and reg in ever_defined
+                        and reg not in reaching):
+                    problems.append(diagnostic(
+                        "DF001", pc,
+                        "r%d is read here but no definition reaches "
+                        "this point" % reg,
+                    ))
+            dest = inst.destination_register()
+            if dest is not None:
+                reaching.add(dest)
+    return problems

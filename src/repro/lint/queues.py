@@ -1,0 +1,498 @@
+"""Queue-discipline abstract interpretation over BQ/VQ/TQ depth.
+
+The abstract state tracks, per program point, an interval ``[lo, hi]``
+of possible occupancies for each architectural queue, plus (for the BQ)
+an interval of *pushes since the most recent Mark* so that ``Forward``'s
+bulk-pop can be modelled exactly:
+
+- ``Push_q``     : ``depth += 1`` (clamped at the capacity);
+- pop (``B_BQ``, ``Pop_VQ``, ``Pop_TQ``, ``Pop_TQ_BOV``)
+                 : ``depth -= 1`` (clamped at zero);
+- ``Mark``       : ``since_mark := [0, 0]``;
+- ``Forward``    : the hardware pops until the pop count reaches the
+                   push count recorded at the mark, so the new depth is
+                   ``min(depth, since_mark)`` interval-wise; without a
+                   mark it is a no-op (``since_mark`` starts at the
+                   absorbing value INF);
+- ``Restore_q``  : replaces the queue contents with a saved image, which
+                   is statically opaque: ``depth := [0, cap]`` (and the
+                   mark is discarded).
+
+Joins are interval unions and every transfer clamps into ``[0, cap]``,
+so the lattice is finite and the fixpoint needs no widening.  All depth
+rules report **definite** violations only: a pop fires ``*Q001`` when
+``hi <= 0`` (every execution pops empty), a push fires ``*Q002`` when
+``lo >= cap`` (every execution overflows), and halt fires ``*Q004``
+when ``lo > 0`` (every execution leaves entries behind).
+
+Loops get a sharper, paper-specific check (``*Q003``): a strip-mined
+CFD generator must keep each decoupled burst within the queue size
+(Section III-B).  For counted simple-cycle loops whose trip count is
+inferable from the code (the two idioms the lowerer and the hand
+templates produce: countdown ``addi rX, rX, -1; bnez rX, header`` and
+test-at-top ``bge rV, rL, exit`` with constant bounds), a positive
+per-iteration queue delta times the trip count is checked against the
+capacity.  When the trip count is unknown, the loop is flagged only if
+no pop of that queue is even reachable from it — a push stream nothing
+can ever consume.
+"""
+
+from repro.arch.queues import (
+    DEFAULT_BQ_SIZE,
+    DEFAULT_TQ_SIZE,
+    DEFAULT_VQ_SIZE,
+)
+from repro.isa.opcodes import Opcode
+from repro.lint.dataflow import reaching_definitions
+from repro.lint.rules import diagnostic
+
+#: Absorbing "no mark has been executed" value for the since-mark interval.
+INF = 1 << 30
+
+QUEUES = ("bq", "vq", "tq")
+
+_PUSH = {Opcode.PUSH_BQ: "bq", Opcode.PUSH_VQ: "vq", Opcode.PUSH_TQ: "tq"}
+_POP = {
+    Opcode.B_BQ: "bq",
+    Opcode.POP_VQ: "vq",
+    Opcode.POP_TQ: "tq",
+    Opcode.POP_TQ_BOV: "tq",
+}
+_SAVE = {Opcode.SAVE_BQ: "bq", Opcode.SAVE_VQ: "vq", Opcode.SAVE_TQ: "tq"}
+_RESTORE = {
+    Opcode.RESTORE_BQ: "bq",
+    Opcode.RESTORE_VQ: "vq",
+    Opcode.RESTORE_TQ: "tq",
+}
+
+_RULE = {
+    "bq": {"underflow": "BQ001", "overflow": "BQ002", "loop": "BQ003",
+           "drain": "BQ004", "save": "BQ007"},
+    "vq": {"underflow": "VQ001", "overflow": "VQ002", "loop": "VQ003",
+           "drain": "VQ004", "save": "VQ005"},
+    "tq": {"underflow": "TQ001", "overflow": "TQ002", "loop": "TQ003",
+           "drain": "TQ004", "save": "TQ005"},
+}
+
+_NAME = {"bq": "branch queue", "vq": "value queue", "tq": "trip-count queue"}
+
+
+def default_capacities(config=None):
+    """Queue capacities from a :class:`CoreConfig`-like object (or defaults).
+
+    ``getattr`` keeps the linter importable without the cycle core."""
+    return {
+        "bq": getattr(config, "bq_size", DEFAULT_BQ_SIZE),
+        "vq": getattr(config, "vq_size", DEFAULT_VQ_SIZE),
+        "tq": getattr(config, "tq_size", DEFAULT_TQ_SIZE),
+    }
+
+
+class QState:
+    """Interval state: one ``[lo, hi]`` per queue + BQ pushes-since-mark."""
+
+    __slots__ = ("depth", "since_mark")
+
+    def __init__(self, depth=None, since_mark=(INF, INF)):
+        self.depth = depth or {q: (0, 0) for q in QUEUES}
+        self.since_mark = since_mark
+
+    def copy(self):
+        return QState(dict(self.depth), self.since_mark)
+
+    def __eq__(self, other):
+        return (self.depth == other.depth
+                and self.since_mark == other.since_mark)
+
+    def __repr__(self):
+        return "QState(%r, since_mark=%r)" % (self.depth, self.since_mark)
+
+    def join(self, other):
+        depth = {
+            q: (min(self.depth[q][0], other.depth[q][0]),
+                max(self.depth[q][1], other.depth[q][1]))
+            for q in QUEUES
+        }
+        since = (min(self.since_mark[0], other.since_mark[0]),
+                 max(self.since_mark[1], other.since_mark[1]))
+        return QState(depth, since)
+
+
+def _push(state, q, cap):
+    lo, hi = state.depth[q]
+    state.depth[q] = (min(lo + 1, cap), min(hi + 1, cap))
+    if q == "bq":
+        s_lo, s_hi = state.since_mark
+        state.since_mark = (
+            s_lo if s_lo >= INF else min(s_lo + 1, cap),
+            s_hi if s_hi >= INF else min(s_hi + 1, cap),
+        )
+
+
+def _pop(state, q):
+    lo, hi = state.depth[q]
+    state.depth[q] = (max(lo - 1, 0), max(hi - 1, 0))
+
+
+def transfer(state, inst, caps):
+    """Apply one instruction's abstract effect in place."""
+    opcode = inst.opcode
+    if opcode in _PUSH:
+        _push(state, _PUSH[opcode], caps[_PUSH[opcode]])
+    elif opcode in _POP:
+        _pop(state, _POP[opcode])
+    elif opcode is Opcode.MARK:
+        state.since_mark = (0, 0)
+    elif opcode is Opcode.FORWARD:
+        lo, hi = state.depth["bq"]
+        s_lo, s_hi = state.since_mark
+        state.depth["bq"] = (min(lo, s_lo), min(hi, s_hi))
+    elif opcode in _RESTORE:
+        q = _RESTORE[opcode]
+        state.depth[q] = (0, caps[q])
+        if q == "bq":
+            state.since_mark = (INF, INF)
+    return state
+
+
+def _fixpoint(cfg, caps):
+    """Entry :class:`QState` per reachable block at the least fixpoint."""
+    entry = cfg.entry_block
+    if entry is None:
+        return {}
+    states = {entry: QState()}
+    worklist = [entry]
+    queued = {entry}
+    while worklist:
+        index = worklist.pop(0)
+        queued.discard(index)
+        state = states[index].copy()
+        block = cfg.blocks[index]
+        for pc in block.pcs():
+            transfer(state, cfg.program.code[pc], caps)
+        for succ in block.successors:
+            merged = (state if succ not in states
+                      else states[succ].join(state))
+            if succ not in states or merged != states[succ]:
+                states[succ] = merged
+                if succ not in queued:
+                    worklist.append(succ)
+                    queued.add(succ)
+    return states
+
+
+def _depth_diagnostics(cfg, states, caps):
+    """Walk each reachable block from its fixpoint entry state and emit
+    the definite underflow/overflow/drain findings."""
+    problems = []
+    for index in sorted(cfg.reachable):
+        if index not in states:
+            continue
+        state = states[index].copy()
+        for pc in cfg.blocks[index].pcs():
+            inst = cfg.program.code[pc]
+            opcode = inst.opcode
+            if opcode in _POP:
+                q = _POP[opcode]
+                if state.depth[q][1] <= 0:
+                    problems.append(diagnostic(
+                        _RULE[q]["underflow"], pc,
+                        "%s pops the empty %s (occupancy is provably 0 "
+                        "here)" % (inst.info.mnemonic, _NAME[q]),
+                    ))
+            elif opcode in _PUSH:
+                q = _PUSH[opcode]
+                if state.depth[q][0] >= caps[q]:
+                    problems.append(diagnostic(
+                        _RULE[q]["overflow"], pc,
+                        "%s pushes onto the full %s (occupancy is provably "
+                        "%d, capacity %d)" % (inst.info.mnemonic, _NAME[q],
+                                              caps[q], caps[q]),
+                    ))
+            elif opcode is Opcode.HALT:
+                for q in QUEUES:
+                    lo = state.depth[q][0]
+                    if lo > 0:
+                        problems.append(diagnostic(
+                            _RULE[q]["drain"], pc,
+                            "%s still holds at least %d entr%s at halt"
+                            % (_NAME[q], lo, "y" if lo == 1 else "ies"),
+                        ))
+            transfer(state, inst, caps)
+    return problems
+
+
+# ------------------------------------------------------- structural checks
+
+
+def _structural_diagnostics(cfg):
+    """Whole-program Mark/Forward, Save/Restore and TCR pairing checks."""
+    problems = []
+    opcount = {}
+    first_pc = {}
+    for pc in cfg.reachable_pcs():
+        opcode = cfg.program.code[pc].opcode
+        opcount[opcode] = opcount.get(opcode, 0) + 1
+        first_pc.setdefault(opcode, pc)
+
+    def count(op):
+        return opcount.get(op, 0)
+
+    if count(Opcode.MARK) and not count(Opcode.FORWARD):
+        problems.append(diagnostic(
+            "BQ005", first_pc[Opcode.MARK],
+            "mark is executed but the program contains no forward to "
+            "consume it",
+        ))
+    if count(Opcode.FORWARD) and not count(Opcode.MARK):
+        problems.append(diagnostic(
+            "BQ006", first_pc[Opcode.FORWARD],
+            "forward is executed but the program contains no mark "
+            "(the bulk-pop is a no-op)",
+        ))
+    for save_op, q in _SAVE.items():
+        restore_op = {v: k for k, v in _RESTORE.items()}[q]
+        saves, restores = count(save_op), count(restore_op)
+        if saves != restores:
+            anchor = first_pc.get(save_op, first_pc.get(restore_op, 0))
+            problems.append(diagnostic(
+                _RULE[q]["save"], anchor,
+                "%d save%s but %d restore%s of the %s"
+                % (saves, "" if saves == 1 else "s",
+                   restores, "" if restores == 1 else "s", _NAME[q]),
+            ))
+    if count(Opcode.B_TCR) and not (count(Opcode.POP_TQ)
+                                    or count(Opcode.POP_TQ_BOV)):
+        problems.append(diagnostic(
+            "TQ006", first_pc[Opcode.B_TCR],
+            "b_tcr branches on the trip-count register but no pop_tq "
+            "ever loads it",
+        ))
+    return problems
+
+
+# ------------------------------------------------------------- loop checks
+
+
+def _simple_cycle(cfg, loop):
+    """Blocks of *loop* in execution order when it is a simple cycle
+    (each block has exactly one in-loop successor and the cycle covers
+    the whole body), else ``None``."""
+    inside = {}
+    for index in loop.blocks:
+        succs = [s for s in cfg.blocks[index].successors
+                 if s in loop.blocks]
+        if len(succs) != 1:
+            return None
+        inside[index] = succs[0]
+    order = [loop.header]
+    current = inside[loop.header]
+    while current != loop.header:
+        if current in order:
+            return None
+        order.append(current)
+        current = inside[current]
+    if len(order) != len(loop.blocks):
+        return None
+    return order
+
+
+def _loop_exits(cfg, loop):
+    """(block, successor) edges leaving the loop."""
+    exits = []
+    for index in loop.blocks:
+        for succ in cfg.blocks[index].successors:
+            if succ not in loop.blocks:
+                exits.append((index, succ))
+    return exits
+
+
+def _outside_constant(cfg, reaching, loop_pcs, reg):
+    """The single constant all loop-external reaching defs of *reg* load
+    (every def must be ``addi reg, r0, C`` with one shared C), else None."""
+    code = cfg.program.code
+    constants = set()
+    for def_pc, def_reg in reaching:
+        if def_reg != reg or def_pc in loop_pcs:
+            continue
+        inst = code[def_pc]
+        if inst.opcode is not Opcode.ADDI or inst.rs1 != 0:
+            return None
+        constants.add(inst.imm)
+    if len(constants) != 1:
+        return None
+    return constants.pop()
+
+
+def _writes_in_loop(cfg, loop_pcs, reg):
+    return [pc for pc in sorted(loop_pcs)
+            if cfg.program.code[pc].destination_register() == reg]
+
+
+def _infer_trip_count(cfg, loop, order, reaching_at_header):
+    """Trip count of the loop body, or ``None`` when not inferable.
+
+    Pattern A — countdown do-while (the hand templates)::
+
+        li   rX, C          # outside the loop
+        loop: ...
+        addi rX, rX, -1
+        bnez rX, loop       # the back edge
+
+    Pattern B — test-at-top counted for (the kernel lowerer)::
+
+        li   rL, C          # outside
+        li   rV, 0          # outside
+        top:  bge rV, rL, end   # the only exit
+        ...
+        addi rV, rV, 1
+        j    top
+
+    Both require the counter (and bound) to be written nowhere else in
+    the loop and every external reaching definition to load the same
+    constant.  Returns (trip_count, body_blocks) where *body_blocks*
+    are the blocks that run exactly trip_count times.
+    """
+    code = cfg.program.code
+    loop_pcs = {pc for index in loop.blocks
+                for pc in cfg.blocks[index].pcs()}
+    exits = _loop_exits(cfg, loop)
+
+    # Pattern A: single exit at the back-edge block's bnez fall-through.
+    tail = cfg.blocks[loop.back_edge_tail]
+    branch = code[tail.last_pc]
+    if (branch.opcode is Opcode.BNE and branch.target ==
+            cfg.blocks[loop.header].start
+            and all(index == loop.back_edge_tail for index, _ in exits)):
+        counter = None
+        if branch.rs2 == 0 and branch.rs1 not in (0, None):
+            counter = branch.rs1
+        elif branch.rs1 == 0 and branch.rs2 not in (0, None):
+            counter = branch.rs2
+        if counter is not None:
+            writes = _writes_in_loop(cfg, loop_pcs, counter)
+            if len(writes) == 1:
+                step = code[writes[0]]
+                if (step.opcode is Opcode.ADDI and step.rs1 == counter
+                        and step.imm == -1):
+                    start = _outside_constant(
+                        cfg, reaching_at_header, loop_pcs, counter)
+                    if start is not None and start >= 1:
+                        return start, set(loop.blocks)
+
+    # Pattern B: single exit at the header's bge.
+    header = cfg.blocks[loop.header]
+    test = code[header.last_pc]
+    if (test.opcode is Opcode.BGE
+            and all(index == loop.header for index, _ in exits)
+            and test.target is not None
+            and cfg.block_of(test.target) not in loop.blocks):
+        var_reg, limit_reg = test.rs1, test.rs2
+        if var_reg not in (0, None) and limit_reg not in (0, None):
+            var_writes = _writes_in_loop(cfg, loop_pcs, var_reg)
+            limit_writes = _writes_in_loop(cfg, loop_pcs, limit_reg)
+            if len(var_writes) == 1 and not limit_writes:
+                step = code[var_writes[0]]
+                if (step.opcode is Opcode.ADDI and step.rs1 == var_reg
+                        and step.imm == 1):
+                    start = _outside_constant(
+                        cfg, reaching_at_header, loop_pcs, var_reg)
+                    limit = _outside_constant(
+                        cfg, reaching_at_header, loop_pcs, limit_reg)
+                    if start is not None and limit is not None \
+                            and limit >= start:
+                        # The header (the test) runs T+1 times; the rest
+                        # of the body runs T times.
+                        body = set(loop.blocks) - {loop.header}
+                        return limit - start, body
+    return None
+
+
+def _forward_reachable(cfg, start):
+    """Blocks reachable from block *start* (inclusive)."""
+    seen = {start}
+    stack = [start]
+    while stack:
+        for succ in cfg.blocks[stack.pop()].successors:
+            if succ not in seen:
+                seen.add(succ)
+                stack.append(succ)
+    return seen
+
+
+def _loop_diagnostics(cfg, states, caps):
+    """``*Q003``: per-back-edge queue growth vs. capacity."""
+    problems = []
+    reaching_in = reaching_definitions(cfg)
+    seen_bodies = set()
+    for loop in cfg.loops:
+        if loop.blocks in seen_bodies or loop.header not in states:
+            continue
+        seen_bodies.add(loop.blocks)
+        order = _simple_cycle(cfg, loop)
+        if order is None:
+            continue
+        loop_pcs = [pc for index in order
+                    for pc in cfg.blocks[index].pcs()]
+        opcodes = [cfg.program.code[pc].opcode for pc in loop_pcs]
+        if Opcode.FORWARD in opcodes or any(op in _RESTORE
+                                            for op in opcodes):
+            continue
+        inferred = _infer_trip_count(cfg, loop, order,
+                                     reaching_in[loop.header])
+        for q in QUEUES:
+            body_pcs = loop_pcs
+            if inferred is not None:
+                trips, body_blocks = inferred
+                body_pcs = [pc for index in sorted(body_blocks)
+                            for pc in cfg.blocks[index].pcs()]
+            net = 0
+            first_push = None
+            for pc in body_pcs:
+                opcode = cfg.program.code[pc].opcode
+                if _PUSH.get(opcode) == q:
+                    net += 1
+                    if first_push is None:
+                        first_push = pc
+                elif _POP.get(opcode) == q:
+                    net -= 1
+            if net <= 0 or first_push is None:
+                continue
+            if inferred is not None:
+                trips, _ = inferred
+                entry_lo = states[loop.header].depth[q][0]
+                total = entry_lo + trips * net
+                if total > caps[q]:
+                    problems.append(diagnostic(
+                        _RULE[q]["loop"], first_push,
+                        "loop at pc %d pushes %d %s entries per run "
+                        "(%d iterations x net %+d), capacity %d"
+                        % (cfg.blocks[loop.header].start, total, _NAME[q],
+                           trips, net, caps[q]),
+                    ))
+            else:
+                downstream = _forward_reachable(cfg, loop.header)
+                pops = [
+                    pc
+                    for index in downstream
+                    for pc in cfg.blocks[index].pcs()
+                    if _POP.get(cfg.program.code[pc].opcode) == q
+                ]
+                if not pops:
+                    problems.append(diagnostic(
+                        _RULE[q]["loop"], first_push,
+                        "loop at pc %d grows the %s by %+d per iteration "
+                        "and no pop of it is reachable from the loop"
+                        % (cfg.blocks[loop.header].start, _NAME[q], net),
+                    ))
+    return problems
+
+
+def check_queues(cfg, config=None):
+    """All queue-discipline diagnostics for *cfg*."""
+    caps = default_capacities(config)
+    states = _fixpoint(cfg, caps)
+    problems = _depth_diagnostics(cfg, states, caps)
+    problems.extend(_structural_diagnostics(cfg))
+    problems.extend(_loop_diagnostics(cfg, states, caps))
+    return problems

@@ -1,0 +1,109 @@
+"""Diagnostic catalogue for the static CFD contract verifier.
+
+Every finding the linter can emit is a numbered rule with a fixed
+severity, grouped by the analysis family that produces it:
+
+``CFG0xx``
+    Control-flow structure (``repro.lint.cfg``).
+``DF0xx``
+    Register dataflow (``repro.lint.dataflow``).
+``BQ0xx`` / ``VQ0xx`` / ``TQ0xx``
+    Queue-discipline abstract interpretation (``repro.lint.queues``).
+
+The linter reports *definite* violations only: a rule fires when the
+abstract semantics prove that every execution reaching the flagged
+instruction violates the contract, so a clean program may still fail
+dynamically but a diagnosed program is certainly wrong.  That design
+keeps the registry-wide gate free of false positives.
+
+Diagnostics render to a stable JSON shape (sorted keys, pc-ordered
+lists) so CI artifacts diff cleanly across runs.
+"""
+
+import json
+from dataclasses import dataclass
+
+#: Severity levels, in increasing order of badness.
+WARNING = "warning"
+ERROR = "error"
+
+#: rule id -> (severity, one-line summary of what the rule means).
+RULES = {
+    "CFG001": (WARNING, "basic block is unreachable from the entry point"),
+    "CFG002": (ERROR, "control flow can fall off the end of the code segment"),
+    "DF001": (ERROR, "register is used before any definition reaches it"),
+    "BQ001": (ERROR, "Branch_on_BQ pops a provably empty branch queue"),
+    "BQ002": (ERROR, "Push_BQ pushes onto a provably full branch queue"),
+    "BQ003": (ERROR, "loop pushes more BQ entries than the queue capacity"),
+    "BQ004": (WARNING, "branch queue is provably non-empty at halt"),
+    "BQ005": (WARNING, "Mark without any matching Forward"),
+    "BQ006": (WARNING, "Forward without any preceding Mark"),
+    "BQ007": (WARNING, "Save_BQ/Restore_BQ imbalance"),
+    "VQ001": (ERROR, "Pop_VQ pops a provably empty value queue"),
+    "VQ002": (ERROR, "Push_VQ pushes onto a provably full value queue"),
+    "VQ003": (ERROR, "loop pushes more VQ entries than the queue capacity"),
+    "VQ004": (WARNING, "value queue is provably non-empty at halt"),
+    "VQ005": (WARNING, "Save_VQ/Restore_VQ imbalance"),
+    "TQ001": (ERROR, "Pop_TQ pops a provably empty trip-count queue"),
+    "TQ002": (ERROR, "Push_TQ pushes onto a provably full trip-count queue"),
+    "TQ003": (ERROR, "loop pushes more TQ entries than the queue capacity"),
+    "TQ004": (WARNING, "trip-count queue is provably non-empty at halt"),
+    "TQ005": (WARNING, "Save_TQ/Restore_TQ imbalance"),
+    "TQ006": (WARNING, "Branch_on_TCR but no Pop_TQ ever loads the TCR"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule instance anchored at a PC."""
+
+    rule: str
+    pc: int
+    message: str
+
+    @property
+    def severity(self):
+        return RULES[self.rule][0]
+
+    def sort_key(self):
+        return (self.pc, self.rule, self.message)
+
+    def to_dict(self):
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "pc": self.pc,
+            "message": self.message,
+        }
+
+    def render(self, program=None):
+        """One-line human rendering: ``pc 12: error BQ001: ...``."""
+        location = "pc %d" % self.pc
+        if program is not None:
+            inst = program.instruction_at(self.pc)
+            if inst is not None:
+                location = "pc %d (%s)" % (self.pc, inst.disassemble())
+        return "%s: %s %s: %s" % (location, self.severity, self.rule,
+                                  self.message)
+
+
+def diagnostic(rule, pc, message):
+    """Build a :class:`Diagnostic`, checking the rule id is catalogued."""
+    if rule not in RULES:
+        raise KeyError("unknown lint rule %r" % rule)
+    return Diagnostic(rule=rule, pc=pc, message=message)
+
+
+def sort_diagnostics(diagnostics):
+    """Deterministic pc-then-rule order, duplicates removed."""
+    return sorted(set(diagnostics), key=Diagnostic.sort_key)
+
+
+def render_json(diagnostics, program_name=None):
+    """Stable JSON rendering of a diagnostic list (sorted keys and pcs)."""
+    payload = {
+        "program": program_name,
+        "count": len(diagnostics),
+        "diagnostics": [d.to_dict() for d in sort_diagnostics(diagnostics)],
+    }
+    return json.dumps(payload, sort_keys=True, indent=2)

@@ -8,8 +8,8 @@ in Figure 25a.
 """
 
 from repro.memsys.cache import Cache, CacheConfig
+from repro.memsys.hierarchy import MemLevel, MemoryHierarchy, MemoryHierarchyConfig
 from repro.memsys.mshr import MSHRFile
-from repro.memsys.hierarchy import MemoryHierarchy, MemoryHierarchyConfig, MemLevel
 from repro.memsys.prefetch import NextLinePrefetcher, StridePrefetcher
 
 __all__ = [

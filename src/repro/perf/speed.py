@@ -25,7 +25,6 @@ import os
 import sys
 import time
 from dataclasses import dataclass
-from typing import Optional
 
 #: The pre-PR reference numbers (benchmarks/baseline_speed.json, commit
 #: 3765e9e).  Embedded so ``bench-speed`` is self-contained wherever the

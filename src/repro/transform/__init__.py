@@ -20,6 +20,10 @@ result values — the property tests in ``tests/transform`` assert exactly
 that on randomly generated kernels.
 """
 
+from repro.transform.cfd_pass import apply_cfd, apply_nested_cfd
+from repro.transform.classify import BranchClass, classify_kernel
+from repro.transform.dfd_pass import apply_dfd
+from repro.transform.if_convert import apply_if_conversion
 from repro.transform.ir import (
     ArrayRef,
     Assign,
@@ -33,17 +37,13 @@ from repro.transform.ir import (
     Store,
     Var,
 )
-from repro.transform.classify import BranchClass, classify_kernel
-from repro.transform.cfd_pass import apply_cfd, apply_nested_cfd
-from repro.transform.dfd_pass import apply_dfd
-from repro.transform.if_convert import apply_if_conversion
+from repro.transform.lower import lower_kernel
 from repro.transform.profitability import (
     ProfitabilityEstimate,
     auto_transform,
     estimate_cfd_profitability,
 )
 from repro.transform.tq_pass import apply_tq
-from repro.transform.lower import lower_kernel
 
 __all__ = [
     "ArrayRef",

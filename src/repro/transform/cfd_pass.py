@@ -31,7 +31,6 @@ from repro.transform.ir import (
     For,
     ForwardBQ,
     If,
-    Kernel,
     Load,
     MarkBQ,
     PopVQ,
@@ -41,12 +40,38 @@ from repro.transform.ir import (
     Store,
     Var,
     backward_slice,
+    count_queue_ops,
     expr_vars,
     stmt_writes,
     subst_stmt,
 )
 
 DEFAULT_CHUNK = 128
+
+
+def verify_queue_discipline(kernel, pass_name):
+    """End-of-pass self-check: producer/consumer pseudo-ops must balance.
+
+    Every pass emits its queue producers and consumers inside
+    equally-counted loops, so the static counts must already match at
+    the IR level; the assembled binary is additionally checked by the
+    ``REPRO_LINT`` gate in :mod:`repro.workloads.builders`.
+    """
+    counts = count_queue_ops(kernel.body)
+    pairs = (
+        ("push_bq", "branch_bq"),
+        ("push_vq", "pop_vq"),
+        ("push_tq", "tq_loop"),
+        ("mark", "forward"),
+    )
+    for producer, consumer in pairs:
+        if counts[producer] != counts[consumer]:
+            raise TransformError(
+                "%s produced an unbalanced kernel %r: %d %s vs %d %s"
+                % (pass_name, kernel.name, counts[producer], producer,
+                   counts[consumer], consumer)
+            )
+    return kernel
 
 
 def _chunked_index(chunk_var, iter_var, chunk):
@@ -195,13 +220,16 @@ def apply_cfd(kernel, chunk=DEFAULT_CHUNK, use_vq=False):
         else:
             new_body.append(copy.deepcopy(stmt))
     suffix = "+vq" if use_vq else ""
-    return replace(
-        kernel,
-        name=kernel.name + "/cfd" + suffix,
-        body=new_body,
-        arrays=copy.deepcopy(kernel.arrays),
-        out_arrays=dict(kernel.out_arrays),
-        results=list(kernel.results),
+    return verify_queue_discipline(
+        replace(
+            kernel,
+            name=kernel.name + "/cfd" + suffix,
+            body=new_body,
+            arrays=copy.deepcopy(kernel.arrays),
+            out_arrays=dict(kernel.out_arrays),
+            results=list(kernel.results),
+        ),
+        "apply_cfd",
     )
 
 
@@ -364,11 +392,14 @@ def apply_nested_cfd(kernel, chunk=None):
             new_body.append(new_loop)
         else:
             new_body.append(copy.deepcopy(stmt))
-    return replace(
-        kernel,
-        name=kernel.name + "/cfd2",
-        body=new_body,
-        arrays=copy.deepcopy(kernel.arrays),
-        out_arrays=dict(kernel.out_arrays),
-        results=list(kernel.results),
+    return verify_queue_discipline(
+        replace(
+            kernel,
+            name=kernel.name + "/cfd2",
+            body=new_body,
+            arrays=copy.deepcopy(kernel.arrays),
+            out_arrays=dict(kernel.out_arrays),
+            results=list(kernel.results),
+        ),
+        "apply_nested_cfd",
     )

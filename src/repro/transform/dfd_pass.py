@@ -12,6 +12,7 @@ import copy
 from dataclasses import replace
 
 from repro.errors import TransformError
+from repro.transform.cfd_pass import _rebase
 from repro.transform.classify import find_scan_loop
 from repro.transform.ir import (
     Assign,
@@ -23,9 +24,9 @@ from repro.transform.ir import (
     Prefetch,
     Var,
     backward_slice,
+    count_queue_ops,
     expr_vars,
 )
-from repro.transform.cfd_pass import _rebase
 
 DEFAULT_DFD_CHUNK = 128
 
@@ -111,7 +112,7 @@ def apply_dfd(kernel, chunk=DEFAULT_DFD_CHUNK):
     new_body = [
         new_loop if stmt is loop else copy.deepcopy(stmt) for stmt in kernel.body
     ]
-    return replace(
+    result = replace(
         kernel,
         name=kernel.name + "/dfd",
         body=new_body,
@@ -119,3 +120,15 @@ def apply_dfd(kernel, chunk=DEFAULT_DFD_CHUNK):
         out_arrays=dict(kernel.out_arrays),
         results=list(kernel.results),
     )
+    counts = count_queue_ops(result.body)
+    if counts["prefetch"] == 0:
+        raise TransformError(
+            "apply_dfd produced no prefetches for kernel %r" % kernel.name
+        )
+    queue_keys = ("push_bq", "branch_bq", "push_vq", "pop_vq",
+                  "push_tq", "tq_loop", "mark", "forward")
+    if any(counts[key] for key in queue_keys):
+        raise TransformError(
+            "apply_dfd must not emit CFD queue ops (kernel %r)" % kernel.name
+        )
+    return result

@@ -249,6 +249,37 @@ class Kernel:
 # --------------------------------------------------------------------------
 
 
+def count_queue_ops(statements):
+    """Static occurrence counts of every CFD pseudo-statement kind.
+
+    Used by the transform passes' end-of-pass self-checks: each pass
+    emits matched producer/consumer pairs inside equally-counted loops,
+    so the static counts must balance for the dynamic queue discipline
+    to have a chance of holding.
+    """
+    counts = {
+        "push_bq": 0, "branch_bq": 0, "push_vq": 0, "pop_vq": 0,
+        "push_tq": 0, "tq_loop": 0, "mark": 0, "forward": 0,
+        "prefetch": 0,
+    }
+    kinds = (
+        (PushBQ, "push_bq"), (BranchBQ, "branch_bq"),
+        (PushVQ, "push_vq"), (PopVQ, "pop_vq"),
+        (PushTQ, "push_tq"), (TQLoop, "tq_loop"),
+        (MarkBQ, "mark"), (ForwardBQ, "forward"),
+        (Prefetch, "prefetch"),
+    )
+    stack = list(statements)
+    while stack:
+        stmt = stack.pop()
+        for cls, key in kinds:
+            if isinstance(stmt, cls):
+                counts[key] += 1
+        if isinstance(stmt, (If, For, BranchBQ, TQLoop)):
+            stack.extend(stmt.body)
+    return counts
+
+
 def expr_vars(expr):
     """All Vars read by *expr*."""
     if isinstance(expr, Var):

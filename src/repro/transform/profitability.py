@@ -24,8 +24,8 @@ CFD / if-conversion / nothing, mirroring the paper's compiler flow.
 from dataclasses import dataclass
 
 from repro.errors import TransformError
-from repro.transform.classify import BranchClass, classify_kernel
 from repro.transform.cfd_pass import apply_cfd
+from repro.transform.classify import BranchClass, classify_kernel
 from repro.transform.if_convert import apply_if_conversion
 from repro.transform.ir import (
     Assign,

@@ -13,6 +13,7 @@ import copy
 from dataclasses import replace
 
 from repro.errors import TransformError
+from repro.transform.cfd_pass import _rebase, verify_queue_discipline
 from repro.transform.classify import BranchClass, classify_kernel
 from repro.transform.ir import (
     Assign,
@@ -23,7 +24,6 @@ from repro.transform.ir import (
     Var,
     backward_slice,
 )
-from repro.transform.cfd_pass import _rebase
 
 DEFAULT_TQ_CHUNK = 256
 
@@ -80,11 +80,14 @@ def apply_tq(kernel, chunk=DEFAULT_TQ_CHUNK):
     new_body = [
         new_loop if stmt is loop else copy.deepcopy(stmt) for stmt in kernel.body
     ]
-    return replace(
-        kernel,
-        name=kernel.name + "/tq",
-        body=new_body,
-        arrays=copy.deepcopy(kernel.arrays),
-        out_arrays=dict(kernel.out_arrays),
-        results=list(kernel.results),
+    return verify_queue_discipline(
+        replace(
+            kernel,
+            name=kernel.name + "/tq",
+            body=new_body,
+            arrays=copy.deepcopy(kernel.arrays),
+            out_arrays=dict(kernel.out_arrays),
+            results=list(kernel.results),
+        ),
+        "apply_tq",
     )

@@ -13,9 +13,15 @@ Register conventions used across the kernels::
     r26-r29  chunk bookkeeping for strip-mined CFD loops
 """
 
-from repro.errors import WorkloadError
+import os
+import sys
+
+from repro.errors import LintError, WorkloadError
 from repro.isa.assembler import assemble
 from repro.workloads.data_gen import to_words
+
+#: Recognised ``REPRO_LINT`` build-gate modes.
+LINT_MODES = ("off", "warn", "strict")
 
 
 class AsmBuilder:
@@ -48,12 +54,52 @@ def install_array(program, symbol, values):
         program.data[base + 4 * offset] = word
 
 
+def lint_mode():
+    """The active ``REPRO_LINT`` gate mode (``strict`` unless overridden).
+
+    ``off`` skips the gate, ``warn`` prints diagnostics to stderr but
+    still returns the program, ``strict`` (the default, and the fallback
+    for unrecognised values) raises :class:`~repro.errors.LintError`.
+    """
+    mode = os.environ.get("REPRO_LINT", "strict").strip().lower()
+    return mode if mode in LINT_MODES else "strict"
+
+
+def lint_gate(program, mode=None):
+    """Run the static CFD contract verifier over a built *program*.
+
+    Every assembled workload and every lowered kernel funnels through
+    :func:`build_program`, so this single gate covers both the hand
+    templates and the transform passes' output.
+    """
+    mode = lint_mode() if mode is None else mode
+    if mode == "off":
+        return program
+
+    from repro.lint import lint_program
+
+    diagnostics = lint_program(program)
+    if not diagnostics:
+        return program
+    rendered = "\n".join(
+        "  " + d.render(program) for d in diagnostics
+    )
+    message = "lint failed for %s (%d finding%s):\n%s" % (
+        program.name, len(diagnostics),
+        "" if len(diagnostics) == 1 else "s", rendered,
+    )
+    if mode == "warn":
+        print("repro: lint warning: %s" % message, file=sys.stderr)
+        return program
+    raise LintError(message, diagnostics)
+
+
 def build_program(source, name, arrays=None):
-    """Assemble *source* and install the given {symbol: values} arrays."""
+    """Assemble *source*, install {symbol: values} arrays, lint-gate it."""
     program = assemble(source, name=name)
     for symbol, values in (arrays or {}).items():
         install_array(program, symbol, values)
-    return program
+    return lint_gate(program)
 
 
 def chunked(total, chunk):

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Tuple
 
 from repro.errors import WorkloadError
+from repro.isa.program import Program
 from repro.workloads.builders import build_program
 
 #: Control-flow classes from Section II-B.
@@ -30,7 +31,7 @@ CLASS_EASY = "easy"  # well-predicted; "excluded" in the paper's pies
 class BuiltProgram:
     """One concrete assembled workload binary."""
 
-    program: "repro.isa.program.Program"
+    program: Program
     workload: str
     variant: str
     input_name: str

@@ -7,8 +7,7 @@ is exercised at scale by the benchmarks.
 
 import pytest
 
-from repro.arch.executor import FunctionalExecutor, run_program
-from repro.arch.state import ArchState
+from repro.arch.executor import run_program
 from repro.core import sandy_bridge_config, simulate
 from repro.isa import assemble
 

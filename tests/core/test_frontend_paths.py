@@ -1,10 +1,7 @@
 """Front-end corner paths: indirect jumps, deep call chains, I-cache."""
 
-import numpy as np
-
-from repro.core import sandy_bridge_config, simulate
+from repro.core import simulate
 from repro.isa import assemble
-from repro.workloads.builders import install_array
 from tests.conftest import run_both
 
 

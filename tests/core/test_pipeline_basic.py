@@ -5,8 +5,6 @@ datapath divergence raises SimulationError, and the final architectural
 state is compared against an independent functional run.
 """
 
-import pytest
-
 from repro.core import sandy_bridge_config, simulate
 from repro.isa import assemble
 from tests.conftest import run_both

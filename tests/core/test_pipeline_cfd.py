@@ -1,8 +1,6 @@
 """CFD mechanisms in the cycle core: BQ, VQ, TQ, Mark/Forward, Save/Restore."""
 
-import pytest
-
-from repro.core import sandy_bridge_config, simulate
+from repro.core import simulate
 from repro.core.config import BQ_MISS_STALL
 from repro.isa import assemble
 from tests.conftest import run_both

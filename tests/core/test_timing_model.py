@@ -7,10 +7,8 @@ Each probe measures a long steady-state loop and derives per-iteration
 cycles, so front-end fill and cold-cache effects wash out.
 """
 
-import dataclasses
 
 import numpy as np
-import pytest
 
 from repro.core import sandy_bridge_config, simulate
 from repro.isa import assemble
@@ -174,8 +172,6 @@ next:
 
 def test_dram_latency_dominates_cold_chase():
     """A cold pointer chase over many lines pays ~DRAM latency per hop."""
-    import dataclasses
-
     n = 64
     rng = np.random.default_rng(11)
     order = rng.permutation(n)

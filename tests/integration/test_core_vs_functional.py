@@ -8,8 +8,6 @@ retirement checker inside the pipeline additionally validates every
 retired instruction's value/direction along the way.
 """
 
-import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.arch.executor import run_program

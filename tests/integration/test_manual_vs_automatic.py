@@ -8,7 +8,6 @@ assembly workload on identical data: the automatic pass must recover the
 bulk of the manual speedup.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import sandy_bridge_config, simulate

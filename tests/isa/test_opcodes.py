@@ -1,7 +1,5 @@
 """Opcode metadata consistency."""
 
-import pytest
-
 from repro.isa.opcodes import (
     OpClass,
     Opcode,

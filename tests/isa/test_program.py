@@ -32,3 +32,30 @@ def test_listing_includes_labels(count_program):
 
 def test_len(count_program):
     assert len(count_program) == len(count_program.code)
+
+
+def test_validate_detects_non_branch_with_target():
+    program = Program(
+        code=[
+            Instruction(Opcode.ADDI, rd=1, rs1=0, imm=1, target=0),
+            Instruction(Opcode.HALT),
+        ]
+    )
+    problems = program.validate()
+    assert any("non-branch" in p and "addi" in p for p in problems)
+
+
+def test_validate_detects_branch_without_target():
+    program = Program(
+        code=[Instruction(Opcode.J), Instruction(Opcode.HALT)]
+    )
+    problems = program.validate()
+    assert any("pc 0" in p and "target" in p for p in problems)
+
+
+def test_validate_detects_label_symbol_collision():
+    source = ".data\nbuf: .word 7\n.text\n  addi r1, r0, 1\n  halt\n"
+    program = assemble(source, name="collide")
+    program.labels["buf"] = 0  # force the namespace clash
+    problems = program.validate()
+    assert any("both a code label" in p and "'buf'" in p for p in problems)

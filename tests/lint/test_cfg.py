@@ -1,0 +1,113 @@
+"""CFG construction: blocks, edges, reachability, dominators, loops."""
+
+from repro.isa.assembler import assemble
+from repro.lint import lint_program
+from repro.lint.cfg import CFG, check_cfg
+
+
+def _cfg(source):
+    return CFG(assemble(source, name="cfg-test"))
+
+
+def test_straight_line_is_one_block():
+    cfg = _cfg(".text\n  addi r1, r0, 1\n  addi r2, r0, 2\n  halt\n")
+    assert len(cfg.blocks) == 1
+    assert cfg.blocks[0].successors == []
+    assert cfg.reachable == frozenset({0})
+    assert cfg.back_edges == []
+
+
+def test_diamond_blocks_and_edges():
+    cfg = _cfg(
+        ".text\n"
+        "  beq r1, r0, other\n"
+        "  addi r2, r0, 1\n"
+        "  j done\n"
+        "other:\n"
+        "  addi r2, r0, 2\n"
+        "done:\n"
+        "  halt\n"
+    )
+    assert len(cfg.blocks) == 4
+    entry = cfg.blocks[cfg.entry_block]
+    assert sorted(entry.successors) == [1, 2]
+    # Both arms reach the join; everything is reachable.
+    assert cfg.reachable == frozenset(range(4))
+    join = cfg.block_of(cfg.program.label("done"))
+    assert sorted(cfg.blocks[join].predecessors) == [1, 2]
+
+
+def test_loop_back_edge_and_natural_loop():
+    cfg = _cfg(
+        ".text\n"
+        "  addi r1, r0, 4\n"
+        "top:\n"
+        "  addi r1, r1, -1\n"
+        "  bne r1, r0, top\n"
+        "  halt\n"
+    )
+    assert len(cfg.back_edges) == 1
+    tail, header = cfg.back_edges[0]
+    assert cfg.blocks[header].start == cfg.program.label("top")
+    loop = cfg.loops[0]
+    assert loop.header == header
+    assert loop.blocks == frozenset({header})
+    # The header dominates the back-edge tail (they're one block here).
+    assert header in cfg.dominators[tail]
+
+
+def test_conditional_queue_branches_have_two_successors():
+    cfg = _cfg(
+        ".text\n"
+        "  addi r1, r0, 1\n"
+        "  push_bq r1\n"
+        "  b_bq taken\n"
+        "  addi r2, r0, 1\n"
+        "taken:\n"
+        "  halt\n"
+    )
+    branch_block = cfg.blocks[cfg.block_of(2)]
+    assert branch_block.last_pc == 2
+    assert len(branch_block.successors) == 2
+
+
+def test_unreachable_block_flagged_cfg001():
+    program = assemble(
+        ".text\n"
+        "  j done\n"
+        "  addi r1, r0, 1\n"
+        "done:\n"
+        "  halt\n",
+        name="dead",
+    )
+    diags = lint_program(program)
+    assert [d.rule for d in diags] == ["CFG001"]
+    assert diags[0].pc == 1
+
+
+def test_fall_off_end_flagged_cfg002():
+    program = assemble(".text\n  addi r1, r0, 1\n", name="falls")
+    diags = lint_program(program)
+    assert [d.rule for d in diags] == ["CFG002"]
+    assert diags[0].pc == 0
+
+
+def test_clean_program_has_no_cfg_findings():
+    cfg = _cfg(".text\n  addi r1, r0, 1\n  halt\n")
+    assert check_cfg(cfg) == []
+
+
+def test_jal_models_call_and_return():
+    cfg = _cfg(
+        ".text\n"
+        "  jal r31, sub\n"
+        "  halt\n"
+        "sub:\n"
+        "  jalr r0, r31\n"
+    )
+    entry = cfg.blocks[cfg.entry_block]
+    # Both the callee and the return point are successors, so nothing is
+    # unreachable and the jalr (no static successors) ends its path.
+    assert len(entry.successors) == 2
+    assert cfg.reachable == frozenset(range(len(cfg.blocks)))
+    assert check_cfg(cfg) == []

@@ -1,0 +1,147 @@
+"""Golden diagnostics: each seeded-broken fixture trips exactly its rule.
+
+Every fixture here is engineered so that *one* rule fires — no collateral
+findings — which pins both the detector and the absence of overlap
+between rules.
+"""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.lint import lint_program, render_json, sort_diagnostics
+from repro.lint.rules import RULES, diagnostic
+
+
+class _Caps:
+    def __init__(self, bq=128, vq=128, tq=256):
+        self.bq_size = bq
+        self.vq_size = vq
+        self.tq_size = tq
+
+
+FIXTURES = [
+    # (expected rule, config, source)
+    (
+        "CFG001",
+        None,
+        ".text\n"
+        "  j done\n"
+        "  addi r1, r0, 1\n"
+        "done:\n"
+        "  halt\n",
+    ),
+    (
+        "CFG002",
+        None,
+        ".text\n  addi r1, r0, 1\n",
+    ),
+    (
+        "DF001",
+        None,
+        ".text\n  add r2, r1, r1\n  addi r1, r0, 5\n  halt\n",
+    ),
+    (
+        "BQ001",
+        None,
+        ".text\n  b_bq done\ndone:\n  halt\n",
+    ),
+    (
+        "BQ002",
+        _Caps(bq=2),
+        ".text\n"
+        "  addi r1, r0, 1\n"
+        "  push_bq r1\n"
+        "  push_bq r1\n"
+        "  push_bq r1\n"
+        "  b_bq d1\n"
+        "d1:\n"
+        "  b_bq d2\n"
+        "d2:\n"
+        "  halt\n",
+    ),
+    (
+        "BQ003",
+        None,
+        ".text\n"
+        "  addi r1, r0, 1\n"
+        "  addi r2, r0, 200\n"
+        "ploop:\n"
+        "  push_bq r1\n"
+        "  addi r2, r2, -1\n"
+        "  bne r2, r0, ploop\n"
+        "  addi r2, r0, 200\n"
+        "dloop:\n"
+        "  b_bq dnext\n"
+        "dnext:\n"
+        "  addi r2, r2, -1\n"
+        "  bne r2, r0, dloop\n"
+        "  halt\n",
+    ),
+    (
+        "BQ004",
+        None,
+        ".text\n  addi r1, r0, 1\n  push_bq r1\n  halt\n",
+    ),
+    (
+        "BQ005",
+        None,
+        ".text\n  mark\n  halt\n",
+    ),
+    (
+        "BQ006",
+        None,
+        ".text\n  forward\n  halt\n",
+    ),
+    (
+        "BQ007",
+        None,
+        ".text\n  save_bq 0(r0)\n  halt\n",
+    ),
+    (
+        "VQ001",
+        None,
+        ".text\n  pop_vq r1\n  push_vq r1\n  pop_vq r2\n  halt\n",
+    ),
+    (
+        "TQ001",
+        None,
+        ".text\n  pop_tq\n  halt\n",
+    ),
+    (
+        "TQ006",
+        None,
+        ".text\n  b_tcr done\ndone:\n  halt\n",
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "rule,config,source", FIXTURES, ids=[f[0] for f in FIXTURES]
+)
+def test_fixture_triggers_exactly_its_rule(rule, config, source):
+    program = assemble(source, name="fixture-%s" % rule.lower())
+    diags = lint_program(program, config)
+    assert [d.rule for d in diags] == [rule]
+    assert diags[0].severity == RULES[rule][0]
+    assert 0 <= diags[0].pc < len(program.code)
+
+
+def test_every_rule_id_is_documented():
+    for rule_id, (severity, summary) in RULES.items():
+        assert severity in ("warning", "error")
+        assert summary
+        assert rule_id[:-3] in ("CFG", "DF", "BQ", "VQ", "TQ")
+        assert rule_id[-3:].isdigit()
+
+
+def test_diagnostic_factory_rejects_unknown_rule():
+    with pytest.raises(KeyError):
+        diagnostic("ZZ999", 0, "nope")
+
+
+def test_render_json_is_stable_and_sorted():
+    d2 = diagnostic("BQ001", 4, "later")
+    d1 = diagnostic("CFG001", 1, "earlier")
+    payload = render_json(sort_diagnostics([d2, d1, d2]))
+    assert payload == render_json(sort_diagnostics([d1, d2]))
+    assert payload.index('"CFG001"') < payload.index('"BQ001"')

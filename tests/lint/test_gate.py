@@ -1,0 +1,117 @@
+"""Build-gate behaviour: REPRO_LINT modes and the transform-pass checks."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import LintError, TransformError
+from repro.lint import lint_program
+from repro.transform import cfd_pass
+from repro.transform.cfd_pass import apply_cfd, verify_queue_discipline
+from repro.transform.dfd_pass import apply_dfd
+from repro.transform.ir import PushBQ
+from repro.transform.lower import lower_kernel
+from repro.workloads.builders import build_program, lint_gate, lint_mode
+
+from tests.transform.helpers import scan_kernel
+
+BROKEN = ".text\n  b_bq done\ndone:\n  halt\n"  # BQ001: pop of empty queue
+CLEAN = ".text\n  addi r1, r0, 1\n  halt\n"
+
+
+def test_lint_mode_parsing(monkeypatch):
+    monkeypatch.delenv("REPRO_LINT", raising=False)
+    assert lint_mode() == "strict"
+    monkeypatch.setenv("REPRO_LINT", " Warn ")
+    assert lint_mode() == "warn"
+    monkeypatch.setenv("REPRO_LINT", "off")
+    assert lint_mode() == "off"
+    monkeypatch.setenv("REPRO_LINT", "bogus")
+    assert lint_mode() == "strict"
+
+
+def test_strict_gate_rejects_broken_program(monkeypatch):
+    monkeypatch.setenv("REPRO_LINT", "strict")
+    with pytest.raises(LintError) as err:
+        build_program(BROKEN, "broken")
+    assert "BQ001" in str(err.value)
+    assert [d.rule for d in err.value.diagnostics] == ["BQ001"]
+
+
+def test_warn_gate_reports_but_returns(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_LINT", "warn")
+    program = build_program(BROKEN, "broken")
+    assert program is not None
+    assert "BQ001" in capsys.readouterr().err
+
+
+def test_off_gate_is_silent(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_LINT", "off")
+    program = build_program(BROKEN, "broken")
+    assert program is not None
+    assert capsys.readouterr().err == ""
+
+
+def test_clean_program_passes_strict_gate(monkeypatch):
+    monkeypatch.setenv("REPRO_LINT", "strict")
+    assert build_program(CLEAN, "clean") is not None
+
+
+def test_explicit_mode_overrides_environment(monkeypatch):
+    from repro.isa.assembler import assemble
+
+    monkeypatch.setenv("REPRO_LINT", "strict")
+    program = assemble(BROKEN, name="broken-off")
+    assert lint_gate(program, mode="off") is program
+    with pytest.raises(LintError):
+        lint_gate(program, mode="strict")
+
+
+def _strip_push_bq(kernel):
+    """Remove every Push_BQ from the kernel body, wherever it nests."""
+
+    def strip(statements):
+        out = []
+        for s in statements:
+            if isinstance(s, PushBQ):
+                continue
+            if hasattr(s, "body"):
+                s = dataclasses.replace(s, body=strip(s.body))
+            out.append(s)
+        return out
+
+    return dataclasses.replace(kernel, body=strip(kernel.body))
+
+
+def test_verify_queue_discipline_rejects_unbalanced_kernel():
+    stripped = _strip_push_bq(apply_cfd(scan_kernel(n=32)))
+    with pytest.raises(TransformError) as err:
+        verify_queue_discipline(stripped, "test")
+    assert "unbalanced" in str(err.value)
+
+
+def test_gate_rejects_mutated_cfd_pass(monkeypatch):
+    """ISSUE acceptance: a mutated apply_cfd that drops Push_BQ must not
+    survive lowering — the post-lowering lint gate catches the now
+    push-less Branch_on_BQ as a definite underflow."""
+    monkeypatch.setenv("REPRO_LINT", "strict")
+    real_apply_cfd = cfd_pass.apply_cfd
+
+    def mutated_apply_cfd(kernel):
+        return _strip_push_bq(real_apply_cfd(kernel))
+
+    monkeypatch.setattr(cfd_pass, "apply_cfd", mutated_apply_cfd)
+    with pytest.raises((LintError, TransformError)):
+        lower_kernel(cfd_pass.apply_cfd(scan_kernel(n=32)))
+
+
+def test_intact_cfd_pass_survives_strict_gate(monkeypatch):
+    monkeypatch.setenv("REPRO_LINT", "strict")
+    program = lower_kernel(apply_cfd(scan_kernel(n=32)))
+    assert lint_program(program) == []
+
+
+def test_dfd_pass_emits_prefetches_and_no_queue_ops():
+    kernel = apply_dfd(scan_kernel(n=32))
+    program = lower_kernel(kernel)
+    assert lint_program(program) == []

@@ -1,0 +1,227 @@
+"""Queue-depth abstract interpretation: intervals, mark/forward, loops."""
+
+from repro.isa.assembler import assemble
+from repro.lint import lint_program
+from repro.lint.cfg import CFG
+from repro.lint.queues import check_queues
+
+
+class _Caps:
+    def __init__(self, bq=128, vq=128, tq=256):
+        self.bq_size = bq
+        self.vq_size = vq
+        self.tq_size = tq
+
+
+def _lint(source, config=None):
+    program = assemble(source, name="q-test")
+    return [d.rule for d in lint_program(program, config)]
+
+
+def test_balanced_push_pop_is_clean():
+    assert _lint(
+        ".text\n"
+        "  addi r1, r0, 1\n"
+        "  push_bq r1\n"
+        "  b_bq done\n"
+        "done:\n"
+        "  halt\n"
+    ) == []
+
+
+def test_definite_underflow_is_flagged_on_every_path():
+    # Both paths reach the pop with an empty queue.
+    assert _lint(
+        ".text\n"
+        "  beq r1, r0, other\n"
+        "  j pop\n"
+        "other:\n"
+        "  j pop\n"
+        "pop:\n"
+        "  b_bq done\n"
+        "done:\n"
+        "  halt\n"
+    ) == ["BQ001"]
+
+
+def test_possible_underflow_is_not_flagged():
+    # One path pushes, the other does not: the pop *may* underflow but
+    # not provably, so the definite-only analysis stays silent.
+    assert _lint(
+        ".text\n"
+        "  addi r1, r0, 1\n"
+        "  beq r1, r0, skip\n"
+        "  push_bq r1\n"
+        "skip:\n"
+        "  b_bq done\n"
+        "done:\n"
+        "  halt\n"
+    ) == []
+
+
+def test_definite_overflow_against_config_capacity():
+    src = (
+        ".text\n"
+        "  addi r1, r0, 1\n"
+        "  push_bq r1\n"
+        "  push_bq r1\n"
+        "  push_bq r1\n"
+        "  b_bq d1\n"
+        "d1:\n"
+        "  b_bq d2\n"
+        "d2:\n"
+        "  halt\n"
+    )
+    assert _lint(src, _Caps(bq=2)) == ["BQ002"]
+    assert _lint(src) == ["BQ004"]  # default capacity: merely undrained
+
+
+def test_mark_forward_bulk_pop_is_modelled():
+    # astar shape: push a chunk, mark, pop some, forward on early exit.
+    # Forward discards the leftovers, so the queue is clean at halt.
+    assert _lint(
+        ".text\n"
+        "  addi r1, r0, 1\n"
+        "  push_bq r1\n"
+        "  push_bq r1\n"
+        "  push_bq r1\n"
+        "  mark\n"
+        "  b_bq out\n"
+        "out:\n"
+        "  forward\n"
+        "  halt\n"
+    ) == []
+
+
+def test_forward_without_mark_keeps_depth():
+    # Without a mark, forward is an architectural no-op: the leftover
+    # entry is still there at halt (and BQ006 reports the missing mark).
+    assert _lint(
+        ".text\n"
+        "  addi r1, r0, 1\n"
+        "  push_bq r1\n"
+        "  forward\n"
+        "  halt\n"
+    ) == ["BQ006", "BQ004"]  # sorted by pc: forward at 2, halt at 3
+
+
+def test_save_restore_imbalance_each_queue():
+    assert _lint(".text\n  save_bq 0(r0)\n  halt\n") == ["BQ007"]
+    assert _lint(".text\n  save_vq 0(r0)\n  halt\n") == ["VQ005"]
+    assert _lint(".text\n  save_tq 0(r0)\n  halt\n") == ["TQ005"]
+    assert _lint(
+        ".text\n  save_bq 0(r0)\n  restore_bq 0(r0)\n  halt\n"
+    ) == []
+
+
+def test_restore_makes_depth_opaque():
+    # After a restore the occupancy is unknown, so a following pop is
+    # no longer provably an underflow.
+    assert _lint(
+        ".text\n"
+        "  save_bq 0(r0)\n"
+        "  restore_bq 0(r0)\n"
+        "  b_bq done\n"
+        "done:\n"
+        "  halt\n"
+    ) == []
+
+
+def test_counted_loop_overflow_flagged_bq003():
+    # 128 iterations x net +2 = 256 pushes > 128 capacity; the drain
+    # loop afterwards keeps the halt clean so only BQ003 fires.
+    assert _lint(
+        ".text\n"
+        "  addi r1, r0, 1\n"
+        "  addi r2, r0, 128\n"
+        "ploop:\n"
+        "  push_bq r1\n"
+        "  push_bq r1\n"
+        "  addi r2, r2, -1\n"
+        "  bne r2, r0, ploop\n"
+        "  addi r2, r0, 256\n"
+        "dloop:\n"
+        "  b_bq dnext\n"
+        "dnext:\n"
+        "  addi r2, r2, -1\n"
+        "  bne r2, r0, dloop\n"
+        "  halt\n"
+    ) == ["BQ003"]
+
+
+def test_capacity_exact_counted_loop_is_clean():
+    # Strip-mined generators push exactly the queue size (Section III-B);
+    # a 128-push loop against a 128-entry BQ must stay silent.
+    assert _lint(
+        ".text\n"
+        "  addi r1, r0, 1\n"
+        "  addi r2, r0, 128\n"
+        "ploop:\n"
+        "  push_bq r1\n"
+        "  addi r2, r2, -1\n"
+        "  bne r2, r0, ploop\n"
+        "  addi r2, r0, 128\n"
+        "dloop:\n"
+        "  b_bq dnext\n"
+        "dnext:\n"
+        "  addi r2, r2, -1\n"
+        "  bne r2, r0, dloop\n"
+        "  halt\n"
+    ) == []
+
+
+def test_unknown_trip_loop_without_reachable_pop_flagged():
+    # Data-dependent trip count, pushes only, and no pop anywhere
+    # downstream: an unconsumable push stream.
+    assert _lint(
+        ".text\n"
+        "  addi r1, r0, 1\n"
+        "top:\n"
+        "  beq r9, r0, done\n"
+        "  push_bq r1\n"
+        "  j top\n"
+        "done:\n"
+        "  halt\n"
+    ) == ["BQ003"]
+
+
+def test_unknown_trip_loop_with_downstream_pop_is_silent():
+    # astar bq_tq shape: the generator's trip count is unknown but the
+    # consumer loop pops later, so the loop rule must not fire.
+    assert _lint(
+        ".text\n"
+        "  addi r1, r0, 1\n"
+        "top:\n"
+        "  beq r9, r0, consume\n"
+        "  push_bq r1\n"
+        "  j top\n"
+        "consume:\n"
+        "  b_bq done\n"
+        "done:\n"
+        "  halt\n"
+    ) == []
+
+
+def test_tq_and_vq_depth_rules():
+    assert _lint(".text\n  pop_tq\n  halt\n") == ["TQ001"]
+    assert _lint(
+        ".text\n  pop_vq r1\n  push_vq r1\n  pop_vq r2\n  halt\n"
+    ) == ["VQ001"]
+    assert _lint(
+        ".text\n  addi r1, r0, 3\n  push_tq r1\n  pop_tq\n  halt\n"
+    ) == []
+
+
+def test_check_queues_accepts_config_capacities():
+    program = assemble(
+        ".text\n"
+        "  addi r1, r0, 1\n"
+        "  push_vq r1\n"
+        "  push_vq r1\n"
+        "  pop_vq r2\n"
+        "  pop_vq r3\n"
+        "  halt\n",
+        name="vq-cap",
+    )
+    assert check_queues(CFG(program), _Caps(vq=1)) != []
+    assert check_queues(CFG(program), _Caps(vq=8)) == []

@@ -1,0 +1,45 @@
+"""Every registered workload x variant must lint clean.
+
+This is the paper-reproduction contract: each shipped program — hand
+templates and lowered kernels alike — obeys the CFD queue discipline,
+so the linter must report zero diagnostics across the whole registry.
+"""
+
+import time
+
+import pytest
+
+from repro.core.config import CoreConfig
+from repro.lint import lint_program
+from repro.workloads import suite
+
+
+def _registry():
+    cases = []
+    for workload in suite.all_workloads():
+        for variant in workload.variants:
+            cases.append((workload.name, variant))
+    return cases
+
+
+@pytest.mark.parametrize("name,variant", _registry(),
+                         ids=["%s-%s" % c for c in _registry()])
+def test_workload_variant_lints_clean(name, variant, monkeypatch):
+    monkeypatch.setenv("REPRO_LINT", "off")  # lint explicitly, not via gate
+    workload = suite.get_workload(name)
+    built = workload.build(variant, scale=0.25, seed=1)
+    diags = lint_program(built.program, CoreConfig())
+    assert diags == [], "\n".join(d.render(built.program) for d in diags)
+
+
+def test_full_registry_lints_under_ten_seconds(monkeypatch):
+    monkeypatch.setenv("REPRO_LINT", "off")
+    config = CoreConfig()
+    start = time.monotonic()
+    total = 0
+    for name, variant in _registry():
+        built = suite.get_workload(name).build(variant, scale=0.25, seed=1)
+        total += len(lint_program(built.program, config))
+    elapsed = time.monotonic() - start
+    assert total == 0
+    assert elapsed < 10.0, "registry lint took %.1fs" % elapsed

@@ -8,8 +8,6 @@ point surfaces as ``outcome.error`` without killing the sweep.
 
 import json
 
-import pytest
-
 from repro.perf import ResultCache, SweepPoint, run_sweep
 
 #: Two small, distinct points (different workloads and configs exercise

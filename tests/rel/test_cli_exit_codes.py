@@ -64,3 +64,38 @@ def test_run_check_flag_passes_on_healthy_workload(tmp_path):
     )
     assert proc.returncode == 0
     assert "retired" in proc.stdout
+
+
+def test_lint_clean_workload_exits_zero(tmp_path):
+    proc = _repro(["lint", "soplex", "--variant", "cfd"], tmp_path)
+    assert proc.returncode == 0
+    assert "0 findings" in proc.stdout
+
+
+def test_lint_findings_exit_five(tmp_path):
+    # Register a synthetic broken workload in-process, then drive the
+    # real CLI entry point against it; exit code 5 means "lint findings"
+    # (as opposed to 3, which a strict build gate would produce).
+    script = (
+        "import sys\n"
+        "from repro import cli\n"
+        "from repro.workloads import suite\n"
+        "def builder(variant, input_name, scale, seed):\n"
+        "    return '.text\\n  b_bq done\\ndone:\\n  halt\\n', {}, {}\n"
+        "suite._ensure_loaded()\n"
+        "suite.register(suite.Workload(\n"
+        "    name='broken_bq', suite='synthetic', description='x',\n"
+        "    paper_region='x', branch_class='easy', variants=('base',),\n"
+        "    inputs=('t',), time_fraction=0.0, builder=builder))\n"
+        "sys.exit(cli.main(['lint', 'broken_bq']))\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True, text=True, cwd=str(ROOT), env=env, timeout=120,
+    )
+    assert proc.returncode == 5, proc.stderr
+    assert "BQ001" in proc.stdout
+    assert "Traceback" not in proc.stderr

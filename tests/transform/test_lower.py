@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.arch.executor import run_program
 from repro.errors import TransformError
 from repro.transform.ir import (
     ArrayRef,

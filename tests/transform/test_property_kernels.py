@@ -99,10 +99,6 @@ def test_cfd_break_position_property(seed, break_at, n):
     """A Break anywhere in the region — any chunk, any offset — must exit
     the whole original loop under CFD (regression: an early version only
     exited the current strip-mined chunk)."""
-    import numpy as np
-
-    from repro.transform.ir import Break, If
-
     from tests.transform.helpers import break_kernel, run_kernel
 
     kernel = break_kernel(n=n, seed=seed)
