@@ -13,6 +13,11 @@ Run directly for full budgets (same as ``python -m repro bench-speed``)::
 
 The pytest entry caps budgets (REPRO_SPEED_MAX_INSTRUCTIONS, default
 20000) so it stays quick inside a bench session.
+
+Set ``REPRO_BENCH_HISTORY=<path>`` to also append the measurement to a
+``BENCH_history.jsonl`` trajectory database (label taken from
+``REPRO_BENCH_HISTORY_LABEL``); diff entries with ``python -m repro
+bench-diff`` (see docs/OBSERVABILITY.md "Fleet telemetry").
 """
 
 import dataclasses
@@ -61,6 +66,13 @@ def test_bench_speed(benchmark):
         figure="speed_table",
     )
     write_speed_artifact(payload)
+    history_path = os.environ.get("REPRO_BENCH_HISTORY")
+    if history_path:
+        from repro.obs.history import append_history, history_entry
+
+        append_history(history_path, history_entry(
+            payload, label=os.environ.get("REPRO_BENCH_HISTORY_LABEL"),
+        ))
     # The simulator must actually simulate at a sane pace; the 1.5x
     # acceptance gate for this PR is asserted by the recorded artifact,
     # not here (CI hosts vary too much for a hard KIPS threshold).

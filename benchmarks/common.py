@@ -32,6 +32,12 @@ per-point wall-clock limit (seconds) on prefetched points,
 journal — when set, completed points are recorded there and an
 interrupted bench resumes from it on the next run.
 
+Telemetry (see docs/OBSERVABILITY.md "Fleet telemetry"): exporting
+``REPRO_TELEMETRY_DIR=<dir>`` makes every prefetched sweep spool
+heartbeat/progress/resource events there — watch a long figure converge
+with ``python -m repro top <dir> --follow`` from another terminal.
+Results are byte-identical with telemetry on or off.
+
 Artifacts: every :func:`print_figure` call also writes the figure as a
 versioned ``BENCH_<figure>.json`` document (headers + rows + run
 parameters) into ``REPRO_BENCH_ARTIFACT_DIR`` (default: current

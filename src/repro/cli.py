@@ -10,7 +10,12 @@ Commands
 ``trace``        per-cycle trace of a run (Chrome/Perfetto or JSONL events)
 ``disasm``       disassembly listing of a built workload binary
 ``bench-speed``  host throughput (simulated KIPS) vs the stored baseline
+``bench-diff``   compare two speed measurements; exit 6 on regression
 ``lint``         static CFD contract verification of built binaries
+``top``          live progress view of a telemetry-enabled sweep
+``tail``         stream a sweep's telemetry spool events
+``metrics-export``  Prometheus text format from a spool or manifest
+``trace-merge``  stitch per-run Chrome traces into one Perfetto trace
 
 ``run``, ``compare``, ``profile``, ``classify`` and ``bench-speed``
 accept ``--json`` to emit machine-readable output instead of tables;
@@ -21,21 +26,30 @@ docs/PERFORMANCE.md) — ``--no-cache`` forces a fresh simulation, and
 ``--jobs N`` fans ``compare``'s independent points over N processes.
 
 ``compare`` runs under sweep supervision (``--timeout``, ``--retries``,
-``--journal``/``--resume``), ``run --check`` attaches the independent
-invariant checker, and failures exit with distinct codes — 2 usage,
-3 simulation error, 4 invariant violation, 5 lint findings (see
-docs/ROBUSTNESS.md and docs/STATIC_ANALYSIS.md).
+``--journal``/``--resume``) and emits fleet telemetry when
+``--telemetry DIR`` (or ``$REPRO_TELEMETRY_DIR``) names a spool
+directory — watch it live with ``repro top DIR`` / ``repro tail DIR
+--follow``.  ``run --check`` attaches the independent invariant
+checker, and failures exit with distinct codes — 2 usage, 3 simulation
+error, 4 invariant violation, 5 lint findings, 6 performance regression
+(see docs/ROBUSTNESS.md, docs/STATIC_ANALYSIS.md and
+docs/OBSERVABILITY.md).
 
 Examples::
 
     python -m repro list
     python -m repro run soplex --variant cfd --scale 0.25 --json
     python -m repro compare astar_r1 --variant dfd --config memory-bound
-    python -m repro compare soplex --variant cfd --jobs 2
+    python -m repro compare soplex --variant cfd --jobs 2 --telemetry /tmp/sp
+    python -m repro top /tmp/sp --follow
+    python -m repro tail /tmp/sp --follow
+    python -m repro metrics-export /tmp/sp
     python -m repro profile mcf --top 5
     python -m repro classify --scale 0.125
     python -m repro trace soplex --variant cfd --cycles 2000
-    python -m repro bench-speed --repeats 3
+    python -m repro trace-merge trace_a.json trace_b.json -o merged.json
+    python -m repro bench-speed --repeats 3 --history BENCH_history.jsonl
+    python -m repro bench-diff BENCH_history.jsonl BENCH_speed.json
     python -m repro lint                      # whole registry
     python -m repro lint soplex --variant cfd --json
 """
@@ -45,6 +59,7 @@ import json
 import os
 import re
 import sys
+import time
 
 from repro.analysis import compare_runs, format_table
 from repro.core import memory_bound_config, sandy_bridge_config, simulate
@@ -65,6 +80,7 @@ EXIT_USAGE = 2
 EXIT_SIMULATION_ERROR = 3
 EXIT_INVARIANT_VIOLATION = 4
 EXIT_LINT_FINDINGS = 5
+EXIT_PERF_REGRESSION = 6
 
 _CONFIGS = {
     "baseline": sandy_bridge_config,
@@ -191,7 +207,7 @@ def cmd_compare(args, out):
     ]
     outcomes = run_supervised_sweep(
         points, jobs=args.jobs, cache=_result_cache(args),
-        policy=_supervision_policy(args),
+        policy=_supervision_policy(args), telemetry=args.telemetry,
     )
     for outcome in outcomes:
         if not outcome.ok:
@@ -389,6 +405,13 @@ def cmd_bench_speed(args, out):
     payload = run_speed_benchmark(cases=cases, repeats=args.repeats,
                                   progress=progress, jobs=args.jobs)
     path = write_speed_artifact(payload, directory=args.artifact_dir)
+    if args.history:
+        from repro.obs.history import append_history, history_entry
+
+        append_history(args.history,
+                       history_entry(payload, label=args.history_label))
+        if not args.json:
+            out.write("history: %s\n" % args.history)
     if args.json:
         return _emit_json(out, payload)
     out.write("geomean: %.2f KIPS" % payload["geomean_kips"])
@@ -464,6 +487,133 @@ def cmd_lint(args, out):
     return EXIT_LINT_FINDINGS if total else 0
 
 
+def cmd_top(args, out):
+    from repro.obs.telemetry import SweepAggregator, format_top
+
+    aggregator = SweepAggregator(args.spool)
+    while True:
+        aggregator.poll()
+        if args.json:
+            _emit_json(out, aggregator.snapshot())
+        else:
+            if args.follow and getattr(out, "isatty", lambda: False)():
+                out.write("\x1b[2J\x1b[H")  # clear screen, home cursor
+            out.write(format_top(aggregator.snapshot(),
+                                 max_points=args.max_points) + "\n")
+        if not args.follow or aggregator.finished:
+            return 0
+        time.sleep(args.interval)
+
+
+def cmd_tail(args, out):
+    from repro.obs.telemetry import SweepAggregator, format_tail_event
+
+    aggregator = SweepAggregator(args.spool)
+    while True:
+        for event in aggregator.poll():
+            if args.json:
+                out.write(json.dumps(event, sort_keys=False) + "\n")
+            else:
+                out.write(format_tail_event(event) + "\n")
+        if not args.follow or aggregator.finished:
+            return 0
+        time.sleep(args.interval)
+
+
+def cmd_metrics_export(args, out):
+    from repro.obs.prom import render_snapshot, render_sweep, write_prom
+
+    if os.path.isdir(args.source):
+        from repro.obs.telemetry import SweepAggregator
+
+        aggregator = SweepAggregator(args.source)
+        aggregator.poll()
+        text = render_sweep(aggregator.snapshot())
+    else:
+        try:
+            with open(args.source) as fh:
+                document = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print("repro: metrics-export: cannot read %s: %s"
+                  % (args.source, exc), file=sys.stderr)
+            return EXIT_USAGE
+        metrics = (
+            document.get("metrics") if isinstance(document, dict) else None
+        )
+        if not isinstance(metrics, dict):
+            # A bare flat metrics dict is also accepted.
+            metrics = document if isinstance(document, dict) else None
+        if not metrics:
+            print("repro: metrics-export: %s holds no metrics (expected a "
+                  "run manifest or a flat metrics dict)" % args.source,
+                  file=sys.stderr)
+            return EXIT_USAGE
+        text = render_snapshot(metrics)
+    if args.output:
+        write_prom(args.output, text)
+        out.write("wrote %s\n" % args.output)
+    else:
+        out.write(text)
+    return 0
+
+
+def cmd_bench_diff(args, out):
+    from repro.obs.history import (
+        CASE_TOLERANCE,
+        GEOMEAN_TOLERANCE,
+        bench_diff,
+        format_diff,
+        load_measurement,
+    )
+
+    try:
+        current = load_measurement(args.current, select=args.select)
+        baseline = load_measurement(args.baseline,
+                                    select=args.baseline_select)
+    except ValueError as exc:
+        print("repro: bench-diff: %s" % exc, file=sys.stderr)
+        return EXIT_USAGE
+    report = bench_diff(
+        current, baseline,
+        case_tolerance=(
+            CASE_TOLERANCE if args.case_tolerance is None
+            else args.case_tolerance
+        ),
+        geomean_tolerance=(
+            GEOMEAN_TOLERANCE if args.geomean_tolerance is None
+            else args.geomean_tolerance
+        ),
+    )
+    if args.json:
+        _emit_json(out, report)
+    else:
+        out.write(format_diff(report) + "\n")
+    if report["ok"]:
+        return 0
+    if args.warn_only:
+        print("repro: bench-diff: regression detected (exit 0: --warn-only)",
+              file=sys.stderr)
+        return 0
+    return EXIT_PERF_REGRESSION
+
+
+def cmd_trace_merge(args, out):
+    from repro.obs.export import merge_chrome_trace_files, write_json
+
+    names = None
+    if args.names:
+        names = [name.strip() for name in args.names.split(",")]
+    try:
+        merged = merge_chrome_trace_files(args.traces, names=names)
+    except ValueError as exc:
+        print("repro: trace-merge: %s" % exc, file=sys.stderr)
+        return EXIT_USAGE
+    write_json(args.output, merged)
+    out.write("merged %d trace(s) -> %s (%d events)\n" % (
+        len(args.traces), args.output, len(merged["traceEvents"])))
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro", description="Control-Flow Decoupling reproduction"
@@ -519,6 +669,11 @@ def build_parser():
                 "--resume", action="store_true",
                 help="serve points already recorded in --journal instead of "
                      "re-simulating them")
+            p.add_argument(
+                "--telemetry", default=None, metavar="DIR",
+                help="fleet-telemetry spool directory (default "
+                     "$REPRO_TELEMETRY_DIR; disabled when unset) — watch "
+                     "live with 'repro top DIR' / 'repro tail DIR --follow'")
 
     sub.add_parser("list", help="list the workload registry")
     run_parser = sub.add_parser("run", help="simulate one binary")
@@ -583,6 +738,89 @@ def build_parser():
              "(default $REPRO_BENCH_ARTIFACT_DIR or .)")
     speed_parser.add_argument("--json", action="store_true",
                               help="emit the full payload as JSON")
+    speed_parser.add_argument(
+        "--history", default=None, metavar="PATH",
+        help="append this measurement to a BENCH_history.jsonl database "
+             "(feeds 'repro bench-diff')")
+    speed_parser.add_argument(
+        "--history-label", default=None,
+        help="label stored with the --history entry (e.g. a commit sha)")
+    diff_parser = sub.add_parser(
+        "bench-diff",
+        help="compare two speed measurements; exit 6 on regression",
+    )
+    diff_parser.add_argument(
+        "current",
+        help="current measurement: BENCH_speed.json or BENCH_history.jsonl")
+    diff_parser.add_argument(
+        "baseline",
+        help="baseline measurement: BENCH_speed.json or BENCH_history.jsonl")
+    diff_parser.add_argument(
+        "--select", choices=("first", "last", "best"), default="last",
+        help="history entry to use as current (default last)")
+    diff_parser.add_argument(
+        "--baseline-select", choices=("first", "last", "best"),
+        default="last",
+        help="history entry to use as baseline (default last)")
+    diff_parser.add_argument(
+        "--case-tolerance", type=float, default=None,
+        help="per-case slowdown fraction tolerated (default 0.15)")
+    diff_parser.add_argument(
+        "--geomean-tolerance", type=float, default=None,
+        help="geomean slowdown fraction tolerated (default 0.05)")
+    diff_parser.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions but exit 0 (CI soft gate)")
+    diff_parser.add_argument("--json", action="store_true",
+                             help="emit the full report as JSON")
+    top_parser = sub.add_parser(
+        "top", help="live progress view of a telemetry-enabled sweep"
+    )
+    top_parser.add_argument(
+        "spool", help="telemetry spool directory (the sweep's --telemetry "
+                      "DIR / $REPRO_TELEMETRY_DIR)")
+    top_parser.add_argument("--follow", action="store_true",
+                            help="refresh until the sweep finishes")
+    top_parser.add_argument("--interval", type=float, default=1.0,
+                            help="refresh interval in seconds (default 1)")
+    top_parser.add_argument("--max-points", type=int, default=None,
+                            help="show at most N point rows")
+    top_parser.add_argument("--json", action="store_true",
+                            help="emit the aggregator snapshot as JSON")
+    tail_parser = sub.add_parser(
+        "tail", help="stream a sweep's telemetry spool events"
+    )
+    tail_parser.add_argument("spool", help="telemetry spool directory")
+    tail_parser.add_argument("--follow", action="store_true",
+                             help="keep polling until the sweep finishes")
+    tail_parser.add_argument("--interval", type=float, default=0.5,
+                             help="poll interval in seconds (default 0.5)")
+    tail_parser.add_argument("--json", action="store_true",
+                             help="emit raw JSONL events")
+    export_parser = sub.add_parser(
+        "metrics-export",
+        help="Prometheus text format from a spool dir or run manifest",
+    )
+    export_parser.add_argument(
+        "source",
+        help="telemetry spool directory (sweep metrics) or a run-manifest "
+             "/ metrics JSON file (per-simulation metrics)")
+    export_parser.add_argument(
+        "-o", "--output", default=None,
+        help="write to this file (atomic replace) instead of stdout")
+    merge_parser = sub.add_parser(
+        "trace-merge",
+        help="stitch Chrome trace files into one multi-track Perfetto trace",
+    )
+    merge_parser.add_argument("traces", nargs="+",
+                              help="Chrome trace-event JSON files")
+    merge_parser.add_argument(
+        "-o", "--output", default="trace_merged.json",
+        help="merged trace path (default trace_merged.json)")
+    merge_parser.add_argument(
+        "--names", default=None,
+        help="comma-separated track names, one per input trace (default: "
+             "each trace's recorded program name)")
     lint_parser = sub.add_parser(
         "lint",
         help="statically verify built binaries (CFG, dataflow, queue "
@@ -611,7 +849,12 @@ _COMMANDS = {
     "trace": cmd_trace,
     "disasm": cmd_disasm,
     "bench-speed": cmd_bench_speed,
+    "bench-diff": cmd_bench_diff,
     "lint": cmd_lint,
+    "top": cmd_top,
+    "tail": cmd_tail,
+    "metrics-export": cmd_metrics_export,
+    "trace-merge": cmd_trace_merge,
 }
 
 

@@ -44,10 +44,20 @@ from repro.obs.export import (
     MANIFEST_VERSION,
     chrome_trace,
     events_to_jsonl,
+    merge_chrome_trace_files,
+    merge_chrome_traces,
     run_manifest,
     write_chrome_trace,
     write_json,
     write_jsonl,
+)
+from repro.obs.history import (
+    HISTORY_VERSION,
+    append_history,
+    bench_diff,
+    history_entry,
+    load_history,
+    load_measurement,
 )
 from repro.obs.metrics import (
     Counter,
@@ -57,6 +67,23 @@ from repro.obs.metrics import (
     MetricsRegistry,
     build_registry,
     register_stats_dict,
+)
+from repro.obs.prom import (
+    render_registry,
+    render_snapshot,
+    render_sweep,
+    write_prom,
+)
+from repro.obs.resource import ResourceSample
+from repro.obs.telemetry import (
+    TELEMETRY_VERSION,
+    SweepAggregator,
+    SweepTelemetry,
+    TelemetryObserver,
+    TelemetrySpool,
+    format_tail_event,
+    format_top,
+    worker_spool,
 )
 
 __all__ = [
@@ -71,10 +98,18 @@ __all__ = [
     "MANIFEST_VERSION",
     "chrome_trace",
     "events_to_jsonl",
+    "merge_chrome_trace_files",
+    "merge_chrome_traces",
     "run_manifest",
     "write_chrome_trace",
     "write_json",
     "write_jsonl",
+    "HISTORY_VERSION",
+    "append_history",
+    "bench_diff",
+    "history_entry",
+    "load_history",
+    "load_measurement",
     "Counter",
     "Gauge",
     "Histogram",
@@ -82,4 +117,17 @@ __all__ = [
     "MetricsRegistry",
     "build_registry",
     "register_stats_dict",
+    "render_registry",
+    "render_snapshot",
+    "render_sweep",
+    "write_prom",
+    "ResourceSample",
+    "TELEMETRY_VERSION",
+    "SweepAggregator",
+    "SweepTelemetry",
+    "TelemetryObserver",
+    "TelemetrySpool",
+    "format_tail_event",
+    "format_top",
+    "worker_spool",
 ]

@@ -116,7 +116,16 @@ def chrome_trace(tracer=None, occupancy=None, name="repro", lanes=_TRACE_LANES):
          "args": {"name": "%s occupancy" % name}},
         {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
          "args": {"name": "%s instructions" % name}},
+        {"name": "thread_name", "ph": "M", "pid": 0, "tid": 0,
+         "args": {"name": "structures"}},
     ]
+    # Name every instruction lane so merged multi-program traces show
+    # "<program> instructions / lane N" instead of bare pid/tid numbers.
+    for lane in range(lanes):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": 1, "tid": lane,
+            "args": {"name": "lane %d" % lane},
+        })
     dropped = {}
     if tracer is not None:
         dropped["events"] = tracer.events.dropped
@@ -181,6 +190,95 @@ def chrome_trace(tracer=None, occupancy=None, name="repro", lanes=_TRACE_LANES):
 def write_chrome_trace(path, tracer=None, occupancy=None, name="repro"):
     """Build and write a Chrome trace-event file; returns *path*."""
     return write_json(path, chrome_trace(tracer, occupancy, name))
+
+
+#: pid stride separating merged source traces; comfortably above the two
+#: pids (0, 1) a single-run trace uses.
+_MERGE_PID_STRIDE = 100
+
+
+def merge_chrome_traces(documents, names=None):
+    """Stitch several Chrome trace documents into one multi-track trace.
+
+    Each input document (the dict :func:`chrome_trace` builds — e.g. one
+    per sweep worker or per ``repro trace`` invocation) keeps its own
+    timeline but is moved into a private pid range (source *i* gets pids
+    ``i*100 + original``), so tracks never collide.  Per-source
+    ``process_name`` metadata is rewritten to lead with the source name
+    (*names[i]*, or the document's recorded program) — the Perfetto
+    process rail then reads ``soplex(ref)/cfd instructions`` instead of
+    a bare pid.  Returns the merged document.
+    """
+    merged = []
+    sources = []
+    dropped = {}
+    for index, document in enumerate(documents):
+        base = index * _MERGE_PID_STRIDE
+        recorded = (document.get("otherData") or {}).get("program")
+        label = None
+        if names is not None and index < len(names):
+            label = names[index]
+        label = label or recorded or ("trace-%d" % index)
+        sources.append(label)
+        seen_process_meta = set()
+        for event in document.get("traceEvents", []):
+            event = dict(event)
+            pid = event.get("pid", 0)
+            event["pid"] = base + pid
+            if event.get("ph") == "M" and event.get("name") == "process_name":
+                seen_process_meta.add(event["pid"])
+                args = dict(event.get("args") or {})
+                track = args.get("name") or ""
+                args["name"] = (
+                    "%s / %s" % (label, track)
+                    if track and not track.startswith(label) else
+                    (track or label)
+                )
+                event["args"] = args
+            merged.append(event)
+        # A source with no process metadata still gets a named track.
+        for pid in sorted({e.get("pid") for e in merged
+                           if e.get("pid", 0) // _MERGE_PID_STRIDE == index
+                           and e.get("pid") not in seen_process_meta}):
+            merged.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": label},
+            })
+        source_dropped = (document.get("otherData") or {}).get("dropped")
+        if source_dropped:
+            dropped[label] = source_dropped
+    return {
+        "traceEvents": merged,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs",
+            "merged_from": sources,
+            "time_unit": "1us = 1 simulated cycle",
+            "dropped": dropped,
+        },
+    }
+
+
+def merge_chrome_trace_files(paths, names=None):
+    """Load *paths* (Chrome trace JSON files) and merge them.
+
+    Unreadable or non-trace files raise ``ValueError`` with the path in
+    the message, so a CLI caller can report which input was bad.
+    """
+    documents = []
+    for path in paths:
+        try:
+            with open(path) as fh:
+                document = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise ValueError("cannot read trace %s: %s" % (path, exc))
+        if not isinstance(document, dict) or "traceEvents" not in document:
+            raise ValueError(
+                "%s is not a Chrome trace-event document "
+                "(no traceEvents key)" % path
+            )
+        documents.append(document)
+    return merge_chrome_traces(documents, names=names)
 
 
 # -------------------------------------------------------- run manifest

@@ -25,11 +25,13 @@ against: both produce byte-identical ``stats.to_dict()``.
 import os
 import time
 import traceback
+from collections import namedtuple
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.config import CoreConfig
+from repro.obs.telemetry import SweepTelemetry
 from repro.perf.cache import CachedSimResult, snapshot_result
 
 _ENV_JOBS = "REPRO_JOBS"
@@ -77,10 +79,25 @@ class SweepOutcome:
     #: traceback in ``error``, enough to match a failed point against
     #: worker logs or a core dump.  ``None`` for cache hits.
     worker_pid: Optional[int] = None
+    #: Wall-clock seconds of the final attempt, measured *inside* the
+    #: worker (build + simulate) — recorded on success and failure alike,
+    #: 0.0 for cache hits.  ``elapsed`` remains the parent-observed wall
+    #: time, which additionally covers queueing and transfer.
+    seconds: float = 0.0
+    #: Simulation attempts actually launched (0 for cache hits; the plain
+    #: sweep never retries, so success here means 1).
+    attempts: int = 0
+    #: Worker resource usage of the final attempt when telemetry was on
+    #: (:meth:`repro.obs.resource.ResourceSample.delta`); ``None`` otherwise.
+    resources: Optional[dict] = None
 
     @property
     def ok(self):
         return self.error is None
+
+
+#: What one worker attempt produced, measured where it ran.
+PointRun = namedtuple("PointRun", "payload error pid seconds resources")
 
 
 def _build_point(point):
@@ -101,26 +118,49 @@ def _workload_identity(point):
     }
 
 
-def _simulate_point(point):
+def _simulate_point(point, spool_dir=None, key=None):
     """Pool worker: build + simulate one point; never raises.
 
-    Returns ``(snapshot_dict, None, pid)`` on success or
-    ``(None, traceback, pid)`` on failure — per-point error capture so one
-    bad point cannot take down the executor (or the figure driving it).
-    The worker pid rides along so a failure is attributable to a specific
-    pool process.
+    Returns a :class:`PointRun` — the result snapshot (or a full
+    traceback on failure), the worker pid, the worker-measured wall
+    seconds of the attempt, and the resource delta when telemetry was
+    on.  Per-point error capture means one bad point cannot take down
+    the executor (or the figure driving it); the pid makes a failure
+    attributable to a specific pool process.
+
+    *spool_dir* (telemetry enabled) makes the worker emit
+    ``point_start`` / ``progress`` heartbeats / ``point_finish`` to its
+    spool, correlated by *key* (the supervision point key, or the point
+    label for plain sweeps).  With *spool_dir* ``None`` this path does
+    no telemetry work at all.
     """
     pid = os.getpid()
+    start = time.perf_counter()
     try:
         from repro.core import sandy_bridge_config
         from repro.core.simulator import Simulator
 
         built = _build_point(point)
         config = point.config if point.config is not None else sandy_bridge_config()
-        result = Simulator(built.program, config).run(
-            point.max_instructions, point.warmup_instructions
-        )
-        return (
+        simulator = Simulator(built.program, config)
+        resources = None
+        if spool_dir is not None:
+            from repro.obs.telemetry import emit_point_run, worker_spool
+
+            result, resources = emit_point_run(
+                worker_spool(spool_dir),
+                point.label(),
+                key or point.label(),
+                lambda observer: simulator.run(
+                    point.max_instructions, point.warmup_instructions,
+                    observer=observer,
+                ),
+            )
+        else:
+            result = simulator.run(
+                point.max_instructions, point.warmup_instructions
+            )
+        return PointRun(
             snapshot_result(
                 result,
                 workload=_workload_identity(point),
@@ -131,12 +171,15 @@ def _simulate_point(point):
             ),
             None,
             pid,
+            time.perf_counter() - start,
+            resources,
         )
     except BaseException:
-        return None, traceback.format_exc(), pid
+        return PointRun(None, traceback.format_exc(), pid,
+                        time.perf_counter() - start, None)
 
 
-def run_sweep(points, jobs=None, cache=None, progress=None):
+def run_sweep(points, jobs=None, cache=None, progress=None, telemetry=None):
     """Run every point; returns ``[SweepOutcome]`` aligned with *points*.
 
     *jobs* ``<= 1`` runs inline (no pool).  With *cache* (a
@@ -144,12 +187,32 @@ def run_sweep(points, jobs=None, cache=None, progress=None):
     entirely and misses are persisted on completion.  *progress*, if
     given, is called as ``progress(outcome, done_count, total)`` as each
     point settles (pool completion order, not input order).
+
+    *telemetry* — a spool directory or
+    :class:`~repro.obs.telemetry.SweepTelemetry` (default: enabled when
+    ``$REPRO_TELEMETRY_DIR`` is set) — makes the sweep observable from
+    outside the process (``repro top`` / ``repro tail``); results are
+    byte-identical with it on or off.
     """
     points = list(points)
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    telemetry = SweepTelemetry.resolve(telemetry)
+    spool_dir = telemetry.directory if telemetry is not None else None
     outcomes = [None] * len(points)
     pending = []  # (index, point, key)
     done = 0
+
+    def settled(index, outcome):
+        nonlocal done
+        outcomes[index] = outcome
+        done += 1
+        if telemetry is not None:
+            telemetry.point_settled(outcome, key=outcome.point.label())
+        if progress is not None:
+            progress(outcome, done, len(points))
+
+    if telemetry is not None:
+        telemetry.sweep_started(len(points), jobs, label="run_sweep")
 
     # Serve cache hits up front; only misses go to the pool.
     for index, point in enumerate(points):
@@ -166,66 +229,72 @@ def run_sweep(points, jobs=None, cache=None, progress=None):
                     point.max_instructions, point.warmup_instructions,
                 )
             except Exception:
-                outcomes[index] = SweepOutcome(
+                settled(index, SweepOutcome(
                     point=point, error=traceback.format_exc(),
-                    worker_pid=os.getpid(),
-                )
-                done += 1
-                if progress is not None:
-                    progress(outcomes[index], done, len(points))
+                    worker_pid=os.getpid(), attempts=1,
+                ))
                 continue
             hit = cache.load(key, config=point.config)
             if hit is not None:
-                outcomes[index] = SweepOutcome(
+                if telemetry is not None:
+                    telemetry.emit("cache_hit", point=point.label(),
+                                   key=point.label())
+                settled(index, SweepOutcome(
                     point=point, result=hit, cached=True
-                )
-                done += 1
-                if progress is not None:
-                    progress(outcomes[index], done, len(points))
+                ))
                 continue
         pending.append((index, point, key))
 
-    def settle(index, point, key, payload, error, pid, elapsed):
-        nonlocal done
-        if error is not None:
-            outcome = SweepOutcome(point=point, error=error, elapsed=elapsed,
-                                   worker_pid=pid)
+    def settle(index, point, key, run, elapsed):
+        if run.error is not None:
+            outcome = SweepOutcome(
+                point=point, error=run.error, elapsed=elapsed,
+                worker_pid=run.pid, seconds=run.seconds, attempts=1,
+                resources=run.resources,
+            )
         else:
             if cache is not None and key is not None:
-                cache.store(key, payload)
+                cache.store(key, run.payload)
             outcome = SweepOutcome(
                 point=point,
-                result=CachedSimResult(payload, config=point.config),
+                result=CachedSimResult(run.payload, config=point.config),
                 elapsed=elapsed,
-                worker_pid=pid,
+                worker_pid=run.pid,
+                seconds=run.seconds,
+                attempts=1,
+                resources=run.resources,
             )
-        outcomes[index] = outcome
-        done += 1
-        if progress is not None:
-            progress(outcome, done, len(points))
+        settled(index, outcome)
 
     if jobs <= 1 or len(pending) <= 1:
         for index, point, key in pending:
             start = time.perf_counter()
-            payload, error, pid = _simulate_point(point)
-            settle(index, point, key, payload, error, pid,
-                   time.perf_counter() - start)
+            run = _simulate_point(point, spool_dir, point.label())
+            settle(index, point, key, run, time.perf_counter() - start)
+        if telemetry is not None:
+            telemetry.sweep_finished(outcomes)
         return outcomes
 
     with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
         futures = {}
-        started = time.perf_counter()
+        submitted = {}
         for index, point, key in pending:
-            futures[pool.submit(_simulate_point, point)] = (index, point, key)
+            future = pool.submit(_simulate_point, point, spool_dir,
+                                 point.label())
+            futures[future] = (index, point, key)
+            submitted[future] = time.perf_counter()
         remaining = set(futures)
         while remaining:
             finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
             for future in finished:
                 index, point, key = futures[future]
                 try:
-                    payload, error, pid = future.result()
+                    run = future.result()
                 except BaseException:
-                    payload, error, pid = None, traceback.format_exc(), None
-                settle(index, point, key, payload, error, pid,
-                       time.perf_counter() - started)
+                    run = PointRun(None, traceback.format_exc(), None,
+                                   0.0, None)
+                settle(index, point, key, run,
+                       time.perf_counter() - submitted[future])
+    if telemetry is not None:
+        telemetry.sweep_finished(outcomes)
     return outcomes

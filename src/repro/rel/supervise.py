@@ -46,8 +46,10 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.obs.telemetry import SweepTelemetry
 from repro.perf.cache import CachedSimResult, config_fingerprint
 from repro.perf.sweep import (
+    PointRun,
     SweepOutcome,
     _build_point,
     _simulate_point,
@@ -80,10 +82,12 @@ class SupervisionPolicy:
 
 @dataclass
 class SupervisedOutcome(SweepOutcome):
-    """A :class:`SweepOutcome` plus the supervision history of the point."""
+    """A :class:`SweepOutcome` plus the supervision history of the point.
 
-    #: Simulation attempts actually launched (0 for cache/journal hits).
-    attempts: int = 0
+    ``attempts``/``seconds``/``resources`` live on the base class — every
+    sweep records them now; supervision adds the failure-mode history.
+    """
+
     #: The final failure was a wall-clock timeout.
     timed_out: bool = False
     #: Served from the checkpoint journal of an earlier, interrupted run.
@@ -169,13 +173,17 @@ class SweepJournal:
             "created": time.time(),
         })
 
-    def record(self, key, label, payload, elapsed):
+    def record(self, key, label, payload, elapsed, seconds=0.0, attempts=0,
+               resources=None):
         self._append({
             "kind": "point",
             "version": JOURNAL_VERSION,
             "key": key,
             "label": label,
             "elapsed": elapsed,
+            "seconds": seconds,
+            "attempts": attempts,
+            "resources": resources,
             "payload": payload,
         })
 
@@ -185,7 +193,7 @@ class SweepJournal:
             fh.flush()
 
 
-def _supervised_simulate_point(point):
+def _supervised_simulate_point(point, spool_dir=None, key=None):
     """Pool-worker entry point: fault hook + the plain point simulation.
 
     The fault hook is how the fault-injection tests make a *worker* die or
@@ -197,7 +205,7 @@ def _supervised_simulate_point(point):
     from repro.rel.inject import maybe_trip_worker_fault
 
     maybe_trip_worker_fault()
-    return _simulate_point(point)
+    return _simulate_point(point, spool_dir, key)
 
 
 class _Task:
@@ -243,25 +251,43 @@ def _kill_pool_processes(pool):
 
 
 def run_supervised_sweep(points, jobs=None, cache=None, policy=None,
-                         progress=None):
+                         progress=None, telemetry=None):
     """Run every point under supervision; ``[SupervisedOutcome]`` in order.
 
     Drop-in superset of :func:`repro.perf.sweep.run_sweep`: with the
     default :class:`SupervisionPolicy` and healthy workers the results are
     byte-identical (simulation is deterministic; supervision only decides
     *whether and where* a point runs, never what it computes).
+
+    *telemetry* — a spool directory or
+    :class:`~repro.obs.telemetry.SweepTelemetry` (default: enabled when
+    ``$REPRO_TELEMETRY_DIR`` is set) — makes the sweep observable from
+    outside the process: workers heartbeat into per-pid spools, the
+    parent records cache/journal/retry/timeout/respawn events and the
+    authoritative per-point outcomes, and ``repro top`` / ``repro tail``
+    render them live.  Results are byte-identical with it on or off.
     """
     policy = SupervisionPolicy() if policy is None else policy
     points = list(points)
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    telemetry = SweepTelemetry.resolve(telemetry)
     outcomes = [None] * len(points)
     total = len(points)
     done = 0
 
-    def settle(index, outcome):
+    if telemetry is not None:
+        telemetry.sweep_started(
+            total, jobs, label="run_supervised_sweep",
+            policy={"timeout": policy.timeout, "retries": policy.retries,
+                    "journal": policy.journal_path, "resume": policy.resume},
+        )
+
+    def settle(index, outcome, key=None):
         nonlocal done
         outcomes[index] = outcome
         done += 1
+        if telemetry is not None:
+            telemetry.point_settled(outcome, key=key)
         if progress is not None:
             progress(outcome, done, total)
 
@@ -278,12 +304,16 @@ def run_supervised_sweep(points, jobs=None, cache=None, policy=None,
         key = point_key(point)
         entry = journaled.get(key)
         if entry is not None:
+            if telemetry is not None:
+                telemetry.emit("journal_resume", point=point.label(), key=key)
             settle(index, SupervisedOutcome(
                 point=point,
                 result=CachedSimResult(entry["payload"], config=point.config),
                 elapsed=entry.get("elapsed", 0.0),
+                seconds=entry.get("seconds", 0.0),
+                resources=entry.get("resources"),
                 resumed=True,
-            ))
+            ), key=key)
             continue
         cache_key = None
         if cache is not None:
@@ -296,92 +326,116 @@ def run_supervised_sweep(points, jobs=None, cache=None, policy=None,
             except Exception:
                 settle(index, SupervisedOutcome(
                     point=point, error=traceback.format_exc(),
-                    worker_pid=os.getpid(),
-                ))
+                    worker_pid=os.getpid(), attempts=1,
+                ), key=key)
                 continue
             hit = cache.load(cache_key, config=point.config)
             if hit is not None:
+                if telemetry is not None:
+                    telemetry.emit("cache_hit", point=point.label(), key=key)
                 settle(index, SupervisedOutcome(
                     point=point, result=hit, cached=True,
-                ))
+                ), key=key)
                 continue
         tasks.append(_Task(index, point, key, cache_key=cache_key))
 
     if journal is not None and tasks:
         journal.open(total)
 
-    def complete(task, payload, error, pid, elapsed,
-                 timed_out=False, degraded=False):
-        if error is not None:
+    def complete(task, run, elapsed, timed_out=False, degraded=False):
+        if run.error is not None:
             outcome = SupervisedOutcome(
-                point=task.point, error=error, elapsed=elapsed,
-                worker_pid=pid, attempts=task.attempts,
+                point=task.point, error=run.error, elapsed=elapsed,
+                worker_pid=run.pid, attempts=task.attempts,
+                seconds=run.seconds, resources=run.resources,
                 timed_out=timed_out, degraded=degraded,
             )
         else:
             if cache is not None and task.cache_key is not None:
-                cache.store(task.cache_key, payload)
+                cache.store(task.cache_key, run.payload)
             if journal is not None:
-                journal.record(task.key, task.point.label(), payload, elapsed)
+                journal.record(
+                    task.key, task.point.label(), run.payload, elapsed,
+                    seconds=run.seconds, attempts=task.attempts,
+                    resources=run.resources,
+                )
             outcome = SupervisedOutcome(
                 point=task.point,
-                result=CachedSimResult(payload, config=task.point.config),
-                elapsed=elapsed, worker_pid=pid, attempts=task.attempts,
+                result=CachedSimResult(run.payload, config=task.point.config),
+                elapsed=elapsed, worker_pid=run.pid, attempts=task.attempts,
+                seconds=run.seconds, resources=run.resources,
                 degraded=degraded,
             )
-        settle(task.index, outcome)
+        settle(task.index, outcome, key=task.key)
 
     if jobs <= 1 or len(tasks) <= 1:
-        _run_inline(tasks, policy, complete)
+        _run_inline(tasks, policy, complete, telemetry=telemetry)
     else:
-        _run_pool(tasks, jobs, policy, complete)
+        _run_pool(tasks, jobs, policy, complete, telemetry=telemetry)
+    if telemetry is not None:
+        telemetry.sweep_finished(outcomes)
     return outcomes
 
 
-def _run_inline(tasks, policy, complete, degraded=False):
+def _run_inline(tasks, policy, complete, degraded=False, telemetry=None):
     """Serial in-process execution with the same retry discipline.
 
     No per-point timeout here: there is no worker process to kill.  This
     is both the ``jobs=1`` reference path and the degraded last resort.
     """
+    spool_dir = telemetry.directory if telemetry is not None else None
     for task in tasks:
         while True:
             task.attempts += 1
             start = time.monotonic()
-            payload, error, pid = _simulate_point(task.point)
+            run = _simulate_point(task.point, spool_dir, task.key)
             elapsed = time.monotonic() - start
-            if error is None or task.attempts > policy.retries:
-                complete(task, payload, error, pid, elapsed, degraded=degraded)
+            if run.error is None or task.attempts > policy.retries:
+                complete(task, run, elapsed, degraded=degraded)
                 break
+            if telemetry is not None:
+                telemetry.emit("retry", point=task.point.label(),
+                               key=task.key, attempt=task.attempts)
             time.sleep(_backoff_delay(policy, task.attempts))
 
 
-def _run_pool(tasks, jobs, policy, complete):
+def _run_pool(tasks, jobs, policy, complete, telemetry=None):
     """Pool execution with restart-on-death and bounded degradation."""
     pending = deque(tasks)
     respawns = 0
     while pending:
         try:
-            _drive_pool(pending, jobs, policy, complete)
+            _drive_pool(pending, jobs, policy, complete, telemetry=telemetry)
         except _PoolRestart as restart:
             if restart.unexpected:
                 respawns += 1
                 if respawns > policy.max_pool_respawns:
-                    _run_inline(pending, policy, complete, degraded=True)
+                    if telemetry is not None:
+                        telemetry.emit("degraded", respawns=respawns,
+                                       remaining=len(pending))
+                    _run_inline(pending, policy, complete, degraded=True,
+                                telemetry=telemetry)
                     return
+                if telemetry is not None:
+                    telemetry.emit("pool_respawn", respawns=respawns,
+                                   remaining=len(pending))
                 time.sleep(_backoff_delay(policy, respawns))
 
 
 def _requeue_or_fail(task, pending, policy, complete, error, elapsed,
-                     timed_out=False):
+                     timed_out=False, telemetry=None):
     if task.attempts <= policy.retries:
         task.not_before = time.monotonic() + _backoff_delay(policy, task.attempts)
+        if telemetry is not None:
+            telemetry.emit("retry", point=task.point.label(), key=task.key,
+                           attempt=task.attempts, timed_out=timed_out)
         pending.append(task)
     else:
-        complete(task, None, error, None, elapsed, timed_out=timed_out)
+        complete(task, PointRun(None, error, None, 0.0, None), elapsed,
+                 timed_out=timed_out)
 
 
-def _drive_pool(pending, jobs, policy, complete):
+def _drive_pool(pending, jobs, policy, complete, telemetry=None):
     """Run one pool until *pending* drains or the pool must be replaced.
 
     At most ``workers`` tasks are in flight at once, so a submitted task
@@ -389,6 +443,7 @@ def _drive_pool(pending, jobs, policy, complete):
     time for the wall-clock timeout.
     """
     workers = min(jobs, len(pending))
+    spool_dir = telemetry.directory if telemetry is not None else None
     pool = ProcessPoolExecutor(max_workers=workers)
     inflight = {}
 
@@ -397,7 +452,8 @@ def _drive_pool(pending, jobs, policy, complete):
         now = time.monotonic()
         for future, task in list(inflight.items()):
             _requeue_or_fail(task, pending, policy, complete,
-                             error_text, now - task.started)
+                             error_text, now - task.started,
+                             telemetry=telemetry)
         inflight.clear()
         pool.shutdown(wait=False)
         raise _PoolRestart(unexpected)
@@ -412,7 +468,8 @@ def _drive_pool(pending, jobs, policy, complete):
                 task.attempts += 1
                 task.started = now
                 try:
-                    future = pool.submit(_supervised_simulate_point, task.point)
+                    future = pool.submit(_supervised_simulate_point,
+                                         task.point, spool_dir, task.key)
                 except BrokenProcessPool:
                     task.attempts -= 1  # never launched; refund
                     pending.appendleft(task)
@@ -438,24 +495,28 @@ def _drive_pool(pending, jobs, policy, complete):
             for future in finished:
                 task = inflight.pop(future)
                 try:
-                    payload, error, pid = future.result()
+                    run = future.result()
                 except BrokenProcessPool:
                     elapsed = now - task.started
                     _requeue_or_fail(
                         task, pending, policy, complete,
                         "worker process died (BrokenProcessPool):\n"
                         + traceback.format_exc(),
-                        elapsed,
+                        elapsed, telemetry=telemetry,
                     )
                     abandon("worker pool died; point was in flight when the "
                             "pool broke", unexpected=True)
                 except BaseException:
-                    payload, error, pid = None, traceback.format_exc(), None
-                if error is not None and task.attempts <= policy.retries:
+                    run = PointRun(None, traceback.format_exc(), None,
+                                   0.0, None)
+                if run.error is not None and task.attempts <= policy.retries:
                     task.not_before = now + _backoff_delay(policy, task.attempts)
+                    if telemetry is not None:
+                        telemetry.emit("retry", point=task.point.label(),
+                                       key=task.key, attempt=task.attempts)
                     pending.append(task)
                 else:
-                    complete(task, payload, error, pid, now - task.started)
+                    complete(task, run, now - task.started)
 
             if policy.timeout is None:
                 continue
@@ -471,11 +532,16 @@ def _drive_pool(pending, jobs, policy, complete):
             _kill_pool_processes(pool)
             for future, task in expired:
                 inflight.pop(future)
+                if telemetry is not None:
+                    telemetry.emit("timeout", point=task.point.label(),
+                                   key=task.key, attempt=task.attempts,
+                                   timeout=policy.timeout)
                 _requeue_or_fail(
                     task, pending, policy, complete,
                     "point timed out after %.1fs (worker killed)"
                     % policy.timeout,
                     now - task.started, timed_out=True,
+                    telemetry=telemetry,
                 )
             for future, task in list(inflight.items()):
                 # Innocent bystanders: refund the attempt, run again first.

@@ -61,3 +61,60 @@ def test_disabled_hooks_cost_only_a_guard(count_program, tiny_config):
     # And attaching a no-op observer stays a bounded dispatch cost, not a
     # rewrite of the hot loop.
     assert null_obs <= disabled * 1.5 + 2e-3, (disabled, null_obs)
+
+
+# ----------------------------------------------- fleet-telemetry fast path
+
+
+def _sweep_points():
+    from repro.perf import SweepPoint
+
+    return [
+        SweepPoint(workload="soplex", variant="cfd", input_name="ref",
+                   scale=0.125, max_instructions=4000),
+    ]
+
+
+def test_disabled_telemetry_is_a_single_none_test(monkeypatch):
+    # With no spool directory configured the sweep engines resolve
+    # telemetry to None and every call site reduces to one `is None`
+    # test — nothing is imported, opened, or written.
+    from repro.obs.telemetry import SweepTelemetry
+    from repro.perf.sweep import run_sweep
+
+    monkeypatch.delenv("REPRO_TELEMETRY_DIR", raising=False)
+    assert SweepTelemetry.resolve(None) is None
+    outcomes = run_sweep(_sweep_points(), jobs=1)
+    assert all(o.ok and o.resources is None for o in outcomes)
+
+
+def test_disabled_telemetry_overhead_bounded(monkeypatch, tmp_path):
+    # Bench-speed smoke shape: the telemetry-off path must not be slower
+    # than the instrumented path (2% contract + generous timer-noise
+    # margin — telemetry only ever *adds* work, so off <= on holds up to
+    # scheduling jitter).
+    import json
+    import time
+
+    from repro.perf.sweep import run_sweep
+
+    monkeypatch.delenv("REPRO_TELEMETRY_DIR", raising=False)
+    run_sweep(_sweep_points(), jobs=1)  # warm imports/builds
+
+    def best_of(n, telemetry):
+        best, outcomes = None, None
+        for _ in range(n):
+            start = time.perf_counter()
+            outcomes = run_sweep(_sweep_points(), jobs=1,
+                                 telemetry=telemetry)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        return best, outcomes
+
+    off_time, off = best_of(3, None)
+    on_time, on = best_of(3, str(tmp_path / "spool"))
+    assert off_time <= on_time * 1.02 + 20e-3, (off_time, on_time)
+    # And identical results, not just comparable speed.
+    blob = lambda os_: [json.dumps(o.result.stats.to_dict(),
+                                   sort_keys=True) for o in os_]
+    assert blob(off) == blob(on)

@@ -1,0 +1,113 @@
+"""Chrome-trace track naming and the multi-trace Perfetto merger.
+
+Merged traces must keep each source on its own pid range with tracks
+named ``<source> / <track>`` so a sweep's worth of runs reads as labelled
+rails in the Perfetto UI, not anonymous pid numbers.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.export import (
+    chrome_trace,
+    merge_chrome_trace_files,
+    merge_chrome_traces,
+)
+
+
+def _metadata(doc, name):
+    return [e for e in doc["traceEvents"]
+            if e.get("ph") == "M" and e.get("name") == name]
+
+
+def test_chrome_trace_names_processes_and_threads():
+    doc = chrome_trace(name="soplex/cfd", lanes=4)
+    processes = {(e["pid"], e["args"]["name"])
+                 for e in _metadata(doc, "process_name")}
+    assert (0, "soplex/cfd occupancy") in processes
+    assert (1, "soplex/cfd instructions") in processes
+    threads = {(e["pid"], e["tid"], e["args"]["name"])
+               for e in _metadata(doc, "thread_name")}
+    assert (0, 0, "structures") in threads
+    assert (1, 0, "lane 0") in threads and (1, 3, "lane 3") in threads
+
+
+def _doc(name, dropped=None):
+    doc = chrome_trace(name=name, lanes=2)
+    doc["traceEvents"].append({
+        "name": "x@1", "cat": "instruction", "ph": "X",
+        "ts": 0, "dur": 1, "pid": 1, "tid": 0, "args": {},
+    })
+    if dropped:
+        doc["otherData"]["dropped"] = dropped
+    return doc
+
+
+def test_merge_remaps_pids_and_prefixes_track_names():
+    merged = merge_chrome_traces([_doc("base"), _doc("cfd")])
+    pids = {e["pid"] for e in merged["traceEvents"]}
+    assert pids == {0, 1, 100, 101}
+    names = {e["args"]["name"] for e in _metadata(merged, "process_name")}
+    # Tracks already leading with the source name are not double-prefixed.
+    assert "base occupancy" in names and "base instructions" in names
+    assert "cfd occupancy" in names and "cfd instructions" in names
+    assert merged["otherData"]["merged_from"] == ["base", "cfd"]
+
+
+def test_merge_explicit_names_override_recorded_programs():
+    merged = merge_chrome_traces([_doc("p"), _doc("p")],
+                                 names=["first", "second"])
+    assert merged["otherData"]["merged_from"] == ["first", "second"]
+    names = {e["args"]["name"] for e in _metadata(merged, "process_name")}
+    assert any(n.startswith("first / ") for n in names)
+    assert any(n.startswith("second / ") for n in names)
+
+
+def test_merge_names_unnamed_sources():
+    bare = {"traceEvents": [
+        {"name": "y@2", "ph": "X", "ts": 0, "dur": 1, "pid": 0, "tid": 0},
+    ]}
+    merged = merge_chrome_traces([bare])
+    fallback = _metadata(merged, "process_name")
+    assert [e["args"]["name"] for e in fallback] == ["trace-0"]
+
+
+def test_merge_carries_per_source_dropped_counts():
+    merged = merge_chrome_traces(
+        [_doc("a", dropped={"events": 3}), _doc("b")]
+    )
+    assert merged["otherData"]["dropped"] == {"a": {"events": 3}}
+
+
+def test_merge_files_and_cli(tmp_path):
+    paths = []
+    for name in ("base", "cfd"):
+        path = tmp_path / ("%s.json" % name)
+        path.write_text(json.dumps(_doc(name)))
+        paths.append(str(path))
+    merged = merge_chrome_trace_files(paths, names=["b", "c"])
+    assert merged["otherData"]["merged_from"] == ["b", "c"]
+
+    target = tmp_path / "merged.json"
+    out = io.StringIO()
+    rc = main(["trace-merge", *paths, "-o", str(target), "--names", "b,c"],
+              out)
+    assert rc == 0
+    doc = json.loads(target.read_text())
+    assert doc["otherData"]["merged_from"] == ["b", "c"]
+    assert "merged 2 trace(s)" in out.getvalue()
+
+
+def test_merge_files_names_the_bad_input(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(ValueError, match="bad.json"):
+        merge_chrome_trace_files([str(bad)])
+    notrace = tmp_path / "notrace.json"
+    notrace.write_text(json.dumps({"hello": 1}))
+    with pytest.raises(ValueError, match="notrace.json"):
+        merge_chrome_trace_files([str(notrace)])
+    assert main(["trace-merge", str(bad)], io.StringIO()) == 2

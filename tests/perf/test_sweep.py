@@ -66,3 +66,28 @@ def test_progress_callback_sees_every_point():
     run_sweep(_points(), jobs=1,
               progress=lambda outcome, done, total: seen.append((done, total)))
     assert sorted(seen) == [(1, 2), (2, 2)]
+
+
+def test_success_records_seconds_and_attempts():
+    for jobs in (1, 2):
+        outcomes = run_sweep(_points(), jobs=jobs)
+        assert all(o.ok for o in outcomes)
+        assert all(o.seconds > 0 for o in outcomes)
+        assert all(o.attempts == 1 for o in outcomes)
+        # elapsed is parent-observed per point (submit to completion), so
+        # it can never undercut the worker's own measurement by much.
+        assert all(o.elapsed + 0.05 >= o.seconds for o in outcomes)
+
+
+def test_cache_hits_record_zero_seconds_and_attempts(tmp_path):
+    cache = ResultCache(root=str(tmp_path))
+    run_sweep(_points(), jobs=1, cache=cache)
+    cached = run_sweep(_points(), jobs=1, cache=cache)
+    assert all(o.cached and o.seconds == 0.0 and o.attempts == 0
+               for o in cached)
+
+
+def test_telemetry_on_and_off_identical(tmp_path):
+    off = run_sweep(_points(), jobs=2)
+    on = run_sweep(_points(), jobs=2, telemetry=str(tmp_path / "spool"))
+    assert _stats_blobs(off) == _stats_blobs(on)

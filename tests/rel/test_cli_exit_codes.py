@@ -2,9 +2,12 @@
 
 Supervision tooling (CI, sweep drivers) must be able to classify a
 failed invocation from the exit code alone: 2 usage, 3 simulation
-error, 4 invariant violation — each with a clean one-line stderr
-message, never a raw traceback.
+error, 4 invariant violation, 5 lint findings, 6 performance
+regression — each with a clean one-line stderr message, never a raw
+traceback.
 """
+
+import json
 
 import os
 import subprocess
@@ -99,3 +102,49 @@ def test_lint_findings_exit_five(tmp_path):
     assert proc.returncode == 5, proc.stderr
     assert "BQ001" in proc.stdout
     assert "Traceback" not in proc.stderr
+
+
+def _history_line(path, geomean, case_kips, label):
+    entry = {
+        "kind": "repro.bench_history", "version": 1, "recorded": 1.0,
+        "label": label, "python": "3.x", "repeats": 1,
+        "geomean_kips": geomean,
+        "cases": {"soplex_cfd": {"kips": case_kips, "seconds": 0.1,
+                                 "retired": 4000, "max_instructions": 4000}},
+    }
+    with open(path, "a") as fh:
+        fh.write(json.dumps(entry) + "\n")
+
+
+def test_perf_regression_exits_six(tmp_path):
+    history = str(tmp_path / "BENCH_history.jsonl")
+    _history_line(history, 40.0, 50.0, "baseline")
+    _history_line(history, 30.0, 37.0, "slowed")  # 26% case slowdown
+    proc = _repro(
+        ["bench-diff", history, history,
+         "--select", "last", "--baseline-select", "first"],
+        tmp_path,
+    )
+    assert proc.returncode == 6
+    assert "REGRESSED" in proc.stdout
+    assert "Traceback" not in proc.stderr
+
+
+def test_perf_regression_warn_only_exits_zero(tmp_path):
+    history = str(tmp_path / "BENCH_history.jsonl")
+    _history_line(history, 40.0, 50.0, "baseline")
+    _history_line(history, 30.0, 37.0, "slowed")
+    proc = _repro(
+        ["bench-diff", history, history, "--select", "last",
+         "--baseline-select", "first", "--warn-only"],
+        tmp_path,
+    )
+    assert proc.returncode == 0
+    assert "warn-only" in proc.stderr
+
+
+def test_bench_diff_pass_exits_zero(tmp_path):
+    proc = _repro(["bench-diff", "BENCH_speed.json", "BENCH_speed.json"],
+                  tmp_path)
+    assert proc.returncode == 0
+    assert "PASS" in proc.stdout

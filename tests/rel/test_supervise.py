@@ -142,6 +142,40 @@ def test_progress_callback_sees_every_point():
     assert sorted(seen) == [(1, 2), (2, 2)]
 
 
+def test_success_records_seconds_and_journal_carries_them(tmp_path):
+    journal = str(tmp_path / "journal.jsonl")
+    outcomes = run_supervised_sweep(
+        _points(2), jobs=2, policy=SupervisionPolicy(journal_path=journal)
+    )
+    assert all(o.ok and o.seconds > 0 and o.attempts == 1 for o in outcomes)
+    with open(journal) as fh:
+        docs = [json.loads(line) for line in fh]
+    points = [d for d in docs if d["kind"] == "point"]
+    assert len(points) == 2
+    for doc in points:
+        assert doc["seconds"] > 0
+        assert doc["attempts"] == 1
+        assert doc["elapsed"] > 0
+    # A resumed outcome replays the journaled timing instead of zeroes.
+    resumed = run_supervised_sweep(
+        _points(2), jobs=1,
+        policy=SupervisionPolicy(journal_path=journal, resume=True),
+    )
+    assert all(o.resumed and o.seconds > 0 and o.attempts == 0
+               for o in resumed)
+
+
+def test_worker_resources_recorded_with_telemetry(tmp_path):
+    outcomes = run_supervised_sweep(
+        _points(2), jobs=2, telemetry=str(tmp_path / "spool")
+    )
+    assert all(o.ok for o in outcomes)
+    for outcome in outcomes:
+        assert outcome.resources is not None
+        assert outcome.resources["wall_seconds"] > 0
+        assert outcome.resources["maxrss_kb"] > 0
+
+
 # ------------------------------------------------------------ fault paths
 
 
