@@ -51,6 +51,22 @@ class BranchPredictor:
     def update(self, pc, taken, meta=None):
         """Train with the resolved direction (retire time)."""
 
+    def train(self, pc, taken):
+        """Committed-path training for one retired branch (warm mode).
+
+        The net effect of ``predict`` → ``speculative_update`` →
+        ``update`` collapsed into one call: history ends shifted by the
+        actual outcome and the tables train on it under the
+        prediction-time meta.  Returns the direction that would have
+        been predicted.  Subclasses may override with a fused
+        implementation; the state reached must be identical to the
+        three-call sequence.
+        """
+        predicted, meta = self.predict(pc)
+        self.speculative_update(pc, taken)
+        self.update(pc, taken, meta)
+        return predicted
+
     def stats(self):
         """Optional predictor-internal statistics (dict)."""
         return {}

@@ -264,6 +264,96 @@ class TAGEPredictor(BranchPredictor):
         meta = self._tage_predict(pc)
         return meta.final_pred, meta
 
+    # -- fused warm-mode training ---------------------------------------------
+
+    def _scan(self, pc):
+        """The table scan of :meth:`_tage_predict` without the meta object.
+
+        Returns the locals the fused train path needs as a plain tuple —
+        warm mode trains on every committed branch, and the ``_PredMeta``
+        allocation is pure overhead when nothing travels with the branch.
+        """
+        parts = self._pc_parts.get(pc)
+        if parts is None:
+            parts = tuple(
+                pc ^ (pc >> (t + 1)) for t in range(self.num_tables)
+            )
+            self._pc_parts[pc] = parts
+        indices, tags = self._index_tags(parts, self._fold_regs, pc)
+        tables = self._tables
+        provider = alt = None
+        for table in range(self.num_tables - 1, -1, -1):
+            if tables[table][indices[table]].tag == tags[table]:
+                if provider is None:
+                    provider = table
+                elif alt is None:
+                    alt = table
+                    break
+        base_index = pc & self._base_mask
+        base_pred = self._base[base_index] >= 2
+        alt_pred = (
+            tables[alt][indices[alt]].ctr >= 0 if alt is not None else base_pred
+        )
+        if provider is not None:
+            entry = tables[provider][indices[provider]]
+            provider_pred = entry.ctr >= 0
+            weak = entry.ctr in (-1, 0)
+            if weak and self._use_alt_on_na >= 8:
+                final = alt_pred
+            else:
+                final = provider_pred
+        else:
+            entry = None
+            provider_pred = base_pred
+            weak = False
+            final = base_pred
+        return (indices, tags, provider, alt, entry, provider_pred,
+                alt_pred, weak, base_index, final)
+
+    def _train_tables(self, taken, indices, tags, provider, alt, entry,
+                      provider_pred, alt_pred, weak, base_index, tage_pred):
+        """The table-update half of :meth:`update`, on :meth:`_scan` locals.
+
+        Bit-identical to ``update(pc, taken, meta)`` — the provider entry,
+        alternate, base counter, allocation and aging all see the same
+        values in the same order.
+        """
+        self._update_count += 1
+        if provider is not None:
+            if weak and provider_pred != alt_pred:
+                if alt_pred == taken:
+                    self._use_alt_on_na = saturate(self._use_alt_on_na, 1, 0, 15)
+                else:
+                    self._use_alt_on_na = saturate(self._use_alt_on_na, -1, 0, 15)
+            entry.ctr = saturate(entry.ctr, 1 if taken else -1, -4, 3)
+            if provider_pred != alt_pred:
+                entry.useful = saturate(
+                    entry.useful, 1 if provider_pred == taken else -1, 0, 3
+                )
+            if entry.useful == 0:
+                if alt is not None:
+                    alt_entry = self._tables[alt][indices[alt]]
+                    alt_entry.ctr = saturate(alt_entry.ctr, 1 if taken else -1, -4, 3)
+                else:
+                    self._update_base(base_index, taken)
+        else:
+            self._update_base(base_index, taken)
+        if tage_pred != taken:
+            self._allocate_raw(indices, tags, provider, taken)
+        if self._update_count % self.u_reset_period == 0:
+            self._age_useful_bits()
+
+    def train(self, pc, taken):
+        """Fused predict + speculative_update + update (warm mode)."""
+        (indices, tags, provider, alt, entry, provider_pred, alt_pred,
+         weak, base_index, final) = self._scan(pc)
+        self._train_tables(taken, indices, tags, provider, alt, entry,
+                           provider_pred, alt_pred, weak, base_index, final)
+        self._history = self._shift(
+            self._fold_regs, self._history, 1 if taken else 0
+        )
+        return final
+
     # -- update --------------------------------------------------------------
 
     def update(self, pc, taken, meta=None):
@@ -308,7 +398,10 @@ class TAGEPredictor(BranchPredictor):
         self._base[index] = saturate(self._base[index], 1 if taken else -1, 0, 3)
 
     def _allocate(self, meta, taken):
-        start = (meta.provider + 1) if meta.provider is not None else 0
+        self._allocate_raw(meta.indices, meta.tags, meta.provider, taken)
+
+    def _allocate_raw(self, indices, tags, provider, taken):
+        start = (provider + 1) if provider is not None else 0
         if start >= self.num_tables:
             return
         # Deterministic pseudo-random start offset spreads allocations.
@@ -317,14 +410,14 @@ class TAGEPredictor(BranchPredictor):
         offset = self._alloc_tick % len(candidates)
         ordered = candidates[offset:] + candidates[:offset]
         for table in ordered:
-            entry = self._tables[table][meta.indices[table]]
+            entry = self._tables[table][indices[table]]
             if entry.useful == 0:
-                entry.tag = meta.tags[table]
+                entry.tag = tags[table]
                 entry.ctr = 0 if taken else -1
                 entry.useful = 0
                 return
         for table in candidates:
-            entry = self._tables[table][meta.indices[table]]
+            entry = self._tables[table][indices[table]]
             entry.useful = saturate(entry.useful, -1, 0, 3)
 
     def _age_useful_bits(self):
@@ -414,3 +507,47 @@ class ISLTAGEPredictor(TAGEPredictor):
         else:
             self.loop.update(pc, taken)
         super().update(pc, taken, meta)
+
+    def train(self, pc, taken):
+        """Fused ISL-TAGE warm training (same state as predict/update)."""
+        (indices, tags, provider, alt, entry, provider_pred, alt_pred,
+         weak, base_index, tage_pred) = self._scan(pc)
+        final = tage_pred
+        loop_valid, loop_pred = self.loop.predict(pc)
+        used_loop = loop_valid and self._loop_trust >= 4
+        sc_indices = None
+        if used_loop:
+            final = loop_pred
+        else:
+            regs = self._fold_regs
+            sc_mask = self._sc_mask
+            sc_indices = []
+            j = self._sc_reg_base
+            for h in self.SC_HISTORY:
+                if h:
+                    sc_indices.append((pc ^ regs[j]) & sc_mask)
+                    j += 1
+                else:
+                    sc_indices.append(pc & sc_mask)
+            sc_sum = sum(
+                table[idx] for table, idx in zip(self._sc_tables, sc_indices)
+            )
+            sc_sum += 2 * (1 if final else -1)
+            if weak and abs(sc_sum) >= self._sc_threshold:
+                final = sc_sum >= 0
+        if used_loop:
+            self._loop_trust = saturate(
+                self._loop_trust, 1 if loop_pred == taken else -2, 0, 7
+            )
+        self.loop.update(pc, taken)
+        if sc_indices is not None:
+            sc_tables = self._sc_tables
+            for table, idx in zip(sc_tables, sc_indices):
+                table[idx] = saturate(table[idx], 1 if taken else -1, -31, 31)
+        self._train_tables(taken, indices, tags, provider, alt, entry,
+                           provider_pred, alt_pred, weak, base_index,
+                           tage_pred)
+        self._history = self._shift(
+            self._fold_regs, self._history, 1 if taken else 0
+        )
+        return final

@@ -39,6 +39,9 @@ Examples::
 
     python -m repro list
     python -m repro run soplex --variant cfd --scale 0.25 --json
+    python -m repro run bzip2 --variant tq --max-instructions 100000 --sample
+    python -m repro compare bzip2 --variant tq --batch
+    python -m repro bench-speed --sample --history BENCH_history.jsonl
     python -m repro compare astar_r1 --variant dfd --config memory-bound
     python -m repro compare soplex --variant cfd --jobs 2 --telemetry /tmp/sp
     python -m repro top /tmp/sp --follow
@@ -152,34 +155,63 @@ def _supervision_policy(args):
 def cmd_run(args, out):
     built = _build(args)
     config = _make_config(args)
+    plan = None
+    if args.sample is not None:
+        from repro.perf.sample import SamplingPlan
+
+        plan = SamplingPlan.from_spec(args.sample)
     # --check simulates fresh with the independent invariant checker
     # attached; a cached result would bypass the very validation asked for.
     cache = None if args.check else _result_cache(args)
     result = None
     key = None
+    run_info = {"max_instructions": args.max_instructions,
+                "sampling": plan.fingerprint() if plan is not None else None}
     if cache is not None:
-        key = cache.key_for(built.program, config, args.max_instructions)
+        key = cache.key_for(
+            built.program, config, args.max_instructions,
+            sampling=plan.fingerprint() if plan is not None else None,
+        )
         result = cache.load(key, config=config)
     if result is None:
         observer = InvariantChecker() if args.check else None
-        result = simulate(
-            built.program, config, max_instructions=args.max_instructions,
-            observer=observer,
-        )
+        if plan is not None:
+            from repro.perf.sample import SampledSimulator
+
+            result = SampledSimulator(built.program, config, plan).run(
+                args.max_instructions, observer=observer,
+            )
+        else:
+            result = simulate(
+                built.program, config,
+                max_instructions=args.max_instructions,
+                observer=observer,
+            )
         if cache is not None:
             cache.store_result(
                 key, result,
                 workload=_workload_identity(args),
-                run={"max_instructions": args.max_instructions},
+                run=run_info,
             )
     if args.json:
         manifest = result.manifest(
             workload=_workload_identity(args),
-            run={"max_instructions": args.max_instructions},
+            run=run_info,
         )
         return _emit_json(out, manifest)
     stats = result.stats
     out.write("program: %s\n" % built.name)
+    report = getattr(result, "sampling", None)
+    if report:
+        out.write(
+            "sampling: %s\n  %d detailed interval(s), %.1f%% measured, "
+            "IPC +/-%.2f%% (95%% CI)\n" % (
+                report.get("fingerprint"),
+                report.get("intervals") or 0,
+                100.0 * (report.get("measured_fraction") or 0.0),
+                100.0 * (report.get("ipc_rel_ci95") or 0.0),
+            )
+        )
     for key, value in sorted(result.summary().items()):
         out.write("  %-18s %s\n" % (key, value))
     if stats.bq_pops:
@@ -188,6 +220,24 @@ def cmd_run(args, out):
     if stats.tq_pops:
         out.write("  %-18s %d\n" % ("tq_pops", stats.tq_pops))
     return 0
+
+
+def _outcome_accounting(outcome):
+    """Per-point resource accounting for ``compare --json`` consumers."""
+    info = {
+        "point": outcome.point.label(),
+        "seconds": outcome.seconds,
+        "elapsed": outcome.elapsed,
+        "attempts": outcome.attempts,
+        "cached": outcome.cached,
+        "worker_pid": outcome.worker_pid,
+        "resources": outcome.resources,
+    }
+    if getattr(outcome, "resumed", False):
+        info["resumed"] = True
+    if outcome.functional is not None:
+        info["functional"] = outcome.functional
+    return info
 
 
 def cmd_compare(args, out):
@@ -208,17 +258,42 @@ def cmd_compare(args, out):
     outcomes = run_supervised_sweep(
         points, jobs=args.jobs, cache=_result_cache(args),
         policy=_supervision_policy(args), telemetry=args.telemetry,
+        executor="batched" if args.batch else None,
     )
     for outcome in outcomes:
         if not outcome.ok:
             label = outcome.point.label()
-            if outcome.timed_out:
+            if getattr(outcome, "timed_out", False):
                 out.write("%s timed out after %d attempt(s) "
                           "(--timeout %.3gs)\n"
                           % (label, outcome.attempts, args.timeout))
             else:
                 out.write("%s failed:\n%s\n" % (label, outcome.error))
             return 1
+    if args.batch:
+        # Functional-only lockstep comparison: architectural outcomes,
+        # no timing stats (the batch never runs the cycle core).
+        base_fn, var_fn = (o.functional for o in outcomes)
+        if args.json:
+            return _emit_json(out, {
+                "kind": "repro.compare.batch",
+                "workload": _workload_identity(args),
+                "base": base_fn,
+                "variant": var_fn,
+                "outcomes": [_outcome_accounting(o) for o in outcomes],
+            })
+        out.write(format_table(
+            ["metric", "base", args.variant],
+            [
+                ("retired", base_fn["retired"], var_fn["retired"]),
+                ("halted", base_fn["halted"], var_fn["halted"]),
+                ("final_pc", base_fn["final_pc"], var_fn["final_pc"]),
+            ],
+            title="%s(%s): base vs %s [functional batch, width %d]" % (
+                workload.name, args.input or workload.inputs[0],
+                args.variant, base_fn["batch_width"]),
+        ) + "\n")
+        return 0
     base_result, var_result = (o.result for o in outcomes)
     comparison = compare_runs(
         workload.name, args.variant, base_result, var_result
@@ -230,6 +305,9 @@ def cmd_compare(args, out):
             "comparison": comparison,
             "base": base_result.summary(),
             "variant": var_result.summary(),
+            # Satellite accounting: worker-measured seconds, attempts and
+            # resource deltas per point (see SweepOutcome docs).
+            "outcomes": [_outcome_accounting(o) for o in outcomes],
         })
     out.write(format_table(
         ["metric", "base", args.variant],
@@ -404,22 +482,77 @@ def cmd_bench_speed(args, out):
 
     payload = run_speed_benchmark(cases=cases, repeats=args.repeats,
                                   progress=progress, jobs=args.jobs)
+    sampled = None
+    if args.sample:
+        from repro.perf.speed import run_sampled_benchmark
+
+        def sampled_progress(case, result, done, total):
+            if not args.json:
+                out.write(
+                    "[%d/%d] %-22s %8.2f KIPS sampled  "
+                    "(err %+0.2f%% +/-%.2f%%, %d interval(s))\n" % (
+                        done, total, case.name, result["kips"],
+                        result["ipc_error_pct"], result["ipc_rel_ci95_pct"],
+                        result["intervals"] or 0))
+
+        sampled = run_sampled_benchmark(
+            cases=cases, repeats=max(1, args.repeats - 1),
+            progress=sampled_progress,
+        )
+        payload["sampled"] = sampled
     path = write_speed_artifact(payload, directory=args.artifact_dir)
     if args.history:
         from repro.obs.history import append_history, history_entry
 
+        extra = None
+        if sampled is not None:
+            # Error-bar columns ride along in the history line, so the
+            # sampled trajectory (and its honesty) is trendable too.
+            extra = {"sampled": {
+                "plan": sampled["plan"],
+                "geomean_kips": sampled["geomean_kips"],
+                "ipc_error_pct_geomean": sampled["ipc_error_pct_geomean"],
+                "gates_passed": sampled["gates_passed"],
+                "cases": {
+                    name: {
+                        "kips": case["kips"],
+                        "ipc_error_pct": case["ipc_error_pct"],
+                        "ipc_rel_ci95_pct": case["ipc_rel_ci95_pct"],
+                        "intervals": case["intervals"],
+                    }
+                    for name, case in sampled["cases"].items()
+                },
+            }}
         append_history(args.history,
-                       history_entry(payload, label=args.history_label))
+                       history_entry(payload, label=args.history_label,
+                                     extra=extra))
         if not args.json:
             out.write("history: %s\n" % args.history)
     if args.json:
-        return _emit_json(out, payload)
-    out.write("geomean: %.2f KIPS" % payload["geomean_kips"])
-    baseline = payload["baseline"]["geomean_kips"]
-    if baseline and payload["speedup_vs_baseline"]:
-        out.write("  (baseline %.2f, speedup %.3fx)" % (
-            baseline, payload["speedup_vs_baseline"]))
-    out.write("\nartifact: %s\n" % path)
+        _emit_json(out, payload)
+    else:
+        out.write("geomean: %.2f KIPS" % payload["geomean_kips"])
+        baseline = payload["baseline"]["geomean_kips"]
+        if baseline and payload["speedup_vs_baseline"]:
+            out.write("  (baseline %.2f, speedup %.3fx)" % (
+                baseline, payload["speedup_vs_baseline"]))
+        out.write("\n")
+        if sampled is not None:
+            out.write(
+                "sampled geomean: %.2f KIPS (%.2fx vs full-detail %.2f), "
+                "geomean |IPC error| %.2f%% (gate %.1f%%) -> %s\n" % (
+                    sampled["geomean_kips"],
+                    sampled["speedup_vs_reference"] or 0.0,
+                    sampled["reference_geomean_kips"],
+                    sampled["ipc_error_pct_geomean"],
+                    sampled["gates"]["error_gate_pct"],
+                    "PASS" if sampled["gates_passed"] else "FAIL",
+                ))
+        out.write("artifact: %s\n" % path)
+    if sampled is not None and not sampled["gates_passed"]:
+        print("repro: bench-speed: sampled gates failed (exit 6)",
+              file=sys.stderr)
+        return EXIT_PERF_REGRESSION
     return 0
 
 
@@ -569,7 +702,8 @@ def cmd_bench_diff(args, out):
     try:
         current = load_measurement(args.current, select=args.select)
         baseline = load_measurement(args.baseline,
-                                    select=args.baseline_select)
+                                    select=args.baseline_select,
+                                    label=args.baseline_label)
     except ValueError as exc:
         print("repro: bench-diff: %s" % exc, file=sys.stderr)
         return EXIT_USAGE
@@ -683,9 +817,19 @@ def build_parser():
         "--check", action="store_true",
         help="attach the independent invariant checker (fresh simulation, "
              "bypasses the cache; see docs/ROBUSTNESS.md)")
+    run_parser.add_argument(
+        "--sample", nargs="?", const="default", default=None, metavar="SPEC",
+        help="sampled simulation: detailed windows + trace-replay warm "
+             "gaps ('default', or 'interval=N,warmup=N,period=N,head=N,"
+             "tail=N'; see docs/PERFORMANCE.md) — the summary reports the "
+             "measured fraction and IPC confidence interval")
     compare_parser = sub.add_parser("compare", help="base vs variant")
     common(compare_parser, json_flag=True)
     perf_flags(compare_parser, supervise=True)
+    compare_parser.add_argument(
+        "--batch", action="store_true",
+        help="run both points' functional machines in one lockstep batch "
+             "(architectural outcomes only — no timing, no cache)")
     profile_parser = sub.add_parser("profile", help="branch profile")
     common(profile_parser, json_flag=True)
     profile_parser.add_argument("--top", type=int, default=10)
@@ -745,6 +889,12 @@ def build_parser():
     speed_parser.add_argument(
         "--history-label", default=None,
         help="label stored with the --history entry (e.g. a commit sha)")
+    speed_parser.add_argument(
+        "--sample", action="store_true",
+        help="also run the sampled-engine benchmark (scale-2.0 reference "
+             "cases, tuned plan): records sampled KIPS + IPC error bars "
+             "into the artifact/history and exits 6 if the speedup or "
+             "2%% error gate fails")
     diff_parser = sub.add_parser(
         "bench-diff",
         help="compare two speed measurements; exit 6 on regression",
@@ -762,6 +912,10 @@ def build_parser():
         "--baseline-select", choices=("first", "last", "best"),
         default="last",
         help="history entry to use as baseline (default last)")
+    diff_parser.add_argument(
+        "--baseline-label", default=None, metavar="LABEL",
+        help="pin the baseline to history entries stored with this "
+             "--history-label (then --baseline-select picks among them)")
     diff_parser.add_argument(
         "--case-tolerance", type=float, default=None,
         help="per-case slowdown fraction tolerated (default 0.15)")

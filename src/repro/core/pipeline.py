@@ -33,7 +33,7 @@ from repro.core.oracle import DirectionOracle
 from repro.core.rename import RenameTables, VQRenamer
 from repro.core.stats import SimStats
 from repro.errors import SimulatorInvariantError
-from repro.isa.instructions import LINK_REG, ZERO_REG
+from repro.isa.instructions import LINK_REG, NUM_GPRS, ZERO_REG
 from repro.isa.opcodes import OpClass, Opcode
 from repro.memsys.hierarchy import MemLevel, MemoryHierarchy
 from repro.memsys.mshr import MSHRFile
@@ -1664,6 +1664,133 @@ class Pipeline:
                 if phys >= 32:
                     self.rename_tables.freelist.release(phys)
             self.vq_renamer = renamer
+
+    # ------------------------------------------------- sampled-execution hooks
+
+    def sync_fetch_to_committed(self):
+        """Point the fetch unit at the committed PC (post-drain/warm resync)."""
+        self._redirect_fetch(self.checker.state.pc)
+        self.fetch_halted = bool(self.checker.state.halted)
+
+    def drain_to_committed(self):
+        """Discard all in-flight work and resync the machine to committed state.
+
+        The committed architectural state (the functional checker) is the
+        only survivor: every speculative structure — ROB, IQ, LSQ, fetch
+        pipe, completion wheel, MSHR fills, checkpoints, rename maps,
+        CFD queue speculation — is rewound exactly as a retirement
+        recovery of the whole window would.  Warm state (predictor, BTB,
+        RAS, caches) is untouched.  Used at sampling-interval boundaries,
+        where the measurement stops mid-flight and functional warm-up
+        resumes from the committed point.
+
+        Squash bookkeeping is routed to a scratch ``SimStats`` so a
+        just-measured interval's counters are not polluted; attached
+        observers still see the squashes (their instruction-conservation
+        counters must keep balancing).
+        """
+        measured = self.stats
+        self.stats = SimStats()
+        try:
+            self._squash_younger(-1)
+        finally:
+            self.stats = measured
+        self.checkpoints.clear()
+        self.inflight.clear()
+        self.rename_tables.restore_rmt_from_amt()
+        self.vq_renamer.restore_committed()
+        self.hw_bq.restore_committed()
+        self.hw_tq.restore_committed()
+        self.spec_tcr = self.committed_tcr
+        # _squash_younger cannot reach these: abandoned completions and
+        # in-flight cache fills would otherwise land in the next interval.
+        self.completions.clear()
+        self.waiting_loads = []
+        self.pending_fill_level.clear()
+        self.mshr.flush()
+        self.serialize_pending = False
+        self.sim_done = False
+        self._issue_dirty = True
+        self.sync_fetch_to_committed()
+
+    def resync_committed_state(self):
+        """Rebuild the pipeline's mirror of the committed architectural state.
+
+        After the functional checker advances *outside* the pipeline
+        (warm mode, checkpoint restore), the AMT-mapped physical
+        registers, the hardware BQ/TQ contents, the VQ renamer mappings
+        and the committed TCR are all stale.  Rewrites them from the
+        checker's state — the same renumbering freedom
+        :meth:`_resync_queues_after_serializing` exploits — and
+        re-points fetch at the committed PC.  The pipeline must be
+        drained first.
+        """
+        arch = self.checker.state
+        amt = self.rename_tables.amt
+        regs = arch.regs
+        for reg in range(1, NUM_GPRS):
+            self._write_phys(amt[reg], regs[reg], MemLevel.NONE)
+        self._resync_queues_after_serializing(Opcode.RESTORE_BQ)
+        self._resync_queues_after_serializing(Opcode.RESTORE_TQ)
+        self._resync_queues_after_serializing(Opcode.RESTORE_VQ)
+        self.rename_tables.restore_rmt_from_amt()
+        self.committed_tcr = self.spec_tcr = arch.tcr
+        self.sync_fetch_to_committed()
+
+    def restore_committed_state(self, arch, retired):
+        """Install *arch* (an :class:`~repro.arch.state.ArchState`) as the
+        committed state; *retired* is its absolute instruction count.
+
+        Drains first, then rebuilds every committed mirror via
+        :meth:`resync_committed_state`.  *arch* is adopted, not copied.
+        Checkpoint restore for sampled simulation
+        (:mod:`repro.perf.sample`).
+        """
+        self.drain_to_committed()
+        self.checker.state = arch
+        self.checker.retired = retired
+        self.resync_committed_state()
+
+    def run_slice(self, max_instructions, warmup_instructions=0):
+        """Run one detailed measurement interval; returns its fresh stats.
+
+        Unlike :meth:`run`, this is re-entrant: each call swaps in a new
+        :class:`SimStats`, re-bases the cycle counter, and resets the
+        structure-level counters (caches, MSHR) exactly as the warmup
+        boundary does — so the returned stats cover only this interval
+        while all warm state persists.  *warmup_instructions* retire in
+        detail ahead of the measured region (detailed ramp-up after a
+        functional warm gap).  The caller is responsible for interval
+        spacing (:meth:`drain_to_committed` + ``warm_advance``).
+        """
+        self.stats = SimStats()
+        self._cycle_base = self.cycle
+        self.warmup_stats = None
+        self.memory.l1i.reset_stats()
+        self.memory.l1d.reset_stats()
+        self.memory.l2.reset_stats()
+        self.memory.l3.reset_stats()
+        self.mshr.occupancy_histogram.clear()
+        self.mshr.allocations = self.mshr.merges = self.mshr.full_stalls = 0
+        self.sim_done = False
+        self.last_retire_cycle = self.cycle
+        self.retire_limit = (warmup_instructions or 0) + max_instructions
+        warm_target = warmup_instructions if warmup_instructions else None
+        stall_guard = getattr(self.config, "deadlock_cycles", 100_000)
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            self._run_loop(warm_target, stall_guard, self.config.max_cycles,
+                           self.stage_retire, self.stage_complete,
+                           self.stage_memory, self.stage_issue,
+                           self.stage_rename, self.stage_fetch,
+                           self.mshr.sample)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        self.stats.cycles = self.cycle - self._cycle_base
+        return self.stats
 
     # ------------------------------------------------------------------- run
 

@@ -182,6 +182,64 @@ class SimStats:
         )
         return ranked[:count]
 
+    def merge(self, other):
+        """Accumulate *other*'s counters into this object; returns self.
+
+        Used by sampled simulation (:mod:`repro.perf.sample`) to
+        aggregate the per-interval measurement stats.  ``cycles`` adds
+        like any other counter — the sum covers only the measured
+        intervals, not the warm gaps between them.
+        """
+        for _, attr in COUNTER_METRICS:
+            setattr(self, attr, getattr(self, attr) + getattr(other, attr))
+        for level, count in other.mispredict_levels.items():
+            self.mispredict_levels[level] += count
+        for level, count in other.load_level_counts.items():
+            self.load_level_counts[level] += count
+        for key, count in other.events.items():
+            self.events[key] += count
+        for pc, branch in other.branch_stats.items():
+            mine = self.branch_stats[pc]
+            mine.executed += branch.executed
+            mine.taken += branch.taken
+            mine.mispredicted += branch.mispredicted
+            mine.resolved_at_fetch += branch.resolved_at_fetch
+            for level, count in branch.level_breakdown.items():
+                mine.level_breakdown[level] = (
+                    mine.level_breakdown.get(level, 0) + count
+                )
+        return self
+
+    def scaled(self, factor):
+        """A new :class:`SimStats` with every counter scaled by *factor*.
+
+        The extrapolation step of sampled simulation: counts measured
+        over the detailed intervals are blown up to the whole run
+        (rounded to integers — these are counters, not rates).  Derived
+        rates (IPC, MPKI, miss rates) are ratio estimators and survive
+        the scaling unchanged up to rounding.
+        """
+        out = SimStats()
+        for _, attr in COUNTER_METRICS:
+            setattr(out, attr, round(getattr(self, attr) * factor))
+        for level, count in self.mispredict_levels.items():
+            out.mispredict_levels[level] = round(count * factor)
+        for level, count in self.load_level_counts.items():
+            out.load_level_counts[level] = round(count * factor)
+        for key, count in self.events.items():
+            out.events[key] = round(count * factor)
+        for pc, branch in self.branch_stats.items():
+            mine = out.branch_stats[pc]
+            mine.executed = round(branch.executed * factor)
+            mine.taken = round(branch.taken * factor)
+            mine.mispredicted = round(branch.mispredicted * factor)
+            mine.resolved_at_fetch = round(branch.resolved_at_fetch * factor)
+            mine.level_breakdown = {
+                level: round(count * factor)
+                for level, count in branch.level_breakdown.items()
+            }
+        return out
+
     def to_dict(self):
         """Complete JSON-safe snapshot of every counter this run produced.
 

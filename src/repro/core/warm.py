@@ -1,0 +1,373 @@
+"""Functional warm-mode execution between detailed sampling intervals.
+
+SMARTS-style sampled simulation alternates cheap *functional warming*
+with detailed measurement intervals.  :func:`warm_advance` is the warm
+mode: it advances the pipeline's committed state (the built-in
+:class:`~repro.arch.executor.FunctionalExecutor` checker) one
+instruction at a time — no fetch, rename, issue or timing — while
+applying the *committed-path* training side effects the detailed core
+would have applied:
+
+* direction predictor + JRS confidence: ``predict`` then the
+  speculative/retire update pair, collapsed to their committed-path net
+  effect (history ends shifted by the actual outcome; the table trains
+  on the actual outcome under the prediction-time meta);
+* BTB: installed on every taken transfer (and on JALR resolution, as
+  the execute stage does);
+* RAS: pushed on ``JAL`` with the link register, popped on the
+  ``JALR ra`` return idiom;
+* caches: one L1I access per new fetch block, and the full data-side
+  hierarchy walk for loads, stores and prefetches;
+* direction-oracle cursors are consumed for oracle-covered branches so
+  a ``perfect``/hybrid predictor stays aligned with the retire stream.
+
+Deliberate approximations (warm state only — measured intervals are
+always driven by the detailed core): CFD fetch-resolved control
+(``Branch_on_BQ``, ``Branch_on_TCR``, the TQ pops) trains no predictor
+state, matching the detailed core's decoupled-hit case; wrong-path
+effects (speculative cache pollution, history repair traffic) do not
+occur, because warm mode executes only the committed path.
+"""
+
+from repro.arch.executor import FunctionalExecutor
+from repro.arch.state import ArchState
+from repro.isa.instructions import LINK_REG, ZERO_REG
+from repro.isa.opcodes import OpClass, Opcode
+
+#: Instruction-space base address; mirrors ``core.pipeline.CODE_BASE``
+#: (imported lazily below to keep this module import-light).
+from repro.core.pipeline import CODE_BASE, _D_INST, _D_OPCLASS, _D_OPCODE
+
+#: Warm-trace event kinds (see :func:`record_warm_trace`).  One event is
+#: (kind, a, b); the meaning of a/b depends on the kind.
+_E_ICACHE = 1   # a = fetch address
+_E_LOAD = 2     # a = pc, b = data address (includes PREFETCH)
+_E_STORE = 3    # a = pc, b = data address
+_E_BR = 4       # a = pc           (predictor-trained branch, not taken)
+_E_BR_T = 5     # a = pc, b = target (predictor-trained branch, taken)
+_E_ORACLE = 6   # a = pc           (oracle-covered branch, not taken)
+_E_ORACLE_T = 7  # a = pc, b = target (oracle-covered branch, taken)
+_E_JAL_LINK = 8  # a = pc, b = target (call: RAS push + BTB install)
+_E_JALR_RET = 9  # a = pc, b = target (return: RAS pop + BTB install)
+_E_JUMP = 10    # a = pc, b = target (other jump: BTB install)
+_E_CFD_T = 11   # a = pc, b = target (taken CFD control: BTB install)
+
+
+def warm_advance(pipeline, max_instructions):
+    """Advance *pipeline*'s committed state by up to *max_instructions*.
+
+    Returns the number of instructions actually advanced (short on
+    halt).  The caller must have drained the pipeline first
+    (:meth:`~repro.core.pipeline.Pipeline.drain_to_committed`); on
+    return the fetch unit is re-pointed at the new committed PC.
+    """
+    if max_instructions <= 0:
+        return 0
+    checker = pipeline.checker
+    state = checker.state
+    if state.halted:
+        return 0
+    decoded = pipeline._decoded
+    predictor = pipeline.predictor
+    confidence = pipeline.confidence
+    btb = pipeline.btb
+    ras = pipeline.ras
+    memory = pipeline.memory
+    oracle = pipeline.oracle
+    oracle_all = pipeline.oracle_all
+    perfect_pcs = pipeline.config.perfect_pcs
+    line_bytes = pipeline._l1i_line_bytes
+    step = checker.step
+    access_inst = memory.access_inst
+    access_data = memory.access_data
+    prev_block = None
+    advanced = 0
+    while advanced < max_instructions:
+        pc = state.pc
+        record = step()
+        if record is None:
+            break
+        advanced += 1
+        addr = CODE_BASE + pc * 4
+        block = addr // line_bytes
+        if block != prev_block:
+            access_inst(addr)
+            prev_block = block
+        entry = decoded[pc]
+        opclass = entry[_D_OPCLASS]
+        if opclass is OpClass.ALU:
+            continue
+        if opclass is OpClass.LOAD:
+            # Includes PREFETCH: both walk the data hierarchy as reads.
+            access_data(record.mem_addr, is_write=False, pc=pc)
+        elif opclass is OpClass.STORE:
+            access_data(record.mem_addr, is_write=True, pc=pc)
+        elif opclass is OpClass.BRANCH:
+            taken = bool(record.taken)
+            if oracle is not None and (oracle_all or pc in perfect_pcs):
+                predicted = oracle.predict(pc)
+                predictor.speculative_update(pc, taken)
+            else:
+                predicted = predictor.train(pc, taken)
+            confidence.speculative_update(taken)
+            confidence.update(pc, predicted == taken)
+            if taken:
+                btb.install(pc, record.target)
+                prev_block = None
+        elif opclass is OpClass.JUMP:
+            inst = entry[_D_INST]
+            opcode = entry[_D_OPCODE]
+            if opcode is Opcode.JAL and inst.rd == LINK_REG:
+                ras.push(pc + 1)
+            elif opcode is Opcode.JALR:
+                if inst.rs1 == LINK_REG and inst.rd == ZERO_REG:
+                    ras.pop()
+            btb.install(pc, record.target)
+            prev_block = None
+        elif (
+            opclass is OpClass.BQ_BRANCH
+            or opclass is OpClass.TCR_BRANCH
+            or opclass is OpClass.TQ_POP_BOV
+        ):
+            # Fetch-resolved CFD control: no predictor training, but a
+            # taken transfer still lands in the BTB (misfetch install).
+            if record.taken:
+                btb.install(pc, record.target)
+                prev_block = None
+    pipeline.resync_committed_state()
+    if advanced and pipeline.obs is not None:
+        pipeline.obs.on_warm_skip(pipeline, advanced)
+    return advanced
+
+
+class WarmTrace:
+    """Committed-path warm events recorded by one functional pre-scan.
+
+    ``kinds``/``a``/``b`` are parallel event lists (see the ``_E_*``
+    constants); ``offsets`` maps a requested instruction position to the
+    event-list offset reached there, and ``snapshots`` maps a position
+    to a deep :class:`~repro.arch.state.ArchState` copy taken there.
+    ``total`` is the dynamic instruction count actually executed (short
+    of the limit on halt).
+    """
+
+    __slots__ = ("kinds", "a", "b", "offsets", "snapshots", "total",
+                 "halted")
+
+    def __init__(self, kinds, a, b, offsets, snapshots, total, halted):
+        self.kinds = kinds
+        self.a = a
+        self.b = b
+        self.offsets = offsets
+        self.snapshots = snapshots
+        self.total = total
+        self.halted = halted
+
+
+def _static_event_kinds(pipeline):
+    """Per-PC warm-event kind table (0 = no event beyond I-cache)."""
+    kinds = []
+    oracle = pipeline.oracle
+    oracle_all = pipeline.oracle_all
+    perfect_pcs = pipeline.config.perfect_pcs
+    for pc, entry in enumerate(pipeline._decoded):
+        opclass = entry[_D_OPCLASS]
+        if opclass is OpClass.LOAD:
+            kind = _E_LOAD
+        elif opclass is OpClass.STORE:
+            kind = _E_STORE
+        elif opclass is OpClass.BRANCH:
+            if oracle is not None and (oracle_all or pc in perfect_pcs):
+                kind = _E_ORACLE
+            else:
+                kind = _E_BR
+        elif opclass is OpClass.JUMP:
+            inst = entry[_D_INST]
+            opcode = entry[_D_OPCODE]
+            if opcode is Opcode.JAL and inst.rd == LINK_REG:
+                kind = _E_JAL_LINK
+            elif (
+                opcode is Opcode.JALR
+                and inst.rs1 == LINK_REG
+                and inst.rd == ZERO_REG
+            ):
+                kind = _E_JALR_RET
+            else:
+                kind = _E_JUMP
+        elif (
+            opclass is OpClass.BQ_BRANCH
+            or opclass is OpClass.TCR_BRANCH
+            or opclass is OpClass.TQ_POP_BOV
+        ):
+            kind = _E_CFD_T
+        else:
+            kind = 0
+        kinds.append(kind)
+    return kinds
+
+
+def record_warm_trace(pipeline, limit, positions=(), snapshot_positions=()):
+    """Functionally pre-execute up to *limit* instructions, recording the
+    warm-mode event stream.
+
+    The recorder runs a throwaway :class:`FunctionalExecutor` (the
+    pipeline is untouched) and emits exactly the side-effect schedule
+    :func:`warm_advance` would apply — I-cache block accesses (with the
+    taken-transfer reset), data accesses, predictor-trained and
+    oracle-covered branches, RAS pushes/pops, BTB installs.  *positions*
+    mark instruction indices whose event offsets the caller needs;
+    *snapshot_positions* (a subset semantically, merged automatically)
+    additionally capture a deep architectural-state copy, which a
+    sampled run adopts to teleport its checker across a warm gap.
+    Positions past the halt point are silently absent from the result.
+    """
+    program = pipeline.program
+    config = pipeline.config
+    state = ArchState(
+        program,
+        bq_size=config.bq_size,
+        vq_size=config.vq_size,
+        tq_size=config.tq_size,
+        tq_bits=config.tq_bits,
+    )
+    executor = FunctionalExecutor(program, state)
+    step = executor.step
+    static_kinds = _static_event_kinds(pipeline)
+    line_bytes = pipeline._l1i_line_bytes
+    # CODE_BASE is line-aligned, so the block index is a pure pc shift.
+    block_shift = (line_bytes // 4).bit_length() - 1
+    kinds = []
+    a_list = []
+    b_list = []
+    k_append = kinds.append
+    a_append = a_list.append
+    b_append = b_list.append
+    offsets = {}
+    snapshots = {}
+    snap_set = set(snapshot_positions)
+    marks = iter(sorted(set(positions) | snap_set))
+    next_mark = next(marks, -1)
+    prev_block = -1
+    i = 0
+    halted = False
+    while True:
+        if i == next_mark:
+            offsets[i] = len(kinds)
+            if i in snap_set:
+                snapshots[i] = state.snapshot()
+            next_mark = next(marks, -1)
+        if i >= limit:
+            break
+        record = step()
+        if record is None:
+            halted = True
+            break
+        i += 1
+        pc = record.pc
+        block = pc >> block_shift
+        if block != prev_block:
+            k_append(_E_ICACHE)
+            a_append(CODE_BASE + pc * 4)
+            b_append(0)
+            prev_block = block
+        kind = static_kinds[pc]
+        if kind == 0:
+            continue
+        if kind == _E_LOAD or kind == _E_STORE:
+            k_append(kind)
+            a_append(pc)
+            b_append(record.mem_addr)
+        elif kind == _E_BR or kind == _E_ORACLE:
+            if record.taken:
+                k_append(kind + 1)
+                a_append(pc)
+                b_append(record.target)
+                prev_block = -1
+            else:
+                k_append(kind)
+                a_append(pc)
+                b_append(0)
+        elif kind == _E_CFD_T:
+            if record.taken:
+                k_append(kind)
+                a_append(pc)
+                b_append(record.target)
+                prev_block = -1
+        else:  # jumps: always taken
+            k_append(kind)
+            a_append(pc)
+            b_append(record.target)
+            prev_block = -1
+    return WarmTrace(kinds, a_list, b_list, offsets, snapshots, i, halted)
+
+
+def replay_warm_events(pipeline, trace, start, end):
+    """Apply recorded warm events ``[start, end)`` to *pipeline*'s warm
+    state (predictors, confidence, BTB, RAS, caches, oracle cursors).
+
+    This is the fast half of a warm gap: the architectural state does
+    not advance here — the caller teleports the checker to the matching
+    pre-scan snapshot afterwards (:meth:`Pipeline.restore_committed_state`).
+    The training side effects are exactly those of :func:`warm_advance`
+    over the same instructions.
+    """
+    kinds = trace.kinds
+    a_list = trace.a
+    b_list = trace.b
+    predictor = pipeline.predictor
+    confidence = pipeline.confidence
+    btb = pipeline.btb
+    ras = pipeline.ras
+    memory = pipeline.memory
+    oracle = pipeline.oracle
+    train = predictor.train
+    spec_update = predictor.speculative_update
+    conf_spec = confidence.speculative_update
+    conf_update = confidence.update
+    install = btb.install
+    access_data = memory.access_data
+    access_inst = memory.access_inst
+    oracle_predict = oracle.predict if oracle is not None else None
+    i = start
+    while i < end:
+        kind = kinds[i]
+        if kind == _E_ICACHE:
+            access_inst(a_list[i])
+        elif kind == _E_LOAD:
+            access_data(b_list[i], False, a_list[i])
+        elif kind == _E_STORE:
+            access_data(b_list[i], True, a_list[i])
+        elif kind == _E_BR:
+            pc = a_list[i]
+            predicted = train(pc, False)
+            conf_spec(False)
+            conf_update(pc, not predicted)
+        elif kind == _E_BR_T:
+            pc = a_list[i]
+            predicted = train(pc, True)
+            conf_spec(True)
+            conf_update(pc, predicted)
+            install(pc, b_list[i])
+        elif kind == _E_ORACLE:
+            pc = a_list[i]
+            predicted = oracle_predict(pc)
+            spec_update(pc, False)
+            conf_spec(False)
+            conf_update(pc, not predicted)
+        elif kind == _E_ORACLE_T:
+            pc = a_list[i]
+            predicted = oracle_predict(pc)
+            spec_update(pc, True)
+            conf_spec(True)
+            conf_update(pc, predicted)
+            install(pc, b_list[i])
+        elif kind == _E_CFD_T or kind == _E_JUMP:
+            install(a_list[i], b_list[i])
+        elif kind == _E_JAL_LINK:
+            pc = a_list[i]
+            ras.push(pc + 1)
+            install(pc, b_list[i])
+        else:  # _E_JALR_RET
+            ras.pop()
+            install(a_list[i], b_list[i])
+        i += 1

@@ -74,6 +74,16 @@ class PipelineObserver:
     def on_cycle_end(self, pipeline):
         pass
 
+    def on_warm_skip(self, pipeline, count):
+        """Sampled simulation advanced *count* instructions functionally.
+
+        No per-instruction hooks fire for the skipped region (there are
+        no uops — the warm mode runs the committed state only, see
+        :mod:`repro.core.warm`).  Observers that shadow the retire
+        stream (e.g. the reliability layer's independent oracle) use
+        this to fast-forward; everyone else can ignore it.
+        """
+
 
 class MultiObserver(PipelineObserver):
     """Fans every hook out to a list of observers."""
@@ -121,6 +131,10 @@ class MultiObserver(PipelineObserver):
     def on_cycle_end(self, pipeline):
         for obs in self.observers:
             obs.on_cycle_end(pipeline)
+
+    def on_warm_skip(self, pipeline, count):
+        for obs in self.observers:
+            obs.on_warm_skip(pipeline, count)
 
 
 class RingBuffer:

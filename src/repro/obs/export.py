@@ -289,12 +289,17 @@ def config_to_dict(config):
     return jsonable(config)
 
 
-def run_manifest(result, workload=None, run=None, registry=None, metrics=None):
+def run_manifest(result, workload=None, run=None, registry=None, metrics=None,
+                 sampling=None):
     """The versioned machine-readable record of one simulation.
 
     *result* is a :class:`~repro.core.simulator.SimResult`; *workload* an
     optional identity dict ({"name", "variant", "input", "scale", "seed"});
     *run* optional invocation parameters ({"max_instructions", ...}).
+    *sampling* overrides the sampled-run accounting section; by default
+    it is taken from ``result.sampling`` (present on
+    :class:`~repro.perf.sample.SampledSimResult` and rehydrated cache
+    entries) and is ``None`` for full-detail runs.
     The metrics section is the full registry snapshot — every counter the
     core, memory system, predictors and CFD hardware registered.  Pass a
     pre-taken flat *metrics* dict instead when the result has no live
@@ -313,6 +318,10 @@ def run_manifest(result, workload=None, run=None, registry=None, metrics=None):
         "program": result.program_name,
         "workload": jsonable(workload) if workload else None,
         "run": jsonable(run) if run else None,
+        "sampling": jsonable(
+            sampling if sampling is not None
+            else getattr(result, "sampling", None)
+        ),
         "config": config_to_dict(result.config),
         "metrics": metrics,
         "stats": jsonable(stats.to_dict()),

@@ -130,14 +130,19 @@ def _measurement_from_speed_payload(payload, source):
     }
 
 
-def load_measurement(path, select="last"):
+def load_measurement(path, select="last", label=None):
     """A comparable ``{geomean_kips, cases}`` measurement from *path*.
 
     Accepts a ``BENCH_speed.json``-style payload or a
     ``BENCH_history.jsonl`` database.  For a history file, *select*
     picks the entry: ``first`` (the oldest), ``last`` (the newest) or
     ``best`` (highest geomean — the high-water mark to defend).
-    Raises ``ValueError`` when nothing usable is found.
+    *label*, when given, first narrows the history to entries whose
+    ``label`` matches exactly (``bench-diff --baseline-label``) — so a
+    named measurement (say ``"v1.2-release"``) can serve as the pinned
+    baseline regardless of what was appended after it; *select* then
+    picks among the matches.  Raises ``ValueError`` when nothing usable
+    is found.
     """
     try:
         with open(path) as fh:
@@ -152,13 +157,32 @@ def load_measurement(path, select="last"):
         payload = None
     if isinstance(payload, dict):
         if payload.get("kind") == "repro.bench_speed":
+            if label is not None:
+                raise ValueError(
+                    "%s: a label selector needs a history file, not a "
+                    "single-measurement artifact" % path
+                )
             return _measurement_from_speed_payload(payload, path)
         if payload.get("kind") == "repro.bench_history":
+            # A one-line history file parses as a single document; the
+            # label selector still applies to its lone entry.
+            if label is not None and payload.get("label") != label:
+                raise ValueError(
+                    "%s holds no bench-history entries labelled %r"
+                    % (path, label)
+                )
             return _measurement_from_entry(payload, path)
         raise ValueError(
             "%s: unsupported artifact kind %r" % (path, payload.get("kind"))
         )
     entries = load_history(path)
+    if label is not None:
+        entries = [e for e in entries if e.get("label") == label]
+        if not entries:
+            raise ValueError(
+                "%s holds no bench-history entries labelled %r"
+                % (path, label)
+            )
     if not entries:
         raise ValueError("%s holds no usable bench-history entries" % path)
     if select == "first":
@@ -169,7 +193,8 @@ def load_measurement(path, select="last"):
         entry = entries[-1]
     else:
         raise ValueError("unknown history selector %r" % (select,))
-    return _measurement_from_entry(entry, "%s[%s]" % (path, select))
+    selector = select if label is None else "%s=%s" % (label, select)
+    return _measurement_from_entry(entry, "%s[%s]" % (path, selector))
 
 
 def bench_diff(current, baseline, case_tolerance=CASE_TOLERANCE,

@@ -62,6 +62,8 @@ EVENT_KINDS = (
     "progress",
     "point_finish",
     "cache_hit",
+    "sampling",
+    "batch",
     "journal_resume",
     "retry",
     "timeout",
@@ -224,7 +226,7 @@ class PointState:
     __slots__ = ("key", "label", "status", "pid", "retired", "cycles",
                  "kips", "seconds", "attempts", "retries", "timeouts",
                  "cached", "resumed", "degraded", "error_kind",
-                 "resources", "first_ts", "last_ts")
+                 "resources", "first_ts", "last_ts", "sampling")
 
     def __init__(self, key, label):
         self.key = key
@@ -245,6 +247,7 @@ class PointState:
         self.resources = None
         self.first_ts = None
         self.last_ts = None
+        self.sampling = None
 
     @property
     def settled(self):
@@ -277,7 +280,9 @@ class SweepAggregator:
             "events": 0, "heartbeats": 0, "cache_hits": 0,
             "journal_resumes": 0, "retries": 0, "timeouts": 0,
             "pool_respawns": 0, "degraded": 0, "workers": 0,
+            "sampled_points": 0, "batches": 0,
         }
+        self.batch_width = 0
         self.points = {}
         self._worker_pids = set()
         self.peak_rss_kb = 0
@@ -397,6 +402,23 @@ class SweepAggregator:
                 else:
                     state.status = "pending"  # may be retried
                     state.error_kind = event.get("error_kind")
+        elif kind == "sampling":
+            # One sampled point finished its sampled loop: record its
+            # honest accounting on the point state.
+            self.counters["sampled_points"] += 1
+            state = self._point(event)
+            if state is not None:
+                state.sampling = {
+                    "fingerprint": event.get("fingerprint"),
+                    "intervals": event.get("intervals"),
+                    "measured_fraction": event.get("measured_fraction"),
+                    "ipc_rel_ci95": event.get("ipc_rel_ci95"),
+                }
+        elif kind == "batch":
+            # A lockstep batched fan-out started; remember its width.
+            self.counters["batches"] += 1
+            if event.get("width"):
+                self.batch_width = max(self.batch_width, event["width"])
         elif kind == "cache_hit":
             state = self._point(event)
             self.counters["cache_hits"] += 1
@@ -489,6 +511,7 @@ class SweepAggregator:
                 "elapsed": round(elapsed, 3),
                 "peak_rss_kb": self.peak_rss_kb,
                 "cpu_seconds": round(self.cpu_seconds, 3),
+                "batch_width": self.batch_width,
             },
             "points": [s.to_dict() for s in points],
         }

@@ -21,10 +21,20 @@ each point expensive.  This package makes the grid cheap two ways:
     The host-throughput benchmark (simulated kilo-instructions per host
     second) behind ``repro bench-speed`` and ``BENCH_speed.json``.
 
-See docs/PERFORMANCE.md for the cache layout, invalidation rules and
-the KIPS methodology.
+:mod:`repro.perf.sample`
+    SMARTS-style sampled simulation: detailed windows + trace-replay
+    warm gaps, with honest per-stat extrapolation error bars
+    (``repro run --sample``, ``repro bench-speed --sample``).
+
+:mod:`repro.perf.batch`
+    Lockstep batched functional execution of independent points
+    (``run_sweep(..., executor="batched")``).
+
+See docs/PERFORMANCE.md for the cache layout, invalidation rules, the
+KIPS methodology and the sampling/batching design.
 """
 
+from repro.perf.batch import BatchedFunctionalExecutor, run_batched_points
 from repro.perf.cache import (
     CACHE_SCHEMA_VERSION,
     CachedSimResult,
@@ -34,19 +44,29 @@ from repro.perf.cache import (
     result_key,
     snapshot_result,
 )
+from repro.perf.sample import (
+    SampledSimResult,
+    SampledSimulator,
+    SamplingPlan,
+)
 from repro.perf.speed import (
     REFERENCE_CASES,
     SpeedCase,
+    run_sampled_benchmark,
     run_speed_benchmark,
     write_speed_artifact,
 )
 from repro.perf.sweep import SweepOutcome, SweepPoint, default_jobs, run_sweep
 
 __all__ = [
+    "BatchedFunctionalExecutor",
     "CACHE_SCHEMA_VERSION",
     "CachedSimResult",
     "REFERENCE_CASES",
     "ResultCache",
+    "SampledSimResult",
+    "SampledSimulator",
+    "SamplingPlan",
     "SpeedCase",
     "SweepOutcome",
     "SweepPoint",
@@ -54,6 +74,8 @@ __all__ = [
     "default_jobs",
     "program_digest",
     "result_key",
+    "run_batched_points",
+    "run_sampled_benchmark",
     "run_speed_benchmark",
     "run_sweep",
     "snapshot_result",

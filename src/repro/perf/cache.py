@@ -91,8 +91,16 @@ def config_fingerprint(config):
 
 
 def result_key(program, config, max_instructions=None, warmup_instructions=0,
-               schema_version=None):
-    """The cache key (hex digest) for one simulation point."""
+               schema_version=None, sampling=None):
+    """The cache key (hex digest) for one simulation point.
+
+    *sampling* — a :class:`~repro.perf.sample.SamplingPlan` or its
+    ``fingerprint()`` string — enters the digest, so a sampled run can
+    never be served from (or poison) the full-detail entry for the same
+    (program, config, budgets) point.  ``None`` (full detail) leaves the
+    digest byte-identical to the pre-sampling layout, keeping existing
+    caches warm.
+    """
     version = CACHE_SCHEMA_VERSION if schema_version is None else schema_version
     hasher = hashlib.sha256()
     hasher.update(("repro.perf.cache/v%d\n" % version).encode())
@@ -102,6 +110,11 @@ def result_key(program, config, max_instructions=None, warmup_instructions=0,
     hasher.update(
         ("\nmax=%r warmup=%r" % (max_instructions, warmup_instructions)).encode()
     )
+    if sampling is not None:
+        fingerprint = (
+            sampling if isinstance(sampling, str) else sampling.fingerprint()
+        )
+        hasher.update(("\nsampling=%s" % fingerprint).encode())
     return hasher.hexdigest()
 
 
@@ -118,6 +131,9 @@ def snapshot_result(result, workload=None, run=None):
         "config_name": result.config.name,
         "workload": jsonable(workload) if workload else None,
         "run": jsonable(run) if run else None,
+        # Sampled runs carry their honest accounting (plan, intervals,
+        # confidence interval); None for full-detail runs.
+        "sampling": jsonable(getattr(result, "sampling", None)),
         "stats": result.stats.to_snapshot(),
         "energy": {
             "dynamic_pj": energy.dynamic_pj,
@@ -148,6 +164,8 @@ class CachedSimResult:
         self.payload = payload
         self.program_name = payload["program"]
         self.config = config
+        #: Sampled-run accounting dict, or ``None`` for full-detail runs.
+        self.sampling = payload.get("sampling")
         self.stats = SimStats.from_snapshot(payload["stats"])
         self.energy = EnergyReport(
             dynamic_pj=payload["energy"]["dynamic_pj"],
@@ -179,6 +197,7 @@ class CachedSimResult:
             workload=workload or self.payload.get("workload"),
             run=run or self.payload.get("run"),
             metrics=self.metrics_snapshot(),
+            sampling=self.sampling,
         )
 
     def write_manifest(self, path, workload=None, run=None):
@@ -206,10 +225,10 @@ class ResultCache:
         self.quarantined = 0
 
     def key_for(self, program, config, max_instructions=None,
-                warmup_instructions=0):
+                warmup_instructions=0, sampling=None):
         return result_key(
             program, config, max_instructions, warmup_instructions,
-            schema_version=self.schema_version,
+            schema_version=self.schema_version, sampling=sampling,
         )
 
     def path_for(self, key):

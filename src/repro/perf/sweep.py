@@ -60,14 +60,39 @@ class SweepPoint:
     seed: int = 1
     max_instructions: Optional[int] = None
     warmup_instructions: int = 0
+    #: Sampling spec (``"default"`` or ``"interval=N,period=N,..."``, see
+    #: :meth:`repro.perf.sample.SamplingPlan.from_spec`).  ``None`` runs
+    #: full detail; a spec runs the point through
+    #: :class:`~repro.perf.sample.SampledSimulator` and the plan
+    #: fingerprint enters the point's cache key.
+    sampling: Optional[str] = None
 
     def label(self):
         return "%s(%s)/%s" % (self.workload, self.input_name or "", self.variant)
 
+    def sampling_plan(self):
+        """The validated :class:`SamplingPlan`, or ``None`` (full detail)."""
+        if self.sampling is None:
+            return None
+        from repro.perf.sample import SamplingPlan
+
+        return SamplingPlan.from_spec(self.sampling)
+
 
 @dataclass
 class SweepOutcome:
-    """What happened to one point: a result, a cache hit, or an error."""
+    """What happened to one point: a result, a cache hit, or an error.
+
+    The resource-accounting fields — ``seconds`` (worker-measured wall
+    time of the final attempt), ``attempts`` (simulation attempts
+    launched) and ``resources`` (CPU/RSS delta when telemetry was on) —
+    are first-class output: ``repro compare --json`` surfaces them per
+    point alongside the stats, so bench tooling consumes them without
+    digging through supervision journals.  ``functional`` is set instead
+    of ``result`` for ``executor="batched"`` sweeps, which run the
+    points' functional machines in one lockstep batch and report
+    architectural outcomes only (no timing stats).
+    """
 
     point: SweepPoint
     result: Optional[CachedSimResult] = None
@@ -90,6 +115,10 @@ class SweepOutcome:
     #: Worker resource usage of the final attempt when telemetry was on
     #: (:meth:`repro.obs.resource.ResourceSample.delta`); ``None`` otherwise.
     resources: Optional[dict] = None
+    #: Functional-only outcome dict (``executor="batched"``): retired
+    #: count, halt flag, final PC and the batch width.  ``None`` for
+    #: detailed (process/inline) sweeps.
+    functional: Optional[dict] = None
 
     @property
     def ok(self):
@@ -142,13 +171,20 @@ def _simulate_point(point, spool_dir=None, key=None):
 
         built = _build_point(point)
         config = point.config if point.config is not None else sandy_bridge_config()
-        simulator = Simulator(built.program, config)
+        plan = point.sampling_plan()
+        if plan is not None:
+            from repro.perf.sample import SampledSimulator
+
+            simulator = SampledSimulator(built.program, config, plan)
+        else:
+            simulator = Simulator(built.program, config)
         resources = None
         if spool_dir is not None:
             from repro.obs.telemetry import emit_point_run, worker_spool
 
+            spool = worker_spool(spool_dir)
             result, resources = emit_point_run(
-                worker_spool(spool_dir),
+                spool,
                 point.label(),
                 key or point.label(),
                 lambda observer: simulator.run(
@@ -156,6 +192,17 @@ def _simulate_point(point, spool_dir=None, key=None):
                     observer=observer,
                 ),
             )
+            report = getattr(result, "sampling", None)
+            if report:
+                spool.emit(
+                    "sampling",
+                    point=point.label(),
+                    key=key or point.label(),
+                    fingerprint=report.get("fingerprint"),
+                    intervals=report.get("intervals"),
+                    measured_fraction=report.get("measured_fraction"),
+                    ipc_rel_ci95=report.get("ipc_rel_ci95"),
+                )
         else:
             result = simulator.run(
                 point.max_instructions, point.warmup_instructions
@@ -167,6 +214,7 @@ def _simulate_point(point, spool_dir=None, key=None):
                 run={
                     "max_instructions": point.max_instructions,
                     "warmup_instructions": point.warmup_instructions,
+                    "sampling": point.sampling,
                 },
             ),
             None,
@@ -179,7 +227,8 @@ def _simulate_point(point, spool_dir=None, key=None):
                         time.perf_counter() - start, None)
 
 
-def run_sweep(points, jobs=None, cache=None, progress=None, telemetry=None):
+def run_sweep(points, jobs=None, cache=None, progress=None, telemetry=None,
+              executor=None):
     """Run every point; returns ``[SweepOutcome]`` aligned with *points*.
 
     *jobs* ``<= 1`` runs inline (no pool).  With *cache* (a
@@ -193,10 +242,21 @@ def run_sweep(points, jobs=None, cache=None, progress=None, telemetry=None):
     ``$REPRO_TELEMETRY_DIR`` is set) — makes the sweep observable from
     outside the process (``repro top`` / ``repro tail``); results are
     byte-identical with it on or off.
+
+    *executor* selects the fan-out: ``"process"`` (default — pool or
+    inline detailed simulation) or ``"batched"`` — all points' functional
+    machines advance in lockstep inside this process
+    (:class:`~repro.perf.batch.BatchedFunctionalExecutor`), producing
+    functional-only outcomes (``outcome.functional``; no timing stats,
+    no cache involvement, no per-point process overhead).
     """
     points = list(points)
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    if executor not in (None, "process", "batched"):
+        raise ValueError("unknown sweep executor %r" % (executor,))
     telemetry = SweepTelemetry.resolve(telemetry)
+    if executor == "batched":
+        return _run_batched_sweep(points, telemetry, progress)
     spool_dir = telemetry.directory if telemetry is not None else None
     outcomes = [None] * len(points)
     pending = []  # (index, point, key)
@@ -224,9 +284,11 @@ def run_sweep(points, jobs=None, cache=None, progress=None, telemetry=None):
         if cache is not None:
             try:
                 built = _build_point(point)
+                plan = point.sampling_plan()
                 key = cache.key_for(
                     built.program, point.config,
                     point.max_instructions, point.warmup_instructions,
+                    sampling=plan.fingerprint() if plan is not None else None,
                 )
             except Exception:
                 settled(index, SweepOutcome(
@@ -295,6 +357,86 @@ def run_sweep(points, jobs=None, cache=None, progress=None, telemetry=None):
                                    0.0, None)
                 settle(index, point, key, run,
                        time.perf_counter() - submitted[future])
+    if telemetry is not None:
+        telemetry.sweep_finished(outcomes)
+    return outcomes
+
+
+def _run_batched_sweep(points, telemetry, progress):
+    """``executor="batched"``: one lockstep batch over all points.
+
+    Builds every point's workload, instantiates its functional machine
+    (CFD queue geometry from the point's config), and advances all of
+    them together in one :class:`BatchedFunctionalExecutor`.  A point
+    whose build fails settles as an error without removing its
+    neighbours from the batch.  Sampling specs are irrelevant here —
+    the batch is already functional-only.
+    """
+    from repro.perf.batch import BatchedFunctionalExecutor
+
+    if telemetry is not None:
+        telemetry.sweep_started(len(points), 1, label="run_sweep[batched]")
+    outcomes = [None] * len(points)
+    lanes = []  # (input index, executor lane index) via parallel append
+    lane_points = []
+    start = time.perf_counter()
+    for index, point in enumerate(points):
+        if point.config is None:
+            from repro.core import sandy_bridge_config
+
+            point.config = sandy_bridge_config()
+        try:
+            from repro.arch.executor import FunctionalExecutor
+            from repro.arch.state import ArchState
+
+            built = _build_point(point)
+            config = point.config
+            state = ArchState(
+                built.program,
+                bq_size=config.bq_size,
+                vq_size=config.vq_size,
+                tq_size=config.tq_size,
+                tq_bits=config.tq_bits,
+            )
+            budget = (
+                point.max_instructions if point.max_instructions is not None
+                else 100_000_000
+            )
+            lanes.append(FunctionalExecutor(built.program, state, budget))
+            lane_points.append(index)
+        except Exception:
+            outcomes[index] = SweepOutcome(
+                point=point, error=traceback.format_exc(),
+                worker_pid=os.getpid(), attempts=1,
+            )
+    batch = BatchedFunctionalExecutor(lanes)
+    if telemetry is not None:
+        telemetry.emit("batch", width=batch.width, points=len(points))
+    batch.run()
+    elapsed = time.perf_counter() - start
+    for lane_index, index in enumerate(lane_points):
+        lane = batch.lanes[lane_index]
+        outcomes[index] = SweepOutcome(
+            point=points[index],
+            functional={
+                "mode": "functional",
+                "retired": int(batch.retired()[lane_index]),
+                "halted": bool(batch.halted()[lane_index]),
+                "final_pc": lane.state.pc,
+                "batch_width": batch.width,
+            },
+            elapsed=elapsed,
+            worker_pid=os.getpid(),
+            seconds=elapsed,
+            attempts=1,
+        )
+    done = 0
+    for outcome in outcomes:
+        done += 1
+        if telemetry is not None:
+            telemetry.point_settled(outcome, key=outcome.point.label())
+        if progress is not None:
+            progress(outcome, done, len(outcomes))
     if telemetry is not None:
         telemetry.sweep_finished(outcomes)
     return outcomes

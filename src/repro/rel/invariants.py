@@ -169,6 +169,25 @@ class InvariantChecker(PipelineObserver):
         if self.cycle_checks % self.deep_check_every == 0:
             self._deep_check(pipeline)
 
+    def on_warm_skip(self, pipeline, count):
+        """Sampled-run warm gap: fast-forward the independent oracle.
+
+        The skipped instructions were executed functionally (no uops, no
+        per-instruction hooks), so the oracle replays them without
+        checking — per-retirement and architectural cross-checks apply
+        inside detailed intervals only.  The arch cross-check at the
+        next detailed retirement still catches committed-state
+        corruption across the gap.
+        """
+        if self._pipeline is None:
+            self.bind(pipeline)
+        advanced = self._oracle.run(count)
+        if advanced != count and not self._oracle.state.halted:
+            self._violate(
+                "independent oracle advanced %d of %d warm-skip "
+                "instructions without halting" % (advanced, count)
+            )
+
     # ------------------------------------------------------------- checks
 
     def _cross_check(self):

@@ -102,7 +102,10 @@ def point_key(point):
     Covers the workload recipe (name/variant/input/scale/seed), the
     instruction budgets and the config fingerprint — everything that
     determines the simulation result — without building the workload, so
-    journal lookup stays cheap.
+    journal lookup stays cheap.  A sampling spec joins the identity only
+    when set, so a sampled point can never resume from a full-detail
+    journal entry (or vice versa) while pre-sampling journals keep
+    matching their full-detail points.
     """
     identity = {
         "workload": point.workload,
@@ -116,6 +119,8 @@ def point_key(point):
             config_fingerprint(point.config) if point.config is not None else None
         ),
     }
+    if getattr(point, "sampling", None) is not None:
+        identity["sampling"] = point.sampling_plan().fingerprint()
     blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
 
@@ -251,13 +256,19 @@ def _kill_pool_processes(pool):
 
 
 def run_supervised_sweep(points, jobs=None, cache=None, policy=None,
-                         progress=None, telemetry=None):
+                         progress=None, telemetry=None, executor=None):
     """Run every point under supervision; ``[SupervisedOutcome]`` in order.
 
     Drop-in superset of :func:`repro.perf.sweep.run_sweep`: with the
     default :class:`SupervisionPolicy` and healthy workers the results are
     byte-identical (simulation is deterministic; supervision only decides
     *whether and where* a point runs, never what it computes).
+
+    ``executor="batched"`` delegates to the lockstep in-process batch
+    (functional-only outcomes, see
+    :class:`~repro.perf.batch.BatchedFunctionalExecutor`); timeouts,
+    retries and the journal do not apply there — a batch has no workers
+    to supervise and completes or fails as a unit.
 
     *telemetry* — a spool directory or
     :class:`~repro.obs.telemetry.SweepTelemetry` (default: enabled when
@@ -267,6 +278,15 @@ def run_supervised_sweep(points, jobs=None, cache=None, policy=None,
     authoritative per-point outcomes, and ``repro top`` / ``repro tail``
     render them live.  Results are byte-identical with it on or off.
     """
+    if executor not in (None, "process", "batched"):
+        raise ValueError("unknown sweep executor %r" % (executor,))
+    if executor == "batched":
+        from repro.perf.sweep import run_sweep
+
+        return run_sweep(
+            points, progress=progress, telemetry=telemetry,
+            executor="batched",
+        )
     policy = SupervisionPolicy() if policy is None else policy
     points = list(points)
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
@@ -319,9 +339,13 @@ def run_supervised_sweep(points, jobs=None, cache=None, policy=None,
         if cache is not None:
             try:
                 built = _build_point(point)
+                plan = point.sampling_plan()
                 cache_key = cache.key_for(
                     built.program, point.config,
                     point.max_instructions, point.warmup_instructions,
+                    sampling=(
+                        plan.fingerprint() if plan is not None else None
+                    ),
                 )
             except Exception:
                 settle(index, SupervisedOutcome(

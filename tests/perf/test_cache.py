@@ -167,3 +167,68 @@ def test_concurrent_writers_never_corrupt_an_entry(program, cache):
     assert recovered is not None
     assert _stats_json(recovered) == _stats_json(CachedSimResult(payload))
     assert cache.counters()["quarantined"] == 0
+
+
+# ------------------------------------------------------- sampled entries
+
+
+def test_key_covers_sampling(program):
+    """A sampled run must never be served from (or poison) the
+    full-detail entry for the same point, and distinct plans must not
+    collide with each other."""
+    from repro.perf.sample import SamplingPlan
+
+    config = sandy_bridge_config()
+    full = result_key(program, config)
+    default_plan = result_key(program, config, sampling=SamplingPlan())
+    long_plan = result_key(
+        program, config, sampling=SamplingPlan(interval_length=4000)
+    )
+    assert len({full, default_plan, long_plan}) == 3
+    # sampling=None leaves the digest byte-identical to the pre-sampling
+    # key layout, so existing caches stay warm across the upgrade.
+    assert result_key(program, config, sampling=None) == full
+    # A plan object and its fingerprint string are the same identity.
+    assert result_key(
+        program, config, sampling=SamplingPlan().fingerprint()
+    ) == default_plan
+
+
+def test_sampled_entry_round_trips_with_report(program, cache):
+    from repro.perf.sample import SampledSimulator, SamplingPlan
+
+    plan = SamplingPlan(interval_length=100, detail_warmup=20, period=400,
+                        head_detail=100, tail_detail=100)
+    config = sandy_bridge_config()
+    live = SampledSimulator(program, config, plan).run(150)
+    key = cache.key_for(program, config, 150, sampling=plan)
+    cache.store_result(key, live)
+    cached = cache.load(key, config=config)
+    assert cached is not None
+    assert cached.sampling == live.sampling
+    assert _stats_json(cached) == _stats_json(live)
+    assert cached.manifest()["sampling"] == live.sampling
+
+
+def test_corrupt_sampled_entry_quarantines_like_a_full_one(program, cache):
+    import os
+
+    from repro.perf.sample import SampledSimulator, SamplingPlan
+
+    plan = SamplingPlan(interval_length=100, detail_warmup=20, period=400,
+                        head_detail=100, tail_detail=100)
+    config = sandy_bridge_config()
+    live = SampledSimulator(program, config, plan).run(150)
+    key = cache.key_for(program, config, 150, sampling=plan)
+    cache.store_result(key, live)
+    path = cache.path_for(key)
+    with open(path, "w") as fh:
+        fh.write('{"sampling": tru')
+    assert cache.load(key, config=config) is None
+    assert cache.counters()["quarantined"] == 1
+    assert os.path.exists(path + ".corrupt")
+    # A fresh store recovers the entry at the original path.
+    cache.store_result(key, live)
+    recovered = cache.load(key, config=config)
+    assert recovered is not None
+    assert recovered.sampling == live.sampling

@@ -227,3 +227,60 @@ def test_hung_worker_without_retries_reports_timeout(tmp_path):
     assert not timed[0].ok
     assert "timed out" in timed[0].error
     assert all(o.ok for o in outcomes if not o.timed_out)
+
+
+# --------------------------------------------------- sampled + batched
+
+
+def _sampled_point():
+    return SweepPoint(workload="bzip2", variant="tq", input_name="chicken",
+                      scale=0.25, max_instructions=20_000,
+                      sampling="interval=400,warmup=100,period=2000,"
+                               "head=500,tail=500")
+
+
+def test_point_key_covers_sampling():
+    from repro.rel.supervise import point_key
+
+    full = _sampled_point()
+    full.sampling = None
+    sampled = _sampled_point()
+    other = _sampled_point()
+    other.sampling = "interval=500,warmup=100,period=2000,head=500,tail=500"
+    keys = {point_key(full), point_key(sampled), point_key(other)}
+    assert len(keys) == 3
+
+
+def test_sampled_point_resumes_from_its_own_journal_entry(tmp_path):
+    journal = str(tmp_path / "journal.jsonl")
+    policy = SupervisionPolicy(journal_path=journal, resume=True)
+    [first] = run_supervised_sweep([_sampled_point()], jobs=1, policy=policy)
+    assert first.ok and not first.resumed
+    assert first.result.sampling["intervals"] >= 1
+    [resumed] = run_supervised_sweep([_sampled_point()], jobs=1,
+                                     policy=policy)
+    assert resumed.resumed
+    assert resumed.result.sampling == first.result.sampling
+    assert json.dumps(resumed.result.stats.to_dict(), sort_keys=True) == \
+        json.dumps(first.result.stats.to_dict(), sort_keys=True)
+    # The full-detail twin must NOT be served from the sampled entry.
+    full = _sampled_point()
+    full.sampling = None
+    [fresh] = run_supervised_sweep([full], jobs=1, policy=policy)
+    assert not fresh.resumed
+    assert fresh.result.sampling is None
+
+
+def test_supervised_batched_executor_delegates():
+    points = _points(2)
+    outcomes = run_supervised_sweep(points, executor="batched")
+    assert len(outcomes) == 2
+    for outcome in outcomes:
+        assert outcome.ok
+        assert outcome.functional["retired"] == 2000
+        assert outcome.functional["batch_width"] == 2
+
+
+def test_supervised_unknown_executor_rejected():
+    with pytest.raises(ValueError):
+        run_supervised_sweep([], executor="threads")
