@@ -23,9 +23,30 @@ class Memory:
         return other
 
     def load_image(self, image):
-        """Install initial contents from a {byte_addr: word} mapping."""
+        """Install initial contents from a {byte_addr: word} mapping.
+
+        Validates like :meth:`store_word` but inline: data images run to
+        millions of words at large workload scales, and this is on every
+        pipeline's construction path.
+        """
+        words = self._words
         for addr, value in image.items():
-            self.store_word(addr, value)
+            if addr % 4 != 0:
+                raise MemoryError_("misaligned word access at 0x%x" % addr)
+            if addr < 0:
+                raise MemoryError_("negative address 0x%x" % addr)
+            words[addr] = value & _WORD_MASK
+
+    def install_validated(self, words):
+        """Merge an already-validated, already-masked word image.
+
+        Trusted fast path for :meth:`~repro.arch.state.ArchState.\
+load_program`'s per-program memo: the first load validates and masks
+        via :meth:`load_image`; every later machine built on the same
+        program merges the memoized image without re-checking each of
+        its (possibly millions of) words.
+        """
+        self._words.update(words)
 
     @staticmethod
     def _check_aligned(addr):

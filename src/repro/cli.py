@@ -10,7 +10,9 @@ Commands
 ``trace``        per-cycle trace of a run (Chrome/Perfetto or JSONL events)
 ``disasm``       disassembly listing of a built workload binary
 ``bench-speed``  host throughput (simulated KIPS) vs the stored baseline
+``bench-sweep``  sweep throughput (points/sec): trace reuse vs per-point
 ``bench-diff``   compare two speed measurements; exit 6 on regression
+``cache-prune``  shrink the result cache and warm-trace store (LRU)
 ``lint``         static CFD contract verification of built binaries
 ``top``          live progress view of a telemetry-enabled sweep
 ``tail``         stream a sweep's telemetry spool events
@@ -512,6 +514,8 @@ def cmd_bench_speed(args, out):
                 "plan": sampled["plan"],
                 "geomean_kips": sampled["geomean_kips"],
                 "ipc_error_pct_geomean": sampled["ipc_error_pct_geomean"],
+                "ipc_rel_ci95_pct_geomean":
+                    sampled["ipc_rel_ci95_pct_geomean"],
                 "gates_passed": sampled["gates_passed"],
                 "cases": {
                     name: {
@@ -540,19 +544,166 @@ def cmd_bench_speed(args, out):
         if sampled is not None:
             out.write(
                 "sampled geomean: %.2f KIPS (%.2fx vs full-detail %.2f), "
-                "geomean |IPC error| %.2f%% (gate %.1f%%) -> %s\n" % (
+                "geomean |IPC error| %.2f%% (gate %.1f%%), "
+                "geomean CI +/-%.2f%% -> %s\n" % (
                     sampled["geomean_kips"],
                     sampled["speedup_vs_reference"] or 0.0,
                     sampled["reference_geomean_kips"],
                     sampled["ipc_error_pct_geomean"],
                     sampled["gates"]["error_gate_pct"],
+                    sampled["ipc_rel_ci95_pct_geomean"],
                     "PASS" if sampled["gates_passed"] else "FAIL",
                 ))
         out.write("artifact: %s\n" % path)
+    if sampled is not None and sampled["gates"].get("ci_wide"):
+        wide = ", ".join(
+            "%s +/-%.1f%%" % (name, case["ipc_rel_ci95_pct"])
+            for name, case in sorted(sampled["cases"].items())
+            if (case["ipc_rel_ci95_pct"] or 0.0)
+            > sampled["gates"]["ci_warn_pct"]
+        )
+        print("repro: bench-speed: warning: wide sampled confidence "
+              "intervals (geomean +/-%.2f%% > %.1f%%%s) -- the estimate "
+              "may still be accurate, but the run cannot claim it from "
+              "its own interval statistics; a smaller plan period (more "
+              "intervals) tightens the bars"
+              % (sampled["ipc_rel_ci95_pct_geomean"],
+                 sampled["gates"]["ci_warn_pct"],
+                 "; widest: " + wide if wide else ""),
+              file=sys.stderr)
     if sampled is not None and not sampled["gates_passed"]:
         print("repro: bench-speed: sampled gates failed (exit 6)",
               file=sys.stderr)
         return EXIT_PERF_REGRESSION
+    return 0
+
+
+def cmd_bench_sweep(args, out):
+    import tempfile
+
+    from repro.perf import sweepbench
+    from repro.perf.sweepbench import merge_sweep_section, run_sweep_benchmark
+
+    scale, budget, plan = args.scale, args.budget, args.plan
+    if args.smoke:
+        scale = sweepbench.SMOKE_SCALE if scale is None else scale
+        budget = sweepbench.SMOKE_BUDGET if budget is None else budget
+        plan = sweepbench.SMOKE_PLAN if plan is None else plan
+
+    def progress(mode):
+        if not args.json:
+            out.write("measuring %s...\n" % {
+                "per_point": "per-point warm-up (trace store off)",
+                "reuse": "trace reuse (cold store)",
+                "warm": "trace reuse (warm store)",
+            }.get(mode, mode))
+
+    def measure(trace_dir):
+        return run_sweep_benchmark(
+            trace_dir, scale=scale, budget=budget, plan=plan,
+            jobs=args.jobs, progress=progress,
+        )
+
+    if args.trace_dir:
+        payload = measure(args.trace_dir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-sweep-") as tmp:
+            payload = measure(tmp)
+    if args.smoke:
+        # Fixed per-point costs dominate tiny runs; the throughput gate
+        # only means something at reference geometry.
+        payload["smoke"] = True
+        payload["gates"]["speedup_enforced"] = False
+        payload["gates_passed"] = payload["gates"]["identical_ok"]
+
+    path = None
+    if not args.smoke or args.artifact_dir is not None:
+        path = merge_sweep_section(payload, directory=args.artifact_dir)
+    if args.history:
+        from repro.obs.history import append_history, history_entry
+
+        reuse_pps = payload["reuse"]["points_per_sec"]
+        entry = history_entry(
+            {
+                "python": payload["python"],
+                "geomean_kips": reuse_pps,
+                "cases": {"sweep_reference": {"kips": reuse_pps}},
+            },
+            label=args.history_label,
+            extra={"sweep": {
+                "plan": payload["plan"],
+                "per_point_points_per_sec":
+                    payload["per_point"]["points_per_sec"],
+                "reuse_points_per_sec": reuse_pps,
+                "warm_points_per_sec": payload["warm"]["points_per_sec"],
+                "speedup_reuse_vs_per_point":
+                    payload["speedup_reuse_vs_per_point"],
+                "speedup_warm_vs_per_point":
+                    payload["speedup_warm_vs_per_point"],
+                "stats_identical": payload["stats_identical"],
+                "gates_passed": payload["gates_passed"],
+            }},
+        )
+        append_history(args.history, entry)
+        if not args.json:
+            out.write("history: %s\n" % args.history)
+    if args.json:
+        _emit_json(out, payload)
+    else:
+        out.write(
+            "per-point: %.3f pts/s   reuse: %.3f pts/s (%.2fx)   "
+            "warm: %.3f pts/s (%.2fx)\n" % (
+                payload["per_point"]["points_per_sec"],
+                payload["reuse"]["points_per_sec"],
+                payload["speedup_reuse_vs_per_point"] or 0.0,
+                payload["warm"]["points_per_sec"],
+                payload["speedup_warm_vs_per_point"] or 0.0,
+            ))
+        out.write("per-point stats identical across modes: %s\n"
+                  % ("yes" if payload["stats_identical"] else "NO"))
+        if not args.smoke:
+            out.write("gate: reuse >= %.1fx per-point -> %s\n" % (
+                payload["gates"]["speedup_floor"],
+                "PASS" if payload["gates"]["speedup_ok"] else "FAIL"))
+        if path:
+            out.write("artifact: %s\n" % path)
+    if not payload["gates_passed"]:
+        if args.warn_only:
+            print("repro: bench-sweep: gates failed (exit 0: --warn-only)",
+                  file=sys.stderr)
+            return 0
+        print("repro: bench-sweep: gates failed (exit 6)", file=sys.stderr)
+        return EXIT_PERF_REGRESSION
+    return 0
+
+
+def cmd_cache_prune(args, out):
+    from repro.perf.tracestore import TraceStore
+
+    cache = ResultCache(root=args.cache_dir)
+    store = TraceStore(root=args.trace_dir)
+    reports = (
+        ("results", cache.prune(max_mb=args.max_mb)),
+        ("traces", store.prune(max_mb=args.trace_max_mb)),
+    )
+    if args.json:
+        _emit_json(out, {
+            "kind": "repro.cache_prune",
+            "stores": {name: report for name, report in reports},
+        })
+        return 0
+    for name, report in reports:
+        budget = report.get("max_bytes")
+        out.write("%-8s %s: %d entr%s, %.1f MiB kept%s, removed %d "
+                  "(%.1f MiB freed)\n" % (
+                      name, report["root"], report["examined"],
+                      "y" if report["examined"] == 1 else "ies",
+                      report["kept_bytes"] / (1024.0 * 1024.0),
+                      "" if budget is None
+                      else " (budget %.1f MiB)"
+                           % (budget / (1024.0 * 1024.0)),
+                      report["removed"],
+                      report["freed_bytes"] / (1024.0 * 1024.0)))
     return 0
 
 
@@ -927,6 +1078,71 @@ def build_parser():
         help="report regressions but exit 0 (CI soft gate)")
     diff_parser.add_argument("--json", action="store_true",
                              help="emit the full report as JSON")
+    sweep_parser = sub.add_parser(
+        "bench-sweep",
+        help="sweep throughput (config points/sec): warm-trace reuse vs "
+             "per-point warm-up; exit 6 if reuse misses its speedup floor",
+    )
+    sweep_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes per sweep mode (default 1: serial, so the "
+             "reuse ratio is a clean amortization factor)")
+    sweep_parser.add_argument(
+        "--scale", type=float, default=None,
+        help="workload scale override (default: reference geometry)")
+    sweep_parser.add_argument(
+        "--budget", type=int, default=None,
+        help="per-point instruction budget override")
+    sweep_parser.add_argument(
+        "--plan", default=None,
+        help="sampled-plan spec override ('interval=...,window=...')")
+    sweep_parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="trace-store directory (default: a fresh temp dir, deleted "
+             "afterwards; must be empty for a true cold-store timing)")
+    sweep_parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny geometry for CI: still checks per-point byte-identity "
+             "across modes, but the speedup gate is informational only")
+    sweep_parser.add_argument(
+        "--warn-only", action="store_true",
+        help="report gate failures but exit 0 (CI soft gate)")
+    sweep_parser.add_argument(
+        "--artifact-dir", default=None,
+        help="merge the 'sweep' section into BENCH_speed.json here "
+             "(default $REPRO_BENCH_ARTIFACT_DIR or .; --smoke skips the "
+             "artifact unless this is given)")
+    sweep_parser.add_argument(
+        "--history", default=None, metavar="PATH",
+        help="append a sweep-throughput entry to a BENCH_history.jsonl "
+             "database")
+    sweep_parser.add_argument(
+        "--history-label", default=None,
+        help="label stored with the --history entry (e.g. a commit sha)")
+    sweep_parser.add_argument("--json", action="store_true",
+                              help="emit the full payload as JSON")
+    prune_parser = sub.add_parser(
+        "cache-prune",
+        help="shrink the persistent result cache and warm-trace store "
+             "(LRU by mtime) to their byte budgets",
+    )
+    prune_parser.add_argument(
+        "--max-mb", type=float, default=None,
+        help="result-cache budget in MiB (default $REPRO_CACHE_MAX_MB; "
+             "omit both to just report sizes)")
+    prune_parser.add_argument(
+        "--trace-max-mb", type=float, default=None,
+        help="trace-store budget in MiB (default $REPRO_TRACE_MAX_MB)")
+    prune_parser.add_argument(
+        "--cache-dir", default=None,
+        help="result-cache root (default ~/.cache/repro or "
+             "$REPRO_CACHE_DIR)")
+    prune_parser.add_argument(
+        "--trace-dir", default=None,
+        help="trace-store root (default <cache>/traces or "
+             "$REPRO_TRACE_DIR)")
+    prune_parser.add_argument("--json", action="store_true",
+                              help="emit the prune reports as JSON")
     top_parser = sub.add_parser(
         "top", help="live progress view of a telemetry-enabled sweep"
     )
@@ -1003,7 +1219,9 @@ _COMMANDS = {
     "trace": cmd_trace,
     "disasm": cmd_disasm,
     "bench-speed": cmd_bench_speed,
+    "bench-sweep": cmd_bench_sweep,
     "bench-diff": cmd_bench_diff,
+    "cache-prune": cmd_cache_prune,
     "lint": cmd_lint,
     "top": cmd_top,
     "tail": cmd_tail,

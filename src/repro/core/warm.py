@@ -27,9 +27,30 @@ always driven by the detailed core): CFD fetch-resolved control
 state, matching the detailed core's decoupled-hit case; wrong-path
 effects (speculative cache pollution, history repair traffic) do not
 occur, because warm mode executes only the committed path.
+
+The pre-scan itself is *portable*: :func:`record_portable_trace`
+produces a :class:`PortableWarmTrace` — the event stream plus periodic
+*stride boundaries* (architectural-state deltas + event offsets) — from
+which :meth:`PortableWarmTrace.materialize` derives event offsets and
+deep :class:`~repro.arch.state.ArchState` snapshots at **arbitrary**
+instruction positions, not just positions known at record time.  A
+portable trace round-trips losslessly through
+:meth:`~PortableWarmTrace.to_bytes`/:meth:`~PortableWarmTrace.from_bytes`
+(schema-versioned, CRC-checked), which is what
+:class:`repro.perf.tracestore.TraceStore` persists: one recorded trace
+then serves every sampling plan and every timing config whose
+:func:`warm_fingerprint` matches.
 """
 
+import struct
+import zlib
+from array import array
+from bisect import bisect_right
+from collections import deque, namedtuple
+
 from repro.arch.executor import FunctionalExecutor
+from repro.arch.memory import Memory
+from repro.arch.queues import BranchQueue, TripCountQueue, ValueQueue
 from repro.arch.state import ArchState
 from repro.isa.instructions import LINK_REG, ZERO_REG
 from repro.isa.opcodes import OpClass, Opcode
@@ -51,6 +72,51 @@ _E_JAL_LINK = 8  # a = pc, b = target (call: RAS push + BTB install)
 _E_JALR_RET = 9  # a = pc, b = target (return: RAS pop + BTB install)
 _E_JUMP = 10    # a = pc, b = target (other jump: BTB install)
 _E_CFD_T = 11   # a = pc, b = target (taken CFD control: BTB install)
+
+#: Serialized portable-trace format version; bump whenever the event
+#: stream semantics or the boundary layout change — foreign versions are
+#: rejected on load (and quarantined by the trace store).
+TRACE_SCHEMA_VERSION = 1
+
+#: Default instruction stride between boundary records.  Derivation of a
+#: mark inside a window re-executes at most one stride functionally, so
+#: the stride trades artifact size against worst-case materialize cost.
+DEFAULT_TRACE_STRIDE = 4096
+
+_TRACE_MAGIC = b"RWTC"
+
+
+class TraceFormatError(ValueError):
+    """A serialized warm trace is damaged, truncated or foreign."""
+
+
+class TraceCompatibilityError(ValueError):
+    """A warm trace does not cover the requested pipeline or budget."""
+
+
+def warm_fingerprint(config):
+    """Identity of everything that shapes the warm event stream.
+
+    The recorded stream is a pure function of (program, input, budget)
+    *and* of the config fields that reach the functional machine or the
+    per-PC event-kind table: the architectural CFD queue geometry
+    (``bq/vq/tq`` sizes, TQ bits), the L1I line size (I-cache block
+    events), and the direction-oracle coverage (oracle-covered branches
+    record ``_E_ORACLE*`` instead of ``_E_BR*``).  Timing-only knobs —
+    widths, ROB/IQ/LQ/SQ sizes, latencies, checkpoint policy — are
+    deliberately absent: configs differing only in those share one
+    trace, which is what the sweep scheduler exploits.
+    """
+    return (
+        "warm/v%d:bq=%d:vq=%d:tq=%d:tqbits=%d:l1i=%d:oracle=%s:pcs=%s"
+        % (
+            TRACE_SCHEMA_VERSION,
+            config.bq_size, config.vq_size, config.tq_size, config.tq_bits,
+            config.memory.l1i.line_bytes,
+            int(config.predictor == "perfect"),
+            ",".join(str(pc) for pc in sorted(config.perfect_pcs)),
+        )
+    )
 
 
 def warm_advance(pipeline, max_instructions):
@@ -206,6 +272,632 @@ def _static_event_kinds(pipeline):
     return kinds
 
 
+class _TrackingMemory(Memory):
+    """A :class:`Memory` that remembers which words a window wrote.
+
+    The recorder drains ``dirty`` at every stride boundary into the
+    boundary's memory delta; replaying the deltas in order reproduces
+    the exact memory image at any boundary.  All executor store paths
+    (``sw``/``sb`` and the CFD queue-save ops) funnel through
+    ``store_word``/``store_byte``, so the dirty set is complete.
+    """
+
+    def __init__(self, image=None):
+        Memory.__init__(self, image)
+        self.dirty = set()
+
+    def store_word(self, addr, value):
+        # Inlined fast path (the pre-scan runs this per store); the
+        # error path defers to the base class for its diagnostics.
+        if addr & 3 or addr < 0:
+            Memory.store_word(self, addr, value)
+        else:
+            self._words[addr] = value & 0xFFFFFFFF
+        self.dirty.add(addr)
+
+    def store_byte(self, addr, value):
+        Memory.store_byte(self, addr, value)
+        self.dirty.add(addr & ~3)
+
+
+#: One stride boundary: everything needed to restart a functional scan
+#: at ``position`` — the event offset reached, the recorder's I-cache
+#: block register, and the architectural-state delta (full registers and
+#: queue images — they are small — plus the memory words written since
+#: the previous boundary).
+_Boundary = namedtuple(
+    "_Boundary",
+    "position offset prev_block pc tcr halted regs bq vq tq mem_delta",
+)
+
+
+class _TraceRecorder:
+    """Incremental warm-event recorder, fed one retire record at a time.
+
+    Factoring the recorder out of the scan loop lets one implementation
+    serve the scalar pre-scan (:func:`record_portable_trace`) and the
+    lockstep batched pre-scan (:func:`record_portable_traces`), which
+    feeds several recorders from one
+    :class:`~repro.perf.batch.BatchedFunctionalExecutor` observer.
+    """
+
+    def __init__(self, pipeline, state, stride=DEFAULT_TRACE_STRIDE):
+        if stride <= 0:
+            raise ValueError("trace stride must be positive")
+        self.state = state
+        self.stride = stride
+        self.static_kinds = _static_event_kinds(pipeline)
+        line_bytes = pipeline._l1i_line_bytes
+        # CODE_BASE is line-aligned, so the block index is a pure shift.
+        self.block_shift = (line_bytes // 4).bit_length() - 1
+        self.fingerprint = warm_fingerprint(pipeline.config)
+        self.tq_bits = pipeline.config.tq_bits
+        self.kinds = []
+        self.a = []
+        self.b = []
+        self.count = 0
+        self.prev_block = -1
+        self.halted = False
+        self.boundaries = []
+        state.memory.dirty.clear()  # the program image is not a delta
+        self._capture_boundary()
+
+    def _capture_boundary(self):
+        state = self.state
+        memory = state.memory
+        words = memory._words
+        delta = {addr: words.get(addr, 0) for addr in memory.dirty}
+        memory.dirty.clear()
+        bq, vq, tq = state.bq, state.vq, state.tq
+        bits = self.tq_bits
+        self.boundaries.append(_Boundary(
+            self.count, len(self.kinds), self.prev_block, state.pc,
+            state.tcr, state.halted, tuple(state.regs),
+            (tuple(bq._entries), bq.total_pushes, bq.total_pops, bq._mark),
+            (tuple(vq._entries), vq.total_pushes, vq.total_pops),
+            (
+                tuple((ov << bits) | count for count, ov in tq._entries),
+                tq.total_pushes, tq.total_pops,
+            ),
+            delta,
+        ))
+
+    def feed(self, record):
+        """Account one retired instruction's warm events."""
+        kinds = self.kinds
+        pc = record.pc
+        block = pc >> self.block_shift
+        if block != self.prev_block:
+            kinds.append(_E_ICACHE)
+            self.a.append(CODE_BASE + pc * 4)
+            self.b.append(0)
+            self.prev_block = block
+        kind = self.static_kinds[pc]
+        if kind:
+            if kind == _E_LOAD or kind == _E_STORE:
+                kinds.append(kind)
+                self.a.append(pc)
+                self.b.append(record.mem_addr)
+            elif kind == _E_BR or kind == _E_ORACLE:
+                if record.taken:
+                    kinds.append(kind + 1)
+                    self.a.append(pc)
+                    self.b.append(record.target)
+                    self.prev_block = -1
+                else:
+                    kinds.append(kind)
+                    self.a.append(pc)
+                    self.b.append(0)
+            elif kind == _E_CFD_T:
+                if record.taken:
+                    kinds.append(kind)
+                    self.a.append(pc)
+                    self.b.append(record.target)
+                    self.prev_block = -1
+            else:  # jumps: always taken
+                kinds.append(kind)
+                self.a.append(pc)
+                self.b.append(record.target)
+                self.prev_block = -1
+        self.count += 1
+        if self.count % self.stride == 0:
+            self._capture_boundary()
+
+    def finish(self, machine_halted):
+        """Seal the recording; returns the :class:`PortableWarmTrace`."""
+        self.halted = bool(machine_halted)
+        if self.boundaries[-1].position != self.count:
+            self._capture_boundary()
+        return PortableWarmTrace(
+            self.fingerprint, self.stride, self.block_shift, self.tq_bits,
+            self.kinds, self.a, self.b, self.count, self.halted,
+            self.boundaries,
+        )
+
+
+def _recording_state(pipeline):
+    """A throwaway functional state with write tracking installed."""
+    config = pipeline.config
+    state = ArchState(
+        bq_size=config.bq_size,
+        vq_size=config.vq_size,
+        tq_size=config.tq_size,
+        tq_bits=config.tq_bits,
+    )
+    state.memory = _TrackingMemory()
+    state.load_program(pipeline.program)
+    return state
+
+
+def record_portable_trace(pipeline, limit, stride=DEFAULT_TRACE_STRIDE):
+    """One functional pre-scan of up to *limit* instructions.
+
+    Runs a throwaway :class:`FunctionalExecutor` (the pipeline is
+    untouched) and returns a :class:`PortableWarmTrace`: the complete
+    warm-event stream plus stride-boundary scaffolding from which event
+    offsets and architectural snapshots are derivable at any position.
+    """
+    state = _recording_state(pipeline)
+    recorder = _TraceRecorder(pipeline, state, stride)
+    executor = FunctionalExecutor(pipeline.program, state)
+    step = executor.step
+    # Inlined copy of _TraceRecorder.feed with everything bound to
+    # locals: the scalar pre-scan is the hottest loop in sampled mode
+    # and a per-instruction method call costs ~40% here.  The batched
+    # recorder keeps the feed() path; the scalar-vs-batched identity
+    # test pins the two implementations together.
+    static_kinds = recorder.static_kinds
+    block_shift = recorder.block_shift
+    kinds = recorder.kinds
+    a_list = recorder.a
+    b_list = recorder.b
+    k_append = kinds.append
+    a_append = a_list.append
+    b_append = b_list.append
+    prev_block = -1
+    i = 0
+    next_boundary = stride
+    machine_halted = False
+    while i < limit:
+        record = step()
+        if record is None:
+            machine_halted = True
+            break
+        i += 1
+        pc = record.pc
+        block = pc >> block_shift
+        if block != prev_block:
+            k_append(_E_ICACHE)
+            a_append(CODE_BASE + pc * 4)
+            b_append(0)
+            prev_block = block
+        kind = static_kinds[pc]
+        if kind:
+            if kind == _E_LOAD or kind == _E_STORE:
+                k_append(kind)
+                a_append(pc)
+                b_append(record.mem_addr)
+            elif kind == _E_BR or kind == _E_ORACLE:
+                if record.taken:
+                    k_append(kind + 1)
+                    a_append(pc)
+                    b_append(record.target)
+                    prev_block = -1
+                else:
+                    k_append(kind)
+                    a_append(pc)
+                    b_append(0)
+            elif kind == _E_CFD_T:
+                if record.taken:
+                    k_append(kind)
+                    a_append(pc)
+                    b_append(record.target)
+                    prev_block = -1
+            else:  # jumps: always taken
+                k_append(kind)
+                a_append(pc)
+                b_append(record.target)
+                prev_block = -1
+        if i == next_boundary:
+            next_boundary += stride
+            recorder.count = i
+            recorder.prev_block = prev_block
+            recorder._capture_boundary()
+    recorder.count = i
+    recorder.prev_block = prev_block
+    return recorder.finish(machine_halted)
+
+
+def record_portable_traces(pipelines, limits, stride=DEFAULT_TRACE_STRIDE):
+    """Record several pre-scans in one lockstep batch.
+
+    *pipelines* and *limits* are parallel lists — typically one pipeline
+    per workload×input group of a sweep.  All functional machines
+    advance together through a
+    :class:`~repro.perf.batch.BatchedFunctionalExecutor`, so N
+    recordings cost one tight interpreter loop instead of N sequential
+    scans.  Returns one :class:`PortableWarmTrace` per pipeline,
+    byte-identical to N scalar :func:`record_portable_trace` calls.
+    """
+    from repro.perf.batch import BatchedFunctionalExecutor
+
+    recorders = []
+    lanes = []
+    for pipeline, limit in zip(pipelines, limits):
+        state = _recording_state(pipeline)
+        recorders.append(_TraceRecorder(pipeline, state, stride))
+        lanes.append(FunctionalExecutor(pipeline.program, state, limit))
+    batch = BatchedFunctionalExecutor(lanes)
+
+    def observer(lane_index, record):
+        recorders[lane_index].feed(record)
+
+    batch.run(observer=observer)
+    return [
+        recorder.finish(halted)
+        for recorder, halted in zip(recorders, batch.halted())
+    ]
+
+
+class PortableWarmTrace:
+    """A plan-independent, config-portable warm pre-scan.
+
+    Holds the parallel event stream (``kinds``/``a``/``b``), the true
+    dynamic length (``total``, short of the recording budget on halt),
+    and the stride ``boundaries``.  :meth:`materialize` derives a
+    :class:`WarmTrace` for any requested positions; :meth:`to_bytes` /
+    :meth:`from_bytes` serialize losslessly for the on-disk store.
+    """
+
+    __slots__ = ("fingerprint", "stride", "block_shift", "tq_bits",
+                 "kinds", "a", "b", "total", "halted", "boundaries")
+
+    def __init__(self, fingerprint, stride, block_shift, tq_bits,
+                 kinds, a, b, total, halted, boundaries):
+        self.fingerprint = fingerprint
+        self.stride = stride
+        self.block_shift = block_shift
+        self.tq_bits = tq_bits
+        self.kinds = kinds
+        self.a = a
+        self.b = b
+        self.total = total
+        self.halted = halted
+        self.boundaries = boundaries
+
+    # ------------------------------------------------------ coverage
+
+    def clip(self, limit):
+        """``(total, halted)`` as a budget-*limit* recording would report.
+
+        Raises :class:`TraceCompatibilityError` when the trace cannot
+        cover *limit* (recorded budget exhausted before *limit* without
+        a halt).
+        """
+        if limit < self.total:
+            return limit, False
+        if limit == self.total:
+            return self.total, False
+        if not self.halted:
+            raise TraceCompatibilityError(
+                "trace covers %d instructions (budget exhausted); "
+                "cannot serve a %d-instruction request"
+                % (self.total, limit)
+            )
+        return self.total, True
+
+    # -------------------------------------------------- materialization
+
+    def _restart_state(self, boundary, words, config):
+        state = ArchState()
+        state.regs = list(boundary.regs)
+        memory = Memory()
+        memory._words = words
+        state.memory = memory
+        bq = BranchQueue(config.bq_size)
+        bq._entries = deque(boundary.bq[0])
+        bq.total_pushes, bq.total_pops, bq._mark = boundary.bq[1:]
+        vq = ValueQueue(config.vq_size)
+        vq._entries = deque(boundary.vq[0])
+        vq.total_pushes, vq.total_pops = boundary.vq[1:]
+        tq = TripCountQueue(config.tq_size, config.tq_bits)
+        mask = tq.max_count
+        bits = config.tq_bits
+        tq._entries = deque(
+            (word & mask, (word >> bits) & 1) for word in boundary.tq[0]
+        )
+        tq.total_pushes, tq.total_pops = boundary.tq[1:]
+        state.bq, state.vq, state.tq = bq, vq, tq
+        state.tcr = boundary.tcr
+        state.pc = boundary.pc
+        state.halted = boundary.halted
+        return state
+
+    def _advance_counting(self, executor, static_kinds, prev_block, count,
+                          offset):
+        """Functionally re-execute *count* instructions, advancing the
+        event offset exactly as the recorder did."""
+        step = executor.step
+        shift = self.block_shift
+        for _ in range(count):
+            record = step()
+            if record is None:
+                raise TraceFormatError(
+                    "functional re-execution halted before a recorded "
+                    "boundary — trace scaffolding is inconsistent"
+                )
+            pc = record.pc
+            block = pc >> shift
+            if block != prev_block:
+                offset += 1
+                prev_block = block
+            kind = static_kinds[pc]
+            if not kind:
+                continue
+            if kind == _E_BR or kind == _E_ORACLE:
+                offset += 1
+                if record.taken:
+                    prev_block = -1
+            elif kind == _E_LOAD or kind == _E_STORE:
+                offset += 1
+            elif kind == _E_CFD_T:
+                if record.taken:
+                    offset += 1
+                    prev_block = -1
+            else:
+                offset += 1
+                prev_block = -1
+        return offset, prev_block
+
+    def materialize(self, pipeline, limit, positions=(),
+                    snapshot_positions=()):
+        """Derive a :class:`WarmTrace` for *pipeline* at the requested
+        positions — including positions that were never marked at record
+        time.
+
+        For each position the nearest preceding stride boundary's state
+        is reconstructed (registers/queues from the boundary image,
+        memory by folding the delta chain) and at most one stride is
+        functionally re-executed to the exact mark, counting events the
+        way the recorder did; marks are visited in one forward pass, so
+        overlapping windows are never re-executed.  Positions past the
+        (clipped) dynamic length are silently absent, matching the
+        original single-pass recorder's contract.
+        """
+        fingerprint = warm_fingerprint(pipeline.config)
+        if fingerprint != self.fingerprint:
+            raise TraceCompatibilityError(
+                "trace was recorded under %r but the pipeline needs %r"
+                % (self.fingerprint, fingerprint)
+            )
+        total, halted = self.clip(limit)
+        snap_set = set(snapshot_positions)
+        marks = sorted(
+            p for p in (set(positions) | snap_set) if 0 <= p <= total
+        )
+        offsets = {}
+        snapshots = {}
+        if marks:
+            program = pipeline.program
+            config = pipeline.config
+            static_kinds = _static_event_kinds(pipeline)
+            boundaries = self.boundaries
+            boundary_positions = [b.position for b in boundaries]
+            # The data image was validated when the pipeline loaded it;
+            # build the word dict directly rather than through the
+            # checked store path (it can be millions of words), and memo
+            # the pristine image on the program so repeated materialize
+            # calls — a config sweep's points share one program — pay a
+            # plain copy instead of a masking pass.
+            pristine = getattr(program, "_warm_base_words", None)
+            if pristine is None:
+                pristine = {
+                    addr: value & 0xFFFFFFFF
+                    for addr, value in program.data.items()
+                }
+                try:
+                    program._warm_base_words = pristine
+                except AttributeError:  # pragma: no cover - slotted stub
+                    pass
+            base_words = dict(pristine)
+            applied = 0  # boundaries whose memory delta is folded in
+            executor = None
+            state = None
+            pos = -1
+            prev_block = -1
+            offset = 0
+            for mark in marks:
+                floor = bisect_right(boundary_positions, mark) - 1
+                if executor is None or boundaries[floor].position > pos:
+                    # Jump: fold deltas up to the floor boundary and
+                    # restart the functional machine there.  The working
+                    # dict is handed to the executor WITHOUT a copy:
+                    # mid-stride writes it makes are overwritten by the
+                    # next fold anyway, because each boundary delta
+                    # stores the absolute final value of every address
+                    # written in its stride.
+                    while applied <= floor:
+                        base_words.update(boundaries[applied].mem_delta)
+                        applied += 1
+                    boundary = boundaries[floor]
+                    state = self._restart_state(boundary, base_words, config)
+                    executor = FunctionalExecutor(program, state)
+                    pos = boundary.position
+                    prev_block = boundary.prev_block
+                    offset = boundary.offset
+                if mark > pos:
+                    offset, prev_block = self._advance_counting(
+                        executor, static_kinds, prev_block, mark - pos,
+                        offset,
+                    )
+                    pos = mark
+                offsets[mark] = offset
+                if mark in snap_set:
+                    snapshots[mark] = state.snapshot()
+        return WarmTrace(
+            self.kinds, self.a, self.b, offsets, snapshots, total, halted
+        )
+
+    # ------------------------------------------------------ serialization
+
+    def to_bytes(self):
+        """Serialize to the versioned, CRC-protected binary format."""
+        body = bytearray()
+        body += array("B", self.kinds).tobytes()
+        body += array("I", self.a).tobytes()
+        body += array("I", self.b).tobytes()
+        for boundary in self.boundaries:
+            body += _pack_boundary(boundary)
+        header = struct.pack(
+            "<4sIIIIQBxxxQII",
+            _TRACE_MAGIC, TRACE_SCHEMA_VERSION, self.stride,
+            self.block_shift, self.tq_bits, self.total,
+            1 if self.halted else 0, len(self.kinds),
+            len(self.boundaries), len(self.fingerprint.encode()),
+        )
+        fp = self.fingerprint.encode()
+        return header + fp + struct.pack("<I", zlib.crc32(bytes(body))) + body
+
+    @classmethod
+    def from_bytes(cls, raw):
+        """Deserialize; raises :class:`TraceFormatError` on any damage.
+
+        *raw* may be any buffer — a ``bytes`` read or an ``mmap``.  All
+        views into it are released before returning or raising, so an
+        mmap-backed caller can always close its map (a view trapped in
+        an exception traceback would otherwise pin the buffer open).
+        """
+        view = memoryview(raw)
+        body = None
+        try:
+            head_size = struct.calcsize("<4sIIIIQBxxxQII")
+            if len(view) < head_size:
+                raise TraceFormatError("trace file shorter than its header")
+            (magic, version, stride, block_shift, tq_bits, total, halted,
+             n_events, n_boundaries, fp_len) = struct.unpack_from(
+                "<4sIIIIQBxxxQII", view, 0
+            )
+            if magic != _TRACE_MAGIC:
+                raise TraceFormatError("bad trace magic %r" % (bytes(magic),))
+            if version != TRACE_SCHEMA_VERSION:
+                raise TraceFormatError(
+                    "trace schema v%d is not the supported v%d"
+                    % (version, TRACE_SCHEMA_VERSION)
+                )
+            cursor = head_size
+            try:
+                fingerprint = bytes(view[cursor:cursor + fp_len]).decode()
+                cursor += fp_len
+                (crc,) = struct.unpack_from("<I", view, cursor)
+                cursor += 4
+                body = view[cursor:]
+                if zlib.crc32(bytes(body)) != crc:
+                    raise TraceFormatError("trace body CRC mismatch")
+                kinds = array("B")
+                kinds.frombytes(body[:n_events])
+                at = n_events
+                a = array("I")
+                a.frombytes(body[at:at + 4 * n_events])
+                at += 4 * n_events
+                b = array("I")
+                b.frombytes(body[at:at + 4 * n_events])
+                at += 4 * n_events
+                boundaries = []
+                for _ in range(n_boundaries):
+                    boundary, at = _unpack_boundary(body, at)
+                    boundaries.append(boundary)
+            except (struct.error, ValueError) as exc:
+                if isinstance(exc, TraceFormatError):
+                    raise
+                raise TraceFormatError("truncated trace body: %s" % exc)
+            if (len(kinds) != n_events or len(a) != n_events
+                    or len(b) != n_events):
+                raise TraceFormatError("trace event arrays are truncated")
+            if not boundaries:
+                raise TraceFormatError("trace holds no boundaries")
+        finally:
+            if body is not None:
+                body.release()
+            view.release()
+        return cls(
+            fingerprint, stride, block_shift, tq_bits, kinds, a, b,
+            total, bool(halted), boundaries,
+        )
+
+
+def _pack_boundary(boundary):
+    out = bytearray()
+    out += struct.pack(
+        "<QQqQQB3x", boundary.position, boundary.offset,
+        boundary.prev_block, boundary.pc, boundary.tcr,
+        1 if boundary.halted else 0,
+    )
+    out += array("I", boundary.regs).tobytes()
+    bq_entries, bq_pushes, bq_pops, bq_mark = boundary.bq
+    out += struct.pack(
+        "<QQqI", bq_pushes, bq_pops,
+        -1 if bq_mark is None else bq_mark, len(bq_entries),
+    )
+    out += array("B", bq_entries).tobytes()
+    vq_entries, vq_pushes, vq_pops = boundary.vq
+    out += struct.pack("<QQI", vq_pushes, vq_pops, len(vq_entries))
+    out += array("I", vq_entries).tobytes()
+    tq_entries, tq_pushes, tq_pops = boundary.tq
+    out += struct.pack("<QQI", tq_pushes, tq_pops, len(tq_entries))
+    out += array("I", tq_entries).tobytes()
+    delta = boundary.mem_delta
+    out += struct.pack("<I", len(delta))
+    flat = array("I")
+    for addr in sorted(delta):
+        flat.append(addr)
+        flat.append(delta[addr])
+    out += flat.tobytes()
+    return bytes(out)
+
+
+def _unpack_boundary(view, at):
+    (position, offset, prev_block, pc, tcr, halted) = struct.unpack_from(
+        "<QQqQQB3x", view, at
+    )
+    at += struct.calcsize("<QQqQQB3x")
+    regs = array("I")
+    regs.frombytes(view[at:at + 4 * 32])
+    if len(regs) != 32:
+        raise TraceFormatError("truncated boundary register image")
+    at += 4 * 32
+    bq_pushes, bq_pops, bq_mark, n = struct.unpack_from("<QQqI", view, at)
+    at += struct.calcsize("<QQqI")
+    bq_entries = array("B")
+    bq_entries.frombytes(view[at:at + n])
+    at += n
+    bq = (tuple(bq_entries), bq_pushes, bq_pops,
+          None if bq_mark < 0 else bq_mark)
+    vq_pushes, vq_pops, n = struct.unpack_from("<QQI", view, at)
+    at += struct.calcsize("<QQI")
+    vq_entries = array("I")
+    vq_entries.frombytes(view[at:at + 4 * n])
+    at += 4 * n
+    vq = (tuple(vq_entries), vq_pushes, vq_pops)
+    tq_pushes, tq_pops, n = struct.unpack_from("<QQI", view, at)
+    at += struct.calcsize("<QQI")
+    tq_entries = array("I")
+    tq_entries.frombytes(view[at:at + 4 * n])
+    at += 4 * n
+    tq = (tuple(tq_entries), tq_pushes, tq_pops)
+    (n,) = struct.unpack_from("<I", view, at)
+    at += 4
+    flat = array("I")
+    flat.frombytes(view[at:at + 8 * n])
+    at += 8 * n
+    delta = dict(zip(flat[0::2], flat[1::2]))
+    if len(delta) != n:
+        raise TraceFormatError("truncated boundary memory delta")
+    return _Boundary(
+        position, offset, prev_block, pc, tcr, bool(halted),
+        tuple(regs), bq, vq, tq, delta,
+    ), at
+
+
 def record_warm_trace(pipeline, limit, positions=(), snapshot_positions=()):
     """Functionally pre-execute up to *limit* instructions, recording the
     warm-mode event stream.
@@ -220,85 +912,14 @@ def record_warm_trace(pipeline, limit, positions=(), snapshot_positions=()):
     additionally capture a deep architectural-state copy, which a
     sampled run adopts to teleport its checker across a warm gap.
     Positions past the halt point are silently absent from the result.
+
+    Implemented as :func:`record_portable_trace` +
+    :meth:`PortableWarmTrace.materialize` — there is exactly one event
+    scanner in the codebase, so the direct path and the trace-store path
+    produce identical results by construction.
     """
-    program = pipeline.program
-    config = pipeline.config
-    state = ArchState(
-        program,
-        bq_size=config.bq_size,
-        vq_size=config.vq_size,
-        tq_size=config.tq_size,
-        tq_bits=config.tq_bits,
-    )
-    executor = FunctionalExecutor(program, state)
-    step = executor.step
-    static_kinds = _static_event_kinds(pipeline)
-    line_bytes = pipeline._l1i_line_bytes
-    # CODE_BASE is line-aligned, so the block index is a pure pc shift.
-    block_shift = (line_bytes // 4).bit_length() - 1
-    kinds = []
-    a_list = []
-    b_list = []
-    k_append = kinds.append
-    a_append = a_list.append
-    b_append = b_list.append
-    offsets = {}
-    snapshots = {}
-    snap_set = set(snapshot_positions)
-    marks = iter(sorted(set(positions) | snap_set))
-    next_mark = next(marks, -1)
-    prev_block = -1
-    i = 0
-    halted = False
-    while True:
-        if i == next_mark:
-            offsets[i] = len(kinds)
-            if i in snap_set:
-                snapshots[i] = state.snapshot()
-            next_mark = next(marks, -1)
-        if i >= limit:
-            break
-        record = step()
-        if record is None:
-            halted = True
-            break
-        i += 1
-        pc = record.pc
-        block = pc >> block_shift
-        if block != prev_block:
-            k_append(_E_ICACHE)
-            a_append(CODE_BASE + pc * 4)
-            b_append(0)
-            prev_block = block
-        kind = static_kinds[pc]
-        if kind == 0:
-            continue
-        if kind == _E_LOAD or kind == _E_STORE:
-            k_append(kind)
-            a_append(pc)
-            b_append(record.mem_addr)
-        elif kind == _E_BR or kind == _E_ORACLE:
-            if record.taken:
-                k_append(kind + 1)
-                a_append(pc)
-                b_append(record.target)
-                prev_block = -1
-            else:
-                k_append(kind)
-                a_append(pc)
-                b_append(0)
-        elif kind == _E_CFD_T:
-            if record.taken:
-                k_append(kind)
-                a_append(pc)
-                b_append(record.target)
-                prev_block = -1
-        else:  # jumps: always taken
-            k_append(kind)
-            a_append(pc)
-            b_append(record.target)
-            prev_block = -1
-    return WarmTrace(kinds, a_list, b_list, offsets, snapshots, i, halted)
+    trace = record_portable_trace(pipeline, limit)
+    return trace.materialize(pipeline, limit, positions, snapshot_positions)
 
 
 def replay_warm_events(pipeline, trace, start, end):

@@ -189,8 +189,9 @@ def render_sweep(snapshot, prefix=NAMESPACE):
     sample("workers", counters["workers"],
            help="Distinct worker processes that have emitted events")
     for counter in ("retries", "timeouts", "pool_respawns", "cache_hits",
-                    "journal_resumes", "heartbeats"):
-        sample("%s_total" % counter, counters[counter], kind="counter",
+                    "journal_resumes", "heartbeats", "trace_records",
+                    "trace_hits", "trace_reuses"):
+        sample("%s_total" % counter, counters.get(counter, 0), kind="counter",
                help="Supervision %s observed by the aggregator"
                     % counter.replace("_", " "))
     sample("finished", 1 if sweep["finished"] else 0,

@@ -64,6 +64,9 @@ EVENT_KINDS = (
     "cache_hit",
     "sampling",
     "batch",
+    "trace_record",
+    "trace_hit",
+    "trace_reuse",
     "journal_resume",
     "retry",
     "timeout",
@@ -226,7 +229,8 @@ class PointState:
     __slots__ = ("key", "label", "status", "pid", "retired", "cycles",
                  "kips", "seconds", "attempts", "retries", "timeouts",
                  "cached", "resumed", "degraded", "error_kind",
-                 "resources", "first_ts", "last_ts", "sampling")
+                 "resources", "first_ts", "last_ts", "sampling",
+                 "trace_reused")
 
     def __init__(self, key, label):
         self.key = key
@@ -248,6 +252,7 @@ class PointState:
         self.first_ts = None
         self.last_ts = None
         self.sampling = None
+        self.trace_reused = False
 
     @property
     def settled(self):
@@ -281,6 +286,7 @@ class SweepAggregator:
             "journal_resumes": 0, "retries": 0, "timeouts": 0,
             "pool_respawns": 0, "degraded": 0, "workers": 0,
             "sampled_points": 0, "batches": 0,
+            "trace_records": 0, "trace_hits": 0, "trace_reuses": 0,
         }
         self.batch_width = 0
         self.points = {}
@@ -419,6 +425,19 @@ class SweepAggregator:
             self.counters["batches"] += 1
             if event.get("width"):
                 self.batch_width = max(self.batch_width, event["width"])
+        elif kind == "trace_record":
+            # The scheduler recorded a workload group's shared warm
+            # trace (event carries how many points will reuse it).
+            self.counters["trace_records"] += 1
+        elif kind == "trace_hit":
+            # A group's trace was already in the store.
+            self.counters["trace_hits"] += 1
+        elif kind == "trace_reuse":
+            # A worker served its warm pre-scan from the shared store.
+            self.counters["trace_reuses"] += 1
+            state = self._point(event)
+            if state is not None:
+                state.trace_reused = True
         elif kind == "cache_hit":
             state = self._point(event)
             self.counters["cache_hits"] += 1
@@ -657,6 +676,15 @@ def format_top(snapshot, width=96, max_points=None):
             totals["cpu_seconds"], _fmt_duration(totals["elapsed"]),
         )
     )
+    if (counters.get("trace_records") or counters.get("trace_hits")
+            or counters.get("trace_reuses")):
+        lines.append(
+            "warm traces: recorded %d  store hits %d  worker reuses %d" % (
+                counters.get("trace_records", 0),
+                counters.get("trace_hits", 0),
+                counters.get("trace_reuses", 0),
+            )
+        )
     lines.append("-" * min(width, 96))
     label_w = max(24, min(48, width - 48))
     points = snapshot["points"]

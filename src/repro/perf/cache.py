@@ -31,8 +31,10 @@ import contextlib
 import hashlib
 import json
 import os
+import sys
 import tempfile
 import time
+from array import array
 
 try:
     import fcntl
@@ -48,6 +50,7 @@ from repro.obs.export import jsonable, run_manifest, write_json
 CACHE_SCHEMA_VERSION = 1
 
 _ENV_DIR = "REPRO_CACHE_DIR"
+_ENV_MAX_MB = "REPRO_CACHE_MAX_MB"
 
 
 def default_cache_dir():
@@ -56,6 +59,76 @@ def default_cache_dir():
     if env:
         return env
     return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+def max_bytes_from_env(name, default=None):
+    """Parse a ``*_MAX_MB`` environment variable into bytes (or None).
+
+    Unset, empty, non-numeric and non-positive values all mean
+    "unbounded" — a malformed limit must never make the cache refuse to
+    work, only to skip pruning.
+    """
+    raw = os.environ.get(name)
+    if raw is None or raw.strip() == "":
+        return default
+    try:
+        mb = float(raw)
+    except ValueError:
+        return default
+    if mb <= 0:
+        return default
+    return int(mb * 1024 * 1024)
+
+
+def prune_lru(root, max_bytes, protect=()):
+    """Shrink the cache tree under *root* to at most *max_bytes*.
+
+    The policy — shared by :class:`ResultCache` and
+    :class:`~repro.perf.tracestore.TraceStore` — is LRU by file mtime:
+    entry files (and quarantined ``.corrupt`` leftovers) are deleted
+    oldest-first until the tree fits.  Paths in *protect* (e.g. the
+    entry just written) are never deleted.  Lock and temp files are
+    ignored.  Returns an accounting dict; a vanished or unreadable tree
+    prunes nothing rather than raising.
+    """
+    protect = {os.path.abspath(p) for p in protect}
+    entries = []
+    total = 0
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for name in filenames:
+            if name.endswith((".lock", ".tmp")):
+                continue
+            path = os.path.join(dirpath, name)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            total += stat.st_size
+            if os.path.abspath(path) not in protect:
+                entries.append((stat.st_mtime, stat.st_size, path))
+    report = {
+        "root": root,
+        "max_bytes": max_bytes,
+        "examined": len(entries),
+        "removed": 0,
+        "freed_bytes": 0,
+        "kept_bytes": total,
+    }
+    if max_bytes is None or total <= max_bytes:
+        return report
+    entries.sort()
+    for _mtime, size, path in entries:
+        if total <= max_bytes:
+            break
+        try:
+            os.unlink(path)
+        except OSError:
+            continue
+        total -= size
+        report["removed"] += 1
+        report["freed_bytes"] += size
+    report["kept_bytes"] = total
+    return report
 
 
 def program_digest(program):
@@ -67,7 +140,14 @@ def program_digest(program):
     display/debug metadata and never influence simulation.  Hashing the
     field tuples (rather than encoded words) keeps synthetic workloads
     with immediates wider than the 16-bit encodable range cacheable.
+
+    Memoized on the program object: a config sweep computes cache and
+    trace-store keys for the *same* immutable program at every point,
+    and large workloads' data images make the digest non-trivial.
     """
+    memo = getattr(program, "_digest_memo", None)
+    if memo is not None:
+        return memo
     hasher = hashlib.sha256()
     for inst in program.code:
         hasher.update(
@@ -78,11 +158,26 @@ def program_digest(program):
             ).encode()
         )
     hasher.update(b"--data--\n")
-    for addr in sorted(program.data):
-        hasher.update(addr.to_bytes(8, "little", signed=False))
-        hasher.update((program.data[addr] & 0xFFFFFFFF).to_bytes(4, "little"))
+    # Bulk-hash the data image (it can run to millions of words at large
+    # workload scales; per-word ``to_bytes`` calls dominated trace-store
+    # key computation before this).  Explicitly little-endian so the
+    # digest stays host-independent.
+    data = program.data
+    addrs = array("Q", sorted(data))
+    values = array("I", [data[addr] & 0xFFFFFFFF for addr in addrs])
+    if sys.byteorder == "big":  # pragma: no cover - LE hosts everywhere
+        addrs.byteswap()
+        values.byteswap()
+    hasher.update(addrs.tobytes())
+    hasher.update(b"--values--\n")
+    hasher.update(values.tobytes())
     hasher.update(program.entry.to_bytes(8, "little"))
-    return hasher.hexdigest()
+    digest = hasher.hexdigest()
+    try:
+        program._digest_memo = digest
+    except AttributeError:  # pragma: no cover - slotted stand-ins
+        pass
+    return digest
 
 
 def config_fingerprint(config):
@@ -214,15 +309,23 @@ class CachedSimResult:
 class ResultCache:
     """The on-disk cache: ``<root>/v<schema>/<key[:2]>/<key>.json``."""
 
-    def __init__(self, root=None, schema_version=None):
+    def __init__(self, root=None, schema_version=None, max_mb=None):
         self.root = root or default_cache_dir()
         self.schema_version = (
             CACHE_SCHEMA_VERSION if schema_version is None else schema_version
+        )
+        #: Size bound in bytes (``REPRO_CACHE_MAX_MB`` or the *max_mb*
+        #: argument); ``None`` = unbounded.  Enforced LRU-by-mtime on
+        #: every store (:func:`prune_lru`).
+        self.max_bytes = (
+            int(max_mb * 1024 * 1024) if max_mb
+            else max_bytes_from_env(_ENV_MAX_MB)
         )
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.quarantined = 0
+        self.evicted = 0
 
     def key_for(self, program, config, max_instructions=None,
                 warmup_instructions=0, sampling=None):
@@ -231,10 +334,11 @@ class ResultCache:
             schema_version=self.schema_version, sampling=sampling,
         )
 
+    def _schema_dir(self):
+        return os.path.join(self.root, "v%d" % self.schema_version)
+
     def path_for(self, key):
-        return os.path.join(
-            self.root, "v%d" % self.schema_version, key[:2], key + ".json"
-        )
+        return os.path.join(self._schema_dir(), key[:2], key + ".json")
 
     def load(self, key, config=None):
         """The :class:`CachedSimResult` for *key*, or ``None``.
@@ -316,6 +420,16 @@ class ResultCache:
                 finally:
                     if os.path.exists(tmp):
                         os.unlink(tmp)
+                if self.max_bytes is not None:
+                    # Still under the write lock: concurrent writers
+                    # prune serially, and the entry just written is
+                    # never the eviction victim.  Scoped to this
+                    # schema's directory — the trace store under the
+                    # same root has its own bound.
+                    report = prune_lru(
+                        self._schema_dir(), self.max_bytes, protect=(path,)
+                    )
+                    self.evicted += report["removed"]
         except OSError:
             return None
         self.stores += 1
@@ -327,10 +441,27 @@ class ResultCache:
         self.store(key, payload)
         return payload
 
+    def prune(self, max_mb=None):
+        """Shrink the cache to *max_mb* (or the configured bound) now.
+
+        The manual entry point behind ``repro cache-prune``; returns the
+        :func:`prune_lru` report (with ``max_bytes`` ``None`` and no
+        configured bound, reports current usage without deleting).
+        """
+        max_bytes = (
+            int(max_mb * 1024 * 1024) if max_mb is not None
+            else self.max_bytes
+        )
+        with self._write_lock():
+            report = prune_lru(self._schema_dir(), max_bytes)
+        self.evicted += report["removed"]
+        return report
+
     def counters(self):
         return {
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
             "quarantined": self.quarantined,
+            "evicted": self.evicted,
         }

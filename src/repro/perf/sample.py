@@ -43,7 +43,7 @@ from repro.core.pipeline import Pipeline
 from repro.core.simulator import SimResult
 from repro.core.stats import SimStats
 from repro.core.warm import (
-    record_warm_trace,
+    record_portable_trace,
     replay_warm_events,
     warm_advance,
 )
@@ -53,7 +53,10 @@ from repro.obs.metrics import MetricsRegistry, register_stats_dict
 
 #: Bump when sampled-result semantics change; part of the cache key.
 #: v2: trace-replay warm engine + long self-correcting intervals.
-SAMPLING_SCHEMA = 2
+#: v3: tail stratum teleports onto a pre-scan snapshot (the portable
+#: trace knows the dynamic length before marks are derived), replacing
+#: the replay-then-live-warm residue; optional bounded warm_window.
+SAMPLING_SCHEMA = 3
 
 #: Conjugate golden ratio: the low-discrepancy offset sequence
 #: ``frac(k * φ⁻¹)`` that jitters each period's measured interval.
@@ -93,6 +96,17 @@ class SamplingPlan:
     head_detail: int = 2000
     tail_detail: int = 2000
     checkpoints: bool = False
+    #: Bounded functional-warming window (instructions of recorded
+    #: events replayed before each detailed window).  0 — the default —
+    #: replays every event in each warm gap, training warm state over
+    #: the complete committed stream (exact SMARTS-style functional
+    #: warming).  A positive W replays only the last W instructions'
+    #: events before each teleport target: long-period plans stop
+    #: paying replay for the whole gap and sweep reuse gets cheap, at
+    #: the cost of cache/predictor state older than W instructions.
+    #: An approximation knob, so it enters the plan fingerprint (and
+    #: thus every cache key) whenever nonzero.
+    warm_window: int = 0
 
     def validate(self):
         if self.head_detail < 0:
@@ -121,6 +135,11 @@ class SamplingPlan:
                 "interval_length (%d + %d)"
                 % (self.period, self.detail_warmup, self.interval_length)
             )
+        if self.warm_window < 0:
+            raise ConfigError(
+                "sampling warm_window cannot be negative (got %d)"
+                % self.warm_window
+            )
         return self
 
     @property
@@ -134,14 +153,22 @@ class SamplingPlan:
         return (self.interval_length + self.detail_warmup) / self.period
 
     def fingerprint(self):
-        """Canonical identity string; enters cache keys and journal keys."""
-        return (
+        """Canonical identity string; enters cache keys and journal keys.
+
+        ``warm_window`` is appended only when nonzero, so every plan
+        from before the knob existed keeps its fingerprint (and its
+        cached results).
+        """
+        base = (
             "sample/v%d:interval=%d:warmup=%d:period=%d:head=%d:tail=%d"
             % (
                 SAMPLING_SCHEMA, self.interval_length, self.detail_warmup,
                 self.period, self.head_detail, self.tail_detail,
             )
         )
+        if self.warm_window:
+            base += ":window=%d" % self.warm_window
+        return base
 
     def to_dict(self):
         return {
@@ -151,6 +178,7 @@ class SamplingPlan:
             "head_detail": self.head_detail,
             "tail_detail": self.tail_detail,
             "checkpoints": self.checkpoints,
+            "warm_window": self.warm_window,
         }
 
     _SPEC_KEYS = {
@@ -159,6 +187,7 @@ class SamplingPlan:
         "period": "period",
         "head": "head_detail",
         "tail": "tail_detail",
+        "window": "warm_window",
     }
 
     @classmethod
@@ -207,6 +236,11 @@ class SampledSimResult(SimResult):
     sampling: dict = None
     interval_checkpoints: list = None
     _mshr_histogram: dict = None
+    #: Warm-trace provenance ({source, key, events, budget}); carried on
+    #: the result object only — deliberately NOT part of ``sampling``,
+    #: so a store-served run's report stays byte-identical to an
+    #: inline-recorded one.
+    trace_info: dict = None
 
     def mshr_histogram(self):
         """Aggregated per-cycle MSHR occupancy over measured intervals."""
@@ -240,10 +274,19 @@ class SampledSimulator:
     timing is estimated.
     """
 
-    def __init__(self, program, config=None, plan=None):
+    def __init__(self, program, config=None, plan=None, trace=None,
+                 trace_store=None):
         self.program = program
         self.config = config if config is not None else sandy_bridge_config()
         self.plan = (plan if plan is not None else SamplingPlan()).validate()
+        #: Optional pre-recorded :class:`PortableWarmTrace` — the sweep
+        #: scheduler hands the shared trace in directly when it already
+        #: holds it in memory.
+        self.trace = trace
+        #: Optional :class:`~repro.perf.tracestore.TraceStore`; when set
+        #: (and no explicit trace is given) the pre-scan is served from
+        #: the store, recording and persisting on a miss.
+        self.trace_store = trace_store
 
     def run(self, max_instructions=None, warmup_instructions=0, observer=None):
         """Run the sampled loop; returns a :class:`SampledSimResult`."""
@@ -271,6 +314,23 @@ class SampledSimulator:
         # loop then costs one event replay (caches/predictors/BTB/RAS
         # train from the recorded stream — no instruction re-execution)
         # plus a checker teleport onto the pre-scan snapshot.
+        portable = self.trace
+        source = "provided"
+        key = None
+        if portable is None:
+            if self.trace_store is not None:
+                key = self.trace_store.key_for(
+                    self.program, self.config, limit
+                )
+                portable, source = self.trace_store.get_or_record(
+                    pipeline, limit, key=key
+                )
+            else:
+                portable = record_portable_trace(pipeline, limit)
+                source = "inline"
+        total_abs, _clip_halted = portable.clip(limit)
+        window = plan.warm_window
+
         marks = [0, warmup]
         snap_marks = [warmup] if warmup else []
         starts = []
@@ -285,8 +345,19 @@ class SampledSimulator:
             marks.append(s + detail)
         if plan.head_detail:
             marks.append(warmup + plan.head_detail)
-        trace = record_warm_trace(pipeline, limit, marks, snap_marks)
-        total_abs = trace.total
+        # The portable trace knows the dynamic length up front, so the
+        # tail stratum's start gets a first-class snapshot: the final
+        # gap teleports like any other instead of replaying to the
+        # nearest earlier snapshot and live-warming the residue.
+        tail_pos = max(warmup, total_abs - plan.tail_detail)
+        snap_marks.append(tail_pos)
+        if window:
+            # Bounded warming replays only the last `window`
+            # instructions' events before each target, so every
+            # teleport target needs a recorded offset at its window
+            # start too.
+            marks.extend(max(0, t - window) for t in snap_marks)
+        trace = portable.materialize(pipeline, limit, marks, snap_marks)
 
         merged = SimStats()
         mshr_histogram = {}
@@ -315,8 +386,11 @@ class SampledSimulator:
             # its own oracle on the skip event).
             nonlocal last_mark
             cur = checker.retired
+            start = last_mark
+            if window and target - start > window:
+                start = max(0, target - window)
             replay_warm_events(
-                pipeline, trace, trace.offsets[last_mark],
+                pipeline, trace, trace.offsets[start],
                 trace.offsets[target],
             )
             pipeline.restore_committed_state(trace.snapshots[target], target)
@@ -377,20 +451,27 @@ class SampledSimulator:
                 collect_mshr()
                 pipeline.drain_to_committed()
                 last_mark = s + detail
-            # Final gap into the tail stratum.  The tail start position
-            # is unknowable during the single-pass recording (it depends
-            # on the total), so there is no snapshot exactly there:
-            # replay to the last snapshotted position before it, then
-            # live-warm the residue (bounded by one period).
+            # Final gap into the tail stratum: teleport straight onto
+            # its snapshot (derived at materialize time from the known
+            # dynamic length).  The fallback covers the rare geometry
+            # where the snapshot is absent (e.g. the tail start falls
+            # at a position the clip excluded): replay to the last
+            # snapshotted position before it, then live-warm the
+            # residue (bounded by one period).
             if not checker.state.halted and checker.retired < tail_start:
-                jumpable = [
-                    p for p in trace.snapshots
-                    if checker.retired < p <= tail_start
-                ]
-                if jumpable:
-                    teleport(max(jumpable))
-                if checker.retired < tail_start:
-                    warm_advance(pipeline, tail_start - checker.retired)
+                if tail_start in trace.snapshots:
+                    teleport(tail_start)
+                else:
+                    jumpable = [
+                        p for p in trace.snapshots
+                        if checker.retired < p <= tail_start
+                    ]
+                    if jumpable:
+                        teleport(max(jumpable))
+                    if checker.retired < tail_start:
+                        warm_advance(
+                            pipeline, tail_start - checker.retired
+                        )
             # Exact stratum, part two: the halt tail, measured in full.
             remaining = total_abs - checker.retired
             if remaining > 0 and not checker.state.halted:
@@ -412,6 +493,12 @@ class SampledSimulator:
             sampling=sampling,
             interval_checkpoints=checkpoints,
             _mshr_histogram=mshr_histogram,
+            trace_info={
+                "source": source,
+                "key": key,
+                "budget": limit,
+                "events": len(portable.kinds),
+            },
         )
 
     @staticmethod

@@ -119,22 +119,48 @@ class SweepOutcome:
     #: count, halt flag, final PC and the batch width.  ``None`` for
     #: detailed (process/inline) sweeps.
     functional: Optional[dict] = None
+    #: Warm-trace provenance for sampled points run against a trace
+    #: store ({source, key, budget, events}); ``None`` otherwise.  Kept
+    #: out of ``result``/the cached payload so trace reuse never changes
+    #: result bytes.
+    trace: Optional[dict] = None
 
     @property
     def ok(self):
         return self.error is None
 
 
-#: What one worker attempt produced, measured where it ran.
-PointRun = namedtuple("PointRun", "payload error pid seconds resources")
+#: What one worker attempt produced, measured where it ran.  ``trace``
+#: carries the warm-trace provenance for sampled points (or ``None``).
+PointRun = namedtuple("PointRun", "payload error pid seconds resources trace")
+PointRun.__new__.__defaults__ = (None,)
+
+
+#: Per-process memo of the last few workload builds.  Builds are
+#: deterministic and the built program is immutable during simulation
+#: (every pipeline copies the data image into its own memory), so a
+#: worker that processes several points of one sweep group — the common
+#: case for config sweeps — skips the rebuild.  Tiny on purpose: two
+#: entries cover the grouped access pattern without pinning every
+#: workload's data image in worker memory.
+_BUILD_MEMO = {}
+_BUILD_MEMO_LIMIT = 2
 
 
 def _build_point(point):
     from repro.workloads import get_workload
 
-    return get_workload(point.workload).build(
-        point.variant, point.input_name, point.scale, point.seed
-    )
+    memo_key = (point.workload, point.variant, point.input_name,
+                point.scale, point.seed)
+    built = _BUILD_MEMO.pop(memo_key, None)
+    if built is None:
+        built = get_workload(point.workload).build(
+            point.variant, point.input_name, point.scale, point.seed
+        )
+    _BUILD_MEMO[memo_key] = built  # re-insert: dict order is the LRU
+    while len(_BUILD_MEMO) > _BUILD_MEMO_LIMIT:
+        _BUILD_MEMO.pop(next(iter(_BUILD_MEMO)))
+    return built
 
 
 def _workload_identity(point):
@@ -147,7 +173,7 @@ def _workload_identity(point):
     }
 
 
-def _simulate_point(point, spool_dir=None, key=None):
+def _simulate_point(point, spool_dir=None, key=None, trace_store=None):
     """Pool worker: build + simulate one point; never raises.
 
     Returns a :class:`PointRun` — the result snapshot (or a full
@@ -162,6 +188,13 @@ def _simulate_point(point, spool_dir=None, key=None):
     spool, correlated by *key* (the supervision point key, or the point
     label for plain sweeps).  With *spool_dir* ``None`` this path does
     no telemetry work at all.
+
+    *trace_store* — a :class:`~repro.perf.tracestore.TraceStore` or a
+    store root path (what actually crosses the process boundary) —
+    serves sampled points' warm pre-scan from the shared store: when the
+    scheduler pre-recorded the workload group's trace, this worker loads
+    it instead of re-scanning, and emits a ``trace_reuse`` telemetry
+    event.
     """
     pid = os.getpid()
     start = time.perf_counter()
@@ -175,7 +208,14 @@ def _simulate_point(point, spool_dir=None, key=None):
         if plan is not None:
             from repro.perf.sample import SampledSimulator
 
-            simulator = SampledSimulator(built.program, config, plan)
+            store = trace_store
+            if isinstance(store, str):
+                from repro.perf.tracestore import TraceStore
+
+                store = TraceStore(root=store)
+            simulator = SampledSimulator(
+                built.program, config, plan, trace_store=store
+            )
         else:
             simulator = Simulator(built.program, config)
         resources = None
@@ -203,6 +243,15 @@ def _simulate_point(point, spool_dir=None, key=None):
                     measured_fraction=report.get("measured_fraction"),
                     ipc_rel_ci95=report.get("ipc_rel_ci95"),
                 )
+            info = getattr(result, "trace_info", None)
+            if info and info.get("source") == "hit":
+                spool.emit(
+                    "trace_reuse",
+                    point=point.label(),
+                    key=key or point.label(),
+                    trace_key=info.get("key"),
+                    events=info.get("events"),
+                )
         else:
             result = simulator.run(
                 point.max_instructions, point.warmup_instructions
@@ -221,14 +270,110 @@ def _simulate_point(point, spool_dir=None, key=None):
             pid,
             time.perf_counter() - start,
             resources,
+            getattr(result, "trace_info", None),
         )
     except BaseException:
         return PointRun(None, traceback.format_exc(), pid,
                         time.perf_counter() - start, None)
 
 
+def prewarm_traces(points, trace_store, telemetry=None, batch_record=False):
+    """Record (or cache-hit) every sampled point group's shared warm trace.
+
+    The warm pre-scan depends only on (program digest, warm fingerprint,
+    budget) — never on timing-only config fields — so a sweep's points
+    group into far fewer *trace groups* than points (a 4-workload ×
+    6-config figure has 4).  For each group this records the trace once
+    in the calling process and persists it; the fan-out workers then
+    load it instead of re-scanning.  With *batch_record* the missing
+    groups' functional machines advance in lockstep through one
+    :class:`~repro.perf.batch.BatchedFunctionalExecutor` (identical
+    traces to scalar recording; the identity test pins it).
+
+    Emits ``trace_hit`` (group already stored) and ``trace_record``
+    (freshly recorded) telemetry per group.  A group whose build or
+    recording fails is skipped silently here — its points then record
+    inline in their workers and surface any real error attributably.
+
+    Returns ``{"groups": N, "hits": N, "recorded": N}``.
+    """
+    from repro.core.pipeline import Pipeline
+    from repro.core.warm import (
+        record_portable_trace,
+        record_portable_traces,
+        warm_fingerprint,
+    )
+
+    groups = {}
+    for point in points:
+        if point.sampling is None or point.max_instructions is None:
+            continue
+        if point.config is None:
+            from repro.core import sandy_bridge_config
+
+            point.config = sandy_bridge_config()
+        limit = point.warmup_instructions + point.max_instructions
+        ident = (
+            point.workload, point.variant, point.input_name, point.scale,
+            point.seed, limit, warm_fingerprint(point.config),
+        )
+        entry = groups.get(ident)
+        if entry is None:
+            groups[ident] = [point, limit, 1]
+        else:
+            entry[2] += 1
+    hits = 0
+    missing = []
+    for point, limit, n in groups.values():
+        try:
+            built = _build_point(point)
+            key = trace_store.key_for(built.program, point.config, limit)
+            if trace_store.load(key) is not None:
+                hits += 1
+                if telemetry is not None:
+                    telemetry.emit(
+                        "trace_hit", point=point.label(),
+                        key=point.label(), trace_key=key, points=n,
+                    )
+                continue
+            missing.append((point, built, limit, key, n))
+        except Exception:
+            continue
+    recorded = 0
+    if missing:
+        pipelines = []
+        for point, built, limit, key, n in missing:
+            # Mirror SampledSimulator.run exactly (oracle horizon is
+            # part of the recording environment for perfect-predictor
+            # configs) so a pre-recorded trace is byte-identical to an
+            # inline recording.
+            point.config._oracle_horizon = limit + 50_000
+            pipelines.append(Pipeline(built.program, point.config))
+        try:
+            if batch_record and len(missing) > 1:
+                traces = record_portable_traces(
+                    pipelines, [entry[2] for entry in missing]
+                )
+            else:
+                traces = [
+                    record_portable_trace(pipeline, entry[2])
+                    for pipeline, entry in zip(pipelines, missing)
+                ]
+        except Exception:
+            traces = []
+        for (point, built, limit, key, n), trace in zip(missing, traces):
+            trace_store.store(key, trace)
+            recorded += 1
+            if telemetry is not None:
+                telemetry.emit(
+                    "trace_record", point=point.label(), key=point.label(),
+                    trace_key=key, points=n, events=len(trace.kinds),
+                )
+    return {"groups": len(groups), "hits": hits, "recorded": recorded}
+
+
 def run_sweep(points, jobs=None, cache=None, progress=None, telemetry=None,
-              executor=None):
+              executor=None, trace_store=None, batch_record=False):
     """Run every point; returns ``[SweepOutcome]`` aligned with *points*.
 
     *jobs* ``<= 1`` runs inline (no pool).  With *cache* (a
@@ -249,6 +394,13 @@ def run_sweep(points, jobs=None, cache=None, progress=None, telemetry=None,
     (:class:`~repro.perf.batch.BatchedFunctionalExecutor`), producing
     functional-only outcomes (``outcome.functional``; no timing stats,
     no cache involvement, no per-point process overhead).
+
+    *trace_store* (a :class:`~repro.perf.tracestore.TraceStore` or a
+    store root path) turns on warm-trace reuse for sampled points: the
+    parent records each workload group's shared trace once up front
+    (:func:`prewarm_traces`; *batch_record* records missing groups in
+    lockstep), and the workers load it instead of re-scanning per
+    point.  Results are byte-identical with reuse on or off.
     """
     points = list(points)
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
@@ -257,6 +409,10 @@ def run_sweep(points, jobs=None, cache=None, progress=None, telemetry=None,
     telemetry = SweepTelemetry.resolve(telemetry)
     if executor == "batched":
         return _run_batched_sweep(points, telemetry, progress)
+    if isinstance(trace_store, str):
+        from repro.perf.tracestore import TraceStore
+
+        trace_store = TraceStore(root=trace_store)
     spool_dir = telemetry.directory if telemetry is not None else None
     outcomes = [None] * len(points)
     pending = []  # (index, point, key)
@@ -307,6 +463,12 @@ def run_sweep(points, jobs=None, cache=None, progress=None, telemetry=None,
                 continue
         pending.append((index, point, key))
 
+    if trace_store is not None and pending:
+        prewarm_traces(
+            [point for _i, point, _k in pending], trace_store,
+            telemetry=telemetry, batch_record=batch_record,
+        )
+
     def settle(index, point, key, run, elapsed):
         if run.error is not None:
             outcome = SweepOutcome(
@@ -325,24 +487,27 @@ def run_sweep(points, jobs=None, cache=None, progress=None, telemetry=None,
                 seconds=run.seconds,
                 attempts=1,
                 resources=run.resources,
+                trace=run.trace,
             )
         settled(index, outcome)
 
     if jobs <= 1 or len(pending) <= 1:
         for index, point, key in pending:
             start = time.perf_counter()
-            run = _simulate_point(point, spool_dir, point.label())
+            run = _simulate_point(point, spool_dir, point.label(),
+                                  trace_store)
             settle(index, point, key, run, time.perf_counter() - start)
         if telemetry is not None:
             telemetry.sweep_finished(outcomes)
         return outcomes
 
+    store_root = trace_store.root if trace_store is not None else None
     with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
         futures = {}
         submitted = {}
         for index, point, key in pending:
             future = pool.submit(_simulate_point, point, spool_dir,
-                                 point.label())
+                                 point.label(), store_root)
             futures[future] = (index, point, key)
             submitted[future] = time.perf_counter()
         remaining = set(futures)

@@ -1,0 +1,237 @@
+"""Persistent warm-trace checkpoint store.
+
+A sampled simulation's functional pre-scan
+(:func:`repro.core.warm.record_portable_trace`) is a pure function of
+the program, its input (already folded into the program build), the
+instruction budget and the *warm fingerprint* — the few config fields
+that reach the functional machine or the event-kind table
+(:func:`repro.core.warm.warm_fingerprint`).  Everything else about a
+config is timing-only, so a sweep of N configs over one workload×input
+re-records the *same* trace N times.  :class:`TraceStore` keys the
+serialized :class:`~repro.core.warm.PortableWarmTrace` by exactly those
+inputs and persists it once:
+
+* entries live under ``$REPRO_TRACE_DIR`` (default
+  ``<result cache root>/traces``) as ``v<schema>/<key[:2]>/<key>.rwt``;
+* writes are atomic (tempfile + rename) and serialized by the same
+  ``flock`` discipline as :class:`~repro.perf.cache.ResultCache`;
+* a damaged entry (CRC mismatch, truncation, foreign schema) is
+  quarantined as ``*.corrupt`` and treated as a miss — never an error;
+* the store is size-bounded by ``REPRO_TRACE_MAX_MB`` with the shared
+  LRU-by-mtime policy (:func:`repro.perf.cache.prune_lru`);
+* loads go through ``mmap`` when possible, so a pool of sweep workers
+  reading the same trace shares page-cache pages instead of N private
+  read buffers.
+
+The sweep scheduler (:func:`repro.perf.sweep.run_sweep` with a trace
+store attached) records or cache-hits each workload group's trace once
+in the parent, then fans config points out to workers that load the
+shared entry instead of re-scanning — see docs/PERFORMANCE.md.
+"""
+
+import mmap
+import os
+import tempfile
+
+from repro.core.warm import (
+    PortableWarmTrace,
+    TraceFormatError,
+    record_portable_trace,
+    warm_fingerprint,
+)
+from repro.perf.cache import (
+    default_cache_dir,
+    max_bytes_from_env,
+    program_digest,
+    prune_lru,
+)
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX host
+    fcntl = None
+
+import contextlib
+import hashlib
+
+#: Bump when the trace key recipe or store layout changes; the
+#: serialized trace format itself is versioned separately
+#: (:data:`repro.core.warm.TRACE_SCHEMA_VERSION`).
+TRACE_STORE_SCHEMA = 1
+
+_ENV_DIR = "REPRO_TRACE_DIR"
+_ENV_MAX_MB = "REPRO_TRACE_MAX_MB"
+
+
+def default_trace_dir():
+    """``$REPRO_TRACE_DIR``, or ``<result cache root>/traces``."""
+    env = os.environ.get(_ENV_DIR)
+    if env:
+        return env
+    return os.path.join(default_cache_dir(), "traces")
+
+
+def trace_key(program, config, budget):
+    """The store key: (program digest, warm fingerprint, budget).
+
+    The program digest covers the workload binary *and* its input (the
+    build bakes the input image into the program data); the warm
+    fingerprint covers every config field that can change the recorded
+    stream.  Timing-only config fields are deliberately absent — that
+    is the whole point: every config in a sweep group maps to one key.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(("repro.perf.tracestore/v%d\n" % TRACE_STORE_SCHEMA).encode())
+    hasher.update(program_digest(program).encode())
+    hasher.update(b"\n")
+    hasher.update(warm_fingerprint(config).encode())
+    hasher.update(("\nbudget=%d" % budget).encode())
+    return hasher.hexdigest()
+
+
+class TraceStore:
+    """On-disk warm-trace store: ``<root>/v<schema>/<key[:2]>/<key>.rwt``."""
+
+    def __init__(self, root=None, max_mb=None):
+        self.root = root or default_trace_dir()
+        self.schema_version = TRACE_STORE_SCHEMA
+        self.max_bytes = (
+            int(max_mb * 1024 * 1024) if max_mb
+            else max_bytes_from_env(_ENV_MAX_MB)
+        )
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.quarantined = 0
+        self.evicted = 0
+
+    def key_for(self, program, config, budget):
+        return trace_key(program, config, budget)
+
+    def _schema_dir(self):
+        return os.path.join(self.root, "v%d" % self.schema_version)
+
+    def path_for(self, key):
+        return os.path.join(self._schema_dir(), key[:2], key + ".rwt")
+
+    def load(self, key):
+        """The stored :class:`PortableWarmTrace`, or ``None`` on a miss.
+
+        The entry is ``mmap``-ed read-only when the platform allows it
+        (falling back to a plain read), so concurrent workers share the
+        page cache.  A present-but-damaged entry is quarantined as
+        ``<entry>.corrupt`` and counts as a miss.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                try:
+                    with mmap.mmap(fh.fileno(), 0,
+                                   access=mmap.ACCESS_READ) as view:
+                        trace = PortableWarmTrace.from_bytes(view)
+                except (ValueError, OSError) as exc:
+                    if isinstance(exc, TraceFormatError):
+                        raise
+                    # Empty file (mmap refuses length 0) or no mmap
+                    # support: fall back to a plain read.
+                    fh.seek(0)
+                    trace = PortableWarmTrace.from_bytes(fh.read())
+        except OSError:
+            self.misses += 1
+            return None
+        except TraceFormatError:
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return trace
+
+    def _quarantine(self, path):
+        try:
+            os.replace(path, path + ".corrupt")
+        except OSError:
+            return
+        self.quarantined += 1
+
+    @contextlib.contextmanager
+    def _write_lock(self):
+        """Cross-process writer lock; same discipline as the result
+        cache (atomic rename keeps readers safe regardless)."""
+        if fcntl is None:
+            yield
+            return
+        lock_dir = self._schema_dir()
+        os.makedirs(lock_dir, exist_ok=True)
+        with open(os.path.join(lock_dir, ".write.lock"), "a") as fh:
+            fcntl.flock(fh, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh, fcntl.LOCK_UN)
+
+    def store(self, key, trace):
+        """Atomically persist *trace* under *key*; returns the path.
+
+        Persistence failures (read-only store, disk full) are not
+        errors — the trace is simply not shared.
+        """
+        path = self.path_for(key)
+        payload = trace.to_bytes()
+        try:
+            with self._write_lock():
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                fd, tmp = tempfile.mkstemp(
+                    dir=os.path.dirname(path), suffix=".tmp"
+                )
+                try:
+                    with os.fdopen(fd, "wb") as fh:
+                        fh.write(payload)
+                    os.replace(tmp, path)
+                finally:
+                    if os.path.exists(tmp):
+                        os.unlink(tmp)
+                if self.max_bytes is not None:
+                    report = prune_lru(
+                        self._schema_dir(), self.max_bytes, protect=(path,)
+                    )
+                    self.evicted += report["removed"]
+        except OSError:
+            return None
+        self.stores += 1
+        return path
+
+    def get_or_record(self, pipeline, budget, key=None):
+        """The trace for (*pipeline*, *budget*): a store hit, or a fresh
+        recording persisted on the way out.
+
+        Returns ``(trace, source)`` with *source* ``"hit"`` or
+        ``"record"``.
+        """
+        if key is None:
+            key = self.key_for(pipeline.program, pipeline.config, budget)
+        trace = self.load(key)
+        if trace is not None:
+            return trace, "hit"
+        trace = record_portable_trace(pipeline, budget)
+        self.store(key, trace)
+        return trace, "record"
+
+    def prune(self, max_mb=None):
+        """Shrink the store now (``repro cache-prune`` entry point)."""
+        max_bytes = (
+            int(max_mb * 1024 * 1024) if max_mb is not None
+            else self.max_bytes
+        )
+        with self._write_lock():
+            report = prune_lru(self._schema_dir(), max_bytes)
+        self.evicted += report["removed"]
+        return report
+
+    def counters(self):
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "quarantined": self.quarantined,
+            "evicted": self.evicted,
+        }

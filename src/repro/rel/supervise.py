@@ -54,6 +54,7 @@ from repro.perf.sweep import (
     _build_point,
     _simulate_point,
     default_jobs,
+    prewarm_traces,
 )
 
 #: Bump when the journal line format changes (old journals then resume
@@ -179,7 +180,7 @@ class SweepJournal:
         })
 
     def record(self, key, label, payload, elapsed, seconds=0.0, attempts=0,
-               resources=None):
+               resources=None, trace=None):
         self._append({
             "kind": "point",
             "version": JOURNAL_VERSION,
@@ -189,6 +190,7 @@ class SweepJournal:
             "seconds": seconds,
             "attempts": attempts,
             "resources": resources,
+            "trace": trace,
             "payload": payload,
         })
 
@@ -198,7 +200,8 @@ class SweepJournal:
             fh.flush()
 
 
-def _supervised_simulate_point(point, spool_dir=None, key=None):
+def _supervised_simulate_point(point, spool_dir=None, key=None,
+                               trace_store=None):
     """Pool-worker entry point: fault hook + the plain point simulation.
 
     The fault hook is how the fault-injection tests make a *worker* die or
@@ -210,7 +213,7 @@ def _supervised_simulate_point(point, spool_dir=None, key=None):
     from repro.rel.inject import maybe_trip_worker_fault
 
     maybe_trip_worker_fault()
-    return _simulate_point(point, spool_dir, key)
+    return _simulate_point(point, spool_dir, key, trace_store)
 
 
 class _Task:
@@ -256,7 +259,8 @@ def _kill_pool_processes(pool):
 
 
 def run_supervised_sweep(points, jobs=None, cache=None, policy=None,
-                         progress=None, telemetry=None, executor=None):
+                         progress=None, telemetry=None, executor=None,
+                         trace_store=None, batch_record=False):
     """Run every point under supervision; ``[SupervisedOutcome]`` in order.
 
     Drop-in superset of :func:`repro.perf.sweep.run_sweep`: with the
@@ -277,6 +281,13 @@ def run_supervised_sweep(points, jobs=None, cache=None, policy=None,
     parent records cache/journal/retry/timeout/respawn events and the
     authoritative per-point outcomes, and ``repro top`` / ``repro tail``
     render them live.  Results are byte-identical with it on or off.
+
+    *trace_store* / *batch_record* — warm-trace reuse for sampled
+    points, exactly as in :func:`~repro.perf.sweep.run_sweep`: the
+    parent pre-records each workload group's shared trace
+    (:func:`~repro.perf.sweep.prewarm_traces`), workers load instead of
+    re-scanning, and each point's trace provenance lands on its outcome
+    and journal line.
     """
     if executor not in (None, "process", "batched"):
         raise ValueError("unknown sweep executor %r" % (executor,))
@@ -291,6 +302,10 @@ def run_supervised_sweep(points, jobs=None, cache=None, policy=None,
     points = list(points)
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
     telemetry = SweepTelemetry.resolve(telemetry)
+    if isinstance(trace_store, str):
+        from repro.perf.tracestore import TraceStore
+
+        trace_store = TraceStore(root=trace_store)
     outcomes = [None] * len(points)
     total = len(points)
     done = 0
@@ -332,6 +347,7 @@ def run_supervised_sweep(points, jobs=None, cache=None, policy=None,
                 elapsed=entry.get("elapsed", 0.0),
                 seconds=entry.get("seconds", 0.0),
                 resources=entry.get("resources"),
+                trace=entry.get("trace"),
                 resumed=True,
             ), key=key)
             continue
@@ -366,6 +382,12 @@ def run_supervised_sweep(points, jobs=None, cache=None, policy=None,
     if journal is not None and tasks:
         journal.open(total)
 
+    if trace_store is not None and tasks:
+        prewarm_traces(
+            [task.point for task in tasks], trace_store,
+            telemetry=telemetry, batch_record=batch_record,
+        )
+
     def complete(task, run, elapsed, timed_out=False, degraded=False):
         if run.error is not None:
             outcome = SupervisedOutcome(
@@ -381,27 +403,30 @@ def run_supervised_sweep(points, jobs=None, cache=None, policy=None,
                 journal.record(
                     task.key, task.point.label(), run.payload, elapsed,
                     seconds=run.seconds, attempts=task.attempts,
-                    resources=run.resources,
+                    resources=run.resources, trace=run.trace,
                 )
             outcome = SupervisedOutcome(
                 point=task.point,
                 result=CachedSimResult(run.payload, config=task.point.config),
                 elapsed=elapsed, worker_pid=run.pid, attempts=task.attempts,
                 seconds=run.seconds, resources=run.resources,
-                degraded=degraded,
+                degraded=degraded, trace=run.trace,
             )
         settle(task.index, outcome, key=task.key)
 
     if jobs <= 1 or len(tasks) <= 1:
-        _run_inline(tasks, policy, complete, telemetry=telemetry)
+        _run_inline(tasks, policy, complete, telemetry=telemetry,
+                    trace_store=trace_store)
     else:
-        _run_pool(tasks, jobs, policy, complete, telemetry=telemetry)
+        _run_pool(tasks, jobs, policy, complete, telemetry=telemetry,
+                  trace_store=trace_store)
     if telemetry is not None:
         telemetry.sweep_finished(outcomes)
     return outcomes
 
 
-def _run_inline(tasks, policy, complete, degraded=False, telemetry=None):
+def _run_inline(tasks, policy, complete, degraded=False, telemetry=None,
+                trace_store=None):
     """Serial in-process execution with the same retry discipline.
 
     No per-point timeout here: there is no worker process to kill.  This
@@ -412,7 +437,8 @@ def _run_inline(tasks, policy, complete, degraded=False, telemetry=None):
         while True:
             task.attempts += 1
             start = time.monotonic()
-            run = _simulate_point(task.point, spool_dir, task.key)
+            run = _simulate_point(task.point, spool_dir, task.key,
+                                  trace_store)
             elapsed = time.monotonic() - start
             if run.error is None or task.attempts > policy.retries:
                 complete(task, run, elapsed, degraded=degraded)
@@ -423,13 +449,15 @@ def _run_inline(tasks, policy, complete, degraded=False, telemetry=None):
             time.sleep(_backoff_delay(policy, task.attempts))
 
 
-def _run_pool(tasks, jobs, policy, complete, telemetry=None):
+def _run_pool(tasks, jobs, policy, complete, telemetry=None,
+              trace_store=None):
     """Pool execution with restart-on-death and bounded degradation."""
     pending = deque(tasks)
     respawns = 0
     while pending:
         try:
-            _drive_pool(pending, jobs, policy, complete, telemetry=telemetry)
+            _drive_pool(pending, jobs, policy, complete, telemetry=telemetry,
+                        trace_store=trace_store)
         except _PoolRestart as restart:
             if restart.unexpected:
                 respawns += 1
@@ -438,7 +466,7 @@ def _run_pool(tasks, jobs, policy, complete, telemetry=None):
                         telemetry.emit("degraded", respawns=respawns,
                                        remaining=len(pending))
                     _run_inline(pending, policy, complete, degraded=True,
-                                telemetry=telemetry)
+                                telemetry=telemetry, trace_store=trace_store)
                     return
                 if telemetry is not None:
                     telemetry.emit("pool_respawn", respawns=respawns,
@@ -459,7 +487,8 @@ def _requeue_or_fail(task, pending, policy, complete, error, elapsed,
                  timed_out=timed_out)
 
 
-def _drive_pool(pending, jobs, policy, complete, telemetry=None):
+def _drive_pool(pending, jobs, policy, complete, telemetry=None,
+                trace_store=None):
     """Run one pool until *pending* drains or the pool must be replaced.
 
     At most ``workers`` tasks are in flight at once, so a submitted task
@@ -467,6 +496,7 @@ def _drive_pool(pending, jobs, policy, complete, telemetry=None):
     time for the wall-clock timeout.
     """
     workers = min(jobs, len(pending))
+    store_root = trace_store.root if trace_store is not None else None
     spool_dir = telemetry.directory if telemetry is not None else None
     pool = ProcessPoolExecutor(max_workers=workers)
     inflight = {}
@@ -493,7 +523,8 @@ def _drive_pool(pending, jobs, policy, complete, telemetry=None):
                 task.started = now
                 try:
                     future = pool.submit(_supervised_simulate_point,
-                                         task.point, spool_dir, task.key)
+                                         task.point, spool_dir, task.key,
+                                         store_root)
                 except BrokenProcessPool:
                     task.attempts -= 1  # never launched; refund
                     pending.appendleft(task)

@@ -91,3 +91,78 @@ def test_telemetry_on_and_off_identical(tmp_path):
     off = run_sweep(_points(), jobs=2)
     on = run_sweep(_points(), jobs=2, telemetry=str(tmp_path / "spool"))
     assert _stats_blobs(off) == _stats_blobs(on)
+
+
+# -- trace-store scheduling ------------------------------------------------
+
+def _sampled_points():
+    """Two sampled points, same workload under two machine sizes: one
+    trace group (warm pre-scan is timing-config independent)."""
+    from repro.core import sandy_bridge_config
+    from repro.core.config import scale_window
+
+    plan = "interval=200,warmup=50,period=5000,head=300,tail=300"
+    return [
+        SweepPoint(workload="astar_r1", variant="base", input_name="Rivers",
+                   config=scale_window(sandy_bridge_config(), rob),
+                   scale=0.125, max_instructions=30_000, sampling=plan)
+        for rob in (64, 128)
+    ]
+
+
+def test_trace_store_records_once_then_every_point_hits(tmp_path):
+    from repro.perf.tracestore import TraceStore
+
+    store = TraceStore(root=str(tmp_path / "traces"))
+    outcomes = run_sweep(_sampled_points(), jobs=1, trace_store=store)
+    assert all(o.ok for o in outcomes)
+    # The scheduler records the shared group trace exactly once...
+    counters = store.counters()
+    assert counters["stores"] == 1
+    # ...and every point then loads it instead of re-scanning.
+    assert [(o.trace or {}).get("source") for o in outcomes] == ["hit", "hit"]
+    assert counters["hits"] >= len(outcomes)
+
+
+def test_trace_store_second_sweep_prewarm_hits(tmp_path):
+    from repro.perf.tracestore import TraceStore
+
+    root = str(tmp_path / "traces")
+    run_sweep(_sampled_points(), jobs=1, trace_store=TraceStore(root=root))
+    warm = TraceStore(root=root)
+    outcomes = run_sweep(_sampled_points(), jobs=1, trace_store=warm)
+    # Steady state: even the group recording is served from disk.
+    counters = warm.counters()
+    assert counters["stores"] == 0 and counters["misses"] == 0
+    assert all((o.trace or {}).get("source") == "hit" for o in outcomes)
+
+
+def test_trace_reuse_stats_identical_to_inline(tmp_path):
+    baseline = run_sweep(_sampled_points(), jobs=1)
+    assert all((o.trace or {}).get("source") == "inline" for o in baseline)
+    reused = run_sweep(_sampled_points(), jobs=1,
+                       trace_store=str(tmp_path / "traces"))
+    assert _stats_blobs(baseline) == _stats_blobs(reused)
+
+
+def test_trace_telemetry_counters(tmp_path):
+    from repro.obs.telemetry import SweepAggregator
+
+    root = str(tmp_path / "traces")
+    cold_spool = str(tmp_path / "cold")
+    run_sweep(_sampled_points(), jobs=1, telemetry=cold_spool,
+              trace_store=root)
+    cold = SweepAggregator(cold_spool)
+    cold.poll()
+    assert cold.counters["trace_records"] == 1
+    assert cold.counters["trace_hits"] == 0
+    assert cold.counters["trace_reuses"] == len(_sampled_points())
+
+    warm_spool = str(tmp_path / "warm")
+    run_sweep(_sampled_points(), jobs=1, telemetry=warm_spool,
+              trace_store=root)
+    warm = SweepAggregator(warm_spool)
+    warm.poll()
+    assert warm.counters["trace_records"] == 0
+    assert warm.counters["trace_hits"] == 1
+    assert warm.counters["trace_reuses"] == len(_sampled_points())

@@ -1,0 +1,174 @@
+"""Warm-trace checkpoint store contract.
+
+A stored trace must come back byte-for-byte (serialization round trip),
+a damaged entry must quarantine as a miss (never crash, never serve
+garbage), the key must be shared by every config in a timing-only sweep
+family yet split by anything that changes functional behaviour, and the
+byte budget must evict LRU like the result cache.
+"""
+
+import os
+
+import pytest
+
+from repro.core import sandy_bridge_config
+from repro.core.config import scale_window
+from repro.core.pipeline import Pipeline
+from repro.core.warm import (
+    PortableWarmTrace,
+    TraceFormatError,
+    record_portable_trace,
+)
+from repro.perf.tracestore import TraceStore, trace_key
+from repro.workloads import get_workload
+
+_BUDGET = 6_000
+
+
+def _build(workload="bzip2", variant="tq", input_name="chicken"):
+    return get_workload(workload).build(variant, input_name, 0.25, 1)
+
+
+def _record(built, budget=_BUDGET):
+    pipeline = Pipeline(built.program, sandy_bridge_config())
+    return record_portable_trace(pipeline, budget)
+
+
+# ------------------------------------------------------------------ keys
+
+
+def test_key_shared_across_timing_only_sweep_family():
+    """Every ``scale_window`` config of a sweep maps to ONE trace."""
+    built = _build()
+    base = sandy_bridge_config()
+    keys = {
+        trace_key(built.program, scale_window(base, rob), _BUDGET)
+        for rob in (48, 96, 168, 224)
+    }
+    assert len(keys) == 1
+
+
+def test_key_splits_on_functional_inputs_and_budget():
+    built = _build()
+    other = _build(input_name="input.source")
+    config = sandy_bridge_config()
+    base = trace_key(built.program, config, _BUDGET)
+    assert trace_key(other.program, config, _BUDGET) != base
+    assert trace_key(built.program, config, _BUDGET + 1) != base
+    perfect = sandy_bridge_config(predictor="perfect")
+    assert trace_key(built.program, perfect, _BUDGET) != base
+
+
+# ----------------------------------------------------------- round trips
+
+
+def test_store_load_round_trip_is_byte_identical(tmp_path):
+    built = _build()
+    trace = _record(built)
+    store = TraceStore(root=str(tmp_path))
+    key = store.key_for(built.program, sandy_bridge_config(), _BUDGET)
+    assert store.load(key) is None  # cold
+    assert store.store(key, trace)
+    loaded = store.load(key)
+    assert loaded.to_bytes() == trace.to_bytes()
+    assert store.counters()["hits"] == 1
+    assert store.counters()["misses"] == 1
+
+
+def test_get_or_record_records_then_hits(tmp_path):
+    built = _build()
+    store = TraceStore(root=str(tmp_path))
+    pipeline = Pipeline(built.program, sandy_bridge_config())
+    first, source = store.get_or_record(pipeline, _BUDGET)
+    assert source == "record"
+    again, source = store.get_or_record(
+        Pipeline(built.program, sandy_bridge_config()), _BUDGET)
+    assert source == "hit"
+    assert again.to_bytes() == first.to_bytes()
+
+
+# ------------------------------------------------------------ quarantine
+
+
+@pytest.mark.parametrize("damage", ["truncate", "garbage", "empty", "flip"])
+def test_damaged_entry_quarantines_and_re_records(tmp_path, damage):
+    built = _build()
+    store = TraceStore(root=str(tmp_path))
+    key = store.key_for(built.program, sandy_bridge_config(), _BUDGET)
+    store.store(key, _record(built))
+    path = store.path_for(key)
+    raw = open(path, "rb").read()
+    if damage == "truncate":
+        open(path, "wb").write(raw[:60])
+    elif damage == "garbage":
+        open(path, "wb").write(b"not a trace at all")
+    elif damage == "empty":
+        open(path, "wb").write(b"")
+    else:  # flip a body byte: the CRC must catch it
+        mutated = bytearray(raw)
+        mutated[-1] ^= 0xFF
+        open(path, "wb").write(bytes(mutated))
+    assert store.load(key) is None
+    assert store.counters()["quarantined"] == 1
+    assert os.path.exists(path + ".corrupt")
+    # The store recovers: re-record and serve normally again.
+    pipeline = Pipeline(built.program, sandy_bridge_config())
+    _trace, source = store.get_or_record(pipeline, _BUDGET, key=key)
+    assert source == "record"
+    assert store.load(key) is not None
+
+
+def test_from_bytes_rejects_torn_prefixes():
+    built = _build()
+    raw = _record(built).to_bytes()
+    for cut in (0, 4, 20, len(raw) // 2, len(raw) - 1):
+        with pytest.raises(TraceFormatError):
+            PortableWarmTrace.from_bytes(raw[:cut])
+
+
+# -------------------------------------------------------------- eviction
+
+
+def test_byte_budget_evicts_lru(tmp_path):
+    built = _build()
+    trace = _record(built)
+    entry_bytes = len(trace.to_bytes())
+    # Budget for ~2 entries; storing 4 under distinct budgets (distinct
+    # keys) must evict the oldest.
+    store = TraceStore(root=str(tmp_path),
+                       max_mb=(entry_bytes * 2.5) / (1024.0 * 1024.0))
+    keys = []
+    for offset in range(4):
+        key = store.key_for(built.program, sandy_bridge_config(),
+                            _BUDGET + offset)
+        pipeline = Pipeline(built.program, sandy_bridge_config())
+        store.get_or_record(pipeline, _BUDGET + offset, key=key)
+        keys.append(key)
+        os.utime(store.path_for(key), (offset, offset))
+    assert store.evicted > 0
+    assert not os.path.exists(store.path_for(keys[0]))
+    assert os.path.exists(store.path_for(keys[-1]))
+
+
+def test_env_budget_and_explicit_prune(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_MAX_MB", "0.0001")  # ~100 bytes
+    built = _build()
+    store = TraceStore(root=str(tmp_path))
+    assert store.max_bytes is not None
+    key = store.key_for(built.program, sandy_bridge_config(), _BUDGET)
+    store.store(key, _record(built))
+    # The fresh entry is protected at store time; an explicit prune with
+    # the tiny budget then removes it.
+    report = store.prune()
+    assert report["removed"] >= 1 or not os.path.exists(store.path_for(key))
+
+
+def test_prune_reports_without_budget(tmp_path):
+    built = _build()
+    store = TraceStore(root=str(tmp_path))
+    key = store.key_for(built.program, sandy_bridge_config(), _BUDGET)
+    store.store(key, _record(built))
+    report = store.prune()  # no budget anywhere: report, remove nothing
+    assert report["removed"] == 0
+    assert report["examined"] == 1
+    assert os.path.exists(store.path_for(key))
