@@ -18,6 +18,12 @@ Commands
 ``tail``         stream a sweep's telemetry spool events
 ``metrics-export``  Prometheus text format from a spool or manifest
 ``trace-merge``  stitch per-run Chrome traces into one Perfetto trace
+``serve``        crash-safe simulation service daemon (WAL job queue +
+                 supervised worker fleet + HTTP API; docs/SERVICE.md)
+``submit``       submit one job to a service (``--queue`` WAL-direct or
+                 ``--url`` HTTP); ``--wait`` blocks until it settles
+``jobs``         inspect a service's job queue (counts, states, results)
+``drain``        gracefully stop a daemon; exit 0 iff nothing stays leased
 
 ``run``, ``compare``, ``profile``, ``classify`` and ``bench-speed``
 accept ``--json`` to emit machine-readable output instead of tables;
@@ -899,6 +905,215 @@ def cmd_trace_merge(args, out):
     return 0
 
 
+def _spec_from_args(args):
+    """A service job spec from the common workload flags (repro submit)."""
+    spec = {
+        "workload": args.workload,
+        "variant": args.variant,
+        "input": args.input,
+        "scale": args.scale,
+        "seed": args.seed,
+        "max_instructions": args.max_instructions,
+        "config": args.config,
+    }
+    if getattr(args, "rob", None):
+        spec["rob"] = args.rob
+    if getattr(args, "predictor", None):
+        spec["predictor"] = args.predictor
+    return spec
+
+
+def cmd_serve(args, out):
+    from repro.serve.daemon import ServiceConfig, ServiceDaemon
+
+    policy = SupervisionPolicy(
+        timeout=args.timeout,
+        retries=args.retries,
+        backoff=args.backoff,
+        max_pool_respawns=args.max_pool_respawns,
+    )
+    config = ServiceConfig(
+        jobs=args.jobs,
+        batch=args.batch,
+        lease_seconds=args.lease_seconds,
+        poll_interval=args.poll_interval,
+        max_depth=args.max_depth,
+        rate=args.rate,
+        burst=args.burst,
+        max_lease_attempts=args.max_lease_attempts,
+        once=args.once,
+        no_cache=args.no_cache,
+        policy=policy,
+    )
+    daemon = ServiceDaemon(args.root, config)
+    api_server = None
+    if args.port is not None:
+        from repro.serve.api import ServiceAPIServer
+
+        api_server = ServiceAPIServer(daemon, host=args.host, port=args.port)
+        out.write("repro serve: http://%s (root %s)\n"
+                  % (api_server.address, args.root))
+        out.flush()
+    return daemon.run_forever(api_server=api_server)
+
+
+def cmd_submit(args, out):
+    spec = _spec_from_args(args)
+    if args.url:
+        import urllib.error
+        import urllib.request
+
+        url = args.url.rstrip("/")
+        if "://" not in url:
+            url = "http://" + url
+        body = json.dumps(dict(spec, tenant=args.tenant)).encode()
+        request = urllib.request.Request(
+            url + "/jobs", data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=30.0) as response:
+                info = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", "replace").strip()
+            print("repro: submit: HTTP %d: %s" % (exc.code, detail),
+                  file=sys.stderr)
+            return EXIT_SIMULATION_ERROR
+        except (urllib.error.URLError, OSError) as exc:
+            print("repro: submit: %s" % exc, file=sys.stderr)
+            return EXIT_SIMULATION_ERROR
+        job_id = info["job_id"]
+        if not args.wait:
+            if args.json:
+                _emit_json(out, info)
+            else:
+                out.write("%s %s\n" % (job_id, info["state"]))
+            return 0
+        from repro.serve.queue import LIVE_STATES
+
+        deadline = time.monotonic() + args.timeout
+        info = None
+        while time.monotonic() < deadline:
+            try:
+                with urllib.request.urlopen(
+                    "%s/jobs/%s" % (url, job_id), timeout=30.0
+                ) as response:
+                    info = json.loads(response.read().decode("utf-8"))
+            except (urllib.error.URLError, OSError) as exc:
+                print("repro: submit: %s" % exc, file=sys.stderr)
+                return EXIT_SIMULATION_ERROR
+            if info["state"] not in LIVE_STATES:
+                break
+            time.sleep(0.2)
+        if info is None or info["state"] in LIVE_STATES:
+            print("repro: submit: job did not settle within %.0fs"
+                  % args.timeout, file=sys.stderr)
+            return EXIT_SIMULATION_ERROR
+        if args.json:
+            _emit_json(out, info)
+        else:
+            out.write("%s %s\n" % (job_id, info["state"]))
+        if info["state"] == "done":
+            return 0
+        print("repro: submit: job %s: %s"
+              % (info["state"], info.get("error") or ""), file=sys.stderr)
+        return EXIT_SIMULATION_ERROR
+    else:
+        from repro.serve.daemon import service_paths, wait_for_job
+        from repro.serve.queue import JobQueue
+
+        if not args.queue:
+            print("repro: submit needs --queue ROOT or --url URL",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        queue = JobQueue(service_paths(args.queue)["wal"])
+        try:
+            job, created, _shed = queue.submit(spec, tenant=args.tenant)
+        except ValueError as exc:
+            print("repro: submit: %s" % exc, file=sys.stderr)
+            return EXIT_USAGE
+        if not args.wait:
+            if args.json:
+                _emit_json(out, dict(job.to_dict(), created=created))
+            else:
+                out.write("%s %s%s\n" % (job.job_id, job.state,
+                                         "" if created else " (dedup)"))
+            return 0
+        job = wait_for_job(queue, job.job_id, timeout=args.timeout)
+    if job is None or job.live:
+        print("repro: submit: job did not settle within %.0fs"
+              % args.timeout, file=sys.stderr)
+        return EXIT_SIMULATION_ERROR
+    if args.json:
+        _emit_json(out, job.to_dict(with_result=True))
+    else:
+        out.write("%s %s\n" % (job.job_id, job.state))
+    if job.state == "done":
+        return 0
+    print("repro: submit: job %s: %s" % (job.state, job.error or ""),
+          file=sys.stderr)
+    return EXIT_SIMULATION_ERROR
+
+
+def cmd_jobs(args, out):
+    from repro.serve.daemon import service_paths
+    from repro.serve.queue import JobQueue
+
+    queue = JobQueue(service_paths(args.root)["wal"])
+    if args.job_id:
+        job = queue.get(args.job_id)
+        if job is None:
+            print("repro: jobs: no such job %s" % args.job_id,
+                  file=sys.stderr)
+            return EXIT_USAGE
+        if args.json:
+            _emit_json(out, job.to_dict(with_result=True))
+        else:
+            info = job.to_dict()
+            for field in ("job_id", "state", "tenant", "attempts",
+                          "submits", "error"):
+                out.write("%-12s %s\n" % (field, info[field]))
+        return 0
+    if args.json:
+        _emit_json(out, {"counts": queue.counts(),
+                         "jobs": queue.list_jobs()})
+        return 0
+    counts = queue.counts()
+    out.write("depth %d  (submitted %d, leased %d, done %d, failed %d, "
+              "dead %d)\n" % (counts["depth"], counts["submitted"],
+                              counts["leased"], counts["done"],
+                              counts["failed"], counts["dead"]))
+    for info in queue.list_jobs():
+        out.write("%s  %-9s %-10s attempts=%d submits=%d\n" % (
+            info["job_id"][:12], info["state"], info["tenant"],
+            info["attempts"], info["submits"]))
+    return 0
+
+
+def cmd_drain(args, out):
+    from repro.serve.daemon import drain
+
+    report = drain(args.root, timeout=args.timeout)
+    if args.json:
+        _emit_json(out, report)
+    else:
+        if not report["found"]:
+            out.write("no live daemon in %s\n" % args.root)
+        elif report["exited"]:
+            out.write("daemon %d drained\n" % report["pid"])
+        else:
+            out.write("daemon %d still running after %.0fs\n"
+                      % (report["pid"], args.timeout))
+        counts = report["queue"]
+        out.write("queue: depth %d, leased %d\n"
+                  % (counts["depth"], counts["leased"]))
+    if report["clean"]:
+        return 0
+    print("repro: drain: daemon did not stop cleanly (leased=%d)"
+          % report["queue"]["leased"], file=sys.stderr)
+    return EXIT_SIMULATION_ERROR
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro", description="Control-Flow Decoupling reproduction"
@@ -1207,6 +1422,106 @@ def build_parser():
     lint_parser.add_argument("--seed", type=int, default=1)
     lint_parser.add_argument("--json", action="store_true",
                              help="emit machine-readable JSON")
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the crash-safe simulation service daemon "
+             "(durable WAL queue + supervised worker fleet; "
+             "see docs/SERVICE.md)",
+    )
+    serve_parser.add_argument(
+        "root", help="service directory (WAL, telemetry spool, pidfile)")
+    serve_parser.add_argument(
+        "--port", type=int, default=None, metavar="PORT",
+        help="serve the HTTP JSON API on this port (0 = ephemeral, "
+             "address recorded in <root>/http.addr; omit for queue-only "
+             "mode)")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--jobs", type=int, default=2,
+        help="worker processes per leased batch (default 2)")
+    serve_parser.add_argument(
+        "--batch", type=int, default=4,
+        help="jobs leased per scheduling round (default 4)")
+    serve_parser.add_argument(
+        "--lease-seconds", type=float, default=300.0,
+        help="lease duration; a daemon dead longer than this loses its "
+             "claims (default 300)")
+    serve_parser.add_argument(
+        "--poll-interval", type=float, default=0.2,
+        help="idle poll interval in seconds (default 0.2)")
+    serve_parser.add_argument(
+        "--max-depth", type=int, default=None,
+        help="live jobs beyond which new submits are shed with an "
+             "explicit reject (default: unbounded)")
+    serve_parser.add_argument(
+        "--rate", type=float, default=None,
+        help="per-tenant token-bucket rate in jobs/second (default: no "
+             "rate limit)")
+    serve_parser.add_argument(
+        "--burst", type=int, default=4,
+        help="per-tenant token-bucket capacity (default 4)")
+    serve_parser.add_argument(
+        "--max-lease-attempts", type=int, default=3,
+        help="lease expiries tolerated per job before it goes dead "
+             "(default 3)")
+    serve_parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-job wall-clock timeout in seconds (supervision)")
+    serve_parser.add_argument(
+        "--retries", type=int, default=1,
+        help="per-job retries after a timeout/death/error (default 1)")
+    serve_parser.add_argument(
+        "--backoff", type=float, default=0.25,
+        help="first retry delay in seconds (default 0.25)")
+    serve_parser.add_argument(
+        "--max-pool-respawns", type=int, default=3,
+        help="pool deaths tolerated before degrading to inline runs")
+    serve_parser.add_argument(
+        "--once", action="store_true",
+        help="exit 0 once the queue is empty (batch mode / CI)")
+    serve_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the persistent result cache")
+    submit_parser = sub.add_parser(
+        "submit", help="submit one job to a simulation service"
+    )
+    common(submit_parser, json_flag=True)
+    submit_parser.add_argument(
+        "--queue", default=None, metavar="ROOT",
+        help="submit directly into this service directory's WAL (works "
+             "with the daemon live or down)")
+    submit_parser.add_argument(
+        "--url", default=None, metavar="URL",
+        help="submit via the HTTP API (host:port or full URL)")
+    submit_parser.add_argument(
+        "--tenant", default="default",
+        help="tenant name for fair scheduling / rate limiting")
+    submit_parser.add_argument(
+        "--wait", action="store_true",
+        help="block until the job settles; exit 0 done, 3 failed/dead")
+    submit_parser.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="--wait deadline in seconds (default 300)")
+    jobs_parser = sub.add_parser(
+        "jobs", help="inspect a simulation service's job queue"
+    )
+    jobs_parser.add_argument("root", help="service directory")
+    jobs_parser.add_argument("job_id", nargs="?", default=None,
+                             help="show one job (result included with "
+                                  "--json)")
+    jobs_parser.add_argument("--json", action="store_true",
+                             help="emit machine-readable JSON")
+    drain_parser = sub.add_parser(
+        "drain",
+        help="gracefully stop a service daemon (SIGTERM, wait, verify "
+             "zero leased jobs); exit 0 on a clean drain",
+    )
+    drain_parser.add_argument("root", help="service directory")
+    drain_parser.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="seconds to wait for the daemon to exit (default 60)")
+    drain_parser.add_argument("--json", action="store_true",
+                              help="emit the drain report as JSON")
     return parser
 
 
@@ -1227,6 +1542,10 @@ _COMMANDS = {
     "tail": cmd_tail,
     "metrics-export": cmd_metrics_export,
     "trace-merge": cmd_trace_merge,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
+    "jobs": cmd_jobs,
+    "drain": cmd_drain,
 }
 
 

@@ -66,13 +66,15 @@ class SimResult:
         """Flat {metric_name: value} over the full registry."""
         return self.metrics_registry().snapshot()
 
-    def manifest(self, workload=None, run=None):
+    def manifest(self, workload=None, run=None, supervision=None):
         """The versioned run-manifest dict (see docs/OBSERVABILITY.md)."""
-        return run_manifest(self, workload=workload, run=run)
+        return run_manifest(self, workload=workload, run=run,
+                            supervision=supervision)
 
-    def write_manifest(self, path, workload=None, run=None):
+    def write_manifest(self, path, workload=None, run=None, supervision=None):
         """Write the run manifest as JSON; returns *path*."""
-        return write_json(path, self.manifest(workload=workload, run=run))
+        return write_json(path, self.manifest(workload=workload, run=run,
+                                              supervision=supervision))
 
     def summary(self):
         info = self.stats.summary()
@@ -114,16 +116,21 @@ class Simulator:
 
 
 def simulate(program, config=None, max_instructions=None, warmup_instructions=0,
-             observer=None, manifest_path=None, workload=None):
+             observer=None, manifest_path=None, workload=None,
+             supervision=None):
     """One-shot convenience wrapper around :class:`Simulator`.
 
     When *manifest_path* is given, the run manifest (optionally carrying
-    the *workload* identity dict) is written there after the simulation.
+    the *workload* identity dict and the *supervision* knobs the caller
+    ran under — a :class:`~repro.rel.supervise.SupervisionPolicy` or its
+    ``to_dict()`` form) is written there after the simulation.
     """
     result = Simulator(program, config).run(
         max_instructions, warmup_instructions, observer=observer
     )
     if manifest_path is not None:
+        if supervision is not None and hasattr(supervision, "to_dict"):
+            supervision = supervision.to_dict()
         result.write_manifest(
             manifest_path,
             workload=workload,
@@ -131,5 +138,6 @@ def simulate(program, config=None, max_instructions=None, warmup_instructions=0,
                 "max_instructions": max_instructions,
                 "warmup_instructions": warmup_instructions,
             },
+            supervision=supervision,
         )
     return result

@@ -290,12 +290,16 @@ def config_to_dict(config):
 
 
 def run_manifest(result, workload=None, run=None, registry=None, metrics=None,
-                 sampling=None):
+                 sampling=None, supervision=None):
     """The versioned machine-readable record of one simulation.
 
     *result* is a :class:`~repro.core.simulator.SimResult`; *workload* an
     optional identity dict ({"name", "variant", "input", "scale", "seed"});
     *run* optional invocation parameters ({"max_instructions", ...}).
+    *supervision* records the supervision knobs the run executed under
+    (:meth:`repro.rel.supervise.SupervisionPolicy.to_dict`) so a
+    service-side rerun is reproducible from the manifest alone; ``None``
+    (plain unsupervised runs) keeps the key but leaves it null.
     *sampling* overrides the sampled-run accounting section; by default
     it is taken from ``result.sampling`` (present on
     :class:`~repro.perf.sample.SampledSimResult` and rehydrated cache
@@ -322,6 +326,7 @@ def run_manifest(result, workload=None, run=None, registry=None, metrics=None,
             sampling if sampling is not None
             else getattr(result, "sampling", None)
         ),
+        "supervision": jsonable(supervision) if supervision else None,
         "config": config_to_dict(result.config),
         "metrics": metrics,
         "stats": jsonable(stats.to_dict()),

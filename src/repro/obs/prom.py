@@ -218,6 +218,46 @@ def render_sweep(snapshot, prefix=NAMESPACE):
     return "\n".join(lines) + "\n" if lines else ""
 
 
+def render_service(health, prefix=NAMESPACE):
+    """A service-daemon health document as ``repro_service_*`` text.
+
+    *health* is :meth:`repro.serve.daemon.ServiceDaemon.health` output:
+    queue counts (depth, per-state), daemon counters (leased/done/
+    failed/expired/shed/throttled totals) and liveness — the
+    ``GET /metrics`` endpoint of the simulation service.
+    """
+    queue = health.get("queue", {})
+    counters = health.get("counters", {})
+    lines = []
+    seen = set()
+
+    def sample(suffix, value, labels=None, help=None, kind="gauge"):
+        render_sample(lines, "%s_service_%s" % (prefix, suffix), value,
+                      labels=labels, help=help, kind=kind, seen=seen)
+
+    sample("up", 1 if health.get("ok") else 0,
+           help="1 while the daemon is serving")
+    sample("draining", 1 if health.get("draining") else 0,
+           help="1 once a drain has been requested")
+    sample("uptime_seconds", health.get("uptime", 0.0),
+           help="Seconds since the daemon started")
+    sample("queue_depth", queue.get("depth", 0),
+           help="Live jobs (submitted + leased): the backpressure measure")
+    sample("leases", queue.get("leased", 0),
+           help="Jobs currently leased to a daemon")
+    for state in ("submitted", "leased", "done", "failed", "dead"):
+        sample("jobs", queue.get(state, 0), labels={"state": state},
+               help="Jobs by folded WAL state")
+    sample("jobs_total", queue.get("total", 0),
+           help="Jobs ever accepted into the WAL", kind="counter")
+    for counter in ("leased", "done", "failed", "expired", "shed",
+                    "throttled", "rounds", "heartbeats"):
+        sample("%s_total" % counter,
+               counters.get("%s_total" % counter, 0), kind="counter",
+               help="Daemon %s events since start" % counter)
+    return "\n".join(lines) + "\n" if lines else ""
+
+
 def write_prom(path, text):
     """Atomically replace *path* with *text* (tmp + rename)."""
     import os

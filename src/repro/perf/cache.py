@@ -326,6 +326,10 @@ class ResultCache:
         self.stores = 0
         self.quarantined = 0
         self.evicted = 0
+        #: Duplicate-submit stores skipped because a valid entry was
+        #: already on disk when the write lock was acquired (the
+        #: first writer won; this client raced and lost, harmlessly).
+        self.deduped = 0
 
     def key_for(self, program, config, max_instructions=None,
                 warmup_instructions=0, sampling=None):
@@ -399,8 +403,30 @@ class ResultCache:
             finally:
                 fcntl.flock(fh, fcntl.LOCK_UN)
 
+    def _valid_entry_exists(self, path):
+        """True if *path* already holds a complete, schema-current entry.
+
+        Called under the write lock to resolve the duplicate-submit
+        race: a damaged or foreign-schema entry returns False, so the
+        caller's fresh payload overwrites it.
+        """
+        try:
+            with open(path, "rb") as fh:
+                payload = json.loads(fh.read())
+        except (OSError, ValueError):
+            return False
+        return (isinstance(payload, dict)
+                and payload.get("schema") == self.schema_version)
+
     def store(self, key, payload):
         """Atomically write *payload* under *key*; returns the entry path.
+
+        Two clients simulating the same uncached point dedup here: the
+        write lock serializes them, the loser finds the winner's
+        complete entry already in place and skips its own write
+        (counted in ``deduped``).  Simulation is deterministic, so the
+        payloads are interchangeable — and atomic tmp+rename means no
+        reader ever observes a partial entry either way.
 
         A failure to persist (read-only cache dir, disk full) is not an
         error — the result is simply not cached.
@@ -408,6 +434,9 @@ class ResultCache:
         path = self.path_for(key)
         try:
             with self._write_lock():
+                if self._valid_entry_exists(path):
+                    self.deduped += 1
+                    return path
                 os.makedirs(os.path.dirname(path), exist_ok=True)
                 fd, tmp = tempfile.mkstemp(
                     dir=os.path.dirname(path), suffix=".tmp"
@@ -464,4 +493,5 @@ class ResultCache:
             "stores": self.stores,
             "quarantined": self.quarantined,
             "evicted": self.evicted,
+            "deduped": self.deduped,
         }

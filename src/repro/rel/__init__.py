@@ -23,7 +23,8 @@ consistency:
     The deterministic fault catalogue the ``tests/rel`` suite drives:
     queue/register/pointer corruption, predictor and BTB pollution,
     dropped cache writes, killed/hung sweep workers, damaged cache
-    entries.
+    entries — and, for the simulation service, daemon-level faults
+    (kill-on-lease, delayed heartbeats, WAL-tail truncation).
 
 See docs/ROBUSTNESS.md for the supervision knobs, checker modes, fault
 catalogue and the CLI exit-code contract.
@@ -39,10 +40,14 @@ from repro.rel.inject import (
     PRFCorrupt,
     PredictorStateFlip,
     TQCountCorrupt,
+    arm_daemon_fault,
     arm_worker_fault,
     corrupt_cache_entry,
+    disarm_daemon_fault,
     disarm_worker_fault,
+    maybe_trip_daemon_fault,
     maybe_trip_worker_fault,
+    truncate_wal_tail,
 )
 from repro.rel.invariants import InvariantChecker
 from repro.rel.supervise import (
@@ -69,10 +74,14 @@ __all__ = [
     "SupervisionPolicy",
     "SweepJournal",
     "TQCountCorrupt",
+    "arm_daemon_fault",
     "arm_worker_fault",
     "corrupt_cache_entry",
+    "disarm_daemon_fault",
     "disarm_worker_fault",
+    "maybe_trip_daemon_fault",
     "maybe_trip_worker_fault",
     "point_key",
     "run_supervised_sweep",
+    "truncate_wal_tail",
 ]

@@ -33,6 +33,25 @@ token file, so exactly one worker dies/hangs per armed fault:
 **Result-cache corruption** — :func:`corrupt_cache_entry` truncates or
 garbles an on-disk :class:`~repro.perf.cache.ResultCache` entry in place,
 exercising the quarantine-and-recompute path.
+
+**Daemon faults** — :func:`maybe_trip_daemon_fault`, called by the
+simulation service daemon (:mod:`repro.serve.daemon`) at its named fault
+points, armed and latched exactly like the worker faults:
+
+===============================  =========================================
+``REPRO_REL_DAEMON_FAULT``       ``kill-on-lease`` (SIGKILL self right
+                                 after leasing jobs — the mid-lease crash),
+                                 ``kill-on-heartbeat`` or
+                                 ``heartbeat-delay[:seconds]`` (stall the
+                                 liveness heartbeat, default 5.0)
+``REPRO_REL_DAEMON_FAULT_TOKEN`` path used as a fire-once latch
+                                 (``O_CREAT | O_EXCL``)
+===============================  =========================================
+
+plus :func:`truncate_wal_tail`, which damages the final record of a
+write-ahead log in place — cut mid-record, or cut mid-UTF-8-sequence —
+exercising the torn-tail replay rules of both the service WAL
+(:mod:`repro.serve.queue`) and the checkpoint journal.
 """
 
 import os
@@ -295,6 +314,100 @@ def maybe_trip_worker_fault():
     elif spec.startswith("hang"):
         _, _, seconds = spec.partition(":")
         time.sleep(float(seconds) if seconds else 3600.0)
+
+
+# ----------------------------------------------------------------- daemon
+
+DAEMON_FAULT_ENV = "REPRO_REL_DAEMON_FAULT"
+DAEMON_FAULT_TOKEN_ENV = "REPRO_REL_DAEMON_FAULT_TOKEN"
+
+
+def arm_daemon_fault(environ, kind, token_path):
+    """Arm a one-shot service-daemon fault in *environ*.
+
+    *kind* is ``"kill-on-lease"``, ``"kill-on-heartbeat"`` or
+    ``"heartbeat-delay[:seconds]"``; *token_path* must not exist yet —
+    the first daemon to latch it trips the fault, restarts proceed
+    normally (which is exactly the chaos-test shape: crash once,
+    recover cleanly).
+    """
+    environ[DAEMON_FAULT_ENV] = kind
+    environ[DAEMON_FAULT_TOKEN_ENV] = token_path
+
+
+def disarm_daemon_fault(environ):
+    environ.pop(DAEMON_FAULT_ENV, None)
+    environ.pop(DAEMON_FAULT_TOKEN_ENV, None)
+
+
+def maybe_trip_daemon_fault(stage):
+    """Trip an armed daemon fault whose kind matches *stage*.
+
+    Called by the service daemon at its named fault points (``"lease"``
+    right after jobs are durably leased, ``"heartbeat"`` before each
+    liveness heartbeat).  Returns the seconds the caller should stall
+    (``heartbeat-delay``), or ``0.0``.  A kill fault never returns.
+    A no-op unless :data:`DAEMON_FAULT_ENV` is set; with a token path
+    configured the fault fires at most once across daemon restarts.
+    """
+    spec = os.environ.get(DAEMON_FAULT_ENV)
+    if not spec:
+        return 0.0
+    kind, _, argument = spec.partition(":")
+    if stage == "lease" and kind != "kill-on-lease":
+        return 0.0
+    if stage == "heartbeat" and kind not in ("kill-on-heartbeat",
+                                             "heartbeat-delay"):
+        return 0.0
+    token = os.environ.get(DAEMON_FAULT_TOKEN_ENV)
+    if token:
+        try:
+            fd = os.open(token, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return 0.0  # an earlier incarnation already tripped it
+        except OSError:
+            return 0.0
+        os.close(fd)
+    if kind in ("kill-on-lease", "kill-on-heartbeat"):
+        os.kill(os.getpid(), signal.SIGKILL)
+    if kind == "heartbeat-delay":
+        return float(argument) if argument else 5.0
+    return 0.0
+
+
+def truncate_wal_tail(path, mode="mid-record"):
+    """Damage the final record of a JSONL write-ahead log in place.
+
+    ``mid-record`` cuts the last line roughly in half — the canonical
+    crash-during-append shape (no trailing newline, unparseable JSON).
+    ``mid-utf8`` rewrites the last line to end inside a multi-byte
+    UTF-8 sequence, the nastier variant a byte-count-based truncation
+    (a torn page, a filesystem crash) produces: the tail is not even
+    *decodable*, and a text-mode reader would raise
+    ``UnicodeDecodeError`` instead of replaying n−1 records.  Returns
+    the number of bytes removed (``mid-utf8`` may also append).
+    """
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    if not blob.strip():
+        raise ValueError("refusing to truncate empty WAL %s" % path)
+    body = blob.rstrip(b"\n")
+    start = body.rfind(b"\n") + 1
+    last = body[start:]
+    if mode == "mid-record":
+        kept = last[: max(1, len(last) // 2)]
+        damaged = body[:start] + kept
+    elif mode == "mid-utf8":
+        # A torn multi-byte sequence: the first byte of U+00E9 and
+        # nothing after it.  Any per-line UTF-8 decode of this tail
+        # fails; a whole-file text read would too.
+        kept = last[: max(1, len(last) // 2)]
+        damaged = body[:start] + kept + b"\xc3"
+    else:
+        raise ValueError("unknown truncation mode %r" % mode)
+    with open(path, "wb") as fh:
+        fh.write(damaged)
+    return len(blob) - len(damaged)
 
 
 # ------------------------------------------------------------ cache files

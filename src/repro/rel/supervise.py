@@ -80,6 +80,30 @@ class SupervisionPolicy:
     #: Serve already-journaled points without re-simulating.
     resume: bool = False
 
+    def to_dict(self):
+        """The reproducibility knobs as a plain JSON-able dict.
+
+        Only the knobs that shape *how a point runs* — timeout, retries,
+        backoff, max_pool_respawns — land here; the journal path and
+        resume flag are per-invocation plumbing, not part of what a
+        manifest needs to rerun the point the same way.
+        """
+        return {
+            "timeout": self.timeout,
+            "retries": self.retries,
+            "backoff": self.backoff,
+            "backoff_factor": self.backoff_factor,
+            "max_pool_respawns": self.max_pool_respawns,
+        }
+
+    @classmethod
+    def from_dict(cls, doc, **overrides):
+        """Rebuild a policy from :meth:`to_dict` output (tolerant)."""
+        known = {f for f in cls.__dataclass_fields__}
+        fields = {k: v for k, v in (doc or {}).items() if k in known}
+        fields.update(overrides)
+        return cls(**fields)
+
 
 @dataclass
 class SupervisedOutcome(SweepOutcome):
@@ -140,20 +164,26 @@ class SweepJournal:
         self.path = path
 
     def load(self):
-        """``{key: entry}`` for every complete point line (empty if absent)."""
+        """``{key: entry}`` for every complete point line (empty if absent).
+
+        The file is read as **bytes** and each line decoded on its own:
+        a tail torn mid-record *or* mid-UTF-8-sequence (a crash can cut
+        an append anywhere, including inside a multi-byte character)
+        costs exactly that line — a text-mode read would raise
+        ``UnicodeDecodeError`` for the whole file instead.
+        """
         entries = {}
         try:
-            fh = open(self.path)
+            fh = open(self.path, "rb")
         except OSError:
             return entries
         with fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
+            for raw in fh.read().splitlines():
+                if not raw.strip():
                     continue
                 try:
-                    doc = json.loads(line)
-                except ValueError:
+                    doc = json.loads(raw.decode("utf-8"))
+                except (UnicodeDecodeError, ValueError):
                     continue  # truncated tail from an interrupted append
                 if (
                     isinstance(doc, dict)

@@ -1,0 +1,51 @@
+"""repro.serve: the crash-safe local simulation service.
+
+Three layers over the supervised sweep (see docs/SERVICE.md):
+
+* :mod:`repro.serve.queue` — the durable write-ahead job queue: every
+  accepted job is one fsync'd JSONL line, replay is torn-tail-tolerant,
+  job identity is the content hash of the simulation point, and leases
+  expire so a dead daemon's jobs return to the queue.
+* :mod:`repro.serve.daemon` — the worker-fleet supervisor: leases jobs
+  fairly across tenants under a token-bucket rate limit, runs them
+  through :func:`repro.rel.supervise.run_supervised_sweep`, heartbeats
+  into the telemetry spool, sheds work beyond ``max_depth``, and drains
+  cleanly on SIGTERM.
+* :mod:`repro.serve.api` — the stdlib HTTP JSON API (`POST /jobs`,
+  `GET /jobs[/<id>]`, `GET /events`, `GET /healthz`, `GET /metrics`).
+
+CLI: ``repro serve`` / ``repro submit`` / ``repro jobs`` /
+``repro drain``.
+"""
+
+from repro.serve.daemon import (
+    ServiceConfig,
+    ServiceDaemon,
+    drain,
+    read_address,
+    read_pidfile,
+    service_paths,
+    wait_for_job,
+)
+from repro.serve.queue import (
+    Job,
+    JobQueue,
+    job_key,
+    normalize_spec,
+    point_from_spec,
+)
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "ServiceConfig",
+    "ServiceDaemon",
+    "drain",
+    "job_key",
+    "normalize_spec",
+    "point_from_spec",
+    "read_address",
+    "read_pidfile",
+    "service_paths",
+    "wait_for_job",
+]

@@ -122,3 +122,26 @@ def test_manifest_for_cfd_workload_has_queue_metrics(tmp_path):
     assert metrics["bq.pops"] > 0
     assert "branch.mispredict_levels" in metrics
     assert manifest["stats"]["mispredict_levels"] is not None
+
+
+def test_manifest_records_supervision_knobs(count_program, tiny_config,
+                                            tmp_path):
+    """Satellite: a run launched under supervision records the policy's
+    knobs in its manifest, so an archived manifest is enough to rerun
+    the point under identical retry/timeout behaviour."""
+    from repro.rel import SupervisionPolicy
+
+    policy = SupervisionPolicy(timeout=30.0, retries=2, backoff=0.5)
+    path = tmp_path / "manifest.json"
+    simulate(count_program, tiny_config, manifest_path=str(path),
+             supervision=policy)
+    manifest = json.loads(path.read_text())
+    assert manifest["supervision"] == policy.to_dict()
+    assert manifest["supervision"]["retries"] == 2
+    # journal_path / resume are host-local runtime details, not knobs
+    assert "journal_path" not in manifest["supervision"]
+
+    # unsupervised runs say so explicitly
+    bare = tmp_path / "bare.json"
+    simulate(count_program, tiny_config, manifest_path=str(bare))
+    assert json.loads(bare.read_text())["supervision"] is None

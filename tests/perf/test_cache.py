@@ -143,13 +143,19 @@ def _hammer_store(root, key, payload, rounds):
     cache = ResultCache(root=root)
     for _ in range(rounds):
         assert cache.store(key, payload) is not None
-    return cache.counters()["stores"]
+    counters = cache.counters()
+    # every call settled one way or the other, none silently dropped
+    assert counters["stores"] + counters["deduped"] == rounds
+    return counters["stores"]
 
 
 def test_concurrent_writers_never_corrupt_an_entry(program, cache):
     """Satellite: many processes storing the same key under the flock
     write lock must leave a loadable entry (no interleaved tempfile /
-    rename pairs), with zero quarantines."""
+    rename pairs), with zero quarantines.  With duplicate-submit dedup,
+    exactly ONE of the 100 store calls across the 4 processes performs
+    the write — the first to take the lock — and every later call finds
+    the winner's complete entry and skips."""
     import multiprocessing
 
     from repro.perf.cache import snapshot_result
@@ -162,11 +168,41 @@ def test_concurrent_writers_never_corrupt_an_entry(program, cache):
         stores = pool.starmap(
             _hammer_store, [(cache.root, key, payload, 25)] * 4
         )
-    assert stores == [25] * 4
+    assert sum(stores) == 1  # first writer won; everyone else deduped
     recovered = cache.load(key, config=config)
     assert recovered is not None
     assert _stats_json(recovered) == _stats_json(CachedSimResult(payload))
     assert cache.counters()["quarantined"] == 0
+
+
+def test_duplicate_submit_race_dedups_under_the_write_lock(program, cache):
+    """Satellite: two clients computing the same uncached point must
+    dedup at store time — the loser's write is skipped, neither client
+    ever observes a partial entry, and a damaged existing entry is
+    overwritten rather than trusted."""
+    from repro.perf.cache import snapshot_result
+
+    config = sandy_bridge_config()
+    key = cache.key_for(program, config)
+    payload = snapshot_result(simulate(program, config))
+
+    first = ResultCache(root=cache.root)
+    second = ResultCache(root=cache.root)
+    assert first.store(key, payload) is not None
+    assert second.store(key, payload) is not None  # returns the entry path
+    assert first.counters()["stores"] == 1
+    assert second.counters()["deduped"] == 1
+    assert second.counters()["stores"] == 0
+    assert second.load(key, config=config) is not None
+
+    # a damaged entry must NOT win the dedup check: the fresh payload
+    # replaces it
+    with open(cache.path_for(key), "w") as fh:
+        fh.write('{"stats": {')
+    third = ResultCache(root=cache.root)
+    assert third.store(key, payload) is not None
+    assert third.counters()["stores"] == 1
+    assert third.load(key, config=config) is not None
 
 
 # ------------------------------------------------------- sampled entries

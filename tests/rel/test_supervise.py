@@ -109,6 +109,25 @@ def test_journal_tolerates_a_truncated_tail(tmp_path):
     assert [o.resumed for o in resumed] == [True, False]
 
 
+def test_journal_tolerates_a_tail_torn_mid_utf8(tmp_path):
+    """The crash can land inside a multi-byte UTF-8 sequence, not just
+    mid-record: the loader must replay the n-1 complete entries and
+    never raise UnicodeDecodeError."""
+    from repro.rel.inject import truncate_wal_tail
+
+    journal = str(tmp_path / "journal.jsonl")
+    run_supervised_sweep(
+        _points(2), jobs=1, policy=SupervisionPolicy(journal_path=journal)
+    )
+    truncate_wal_tail(journal, mode="mid-utf8")
+    resumed = run_supervised_sweep(
+        _points(2), jobs=1,
+        policy=SupervisionPolicy(journal_path=journal, resume=True),
+    )
+    assert all(o.ok for o in resumed)
+    assert [o.resumed for o in resumed] == [True, False]
+
+
 def test_error_retries_are_bounded_and_attributed():
     policy = SupervisionPolicy(retries=2, backoff=0.0)
     outcomes = run_supervised_sweep(
