@@ -35,6 +35,17 @@ Quickstart::
     print("speedup:", r0.stats.cycles / r1.stats.cycles)
 """
 
+import os as _os
+
+if _os.environ.get("REPRO_FS_SANITIZE"):
+    # Sanitized chaos/smoke runs: shim the filesystem primitives in
+    # every process that imports the package (daemon, submit clients,
+    # spawned pool workers) so the whole fleet's protocol-file traffic
+    # is traced and checked.  See repro.lint.host.sanitizer.
+    from repro.lint.host.sanitizer import install_from_env
+
+    install_from_env()
+
 from repro.core import (
     CoreConfig,
     SimResult,

@@ -42,7 +42,7 @@ def make_predictor(name, **kwargs):
         raise ValueError(
             "unknown predictor %r (choose from %s)"
             % (name, ", ".join(sorted(PREDICTOR_FACTORIES)))
-        )
+        ) from None
     return factory(**kwargs)
 
 

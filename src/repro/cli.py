@@ -14,6 +14,9 @@ Commands
 ``bench-diff``   compare two speed measurements; exit 6 on regression
 ``cache-prune``  shrink the result cache and warm-trace store (LRU)
 ``lint``         static CFD contract verification of built binaries
+``lint-host``    concurrency/durability lint of the repo's own service
+                 stack (lockset, atomic-write, torn-tail, determinism;
+                 docs/STATIC_ANALYSIS.md) and FS-sanitizer trace audit
 ``top``          live progress view of a telemetry-enabled sweep
 ``tail``         stream a sweep's telemetry spool events
 ``metrics-export``  Prometheus text format from a spool or manifest
@@ -39,9 +42,9 @@ docs/PERFORMANCE.md) — ``--no-cache`` forces a fresh simulation, and
 directory — watch it live with ``repro top DIR`` / ``repro tail DIR
 --follow``.  ``run --check`` attaches the independent invariant
 checker, and failures exit with distinct codes — 2 usage, 3 simulation
-error, 4 invariant violation, 5 lint findings, 6 performance regression
-(see docs/ROBUSTNESS.md, docs/STATIC_ANALYSIS.md and
-docs/OBSERVABILITY.md).
+error, 4 invariant violation, 5 lint findings, 6 performance
+regression, 7 host lint findings (see docs/ROBUSTNESS.md,
+docs/STATIC_ANALYSIS.md and docs/OBSERVABILITY.md).
 
 Examples::
 
@@ -92,6 +95,7 @@ EXIT_SIMULATION_ERROR = 3
 EXIT_INVARIANT_VIOLATION = 4
 EXIT_LINT_FINDINGS = 5
 EXIT_PERF_REGRESSION = 6
+EXIT_HOST_LINT_FINDINGS = 7
 
 _CONFIGS = {
     "baseline": sandy_bridge_config,
@@ -777,6 +781,69 @@ def cmd_lint(args, out):
     return EXIT_LINT_FINDINGS if total else 0
 
 
+def cmd_lint_host(args, out):
+    from repro.lint.host import (apply_baseline, lint_host, load_baseline,
+                                 render_host_json, validate_trace_dir)
+
+    findings, files_analyzed, waivers = lint_host(root=args.root)
+
+    trace_report = None
+    if args.trace:
+        trace_report = validate_trace_dir(args.trace)
+
+    if args.write_baseline:
+        from repro.lint.host import write_baseline
+
+        write_baseline(args.write_baseline, findings)
+        out.write("wrote baseline (%d finding%s) to %s\n" % (
+            len(findings), "" if len(findings) == 1 else "s",
+            args.write_baseline))
+        return 0
+
+    suppressed = []
+    baselined_pairs = 0
+    if args.baseline:
+        baselined = load_baseline(args.baseline)
+        baselined_pairs = len(baselined)
+        findings, suppressed = apply_baseline(findings, baselined)
+
+    trace_violations = (
+        len(trace_report["violations"]) if trace_report else 0)
+    total = len(findings) + trace_violations
+    if args.json:
+        baseline_info = None
+        if args.baseline:
+            baseline_info = {
+                "path": args.baseline,
+                "entries": baselined_pairs,
+                "suppressed": len(suppressed),
+            }
+        out.write(render_host_json(
+            findings, files_analyzed=files_analyzed, waivers=waivers,
+            trace=trace_report, baseline=baseline_info))
+        out.write("\n")
+    else:
+        for finding in findings:
+            out.write("%s\n" % finding.render())
+        if trace_report:
+            for violation in trace_report["violations"]:
+                out.write("trace %s: %s %s: %s\n" % (
+                    trace_report["directory"], violation["violation"],
+                    violation.get("path"), violation.get("detail")))
+            out.write("validated %d trace file%s (%d operation%s)\n" % (
+                trace_report["files"],
+                "" if trace_report["files"] == 1 else "s",
+                trace_report["ops"],
+                "" if trace_report["ops"] == 1 else "s"))
+        summary = "analyzed %d file%s: %d finding%s" % (
+            files_analyzed, "" if files_analyzed == 1 else "s",
+            total, "" if total == 1 else "s")
+        if suppressed:
+            summary += " (%d baselined)" % len(suppressed)
+        out.write(summary + "\n")
+    return EXIT_HOST_LINT_FINDINGS if total else 0
+
+
 def cmd_top(args, out):
     from repro.obs.telemetry import SweepAggregator, format_top
 
@@ -1422,6 +1489,28 @@ def build_parser():
     lint_parser.add_argument("--seed", type=int, default=1)
     lint_parser.add_argument("--json", action="store_true",
                              help="emit machine-readable JSON")
+    lint_host_parser = sub.add_parser(
+        "lint-host",
+        help="statically verify the repo's own service stack (lockset, "
+             "atomic-write, torn-tail and determinism rules) and audit "
+             "FS-sanitizer traces; exit code 7 on findings",
+    )
+    lint_host_parser.add_argument(
+        "--root", default=None,
+        help="source tree to analyze (default: the installed repro "
+             "package)")
+    lint_host_parser.add_argument(
+        "--trace", default=None, metavar="DIR",
+        help="also validate fsops-*.jsonl FS-sanitizer traces from a "
+             "REPRO_FS_SANITIZE run (see docs/STATIC_ANALYSIS.md)")
+    lint_host_parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="suppress findings grandfathered in this baseline file")
+    lint_host_parser.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="write current findings as the new baseline and exit 0")
+    lint_host_parser.add_argument("--json", action="store_true",
+                                  help="emit machine-readable JSON")
     serve_parser = sub.add_parser(
         "serve",
         help="run the crash-safe simulation service daemon "
@@ -1538,6 +1627,7 @@ _COMMANDS = {
     "bench-diff": cmd_bench_diff,
     "cache-prune": cmd_cache_prune,
     "lint": cmd_lint,
+    "lint-host": cmd_lint_host,
     "top": cmd_top,
     "tail": cmd_tail,
     "metrics-export": cmd_metrics_export,

@@ -1401,7 +1401,7 @@ class Pipeline:
             if uop.serializing:
                 self.serialize_pending = False
                 self.fetch_halted = False
-        for ready_cycle, uop in self.fetch_pipe:
+        for _ready_cycle, uop in self.fetch_pipe:
             if uop.seq > seq:
                 uop.squashed = True
                 stats.squashed += 1

@@ -809,7 +809,8 @@ class PortableWarmTrace:
             except (struct.error, ValueError) as exc:
                 if isinstance(exc, TraceFormatError):
                     raise
-                raise TraceFormatError("truncated trace body: %s" % exc)
+                raise TraceFormatError(
+                    "truncated trace body: %s" % exc) from exc
             if (len(kinds) != n_events or len(a) != n_events
                     or len(b) != n_events):
                 raise TraceFormatError("trace event arrays are truncated")

@@ -1,0 +1,108 @@
+"""Shared durable-filesystem primitives for the service stack.
+
+Every multi-process component of the repro — the WAL job queue
+(:mod:`repro.serve.queue`), the result/trace caches
+(:mod:`repro.perf.cache`, :mod:`repro.perf.tracestore`), the sweep
+journal (:mod:`repro.rel.supervise`) and the daemon's runtime files
+(:mod:`repro.serve.daemon`) — relies on the same three disciplines:
+
+* **flock critical sections** — writers of a shared file serialize on an
+  ``flock`` of a sidecar lock file (:func:`flock_exclusive`);
+* **atomic publication** — a durable file is never truncated in place;
+  it is written to a same-directory temp file, flushed, fsync'd,
+  ``os.replace``'d over the target and the directory entry is fsync'd
+  (:func:`atomic_replace`);
+* **directory durability** — a freshly *created* file is only durable
+  once its directory entry is too (:func:`fsync_directory`).
+
+These used to be re-implemented per module; centralizing them here gives
+the host lint (:mod:`repro.lint.host`) one blessed vocabulary to check
+against — ``with flock_exclusive(...)`` is a recognized lock context and
+``atomic_replace``/``fsync_directory`` are recognized publishers.
+"""
+
+import contextlib
+import os
+import tempfile
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX host
+    fcntl = None
+
+
+@contextlib.contextmanager
+def flock_exclusive(lock_path):
+    """Hold an exclusive ``flock`` on *lock_path* for the ``with`` body.
+
+    The lock file is created (mode ``"a"``: never truncated — another
+    process may already hold it) along with its directory.  A no-op
+    where ``fcntl`` is unavailable, matching the historical behavior of
+    every caller.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX host
+        yield
+        return
+    directory = os.path.dirname(lock_path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(lock_path, "a") as fh:
+        fcntl.flock(fh, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(fh, fcntl.LOCK_UN)
+
+
+def fsync_directory(path):
+    """Fsync the directory entry for *path* (best effort).
+
+    ``os.replace`` and file creation are only durable once the
+    *directory* is flushed too; a crash between the rename and the
+    directory flush can lose the new entry.  Accepts either a directory
+    or a file (whose parent is synced).  Returns True when the fsync
+    happened; failures (platforms where directories cannot be opened or
+    fsync'd) are swallowed — durability is then best-effort, exactly as
+    it was before the call existed.
+    """
+    directory = path if os.path.isdir(path) else (os.path.dirname(path) or ".")
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return False
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - odd filesystems
+        return False
+    finally:
+        os.close(fd)
+    return True
+
+
+def atomic_replace(path, data, durable=True):
+    """Atomically publish *data* (str or bytes) at *path*.
+
+    Full ordering: same-directory temp file -> write -> flush ->
+    ``os.fsync`` -> ``os.replace`` -> directory fsync.  No reader ever
+    observes a partial file, and (with *durable*) the publication
+    survives a crash.  *durable* False skips both fsyncs for
+    low-stakes runtime files (pidfile, address file) where atomicity
+    matters but a lost-on-power-cut write is harmless.
+    """
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    binary = isinstance(data, bytes)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb" if binary else "w") as fh:
+            fh.write(data)
+            if durable:
+                fh.flush()
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    if durable:
+        fsync_directory(path)
+    return path

@@ -45,7 +45,7 @@ def _parse_register(text, line_number):
     try:
         reg = int(text[1:])
     except ValueError:
-        raise AssemblerError("bad register %r" % text, line_number)
+        raise AssemblerError("bad register %r" % text, line_number) from None
     if not 0 <= reg < 32:
         raise AssemblerError("register out of range: %r" % text, line_number)
     return reg
@@ -55,7 +55,8 @@ def _parse_int(text, line_number):
     try:
         return int(text, 0)
     except ValueError:
-        raise AssemblerError("expected integer, got %r" % text, line_number)
+        raise AssemblerError(
+            "expected integer, got %r" % text, line_number) from None
 
 
 def _strip_comment(line):
@@ -197,7 +198,7 @@ def _resolve_label(text, labels, line_number):
     try:
         return int(text, 0)
     except ValueError:
-        raise AssemblerError("unknown label %r" % text, line_number)
+        raise AssemblerError("unknown label %r" % text, line_number) from None
 
 
 def assemble(source, name=None):

@@ -109,7 +109,7 @@ def decode(word, pc=0):
     try:
         opcode = Opcode(opcode_bits)
     except ValueError:
-        raise EncodingError("illegal opcode bits: %d" % opcode_bits)
+        raise EncodingError("illegal opcode bits: %d" % opcode_bits) from None
     info = op_info(opcode)
     fmt = info.fmt
     if fmt == "dst":

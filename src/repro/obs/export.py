@@ -271,7 +271,8 @@ def merge_chrome_trace_files(paths, names=None):
             with open(path) as fh:
                 document = json.load(fh)
         except (OSError, ValueError) as exc:
-            raise ValueError("cannot read trace %s: %s" % (path, exc))
+            raise ValueError(
+                "cannot read trace %s: %s" % (path, exc)) from exc
         if not isinstance(document, dict) or "traceEvents" not in document:
             raise ValueError(
                 "%s is not a Chrome trace-event document "

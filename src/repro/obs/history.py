@@ -76,20 +76,25 @@ def append_history(path, entry):
 
 
 def load_history(path):
-    """Every parseable current-version entry of a history file, in order."""
+    """Every parseable current-version entry of a history file, in order.
+
+    The file is read as **bytes** and each line decoded on its own
+    (the journal/WAL tolerance rules): an append interrupted inside a
+    multi-byte UTF-8 sequence costs exactly that line — a text-mode
+    read would raise ``UnicodeDecodeError`` for the whole history.
+    """
     entries = []
     try:
-        fh = open(path)
+        fh = open(path, "rb")
     except OSError:
         return entries
     with fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
+        for raw in fh.read().splitlines():
+            if not raw.strip():
                 continue
             try:
-                doc = json.loads(line)
-            except ValueError:
+                doc = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
                 continue  # torn tail from an interrupted append
             if (
                 isinstance(doc, dict)
@@ -145,15 +150,18 @@ def load_measurement(path, select="last", label=None):
     is found.
     """
     try:
-        with open(path) as fh:
-            text = fh.read()
+        # Bytes, not text: a torn history tail may end mid-UTF-8 and
+        # must fall through to the per-line-tolerant history loader,
+        # not raise UnicodeDecodeError here.
+        with open(path, "rb") as fh:
+            blob = fh.read()
     except OSError as exc:
-        raise ValueError("cannot read %s: %s" % (path, exc))
+        raise ValueError("cannot read %s: %s" % (path, exc)) from exc
     # A single JSON document is an artifact; anything else (including a
     # JSONL history, whose *lines* are JSON) goes to the history loader.
     try:
-        payload = json.loads(text)
-    except ValueError:
+        payload = json.loads(blob)
+    except (UnicodeDecodeError, ValueError):
         payload = None
     if isinstance(payload, dict):
         if payload.get("kind") == "repro.bench_speed":

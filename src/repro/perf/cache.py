@@ -27,7 +27,6 @@ it can be inspected, and the entry is recomputed.  Writes are atomic
 concurrent sweep workers and bench processes can share one cache.
 """
 
-import contextlib
 import hashlib
 import json
 import os
@@ -36,12 +35,8 @@ import tempfile
 import time
 from array import array
 
-try:
-    import fcntl
-except ImportError:  # pragma: no cover - non-POSIX host
-    fcntl = None
-
 from repro.core.stats import SimStats
+from repro.fsio import flock_exclusive, fsync_directory
 from repro.energy.mcpat import EnergyReport
 from repro.obs.export import jsonable, run_manifest, write_json
 
@@ -382,7 +377,6 @@ class ResultCache:
             return
         self.quarantined += 1
 
-    @contextlib.contextmanager
     def _write_lock(self):
         """Cross-process write lock (``flock`` on ``.write.lock``).
 
@@ -391,17 +385,9 @@ class ResultCache:
         their tempfile/rename pairs.  Held only for the duration of one
         entry write.  A no-op where ``fcntl`` is unavailable.
         """
-        if fcntl is None:
-            yield
-            return
-        lock_dir = os.path.join(self.root, "v%d" % self.schema_version)
-        os.makedirs(lock_dir, exist_ok=True)
-        with open(os.path.join(lock_dir, ".write.lock"), "a") as fh:
-            fcntl.flock(fh, fcntl.LOCK_EX)
-            try:
-                yield
-            finally:
-                fcntl.flock(fh, fcntl.LOCK_UN)
+        return flock_exclusive(
+            os.path.join(self._schema_dir(), ".write.lock")
+        )
 
     def _valid_entry_exists(self, path):
         """True if *path* already holds a complete, schema-current entry.
@@ -445,10 +431,16 @@ class ResultCache:
                     with os.fdopen(fd, "w") as fh:
                         json.dump(payload, fh)
                         fh.write("\n")
+                        fh.flush()
+                        os.fsync(fh.fileno())
                     os.replace(tmp, path)
                 finally:
                     if os.path.exists(tmp):
                         os.unlink(tmp)
+                # The rename publishes the entry atomically; it is
+                # *durable* only once the directory entry is flushed
+                # too.
+                fsync_directory(path)
                 if self.max_bytes is not None:
                     # Still under the write lock: concurrent writers
                     # prune serially, and the entry just written is

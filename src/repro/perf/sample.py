@@ -217,7 +217,7 @@ class SamplingPlan:
                 raise ConfigError(
                     "bad sampling spec %r: %r is not an integer"
                     % (spec, value.strip())
-                )
+                ) from None
         return cls(**fields).validate()
 
 

@@ -342,7 +342,7 @@ def prewarm_traces(points, trace_store, telemetry=None, batch_record=False):
     recorded = 0
     if missing:
         pipelines = []
-        for point, built, limit, key, n in missing:
+        for point, built, limit, _key, _n in missing:
             # Mirror SampledSimulator.run exactly (oracle horizon is
             # part of the recording environment for perfect-predictor
             # configs) so a pre-recorded trace is byte-identical to an
@@ -361,7 +361,7 @@ def prewarm_traces(points, trace_store, telemetry=None, batch_record=False):
                 ]
         except Exception:
             traces = []
-        for (point, built, limit, key, n), trace in zip(missing, traces):
+        for (point, _built, _limit, key, _n), trace in zip(missing, traces):
             trace_store.store(key, trace)
             recorded += 1
             if telemetry is not None:

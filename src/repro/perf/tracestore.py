@@ -29,6 +29,7 @@ in the parent, then fans config points out to workers that load the
 shared entry instead of re-scanning — see docs/PERFORMANCE.md.
 """
 
+import hashlib
 import mmap
 import os
 import tempfile
@@ -39,20 +40,13 @@ from repro.core.warm import (
     record_portable_trace,
     warm_fingerprint,
 )
+from repro.fsio import flock_exclusive, fsync_directory
 from repro.perf.cache import (
     default_cache_dir,
     max_bytes_from_env,
     program_digest,
     prune_lru,
 )
-
-try:
-    import fcntl
-except ImportError:  # pragma: no cover - non-POSIX host
-    fcntl = None
-
-import contextlib
-import hashlib
 
 #: Bump when the trace key recipe or store layout changes; the
 #: serialized trace format itself is versioned separately
@@ -153,21 +147,12 @@ class TraceStore:
             return
         self.quarantined += 1
 
-    @contextlib.contextmanager
     def _write_lock(self):
         """Cross-process writer lock; same discipline as the result
         cache (atomic rename keeps readers safe regardless)."""
-        if fcntl is None:
-            yield
-            return
-        lock_dir = self._schema_dir()
-        os.makedirs(lock_dir, exist_ok=True)
-        with open(os.path.join(lock_dir, ".write.lock"), "a") as fh:
-            fcntl.flock(fh, fcntl.LOCK_EX)
-            try:
-                yield
-            finally:
-                fcntl.flock(fh, fcntl.LOCK_UN)
+        return flock_exclusive(
+            os.path.join(self._schema_dir(), ".write.lock")
+        )
 
     def store(self, key, trace):
         """Atomically persist *trace* under *key*; returns the path.
@@ -186,10 +171,15 @@ class TraceStore:
                 try:
                     with os.fdopen(fd, "wb") as fh:
                         fh.write(payload)
+                        fh.flush()
+                        os.fsync(fh.fileno())
                     os.replace(tmp, path)
                 finally:
                     if os.path.exists(tmp):
                         os.unlink(tmp)
+                # Rename + directory flush: the published entry
+                # survives a crash, not just a racing reader.
+                fsync_directory(path)
                 if self.max_bytes is not None:
                     report = prune_lru(
                         self._schema_dir(), self.max_bytes, protect=(path,)

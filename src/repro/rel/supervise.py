@@ -46,6 +46,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.fsio import fsync_directory
 from repro.obs.telemetry import SweepTelemetry
 from repro.perf.cache import CachedSimResult, config_fingerprint
 from repro.perf.sweep import (
@@ -155,7 +156,7 @@ class SweepJournal:
 
     One header line (version stamp), then one ``{"kind": "point", ...}``
     line per successfully completed point carrying its key and full result
-    snapshot.  Appends are flushed per line, so after a crash at worst the
+    snapshot.  Appends are fsync'd per line, so after a crash at worst the
     final line is truncated — and :meth:`load` skips anything that does
     not parse as a complete point record.
     """
@@ -225,9 +226,16 @@ class SweepJournal:
         })
 
     def _append(self, doc):
+        created = not os.path.exists(self.path)
         with open(self.path, "a") as fh:
             fh.write(json.dumps(doc) + "\n")
             fh.flush()
+            # flush() alone only reaches the OS page cache; the journal
+            # is the resume checkpoint, so a crash must not be able to
+            # take completed-point lines with it.
+            os.fsync(fh.fileno())
+        if created:
+            fsync_directory(self.path)
 
 
 def _supervised_simulate_point(point, spool_dir=None, key=None,
@@ -534,7 +542,7 @@ def _drive_pool(pending, jobs, policy, complete, telemetry=None,
     def abandon(error_text, unexpected):
         """The pool is gone: requeue/fail every in-flight task, restart."""
         now = time.monotonic()
-        for future, task in list(inflight.items()):
+        for _future, task in list(inflight.items()):
             _requeue_or_fail(task, pending, policy, complete,
                              error_text, now - task.started,
                              telemetry=telemetry)

@@ -28,6 +28,7 @@ import json
 import os
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.fsio import atomic_replace
 from repro.obs.prom import render_service
 
 #: Largest request body accepted (a job spec is tiny; anything bigger
@@ -180,8 +181,10 @@ class ServiceAPIServer(ThreadingHTTPServer):
         super().__init__((host, port), ServiceAPIHandler)
         self.daemon = daemon
         address = "%s:%d" % (self.server_address[0], self.server_address[1])
-        with open(daemon.paths["addr"], "w") as fh:
-            fh.write(address + "\n")
+        # Atomic publish, same reasoning as the pidfile: clients poll
+        # this file to discover the API and must never read a torn
+        # host:port.
+        atomic_replace(daemon.paths["addr"], address + "\n", durable=False)
         daemon.spool.emit("http_bound", address=address)
 
     @property

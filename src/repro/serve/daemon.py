@@ -42,6 +42,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.fsio import atomic_replace
 from repro.obs.telemetry import TelemetrySpool
 from repro.perf.cache import ResultCache
 from repro.rel.inject import maybe_trip_daemon_fault
@@ -151,8 +152,11 @@ class ServiceDaemon:
     # -- lifecycle ------------------------------------------------------
 
     def _write_pidfile(self):
-        with open(self.paths["pid"], "w") as fh:
-            fh.write("%d\n" % os.getpid())
+        # Atomic publish: ``repro jobs``/``drain`` read this file while
+        # the daemon may be (re)writing it, and a truncating write has
+        # a window where they would see an empty or torn pid.
+        atomic_replace(self.paths["pid"], "%d\n" % os.getpid(),
+                       durable=False)
 
     def _clear_runtime_files(self):
         for name in ("pid", "addr"):

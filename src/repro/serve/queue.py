@@ -48,10 +48,7 @@ import json
 import os
 import time
 
-try:
-    import fcntl
-except ImportError:  # pragma: no cover - non-POSIX host
-    fcntl = None
+from repro.fsio import flock_exclusive, fsync_directory
 
 #: Bump when the WAL line format changes; foreign-version lines are
 #: ignored on replay (never misinterpreted).
@@ -253,35 +250,21 @@ class JobQueue:
             os.makedirs(directory, exist_ok=True)
         self._seal_torn_tail()
         line = (json.dumps(doc, sort_keys=False) + "\n").encode()
+        created = not os.path.exists(self.path)
         with open(self.path, "ab") as fh:
             fh.write(line)
             fh.flush()
             os.fsync(fh.fileno())
+        if created:
+            # A freshly created WAL is durable only once its directory
+            # entry is: without this, a crash right after the first
+            # submit could lose the whole file even though the line
+            # itself was fsync'd.
+            fsync_directory(self.path)
         return doc
 
-    class _Lock:
-        def __init__(self, path):
-            self.path = path
-            self._fh = None
-
-        def __enter__(self):
-            if fcntl is None:  # pragma: no cover - non-POSIX host
-                return self
-            directory = os.path.dirname(self.path)
-            if directory:
-                os.makedirs(directory, exist_ok=True)
-            self._fh = open(self.path, "a")
-            fcntl.flock(self._fh, fcntl.LOCK_EX)
-            return self
-
-        def __exit__(self, *exc):
-            if self._fh is not None:
-                fcntl.flock(self._fh, fcntl.LOCK_UN)
-                self._fh.close()
-                self._fh = None
-
     def _lock(self):
-        return self._Lock(self.path + ".lock")
+        return flock_exclusive(self.path + ".lock")
 
     # -- replay ---------------------------------------------------------
 

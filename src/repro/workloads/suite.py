@@ -138,8 +138,9 @@ def get_workload(name):
         return _REGISTRY[name]
     except KeyError:
         raise WorkloadError(
-            "unknown workload %r (have %s)" % (name, ", ".join(sorted(_REGISTRY)))
-        )
+            "unknown workload %r (have %s)"
+            % (name, ", ".join(sorted(_REGISTRY)))
+        ) from None
 
 
 def all_workloads():

@@ -29,7 +29,7 @@ target:
     functional, result = run_both(program, tiny_config)
     assert result.pipeline.checker.state.regs[4] == 30
     jalr_pc = None
-    for pc, stat in result.stats.branch_stats.items():
+    for pc, _stat in result.stats.branch_stats.items():
         inst = program.instruction_at(pc)
         if inst and inst.info.mnemonic == "jalr":
             jalr_pc = pc

@@ -249,7 +249,7 @@ test:
     assert result.stats.tq_pops == 8
     assert result.stats.tcr_branches == 22 + 8  # takens + exits
     # Branch_on_TCR never mispredicts (stall-on-miss TQ policy)
-    for pc, stat in result.stats.branch_stats.items():
+    for _pc, stat in result.stats.branch_stats.items():
         assert stat.mispredicted == 0 or not stat.resolved_at_fetch
 
 

@@ -1,0 +1,226 @@
+"""FsSanitizer: the runtime half of the host lint.
+
+Clean runs of the *real* components (JobQueue, ResultCache,
+SweepJournal, TelemetrySpool) must produce zero violations — the code
+actually executes the discipline the static pass proves.  Seeded
+violations — one per violation kind — must each be caught, or the
+sanitized chaos suite is a rubber stamp.
+"""
+
+import hashlib
+import json
+import os
+import tempfile
+
+import pytest
+
+from repro.lint.host.sanitizer import (VIOLATION_KINDS, FsSanitizer,
+                                       install_from_env, validate_trace_dir)
+
+
+def kinds(san):
+    return sorted({v["violation"] for v in san.violations})
+
+
+# -- clean runs of the real components --------------------------------------
+
+def test_job_queue_lifecycle_is_clean(tmp_path):
+    from repro.serve.queue import JobQueue
+    with FsSanitizer() as san:
+        queue = JobQueue(str(tmp_path / "svc" / "wal.jsonl"))
+        job, created, _ = queue.submit({"workload": "soplex"})
+        assert created
+        queue.lease("worker-1", limit=1)
+        queue.complete(job.job_id, {"ok": True})
+        san.finalize()
+    assert san.violations == []
+    assert any(op["op"] == "flock-ex" for op in san.ops)
+    assert any(op["op"] == "fsync" for op in san.ops)
+
+
+def test_result_cache_store_load_is_clean(tmp_path):
+    from repro.perf.cache import ResultCache
+    key = hashlib.sha256(b"point").hexdigest()
+    with FsSanitizer() as san:
+        cache = ResultCache(str(tmp_path / "cache"))
+        cache.store(key, {"result": 42})
+        cache.load(key)
+        san.finalize()
+    assert san.violations == []
+    assert any(op["op"] == "replace" and op["cls"] == "cache-entry"
+               for op in san.ops)
+
+
+def test_sweep_journal_append_is_clean(tmp_path):
+    from repro.rel.supervise import SweepJournal
+    with FsSanitizer() as san:
+        journal = SweepJournal(str(tmp_path / "sweep-journal.jsonl"))
+        journal.open(total=2)
+        san.finalize()
+    assert san.violations == []
+
+
+def test_telemetry_spool_emit_is_clean(tmp_path):
+    from repro.obs.telemetry import TelemetrySpool
+    with FsSanitizer() as san:
+        spool = TelemetrySpool(str(tmp_path / "spool"), role="worker")
+        spool.emit({"event": "point_started"})
+        spool.close()
+        san.finalize()
+    assert san.violations == []
+
+
+# -- seeded violations: every kind must be caught ---------------------------
+
+def test_catches_unlocked_wal_append(tmp_path):
+    wal = str(tmp_path / "wal.jsonl")
+    with FsSanitizer() as san:
+        with open(wal, "a") as fh:
+            fh.write("x\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        san.finalize()
+    assert kinds(san) == ["unlocked-mutation"]
+
+
+def test_catches_truncating_open(tmp_path):
+    wal = str(tmp_path / "wal.jsonl")
+    from repro.fsio import flock_exclusive
+    with FsSanitizer() as san:
+        with flock_exclusive(wal + ".lock"):
+            with open(wal, "w") as fh:
+                fh.write("x\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+        san.finalize()
+    assert kinds(san) == ["truncating-open"]
+
+
+def test_catches_text_read_of_append_only(tmp_path):
+    wal = tmp_path / "wal.jsonl"
+    wal.write_text("{}\n")
+    with FsSanitizer() as san:
+        with open(str(wal)) as fh:
+            fh.read()
+        san.finalize()
+    assert kinds(san) == ["text-read"]
+
+
+def test_binary_read_of_append_only_is_clean(tmp_path):
+    wal = tmp_path / "wal.jsonl"
+    wal.write_text("{}\n")
+    with FsSanitizer() as san:
+        with open(str(wal), "rb") as fh:
+            fh.read()
+        san.finalize()
+    assert san.violations == []
+
+
+def test_catches_replace_without_fsync(tmp_path):
+    entry_dir = tmp_path / "v1" / "ab"
+    entry_dir.mkdir(parents=True)
+    entry = str(entry_dir / ("a" * 16 + ".json"))
+    with FsSanitizer() as san:
+        fd, tmp = tempfile.mkstemp(dir=str(entry_dir))
+        with os.fdopen(fd, "w") as fh:
+            fh.write("{}")
+        os.replace(tmp, entry)
+    assert kinds(san) == ["replace-without-fsync"]
+
+
+def test_fsynced_replace_is_clean(tmp_path):
+    entry_dir = tmp_path / "v1" / "ab"
+    entry_dir.mkdir(parents=True)
+    entry = str(entry_dir / ("b" * 16 + ".json"))
+    with FsSanitizer() as san:
+        fd, tmp = tempfile.mkstemp(dir=str(entry_dir))
+        with os.fdopen(fd, "w") as fh:
+            fh.write("{}")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, entry)
+    assert san.violations == []
+
+
+def test_catches_durable_append_without_fsync(tmp_path):
+    journal = str(tmp_path / "sweep-journal.jsonl")
+    with FsSanitizer() as san:
+        with open(journal, "a") as fh:
+            fh.write("{}\n")
+            fh.flush()
+        san.finalize()
+    assert kinds(san) == ["append-without-fsync"]
+
+
+def test_every_kind_has_a_seeded_test():
+    """The five tests above cover VIOLATION_KINDS exhaustively."""
+    import inspect
+    module_source = inspect.getsource(
+        __import__(__name__, fromlist=["*"]))
+    for kind in VIOLATION_KINDS:
+        assert kind in module_source
+
+
+def test_check_raises_with_rendered_violations(tmp_path):
+    wal = str(tmp_path / "wal.jsonl")
+    with FsSanitizer() as san:
+        with open(wal, "a") as fh:
+            fh.write("x\n")
+    with pytest.raises(AssertionError, match="unlocked-mutation"):
+        san.check()
+
+
+def test_non_protocol_files_are_ignored(tmp_path):
+    with FsSanitizer() as san:
+        with open(str(tmp_path / "notes.txt"), "w") as fh:
+            fh.write("anything goes\n")
+        open(str(tmp_path / "notes.txt")).read()
+        san.finalize()
+    assert san.violations == []
+
+
+# -- trace files and cross-process activation -------------------------------
+
+def test_trace_file_records_and_validates(tmp_path):
+    trace_dir = tmp_path / "fsops"
+    wal = str(tmp_path / "wal.jsonl")
+    with FsSanitizer(trace_path=str(trace_dir / "fsops-1.jsonl")) as san:
+        with open(wal, "a") as fh:
+            fh.write("x\n")
+        san.finalize()
+    assert san.violations  # unlocked + no fsync
+
+    report = validate_trace_dir(str(trace_dir))
+    assert report["files"] == 1
+    assert report["ops"] >= 1
+    recorded = sorted({v["violation"] for v in report["violations"]})
+    assert recorded == kinds(san)
+
+
+def test_trace_validation_tolerates_torn_tail(tmp_path):
+    trace_dir = tmp_path / "fsops"
+    trace_dir.mkdir()
+    good = json.dumps({"op": "violation", "violation": "text-read",
+                       "path": "x", "pid": 1, "detail": "d"})
+    (trace_dir / "fsops-7.jsonl").write_bytes(
+        good.encode() + b"\n" + b'{"op": "viol\xc3')  # torn mid-record
+    report = validate_trace_dir(str(trace_dir))
+    assert len(report["violations"]) == 1
+
+
+def test_validate_missing_directory_is_empty_report(tmp_path):
+    report = validate_trace_dir(str(tmp_path / "nope"))
+    assert report["files"] == 0 and report["violations"] == []
+
+
+def test_install_from_env_is_gated(tmp_path):
+    assert install_from_env(environ={}) is None  # env unset: no shim
+
+
+def test_sanitizer_restores_primitives(tmp_path):
+    import builtins
+    before = (builtins.open, os.replace, os.fsync, tempfile.mkstemp)
+    with FsSanitizer():
+        assert builtins.open is not before[0]
+    after = (builtins.open, os.replace, os.fsync, tempfile.mkstemp)
+    assert before == after
